@@ -1,0 +1,54 @@
+// I/O scheduler ablation (§9 related work): Linux I/O schedulers operate per
+// hardware queue atop blk-mq's static bindings, so they cannot perform
+// NQ-level separation - a deadline scheduler lifts reads within one queue's
+// backlog but the multi-tenancy issue persists. Daredevil (with no scheduler
+// at all) beats vanilla with any scheduler.
+#include <vector>
+
+#include "bench/bench_util.h"
+
+using namespace daredevil;
+
+int main() {
+  PrintHeader("I/O scheduler ablation: schedulers atop blk-mq vs Daredevil",
+              "§9 (Linux I/O scheduling), Table 1's Factor analysis",
+              "4 L + 16 T on 4 cores; per-NSQ dispatch window 32");
+
+  TablePrinter table({"stack", "io-sched", "L p99.9", "L avg", "L IOPS",
+                      "T tput"});
+  struct Cell {
+    StackKind stack;
+    IoSchedulerKind sched;
+  };
+  const std::vector<Cell> cells = {
+      {StackKind::kVanilla, IoSchedulerKind::kNone},
+      {StackKind::kVanilla, IoSchedulerKind::kNoop},
+      {StackKind::kVanilla, IoSchedulerKind::kDeadline},
+      {StackKind::kDareFull, IoSchedulerKind::kNone},
+      {StackKind::kDareFull, IoSchedulerKind::kDeadline},
+  };
+  for (const Cell& cell : cells) {
+    ScenarioConfig cfg = MakeSvmConfig(4);
+    cfg.stack = cell.stack;
+    cfg.io_scheduler = cell.sched;
+    cfg.io_scheduler_window = 32;
+    cfg.warmup = ScaledMs(30);
+    cfg.duration = ScaledMs(120);
+    AddLTenants(cfg, 4);
+    AddTTenants(cfg, 16);
+    const ScenarioResult r = RunScenario(cfg);
+    table.AddRow({std::string(StackKindName(cell.stack)),
+                  std::string(IoSchedulerKindName(cell.sched)),
+                  FormatMs(static_cast<double>(r.P999Ns("L"))),
+                  FormatMs(r.AvgLatencyNs("L")), FormatCount(r.Iops("L")),
+                  FormatMiBps(r.ThroughputBps("T"))});
+  }
+  table.Print();
+  std::printf(
+      "\nExpected: deadline scheduling helps vanilla somewhat (reads lifted\n"
+      "over queued writes within each per-core NQ's scheduler backlog) but\n"
+      "cannot reach Daredevil's NQ-level separation; adding a scheduler to\n"
+      "Daredevil brings nothing because L- and T-requests no longer share\n"
+      "queues at all.\n");
+  return 0;
+}

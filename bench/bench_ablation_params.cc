@@ -1,0 +1,86 @@
+// Parameter ablations for the design choices DESIGN.md calls out: the
+// exponential-smoothing weight alpha, the MRU budget, and the low-priority
+// doorbell batch size. Each sweep runs the Fig. 6 high-pressure cell
+// (4 L + 16 T, 4 cores) on dare-full with one knob varied.
+#include <vector>
+
+#include "bench/bench_util.h"
+
+using namespace daredevil;
+
+namespace {
+
+ScenarioResult RunWith(const DaredevilConfig& dd) {
+  ScenarioConfig cfg = MakeSvmConfig(/*cores=*/4);
+  cfg.stack = StackKind::kDareFull;
+  cfg.dd = dd;
+  cfg.warmup = ScaledMs(30);
+  cfg.duration = ScaledMs(120);
+  AddLTenants(cfg, 4);
+  AddTTenants(cfg, 16);
+  // Exercise the scheduling machinery continuously: T-tenants emit outlier
+  // (sync) requests, and half of them update their ionice periodically, so
+  // heap updates, per-request queries and re-scheduling all stay hot.
+  int t_index = 0;
+  for (auto& job : cfg.jobs) {
+    if (job.group == "T") {
+      job.sync_prob = 0.05;
+      if (t_index++ % 2 == 0) {
+        job.ionice_update_interval = 2 * kMillisecond;
+      }
+    }
+  }
+  return RunScenario(cfg);
+}
+
+std::vector<std::string> Row(const std::string& label, const ScenarioResult& r) {
+  return {label, FormatMs(static_cast<double>(r.P999Ns("L"))),
+          FormatMs(r.AvgLatencyNs("L")), FormatCount(r.Iops("L")),
+          FormatMs(r.AvgLatencyNs("T")), FormatMiBps(r.ThroughputBps("T"))};
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Parameter ablations for Daredevil's design choices",
+              "§7 parameter setup (alpha = 0.8, MRU = NQ depth, batched "
+              "doorbells); DESIGN.md §4",
+              "Fig. 6 cell: 4 L + 16 T on 4 cores, dare-full");
+
+  std::printf("(1) exponential smoothing weight alpha (paper: 0.8):\n");
+  TablePrinter alpha_table(
+      {"alpha", "L p99.9", "L avg", "L IOPS", "T avg", "T tput"});
+  for (double alpha : {0.55, 0.7, 0.8, 0.9, 0.99}) {
+    DaredevilConfig dd = DareFullConfig();
+    dd.alpha = alpha;
+    alpha_table.AddRow(Row(FormatDouble(alpha, 2), RunWith(dd)));
+  }
+  alpha_table.Print();
+
+  std::printf("\n(2) MRU budget (paper: the NQ depth, 1024):\n");
+  TablePrinter mru_table(
+      {"MRU", "L p99.9", "L avg", "L IOPS", "T avg", "T tput"});
+  for (int mru : {1, 64, 1024, 4096}) {
+    DaredevilConfig dd = DareFullConfig();
+    dd.mru = mru;
+    mru_table.AddRow(Row(std::to_string(mru), RunWith(dd)));
+  }
+  mru_table.Print();
+
+  std::printf("\n(3) low-priority doorbell batch (1 = ring per request):\n");
+  TablePrinter db_table(
+      {"batch", "L p99.9", "L avg", "L IOPS", "T avg", "T tput"});
+  for (int batch : {1, 4, 8, 32}) {
+    DaredevilConfig dd = DareFullConfig();
+    dd.doorbell_batch = batch;
+    db_table.AddRow(Row(std::to_string(batch), RunWith(dd)));
+  }
+  db_table.Print();
+
+  std::printf(
+      "\nExpectation: results are robust around the paper's settings; an MRU\n"
+      "of 1 forces a heap re-sort on every query (pure overhead), and larger\n"
+      "doorbell batches trade T submission latency for controller efficiency\n"
+      "without hurting L-tenants (they use separate NQs).\n");
+  return 0;
+}

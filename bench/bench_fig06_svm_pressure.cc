@@ -1,0 +1,45 @@
+// Figure 6: performance with increasing T-pressure on SV-M (64 NSQ / 64 NCQ
+// device, 4 shared cores). Four panels: L-tenant 99.9th tail latency, average
+// latency, L-tenant IOPS, and T-tenant throughput, for vanilla / blk-switch /
+// Daredevil as the number of T-tenants grows 0 -> 32.
+#include <vector>
+
+#include "bench/bench_util.h"
+
+using namespace daredevil;
+
+int main() {
+  PrintHeader("Figure 6: resistance to severe multi-tenancy (SV-M)",
+              "§7.1, Fig. 6a-6d",
+              "4 L-tenants (4KB rand read QD1, RT) + N T-tenants (128KB stream "
+              "write QD32, BE) on 4 cores; 64 NSQs / 64 NCQs");
+
+  const std::vector<int> pressures = {0, 4, 8, 16, 24, 32};
+  const std::vector<StackKind> stacks = {StackKind::kVanilla, StackKind::kBlkSwitch,
+                                         StackKind::kDareFull};
+
+  TablePrinter table({"T-tenants", "stack", "L p99.9", "L avg", "L IOPS",
+                      "T tput", "CPU util"});
+  for (int n_t : pressures) {
+    for (StackKind kind : stacks) {
+      ScenarioConfig cfg = MakeSvmConfig(/*cores=*/4);
+      cfg.stack = kind;
+      cfg.warmup = ScaledMs(30);
+      cfg.duration = ScaledMs(150);
+      AddLTenants(cfg, 4);
+      AddTTenants(cfg, n_t);
+      const ScenarioResult r = RunScenario(cfg);
+      table.AddRow({std::to_string(n_t), std::string(StackKindName(kind)),
+                    FormatMs(static_cast<double>(r.P999Ns("L"))),
+                    FormatMs(r.AvgLatencyNs("L")), FormatCount(r.Iops("L")),
+                    FormatMiBps(r.ThroughputBps("T")), FormatPercent(r.cpu_util)});
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nPaper shape: Daredevil reduces L p99.9 by up to 3.2x and L avg by up\n"
+      "to 33x on SV-M, with stable comparable T throughput (at worst ~25.9%%\n"
+      "lower); vanilla and blk-switch inflate L latency as pressure rises and\n"
+      "L-tenants can hardly issue I/O under extreme pressure (Fig. 6c).\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Figure 10: multi-namespace scenarios. Namespaces exclusively host either
+// L- or T-tenants (ratio 1:3), yet they share the device's NQs, so the
+// multi-tenancy issue persists for stacks without multi-namespace support.
+#include <vector>
+
+#include "bench/bench_util.h"
+
+using namespace daredevil;
+
+namespace {
+
+ScenarioConfig MultiNamespaceConfig(int namespaces, StackKind kind) {
+  ScenarioConfig cfg = MakeSvmConfig(/*cores=*/4);
+  cfg.stack = kind;
+  cfg.warmup = ScaledMs(30);
+  cfg.duration = ScaledMs(400);
+  cfg.device.namespace_pages.assign(static_cast<size_t>(namespaces), 1ULL << 20);
+  const int l_ns = namespaces / 4;  // L-ns : T-ns = 1 : 3
+  for (int ns = 0; ns < namespaces; ++ns) {
+    if (ns < l_ns) {
+      AddLTenants(cfg, 2, static_cast<uint32_t>(ns));
+    } else {
+      AddTTenants(cfg, 8, static_cast<uint32_t>(ns));
+    }
+  }
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Figure 10: multi-namespace support",
+              "§7.2, Fig. 10a-10c",
+              "N namespaces (L-ns:T-ns = 1:3), 2 L-tenants per L-ns, 8 "
+              "T-tenants per T-ns, 4 cores, SV-M device");
+
+  TablePrinter table({"namespaces", "stack", "L p99.9", "L avg", "T tput"});
+  for (int namespaces : {4, 8, 12}) {
+    for (StackKind kind :
+         {StackKind::kVanilla, StackKind::kBlkSwitch, StackKind::kDareFull}) {
+      const ScenarioResult r = RunScenario(MultiNamespaceConfig(namespaces, kind));
+      const bool l_progress = r.Find("L") != nullptr && r.Find("L")->ios > 0;
+      table.AddRow({std::to_string(namespaces), std::string(StackKindName(kind)),
+                    l_progress ? FormatMs(static_cast<double>(r.P999Ns("L")))
+                               : "(L blocked)",
+                    l_progress ? FormatMs(r.AvgLatencyNs("L")) : "-",
+                    FormatMiBps(r.ThroughputBps("T"))});
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nPaper shape: Daredevil keeps L p99.9 below ~10ms and avg around 1ms\n"
+      "for every namespace count (up to 15.3x / 39.3x better), with\n"
+      "comparable throughput; vanilla and blk-switch inflate latency because\n"
+      "requests from different namespaces intertwine within shared NQs.\n");
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Figure 12e: Filebench Mailserver over the simple file system, with 8
+// background streaming T-tenants on 4 shared cores. Reports the average
+// latency of the operations that interact with the SSD directly (fsync and
+// delete), plus the cache-served ops for context.
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/apps/mailserver.h"
+
+using namespace daredevil;
+
+int main() {
+  PrintHeader("Figure 12e: Mailserver average op latency",
+              "§7.4, Fig. 12e",
+              "varmail-like op mix over SimpleFs (16KB files), 8 background "
+              "streaming T-tenants, 4 cores");
+
+  TablePrinter table({"stack", "fsync avg", "delete avg", "read avg",
+                      "stat avg", "ops", "cache-served"});
+  for (StackKind kind :
+       {StackKind::kVanilla, StackKind::kBlkSwitch, StackKind::kDareFull}) {
+    constexpr int kUsers = 4;
+    ScenarioConfig cfg = MakeSvmConfig(/*cores=*/4);
+    cfg.stack = kind;
+    cfg.warmup = ScaledMs(40);
+    cfg.duration = ScaledMs(400);
+    ScenarioEnv env(cfg);
+
+    Rng rng(777);
+    struct User {
+      Tenant tenant;
+      std::unique_ptr<AppIoContext> io;
+      std::unique_ptr<SimpleFs> fs;
+      std::unique_ptr<MailServer> mail;
+    };
+    std::vector<std::unique_ptr<User>> users;
+    for (int i = 0; i < kUsers; ++i) {
+      auto user = std::make_unique<User>();
+      user->tenant.id = static_cast<uint64_t>(1 + i);
+      user->tenant.name = "mail" + std::to_string(i);
+      user->tenant.group = "APP";
+      user->tenant.ionice = IoniceClass::kRealtime;
+      user->tenant.core = i % 4;
+      env.stack().OnTenantStart(&user->tenant);
+      user->io = std::make_unique<AppIoContext>(&env.machine(), &env.stack(),
+                                                &user->tenant, /*nsid=*/0);
+      SimpleFsConfig fs_cfg;
+      // Size the page cache below the working set so ~3/4 of reads are
+      // cache-served (the paper reports ~77% cache-resident operations).
+      fs_cfg.page_cache_pages = 6000;
+      user->fs = std::make_unique<SimpleFs>(user->io.get(), fs_cfg);
+      MailServerConfig mail_cfg;
+      user->mail = std::make_unique<MailServer>(user->fs.get(), mail_cfg,
+                                                rng.Fork(), &env.sim(),
+                                                env.measure_start(),
+                                                env.measure_end());
+      user->mail->Start();
+      users.push_back(std::move(user));
+    }
+
+    std::vector<std::unique_ptr<FioJob>> jobs;
+    for (int i = 0; i < 8; ++i) {
+      FioJobSpec spec = TTenantSpec(i);
+      jobs.push_back(std::make_unique<FioJob>(
+          &env.machine(), &env.stack(), spec, static_cast<uint64_t>(100 + i),
+          i % 4, rng.Fork(), env.measure_start(), env.measure_end()));
+      jobs.back()->Start();
+    }
+
+    env.sim().RunUntil(env.measure_end());
+
+    Histogram fsync_lat;
+    Histogram delete_lat;
+    Histogram read_lat;
+    Histogram stat_lat;
+    uint64_t ops = 0;
+    uint64_t cached = 0;
+    uint64_t total_pages = 0;
+    for (const auto& user : users) {
+      fsync_lat.Merge(user->mail->FsyncLatency());
+      delete_lat.Merge(user->mail->OpLatency(MailOp::kDelete));
+      read_lat.Merge(user->mail->OpLatency(MailOp::kRead));
+      stat_lat.Merge(user->mail->OpLatency(MailOp::kStat));
+      ops += user->mail->total_ops();
+      cached += user->fs->cache_hits();
+      total_pages += user->fs->cache_hits() + user->fs->cache_misses();
+    }
+    table.AddRow(
+        {std::string(StackKindName(kind)), FormatMs(fsync_lat.Mean()),
+         FormatMs(delete_lat.Mean()), FormatMs(read_lat.Mean()),
+         FormatMs(stat_lat.Mean()), FormatCount(static_cast<double>(ops)),
+         total_pages > 0
+             ? FormatPercent(static_cast<double>(cached) /
+                             static_cast<double>(total_pages))
+             : "n/a"});
+  }
+  table.Print();
+  std::printf(
+      "\nPaper shape: Daredevil improves fsync by 2-3ms and delete by\n"
+      "0.5-1.2ms versus vanilla/blk-switch; reads and stats are page-cache\n"
+      "served (~77%% of ops) and see little change.\n");
+  return 0;
+}

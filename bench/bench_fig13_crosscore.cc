@@ -1,0 +1,108 @@
+// Figure 13: overheads of cross-core NQ accesses. TL-tenants run the
+// T-tenant workload but with realtime ionice, so they share the
+// high-priority NQs with L-tenants; tenants additionally hop across cores
+// periodically to interleave NQ accesses. Reports L-tenant average latency
+// plus the measured submission-side (NSQ lock wait) and completion-side
+// (cross-core IRQ delivery) overhead components.
+#include <vector>
+
+#include "bench/bench_util.h"
+
+using namespace daredevil;
+
+namespace {
+
+FioJobSpec TlTenantSpec(int index) {
+  FioJobSpec spec = TTenantSpec(index);
+  spec.name = "TL" + std::to_string(index);
+  spec.group = "TL";
+  spec.ionice = IoniceClass::kRealtime;  // same priority as L-tenants
+  return spec;
+}
+
+struct Cell {
+  double l_avg_ns = 0;
+  double l_std_hint_ns = 0;  // p99 - p50 spread as a dispersion hint
+  double lock_wait_per_rq_ns = 0;
+  double cross_core_frac = 0;
+};
+
+Cell RunCell(StackKind kind, int n_l, int n_tl) {
+  ScenarioConfig cfg = MakeSvmConfig(/*cores=*/4);
+  cfg.stack = kind;
+  cfg.device.nr_nsq = 16;
+  cfg.device.nr_ncq = 16;
+  cfg.warmup = ScaledMs(30);
+  cfg.duration = ScaledMs(120);
+  for (int i = 0; i < n_l; ++i) {
+    FioJobSpec l = LTenantSpec(i);
+    l.migrate_interval = kMillisecond;  // interleave NQ accesses
+    cfg.jobs.push_back(l);
+  }
+  for (int i = 0; i < n_tl; ++i) {
+    FioJobSpec tl = TlTenantSpec(i);
+    tl.migrate_interval = kMillisecond;
+    cfg.jobs.push_back(tl);
+  }
+  const ScenarioResult r = RunScenario(cfg);
+  Cell cell;
+  cell.l_avg_ns = r.AvgLatencyNs("L");
+  const GroupStats* l = r.Find("L");
+  if (l != nullptr) {
+    cell.l_std_hint_ns =
+        static_cast<double>(l->latency.P99() - l->latency.P50());
+  }
+  if (r.requests_submitted > 0) {
+    cell.lock_wait_per_rq_ns = static_cast<double>(r.lock_wait_ns) /
+                               static_cast<double>(r.requests_submitted);
+  }
+  if (r.requests_completed > 0) {
+    cell.cross_core_frac = static_cast<double>(r.cross_core_completions) /
+                           static_cast<double>(r.requests_completed);
+  }
+  return cell;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Figure 13: cross-core NQ access overheads",
+              "§7.5, Fig. 13a-13d",
+              "TL-tenants (T workload, RT ionice) share high-priority NQs "
+              "with L-tenants; 4 cores, 16 NQs, tenants hop cores every 1ms");
+
+  std::printf("(a)(c) fixed 12 TL-tenants, increasing L-tenants:\n");
+  TablePrinter fixed_tl({"L-tenants", "stack", "L avg", "spread(p99-p50)",
+                         "lock-wait/rq", "x-core compl"});
+  for (int n_l : {4, 8, 12, 16}) {
+    for (StackKind kind : {StackKind::kVanilla, StackKind::kDareFull}) {
+      const Cell c = RunCell(kind, n_l, 12);
+      fixed_tl.AddRow({std::to_string(n_l), std::string(StackKindName(kind)),
+                       FormatMs(c.l_avg_ns), FormatMs(c.l_std_hint_ns),
+                       FormatUs(c.lock_wait_per_rq_ns),
+                       FormatPercent(c.cross_core_frac)});
+    }
+  }
+  fixed_tl.Print();
+
+  std::printf("\n(b)(d) fixed 12 L-tenants, increasing TL-tenants:\n");
+  TablePrinter fixed_l({"TL-tenants", "stack", "L avg", "spread(p99-p50)",
+                        "lock-wait/rq", "x-core compl"});
+  for (int n_tl : {4, 8, 12, 16}) {
+    for (StackKind kind : {StackKind::kVanilla, StackKind::kDareFull}) {
+      const Cell c = RunCell(kind, 12, n_tl);
+      fixed_l.AddRow({std::to_string(n_tl), std::string(StackKindName(kind)),
+                      FormatMs(c.l_avg_ns), FormatMs(c.l_std_hint_ns),
+                      FormatUs(c.lock_wait_per_rq_ns),
+                      FormatPercent(c.cross_core_frac)});
+    }
+  }
+  fixed_l.Print();
+
+  std::printf(
+      "\nPaper shape: Daredevil incurs 1.4-1.6x submission-side and 3.3-3.6x\n"
+      "completion-side cross-core overheads, but they account for <=1.7%% of\n"
+      "overall latency; scheduling steers L-tenants to less-contended NQs, so\n"
+      "latency stays lower and more stable than vanilla.\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Figure 14: overheads of frequent tenant base-priority updates. Tenants
+// re-apply their ionice value at shrinking intervals; every update runs
+// Daredevil's default-NSQ re-scheduling, consuming CPU that would otherwise
+// serve I/O. Reports L-tenant IOPS, T-tenant throughput, latency and CPU
+// utilization, normalized to the no-update baseline.
+#include <vector>
+
+#include "bench/bench_util.h"
+
+using namespace daredevil;
+
+namespace {
+
+ScenarioResult RunCell(Tick update_interval) {
+  ScenarioConfig cfg = MakeSvmConfig(/*cores=*/4);
+  cfg.stack = StackKind::kDareFull;
+  cfg.warmup = ScaledMs(30);
+  cfg.duration = ScaledMs(120);
+  AddLTenants(cfg, 4);
+  AddTTenants(cfg, 8);
+  for (auto& job : cfg.jobs) {
+    job.ionice_update_interval = update_interval;
+  }
+  return RunScenario(cfg);
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Figure 14: base-priority update overheads",
+              "§7.5, Fig. 14",
+              "4 L + 8 T tenants on Daredevil; ionice re-applied per tenant "
+              "at decreasing intervals (0 = never, the baseline)");
+
+  const ScenarioResult base = RunCell(0);
+  const double base_iops = base.Iops("L");
+  const double base_tput = base.ThroughputBps("T");
+  const double base_lat = base.AvgLatencyNs("L");
+
+  TablePrinter table({"interval", "L IOPS (norm)", "T tput (norm)",
+                      "L avg lat (norm)", "CPU util"});
+  table.AddRow({"baseline", "100.0%", "100.0%", "100.0%",
+                FormatPercent(base.cpu_util)});
+  const std::vector<std::pair<const char*, Tick>> intervals = {
+      {"1s", kSecond},          {"100ms", 100 * kMillisecond},
+      {"10ms", 10 * kMillisecond}, {"1ms", kMillisecond},
+      {"100us", 100 * kMicrosecond}, {"10us", 10 * kMicrosecond}};
+  for (const auto& [label, interval] : intervals) {
+    const ScenarioResult r = RunCell(interval);
+    table.AddRow({label, FormatPercent(r.Iops("L") / base_iops),
+                  FormatPercent(r.ThroughputBps("T") / base_tput),
+                  FormatPercent(r.AvgLatencyNs("L") / base_lat),
+                  FormatPercent(r.cpu_util)});
+  }
+  table.Print();
+  std::printf(
+      "\nPaper shape: IOPS and throughput degrade as updates become more\n"
+      "frequent (down to ~7.4%% / ~25%% of normal at saturation) because the\n"
+      "re-scheduling consumes the tenants' CPU, while the impact on I/O\n"
+      "latency itself stays comparatively small.\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Open-loop saturation study: latency-sensitive arrivals at a fixed rate
+// (with bursts) while T-pressure rises. Closed-loop L-tenants (the paper's
+// FIO jobs) self-throttle when the stack slows down; an open-loop source
+// keeps the arrival pressure on, exposing the latency collapse that real
+// interactive services experience.
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/workload/open_loop.h"
+
+using namespace daredevil;
+
+int main() {
+  PrintHeader("Open-loop arrivals under rising T-pressure",
+              "extension (production block traces arrive open-loop, cf. [58])",
+              "4 open-loop L sources (4KB reads, 5K IOPS each, 10% bursts of "
+              "8) + N closed-loop T-tenants, 4 cores");
+
+  TablePrinter table({"T-tenants", "stack", "L avg", "L p99", "L p99.9",
+                      "achieved IOPS", "dropped"});
+  for (int n_t : {0, 8, 16}) {
+    for (StackKind kind :
+         {StackKind::kVanilla, StackKind::kBlkSwitch, StackKind::kDareFull}) {
+      ScenarioConfig cfg = MakeSvmConfig(4);
+      cfg.stack = kind;
+      cfg.warmup = ScaledMs(30);
+      cfg.duration = ScaledMs(150);
+      AddTTenants(cfg, n_t);
+      ScenarioEnv env(cfg);
+
+      Rng master(cfg.seed);
+      std::vector<std::unique_ptr<OpenLoopJob>> sources;
+      for (int i = 0; i < 4; ++i) {
+        OpenLoopSpec spec;
+        spec.name = "ol" + std::to_string(i);
+        spec.group = "L";
+        spec.ionice = IoniceClass::kRealtime;
+        spec.pages = 1;
+        spec.iops = 5000;
+        spec.burst_prob = 0.1;
+        spec.burst_len = 8;
+        spec.core = i % 4;
+        sources.push_back(std::make_unique<OpenLoopJob>(
+            &env.machine(), &env.stack(), spec, static_cast<uint64_t>(500 + i),
+            master.Fork(), env.measure_start(), env.measure_end()));
+        sources.back()->Start();
+      }
+      std::vector<std::unique_ptr<FioJob>> t_jobs;
+      uint64_t tid = 1;
+      for (const auto& spec : cfg.jobs) {
+        t_jobs.push_back(std::make_unique<FioJob>(
+            &env.machine(), &env.stack(), spec, tid, (tid - 1) % 4,
+            master.Fork(), env.measure_start(), env.measure_end()));
+        ++tid;
+        t_jobs.back()->Start();
+      }
+      env.sim().RunUntil(env.measure_end());
+
+      Histogram latency;
+      uint64_t ios = 0;
+      uint64_t dropped = 0;
+      for (const auto& src : sources) {
+        latency.Merge(src->latency());
+        ios += src->measured_ios();
+        dropped += src->dropped_arrivals();
+      }
+      table.AddRow({std::to_string(n_t), std::string(StackKindName(kind)),
+                    FormatMs(latency.Mean()),
+                    FormatMs(static_cast<double>(latency.P99())),
+                    FormatMs(static_cast<double>(latency.P999())),
+                    FormatCount(static_cast<double>(ios) / ToSec(cfg.duration)),
+                    FormatCount(static_cast<double>(dropped))});
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nExpected: all stacks sustain the full offered load when idle; under\n"
+      "T-pressure vanilla/blk-switch queue arrivals into seconds of backlog\n"
+      "(achieved IOPS collapses, latency explodes) while Daredevil keeps\n"
+      "absorbing the offered load at ms-scale latency.\n");
+  return 0;
+}

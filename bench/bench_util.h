@@ -1,0 +1,39 @@
+// Shared helpers for the paper-reproduction bench binaries.
+#ifndef DAREDEVIL_BENCH_BENCH_UTIL_H_
+#define DAREDEVIL_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/sim/clock.h"
+#include "src/stats/table.h"
+#include "src/workload/scenario.h"
+
+namespace daredevil {
+
+// DD_BENCH_SCALE (default 1.0) multiplies simulated durations, letting users
+// trade wall time for tighter percentile estimates.
+inline double BenchScale() {
+  const char* env = std::getenv("DD_BENCH_SCALE");
+  if (env == nullptr) {
+    return 1.0;
+  }
+  const double v = std::atof(env);
+  return v > 0 ? v : 1.0;
+}
+
+inline Tick ScaledMs(double ms) {
+  return static_cast<Tick>(ms * BenchScale() * kMillisecond);
+}
+
+inline void PrintHeader(const char* experiment, const char* paper_ref,
+                        const char* setup) {
+  std::printf("=== %s ===\n", experiment);
+  std::printf("Paper reference: %s\n", paper_ref);
+  std::printf("Setup: %s\n\n", setup);
+}
+
+}  // namespace daredevil
+
+#endif  // DAREDEVIL_BENCH_BENCH_UTIL_H_

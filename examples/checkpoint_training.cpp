@@ -1,0 +1,74 @@
+// Training-checkpoint scenario (the paper's §1 example: deep-learning
+// training periodically checkpoints model state to local SSDs while
+// interactive web services fetch pages from the same device).
+//
+// Demonstrates: bursty T-tenants via start/stop times, windowed time series,
+// and how checkpoint bursts punch latency holes into L-tenants on static
+// stacks but not on Daredevil.
+#include <cstdio>
+
+#include "src/stats/table.h"
+#include "src/workload/scenario.h"
+
+using namespace daredevil;
+
+namespace {
+
+constexpr Tick kBurst = 40 * kMillisecond;   // checkpoint burst length
+constexpr Tick kPeriod = 80 * kMillisecond;  // checkpoint period
+
+ScenarioConfig MakeTrainingServer(StackKind kind) {
+  ScenarioConfig cfg = MakeSvmConfig(/*cores=*/4);
+  cfg.stack = kind;
+  cfg.warmup = 0;
+  cfg.duration = 4 * kPeriod;
+  cfg.series_window = 10 * kMillisecond;
+  // Four interactive web services (L).
+  AddLTenants(cfg, 4);
+  // Checkpoint writers: 8 streaming jobs that wake up for kBurst every
+  // kPeriod (the periodic model-state dump).
+  for (int burst = 0; burst < 4; ++burst) {
+    for (int i = 0; i < 8; ++i) {
+      FioJobSpec ckpt = TTenantSpec(burst * 8 + i);
+      ckpt.name = "ckpt" + std::to_string(burst) + "_" + std::to_string(i);
+      ckpt.start_time = burst * kPeriod;
+      ckpt.stop_time = burst * kPeriod + kBurst;
+      cfg.jobs.push_back(ckpt);
+    }
+  }
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Training server: 4 interactive web services (4KB reads, RT) +\n"
+      "periodic model-checkpoint bursts (8x 128KB stream writers, 40ms\n"
+      "burst every 80ms) on one local SSD.\n\n");
+
+  for (StackKind kind : {StackKind::kVanilla, StackKind::kDareFull}) {
+    const ScenarioResult r = RunScenario(MakeTrainingServer(kind));
+    std::printf("--- %s ---\n", std::string(StackKindName(kind)).c_str());
+    TablePrinter table({"t (ms)", "phase", "web avg", "web p99"});
+    const auto& lat = r.latency_series.at("L");
+    for (size_t w = 0; w < lat.num_windows(); ++w) {
+      const Tick start = lat.WindowStart(w);
+      const bool bursting = (start % kPeriod) < kBurst;
+      const bool have = lat.WindowCount(w) > 0;
+      table.AddRow(
+          {FormatDouble(ToMs(start), 0), bursting ? "checkpoint" : "idle",
+           have ? FormatMs(lat.WindowMean(w)) : "(blocked)",
+           have ? FormatMs(static_cast<double>(lat.WindowHistogram(w).P99()))
+                : "-"});
+    }
+    table.Print();
+    std::printf("\n");
+  }
+
+  std::printf(
+      "On vanilla blk-mq each checkpoint burst inflates web latency by\n"
+      "orders of magnitude (HOL blocking in the shared NQs); Daredevil keeps\n"
+      "the interactive windows flat through every burst.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Cloud multi-tenant scenario (the paper's §1 motivation): a cloud server
+// shares one local NVMe SSD among namespaces hosting interactive
+// latency-sensitive services and throughput-oriented batch jobs. Namespaces
+// isolate space but share NQs, so only a multi-namespace-aware stack keeps
+// the interactive services' SLAs.
+//
+// Demonstrates: multi-namespace configuration, per-group stats, capability
+// introspection, and time-series collection.
+#include <cstdio>
+
+#include "src/stats/table.h"
+#include "src/workload/scenario.h"
+
+using namespace daredevil;
+
+namespace {
+
+ScenarioConfig MakeCloudServer(StackKind kind) {
+  // An 8-namespace SSD: 2 namespaces serve interactive web frontends
+  // (L-tenants), 6 serve analytics/backup jobs (T-tenants).
+  ScenarioConfig cfg = MakeSvmConfig(/*cores=*/4);
+  cfg.stack = kind;
+  cfg.warmup = 20 * kMillisecond;
+  cfg.duration = 120 * kMillisecond;
+  cfg.device.namespace_pages.assign(8, 1ULL << 20);  // 8 x 4GiB
+  for (uint32_t ns = 0; ns < 2; ++ns) {
+    AddLTenants(cfg, 2, ns);  // interactive frontends
+  }
+  for (uint32_t ns = 2; ns < 8; ++ns) {
+    AddTTenants(cfg, 4, ns);  // batch analytics / backup streams
+  }
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Cloud server: 8-namespace NVMe SSD, 4 interactive frontends (L) in 2\n"
+      "namespaces + 24 batch jobs (T) in 6 namespaces, 4 shared cores.\n\n");
+
+  TablePrinter table({"stack", "multi-ns aware", "frontend p99.9",
+                      "frontend avg", "frontend IOPS", "batch tput"});
+  for (StackKind kind :
+       {StackKind::kVanilla, StackKind::kBlkSwitch, StackKind::kDareFull}) {
+    ScenarioConfig cfg = MakeCloudServer(kind);
+    ScenarioEnv probe(cfg);
+    const bool multi_ns = probe.stack().capabilities().multi_namespace_support;
+    const ScenarioResult r = RunScenario(cfg);
+    table.AddRow({std::string(StackKindName(kind)), multi_ns ? "yes" : "no",
+                  FormatMs(static_cast<double>(r.P999Ns("L"))),
+                  FormatMs(r.AvgLatencyNs("L")), FormatCount(r.Iops("L")),
+                  FormatMiBps(r.ThroughputBps("T"))});
+  }
+  table.Print();
+
+  std::printf(
+      "\nEven though frontends and batch jobs live in different namespaces,\n"
+      "they share the SSD's NQs: stacks without multi-namespace support let\n"
+      "batch I/O block the frontends (Figure 3c); Daredevil's device-global\n"
+      "nproxies keep them separated.\n");
+  return 0;
+}

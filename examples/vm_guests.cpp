@@ -1,0 +1,93 @@
+// Virtual machines on a shared local SSD (the §8.1 extension): each guest
+// exposes SLA-classed virtqueues; the hypervisor bridge backs every VQ with a
+// host tenant whose ionice matches, so Daredevil's routing keeps the VQ-NQ
+// mapping SLA-consistent end to end - even though guest applications are
+// invisible to the host kernel.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "src/stats/table.h"
+#include "src/virtio/virtio_blk.h"
+#include "src/workload/scenario.h"
+
+using namespace daredevil;
+
+namespace {
+
+// A closed-loop guest workload: keeps `streams` requests of the given shape
+// in flight on one VM.
+class GuestLoop {
+ public:
+  GuestLoop(GuestVm* vm, GuestSla sla, int streams, uint32_t pages, bool write,
+            uint64_t lba_stride)
+      : vm_(vm) {
+    for (int i = 0; i < streams; ++i) {
+      auto rq = std::make_unique<GuestRequest>();
+      rq->sla = sla;
+      rq->vcpu = i % vm->num_vcpus();
+      rq->pages = pages;
+      rq->is_write = write;
+      rq->lba = static_cast<uint64_t>(i) * lba_stride;
+      rq->on_complete = [this](GuestRequest* r) {
+        r->lba = (r->lba + r->pages) % 32768;
+        vm_->SubmitGuestIo(r);
+      };
+      vm_->SubmitGuestIo(rq.get());
+      requests_.push_back(std::move(rq));
+    }
+  }
+
+ private:
+  GuestVm* vm_;
+  std::vector<std::unique_ptr<GuestRequest>> requests_;
+};
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Two guests on one SSD: a web VM (latency VQs) and an analytics VM\n"
+      "(throughput VQs), vCPUs overcommitted onto 4 shared host cores.\n\n");
+
+  TablePrinter table({"host stack", "web VQ avg", "web VQ p99.9",
+                      "analytics tput", "VM exits"});
+  for (StackKind kind :
+       {StackKind::kVanilla, StackKind::kBlkSwitch, StackKind::kDareFull}) {
+    ScenarioConfig cfg = MakeSvmConfig(/*cores=*/4);
+    cfg.stack = kind;
+    cfg.device.namespace_pages = {1 << 20, 1 << 20};
+    ScenarioEnv env(cfg);
+
+    GuestVm web(&env.machine(), &env.stack(), "web", 1, {0, 1}, /*nsid=*/0);
+    GuestVm analytics(&env.machine(), &env.stack(), "analytics", 2, {0, 1, 2, 3},
+                      /*nsid=*/1);
+
+    GuestLoop web_loop(&web, GuestSla::kLatency, /*streams=*/4, /*pages=*/1,
+                       /*write=*/false, 997);
+    GuestLoop bulk_loop(&analytics, GuestSla::kThroughput, /*streams=*/64,
+                        /*pages=*/32, /*write=*/true, 2048);
+
+    const Tick duration = 150 * kMillisecond;
+    env.sim().RunUntil(duration);
+
+    const VirtQueue& web_vq = web.vq(GuestSla::kLatency);
+    const VirtQueue& bulk_vq = analytics.vq(GuestSla::kThroughput);
+    const double bulk_bps =
+        static_cast<double>(bulk_vq.completed()) * 32 * 4096 / ToSec(duration);
+    table.AddRow({std::string(StackKindName(kind)),
+                  FormatMs(web_vq.latency().Mean()),
+                  FormatMs(static_cast<double>(web_vq.latency().P999())),
+                  FormatMiBps(bulk_bps),
+                  FormatCount(static_cast<double>(web.vm_exits() +
+                                                  analytics.vm_exits()))});
+  }
+  table.Print();
+
+  std::printf(
+      "\nOn vanilla hosts the guests' traffic shares per-core NQs (vCPU\n"
+      "overcommit), so the analytics VM's 128KB writes block the web VM's\n"
+      "reads; with Daredevil the SLA-consistent VQ-NQ mapping keeps the web\n"
+      "VM's latency low at comparable analytics throughput.\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+#include "src/apps/app_io.h"
+
+#include <cassert>
+
+namespace daredevil {
+
+AppIoContext::AppIoContext(Machine* machine, StorageStack* stack, Tenant* tenant,
+                           uint32_t nsid)
+    : machine_(machine),
+      stack_(stack),
+      tenant_(tenant),
+      nsid_(nsid),
+      next_id_(tenant->id << 32) {}
+
+AppIoContext::Op* AppIoContext::AllocOp() {
+  if (!free_list_.empty()) {
+    Op* op = free_list_.back();
+    free_list_.pop_back();
+    return op;
+  }
+  auto owned = std::make_unique<Op>();
+  Op* op = owned.get();
+  op->ctx = this;
+  op->rq.tenant = tenant_;
+  op->rq.on_complete = [op](Request*) {
+    AppIoContext* ctx = op->ctx;
+    --ctx->inflight_;
+    Callback done = std::move(op->done);
+    op->done = nullptr;
+    ctx->free_list_.push_back(op);
+    if (done) {
+      done();
+    }
+  };
+  pool_.push_back(std::move(owned));
+  return op;
+}
+
+void AppIoContext::Issue(uint64_t lba, uint32_t pages, bool is_write, bool sync,
+                         bool meta, Callback done) {
+  assert(pages >= 1);
+  assert(lba + pages <= namespace_pages());
+  Op* op = AllocOp();
+  Request& rq = op->rq;
+  rq.id = ++next_id_;
+  rq.nsid = nsid_;
+  rq.lba = lba;
+  rq.pages = pages;
+  rq.is_write = is_write;
+  rq.is_sync = sync;
+  rq.is_meta = meta;
+  rq.issue_time = machine_->now();
+  rq.complete_time = 0;
+  rq.routed_nsq = -1;
+  rq.submit_core = tenant_->core;
+  op->done = std::move(done);
+
+  ++inflight_;
+  (is_write ? writes_ : reads_) += 1;
+  pages_ += pages;
+
+  const Tick issue_cost = stack_->costs().syscall +
+                          static_cast<Tick>(pages) * stack_->costs().per_page_user;
+  machine_->Post(tenant_->core, WorkLevel::kUser, issue_cost,
+                 [this, op]() {
+                   op->rq.submit_core = tenant_->core;
+                   stack_->SubmitAsync(&op->rq);
+                 },
+                 tenant_->id);
+}
+
+void AppIoContext::Read(uint64_t lba, uint32_t pages, Callback done) {
+  Issue(lba, pages, /*is_write=*/false, /*sync=*/false, /*meta=*/false,
+        std::move(done));
+}
+
+void AppIoContext::Write(uint64_t lba, uint32_t pages, bool sync, bool meta,
+                         Callback done) {
+  Issue(lba, pages, /*is_write=*/true, sync, meta, std::move(done));
+}
+
+void AppIoContext::Compute(Tick duration, Callback done) {
+  machine_->Post(tenant_->core, WorkLevel::kUser, duration,
+                 [done = std::move(done)]() {
+                   if (done) {
+                     done();
+                   }
+                 },
+                 tenant_->id);
+}
+
+}  // namespace daredevil

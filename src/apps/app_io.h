@@ -1,0 +1,70 @@
+// Asynchronous I/O context for simulated applications (the apps' analogue of
+// libaio + a file descriptor): issues block reads/writes through a storage
+// stack on behalf of a tenant and invokes callbacks on completion.
+#ifndef DAREDEVIL_SRC_APPS_APP_IO_H_
+#define DAREDEVIL_SRC_APPS_APP_IO_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/stack/storage_stack.h"
+
+namespace daredevil {
+
+class AppIoContext {
+ public:
+  using Callback = std::function<void()>;
+
+  AppIoContext(Machine* machine, StorageStack* stack, Tenant* tenant,
+               uint32_t nsid);
+  AppIoContext(const AppIoContext&) = delete;
+  AppIoContext& operator=(const AppIoContext&) = delete;
+
+  // Issues a read of `pages` 4KB pages at `lba` (namespace-relative).
+  void Read(uint64_t lba, uint32_t pages, Callback done);
+  // Issues a write; sync/meta map to REQ_SYNC / REQ_META.
+  void Write(uint64_t lba, uint32_t pages, bool sync, bool meta, Callback done);
+  // Pure CPU work in user context on the tenant's current core.
+  void Compute(Tick duration, Callback done);
+
+  Tenant& tenant() { return *tenant_; }
+  Machine& machine() { return *machine_; }
+  uint32_t nsid() const { return nsid_; }
+  uint64_t namespace_pages() const {
+    return stack_->device().NamespacePages(nsid_);
+  }
+
+  uint64_t reads_issued() const { return reads_; }
+  uint64_t writes_issued() const { return writes_; }
+  uint64_t pages_transferred() const { return pages_; }
+  int inflight() const { return inflight_; }
+
+ private:
+  struct Op {
+    Request rq;
+    Callback done;
+    AppIoContext* ctx = nullptr;
+  };
+
+  void Issue(uint64_t lba, uint32_t pages, bool is_write, bool sync, bool meta,
+             Callback done);
+  Op* AllocOp();
+
+  Machine* machine_;
+  StorageStack* stack_;
+  Tenant* tenant_;
+  uint32_t nsid_;
+  uint64_t next_id_;
+  std::vector<std::unique_ptr<Op>> pool_;
+  std::vector<Op*> free_list_;
+  uint64_t reads_ = 0;
+  uint64_t writes_ = 0;
+  uint64_t pages_ = 0;
+  int inflight_ = 0;
+};
+
+}  // namespace daredevil
+
+#endif  // DAREDEVIL_SRC_APPS_APP_IO_H_

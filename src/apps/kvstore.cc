@@ -1,0 +1,282 @@
+#include "src/apps/kvstore.h"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+
+namespace daredevil {
+
+KvStore::KvStore(AppIoContext* io, const KvStoreConfig& config, Rng rng)
+    : io_(io),
+      config_(config),
+      rng_(rng),
+      cache_(static_cast<size_t>(config.block_cache_pages)) {
+  data_alloc_ = config_.wal_pages;
+}
+
+uint64_t KvStore::AllocExtent(uint64_t pages) {
+  const uint64_t ns_pages = io_->namespace_pages();
+  assert(pages < ns_pages - config_.wal_pages);
+  if (data_alloc_ + pages > ns_pages) {
+    data_alloc_ = config_.wal_pages;  // wrap (old extents are dead by then)
+  }
+  const uint64_t base = data_alloc_;
+  data_alloc_ += pages;
+  return base;
+}
+
+void KvStore::Load(uint64_t num_keys) {
+  // Install the pre-existing database as evenly sized L1 runs.
+  const uint64_t epp = entries_per_page();
+  const uint64_t keys_per_run = std::max<uint64_t>(epp, num_keys / 8);
+  for (uint64_t start = 0; start < num_keys; start += keys_per_run) {
+    const uint64_t end = std::min(num_keys, start + keys_per_run);
+    SsTable table;
+    table.id = next_sstable_id_++;
+    table.level = 1;
+    table.keys.reserve(end - start);
+    for (uint64_t k = start; k < end; ++k) {
+      table.keys.push_back(k);
+      location_[k] = table.id;
+    }
+    table.num_pages = std::max<uint64_t>(1, (table.keys.size() + epp - 1) / epp);
+    table.base_lba = AllocExtent(table.num_pages);
+    sstables_.emplace(table.id, std::move(table));
+  }
+}
+
+void KvStore::WarmCache(uint64_t num_keys) {
+  for (uint64_t key = 0; key < num_keys; ++key) {
+    auto loc = location_.find(key);
+    if (loc == location_.end() || loc->second == kMemtableLoc) {
+      continue;
+    }
+    auto table = sstables_.find(loc->second);
+    if (table != sstables_.end()) {
+      cache_.Insert(BlockOf(table->second, key));
+    }
+  }
+}
+
+void KvStore::ReadBlock(uint64_t lba, Callback done) {
+  if (cache_.Touch(lba)) {
+    io_->Compute(config_.cpu_per_block, std::move(done));
+    return;
+  }
+  io_->Read(lba, 1, [this, lba, done = std::move(done)]() {
+    cache_.Insert(lba);
+    io_->Compute(config_.cpu_per_block, std::move(done));
+  });
+}
+
+void KvStore::Get(uint64_t key, Callback done) {
+  io_->Compute(config_.cpu_per_op, [this, key, done = std::move(done)]() mutable {
+    if (memtable_.count(key) != 0) {
+      done();
+      return;
+    }
+    auto loc = location_.find(key);
+    if (loc == location_.end() || loc->second == kMemtableLoc) {
+      done();  // not found (or raced with a flush): no I/O
+      return;
+    }
+    auto table_it = sstables_.find(loc->second);
+    if (table_it == sstables_.end()) {
+      done();
+      return;
+    }
+    const uint64_t lba = BlockOf(table_it->second, key);
+    // Rare bloom-filter false positive: one extra block probe first.
+    if (rng_.NextBool(config_.bloom_fp) && !sstables_.empty()) {
+      const uint64_t fp_lba = lba > 0 ? lba - 1 : lba + 1;
+      ReadBlock(fp_lba, [this, lba, done = std::move(done)]() mutable {
+        ReadBlock(lba, std::move(done));
+      });
+      return;
+    }
+    ReadBlock(lba, std::move(done));
+  });
+}
+
+void KvStore::Put(uint64_t key, Callback done) {
+  const uint64_t wal_lba = wal_head_;
+  wal_head_ = (wal_head_ + 1) % config_.wal_pages;
+  ++wal_appends_;
+  // WAL append: synchronous single-page write -> an outlier L-request from a
+  // T-classified tenant in Daredevil terms.
+  io_->Write(wal_lba, 1, /*sync=*/true, /*meta=*/false,
+             [this, key, done = std::move(done)]() mutable {
+               io_->Compute(config_.cpu_per_op,
+                            [this, key, done = std::move(done)]() {
+                              memtable_[key] = config_.value_bytes;
+                              location_[key] = kMemtableLoc;
+                              MaybeFlush();
+                              done();
+                            });
+             });
+}
+
+void KvStore::Scan(uint64_t key, int n, Callback done) {
+  io_->Compute(config_.cpu_per_op, [this, key, n, done = std::move(done)]() mutable {
+    auto loc = location_.find(key);
+    uint64_t lba = 0;
+    if (loc != location_.end() && loc->second != kMemtableLoc) {
+      auto table_it = sstables_.find(loc->second);
+      if (table_it != sstables_.end()) {
+        const SsTable& table = table_it->second;
+        lba = BlockOf(table, key);
+        // Clamp the scan inside the run.
+        const uint64_t span =
+            std::max<uint64_t>(1, (static_cast<uint64_t>(n) + entries_per_page() - 1) /
+                                      entries_per_page());
+        const uint64_t end = std::min(lba + span, table.base_lba + table.num_pages);
+        // Read the covered blocks sequentially through the cache.
+        auto step = std::make_shared<std::function<void(uint64_t)>>();
+        *step = [this, end, done = std::move(done), step](uint64_t cur) mutable {
+          if (cur >= end) {
+            done();
+            return;
+          }
+          ReadBlock(cur, [step, cur]() { (*step)(cur + 1); });
+        };
+        (*step)(lba);
+        return;
+      }
+    }
+    done();  // memtable-resident or missing: CPU only
+  });
+}
+
+void KvStore::ReadModifyWrite(uint64_t key, Callback done) {
+  Get(key, [this, key, done = std::move(done)]() mutable {
+    Put(key, std::move(done));
+  });
+}
+
+void KvStore::MaybeFlush() {
+  if (flush_in_progress_ || memtable_.size() < config_.memtable_entries) {
+    return;
+  }
+  flush_in_progress_ = true;
+  ++flushes_;
+
+  SsTable table;
+  table.id = next_sstable_id_++;
+  table.level = 0;
+  table.keys.reserve(memtable_.size());
+  for (const auto& [key, size] : memtable_) {
+    table.keys.push_back(key);
+  }
+  memtable_.clear();
+  const uint64_t epp = entries_per_page();
+  table.num_pages = std::max<uint64_t>(1, (table.keys.size() + epp - 1) / epp);
+  table.base_lba = AllocExtent(table.num_pages);
+  for (uint64_t key : table.keys) {
+    location_[key] = table.id;
+  }
+  const uint64_t base = table.base_lba;
+  const uint64_t pages = table.num_pages;
+  const uint64_t id = table.id;
+  sstables_.emplace(id, std::move(table));
+
+  BackgroundJob(0, 0, base, pages, [this, id]() {
+    l0_order_.push_back(id);
+    flush_in_progress_ = false;
+    MaybeCompact();
+  });
+}
+
+void KvStore::MaybeCompact() {
+  if (compaction_in_progress_ ||
+      l0_order_.size() < static_cast<size_t>(config_.l0_compaction_trigger)) {
+    return;
+  }
+  compaction_in_progress_ = true;
+  ++compactions_;
+
+  const uint64_t a_id = l0_order_[0];
+  const uint64_t b_id = l0_order_[1];
+  l0_order_.erase(l0_order_.begin(), l0_order_.begin() + 2);
+  SsTable a = std::move(sstables_.at(a_id));
+  SsTable b = std::move(sstables_.at(b_id));
+  sstables_.erase(a_id);
+  sstables_.erase(b_id);
+
+  SsTable merged;
+  merged.id = next_sstable_id_++;
+  merged.level = 1;
+  for (const SsTable* src : {&a, &b}) {
+    for (uint64_t key : src->keys) {
+      auto loc = location_.find(key);
+      if (loc != location_.end() && loc->second == src->id) {
+        merged.keys.push_back(key);
+        loc->second = merged.id;
+      }
+    }
+  }
+  const uint64_t epp = entries_per_page();
+  merged.num_pages = std::max<uint64_t>(1, (merged.keys.size() + epp - 1) / epp);
+  merged.base_lba = AllocExtent(merged.num_pages);
+
+  const uint64_t read_base = a.base_lba;
+  const uint64_t read_pages = a.num_pages + b.num_pages;
+  const uint64_t write_base = merged.base_lba;
+  const uint64_t write_pages = merged.num_pages;
+  sstables_.emplace(merged.id, std::move(merged));
+
+  BackgroundJob(read_base, read_pages, write_base, write_pages, [this]() {
+    compaction_in_progress_ = false;
+    MaybeCompact();
+  });
+}
+
+void KvStore::BackgroundJob(uint64_t read_base, uint64_t read_pages,
+                            uint64_t write_base, uint64_t write_pages,
+                            Callback done) {
+  struct Job {
+    uint64_t read_next, read_end;
+    uint64_t write_next, write_end;
+    int outstanding = 0;
+    Callback done;
+  };
+  auto job = std::make_shared<Job>();
+  job->read_next = read_base;
+  job->read_end = read_base + read_pages;
+  job->write_next = write_base;
+  job->write_end = write_base + write_pages;
+  job->done = std::move(done);
+
+  const uint64_t ns_pages = io_->namespace_pages();
+  auto pump = std::make_shared<std::function<void()>>();
+  *pump = [this, job, pump, ns_pages]() {
+    while (job->outstanding < config_.flush_iodepth &&
+           (job->read_next < job->read_end || job->write_next < job->write_end)) {
+      const bool is_read = job->read_next < job->read_end;
+      uint64_t& next = is_read ? job->read_next : job->write_next;
+      const uint64_t end = is_read ? job->read_end : job->write_end;
+      uint64_t lba = next % ns_pages;
+      uint32_t chunk = static_cast<uint32_t>(
+          std::min<uint64_t>(config_.flush_chunk_pages, end - next));
+      chunk = static_cast<uint32_t>(std::min<uint64_t>(chunk, ns_pages - lba));
+      next += chunk;
+      ++job->outstanding;
+      auto on_done = [job, pump]() {
+        --job->outstanding;
+        if (job->outstanding == 0 && job->read_next >= job->read_end &&
+            job->write_next >= job->write_end) {
+          job->done();
+          return;
+        }
+        (*pump)();
+      };
+      if (is_read) {
+        io_->Read(lba, chunk, on_done);
+      } else {
+        io_->Write(lba, chunk, /*sync=*/false, /*meta=*/false, on_done);
+      }
+    }
+  };
+  (*pump)();
+}
+
+}  // namespace daredevil

@@ -1,0 +1,117 @@
+// Mini LSM-tree key-value store (the RocksDB stand-in for the YCSB
+// experiments, §7.4).
+//
+// Write path: WAL append (one synchronous 4KB write - an outlier L-request
+// in Daredevil terms) + memtable insert; full memtables flush to new
+// sorted-run "SSTables" with large sequential background writes, and L0 runs
+// are compacted by background read+write jobs. Read path: memtable, then
+// block cache (LRU), then a single data-block read from the run holding the
+// key (a perfect-bloom location index models the filters; false positives add
+// rare extra reads). This reproduces the paper's observation that YCSB
+// read-mostly workloads are CPU/cache-bound while update-heavy workloads
+// exercise the storage stack.
+#ifndef DAREDEVIL_SRC_APPS_KVSTORE_H_
+#define DAREDEVIL_SRC_APPS_KVSTORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "src/apps/app_io.h"
+#include "src/apps/lru_cache.h"
+#include "src/sim/rng.h"
+
+namespace daredevil {
+
+struct KvStoreConfig {
+  uint32_t value_bytes = 1024;       // ~4 entries per 4KB block
+  uint64_t memtable_entries = 4096;  // flush threshold
+  int l0_compaction_trigger = 4;     // L0 run count that triggers compaction
+  uint64_t block_cache_pages = 8192; // 32MB LRU block cache
+  uint64_t wal_pages = 4096;         // circular WAL region
+  int flush_iodepth = 4;             // background-job queue depth
+  uint32_t flush_chunk_pages = 32;   // background I/O size (128KB)
+  double bloom_fp = 0.01;            // filter false-positive rate
+  Tick cpu_per_op = 2 * kMicrosecond;      // hashing/memtable work
+  Tick cpu_per_block = 1 * kMicrosecond;   // block decode
+};
+
+class KvStore {
+ public:
+  using Callback = std::function<void()>;
+
+  KvStore(AppIoContext* io, const KvStoreConfig& config, Rng rng);
+
+  // Instantly installs a pre-existing database of num_keys keys as L1 runs
+  // (no simulated I/O), modelling YCSB's pre-loaded table.
+  void Load(uint64_t num_keys);
+  // Seeds the block cache with the data blocks of the first num_keys keys
+  // (the zipfian-hottest ones), modelling a warmed cache; bounded by the
+  // cache capacity.
+  void WarmCache(uint64_t num_keys);
+
+  void Get(uint64_t key, Callback done);
+  void Put(uint64_t key, Callback done);
+  // Reads ~n consecutive entries starting at key.
+  void Scan(uint64_t key, int n, Callback done);
+  void ReadModifyWrite(uint64_t key, Callback done);
+
+  uint64_t entries_per_page() const { return 4096 / config_.value_bytes; }
+  uint64_t cache_hits() const { return cache_.hits(); }
+  uint64_t cache_misses() const { return cache_.misses(); }
+  uint64_t wal_appends() const { return wal_appends_; }
+  uint64_t flushes() const { return flushes_; }
+  uint64_t compactions() const { return compactions_; }
+  size_t num_sstables() const { return sstables_.size(); }
+  size_t memtable_size() const { return memtable_.size(); }
+
+ private:
+  static constexpr uint64_t kMemtableLoc = ~0ULL;
+
+  struct SsTable {
+    uint64_t id = 0;
+    uint64_t base_lba = 0;
+    uint64_t num_pages = 0;
+    int level = 0;
+    std::vector<uint64_t> keys;
+  };
+
+  uint64_t BlockOf(const SsTable& table, uint64_t key) const {
+    return table.base_lba + key % table.num_pages;
+  }
+  uint64_t AllocExtent(uint64_t pages);
+  void ReadBlock(uint64_t lba, Callback done);
+  void MaybeFlush();
+  void FinishFlush(std::vector<uint64_t> keys, uint64_t base, uint64_t pages);
+  void MaybeCompact();
+  // Drives a background sequential job of `pages` pages; read-then-write jobs
+  // pass both spans. Calls done once every chunk completed.
+  void BackgroundJob(uint64_t read_base, uint64_t read_pages, uint64_t write_base,
+                     uint64_t write_pages, Callback done);
+
+  AppIoContext* io_;
+  KvStoreConfig config_;
+  Rng rng_;
+  LruCache cache_;
+
+  std::map<uint64_t, uint32_t> memtable_;
+  std::unordered_map<uint64_t, uint64_t> location_;  // key -> sstable id
+  std::unordered_map<uint64_t, SsTable> sstables_;
+  std::vector<uint64_t> l0_order_;  // oldest first
+  uint64_t next_sstable_id_ = 1;
+
+  uint64_t wal_head_ = 0;
+  uint64_t data_alloc_ = 0;
+  bool flush_in_progress_ = false;
+  bool compaction_in_progress_ = false;
+
+  uint64_t wal_appends_ = 0;
+  uint64_t flushes_ = 0;
+  uint64_t compactions_ = 0;
+};
+
+}  // namespace daredevil
+
+#endif  // DAREDEVIL_SRC_APPS_KVSTORE_H_

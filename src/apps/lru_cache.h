@@ -1,0 +1,69 @@
+// Fixed-capacity LRU set of page ids, used for the KV store's block cache and
+// the file system's page cache.
+#ifndef DAREDEVIL_SRC_APPS_LRU_CACHE_H_
+#define DAREDEVIL_SRC_APPS_LRU_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+namespace daredevil {
+
+class LruCache {
+ public:
+  explicit LruCache(size_t capacity) : capacity_(capacity) {}
+
+  // Returns true (and promotes to MRU) when the id is cached.
+  bool Touch(uint64_t id) {
+    auto it = index_.find(id);
+    if (it == index_.end()) {
+      ++misses_;
+      return false;
+    }
+    order_.splice(order_.begin(), order_, it->second);
+    ++hits_;
+    return true;
+  }
+
+  void Insert(uint64_t id) {
+    if (capacity_ == 0) {
+      return;
+    }
+    auto it = index_.find(id);
+    if (it != index_.end()) {
+      order_.splice(order_.begin(), order_, it->second);
+      return;
+    }
+    order_.push_front(id);
+    index_[id] = order_.begin();
+    if (index_.size() > capacity_) {
+      index_.erase(order_.back());
+      order_.pop_back();
+    }
+  }
+
+  void Erase(uint64_t id) {
+    auto it = index_.find(id);
+    if (it == index_.end()) {
+      return;
+    }
+    order_.erase(it->second);
+    index_.erase(it);
+  }
+
+  size_t size() const { return index_.size(); }
+  size_t capacity() const { return capacity_; }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  size_t capacity_;
+  std::list<uint64_t> order_;
+  std::unordered_map<uint64_t, std::list<uint64_t>::iterator> index_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace daredevil
+
+#endif  // DAREDEVIL_SRC_APPS_LRU_CACHE_H_

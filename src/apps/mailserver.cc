@@ -1,0 +1,115 @@
+#include "src/apps/mailserver.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace daredevil {
+
+const char* MailOpName(MailOp op) {
+  switch (op) {
+    case MailOp::kRead:
+      return "read";
+    case MailOp::kCompose:
+      return "compose";
+    case MailOp::kDelete:
+      return "delete";
+    case MailOp::kStat:
+      return "stat";
+  }
+  return "?";
+}
+
+MailServer::MailServer(SimpleFs* fs, const MailServerConfig& config, Rng rng,
+                       Simulator* sim, Tick measure_start, Tick measure_end)
+    : fs_(fs),
+      config_(config),
+      rng_(rng),
+      sim_(sim),
+      measure_start_(measure_start),
+      measure_end_(measure_end) {
+  files_ = fs_->Preload(config_.initial_files, config_.file_pages);
+}
+
+MailOp MailServer::NextOp() {
+  const double p = rng_.NextDouble();
+  if (p < config_.p_read) {
+    return MailOp::kRead;
+  }
+  if (p < config_.p_read + config_.p_compose) {
+    return MailOp::kCompose;
+  }
+  if (p < config_.p_read + config_.p_compose + config_.p_delete) {
+    return MailOp::kDelete;
+  }
+  return MailOp::kStat;
+}
+
+SimpleFs::FileId MailServer::PickFile() {
+  assert(!files_.empty());
+  return files_[rng_.NextBelow(files_.size())];
+}
+
+void MailServer::Start() { RunOne(); }
+
+void MailServer::Finish(MailOp op, Tick started) {
+  const Tick now = sim_->now();
+  if (now >= measure_start_ && now < measure_end_) {
+    latency_[static_cast<int>(op)].Record(now - started);
+    ++counts_[static_cast<int>(op)];
+  }
+  ++total_ops_;
+  if (config_.think_time > 0) {
+    sim_->After(config_.think_time, [this]() { RunOne(); });
+  } else {
+    RunOne();
+  }
+}
+
+void MailServer::RunOne() {
+  if (sim_->now() >= measure_end_) {
+    return;
+  }
+  // Keep a floor of files so reads/deletes always have a target.
+  MailOp op = NextOp();
+  if (files_.size() < 16 && (op == MailOp::kDelete || op == MailOp::kRead)) {
+    op = MailOp::kCompose;
+  }
+  const Tick started = sim_->now();
+  switch (op) {
+    case MailOp::kRead:
+      fs_->Read(PickFile(), [this, op, started]() { Finish(op, started); });
+      break;
+    case MailOp::kCompose: {
+      fs_->Create(
+          [this, op, started]() {
+            const SimpleFs::FileId id = pending_create_;
+            files_.push_back(id);
+            fs_->Append(id, config_.file_pages, [this, id, op, started]() {
+              const Tick fsync_started = sim_->now();
+              fs_->Fsync(id, [this, op, started, fsync_started]() {
+                const Tick now = sim_->now();
+                if (now >= measure_start_ && now < measure_end_) {
+                  fsync_latency_.Record(now - fsync_started);
+                }
+                Finish(op, started);
+              });
+            });
+          },
+          &pending_create_);
+      break;
+    }
+    case MailOp::kDelete: {
+      const size_t idx = rng_.NextBelow(files_.size());
+      const SimpleFs::FileId id = files_[idx];
+      files_[idx] = files_.back();
+      files_.pop_back();
+      fs_->Delete(id, [this, op, started]() { Finish(op, started); });
+      break;
+    }
+    case MailOp::kStat:
+      fs_->Stat(PickFile(), [this, op, started]() { Finish(op, started); });
+      break;
+  }
+}
+
+}  // namespace daredevil

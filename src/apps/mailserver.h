@@ -1,0 +1,73 @@
+// Filebench Mailserver personality over SimpleFs (§7.4, Fig. 12e).
+//
+// Op mix approximating varmail: read mail (open + read + close), compose
+// (create + append 16KB + fsync), delete, and stat. The read/stat paths are
+// mostly page-cache-served (~77% of operations touch only CPU/caches, per the
+// paper), while fsync and delete issue direct synchronous I/O.
+#ifndef DAREDEVIL_SRC_APPS_MAILSERVER_H_
+#define DAREDEVIL_SRC_APPS_MAILSERVER_H_
+
+#include <vector>
+
+#include "src/apps/simplefs.h"
+#include "src/sim/rng.h"
+#include "src/sim/simulator.h"
+#include "src/stats/histogram.h"
+
+namespace daredevil {
+
+enum class MailOp { kRead, kCompose, kDelete, kStat };
+inline constexpr int kNumMailOps = 4;
+
+const char* MailOpName(MailOp op);
+
+struct MailServerConfig {
+  int initial_files = 2000;
+  uint32_t file_pages = 4;  // 16KB average file size
+  double p_read = 0.50;
+  double p_compose = 0.25;
+  double p_delete = 0.125;  // remainder is stat
+  Tick think_time = 0;
+};
+
+class MailServer {
+ public:
+  MailServer(SimpleFs* fs, const MailServerConfig& config, Rng rng,
+             Simulator* sim, Tick measure_start, Tick measure_end);
+
+  void Start();
+
+  MailOp NextOp();
+
+  const Histogram& OpLatency(MailOp op) const {
+    return latency_[static_cast<int>(op)];
+  }
+  // Fsync latency is recorded separately within compose ops (the paper
+  // reports fsync and delete explicitly).
+  const Histogram& FsyncLatency() const { return fsync_latency_; }
+  uint64_t OpCount(MailOp op) const { return counts_[static_cast<int>(op)]; }
+  uint64_t total_ops() const { return total_ops_; }
+
+ private:
+  void RunOne();
+  void Finish(MailOp op, Tick started);
+  SimpleFs::FileId PickFile();
+
+  SimpleFs* fs_;
+  MailServerConfig config_;
+  Rng rng_;
+  Simulator* sim_;
+  Tick measure_start_;
+  Tick measure_end_;
+  std::vector<SimpleFs::FileId> files_;
+
+  Histogram latency_[kNumMailOps];
+  Histogram fsync_latency_;
+  uint64_t counts_[kNumMailOps] = {0, 0, 0, 0};
+  uint64_t total_ops_ = 0;
+  SimpleFs::FileId pending_create_ = 0;
+};
+
+}  // namespace daredevil
+
+#endif  // DAREDEVIL_SRC_APPS_MAILSERVER_H_

@@ -1,0 +1,137 @@
+#include "src/apps/simplefs.h"
+
+#include <cassert>
+#include <memory>
+
+namespace daredevil {
+
+SimpleFs::SimpleFs(AppIoContext* io, const SimpleFsConfig& config)
+    : io_(io),
+      config_(config),
+      cache_(static_cast<size_t>(config.page_cache_pages)),
+      data_alloc_(config.inode_region_pages) {}
+
+uint64_t SimpleFs::AllocBlock() {
+  if (data_alloc_ >= io_->namespace_pages()) {
+    data_alloc_ = config_.inode_region_pages;  // wrap; old extents are dead
+  }
+  return data_alloc_++;
+}
+
+uint64_t SimpleFs::FilePages(FileId id) const {
+  auto it = files_.find(id);
+  return it == files_.end() ? 0 : it->second.blocks.size();
+}
+
+std::vector<SimpleFs::FileId> SimpleFs::Preload(int n, uint32_t pages_per_file) {
+  std::vector<FileId> ids;
+  ids.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    Inode inode;
+    inode.id = next_id_++;
+    for (uint32_t p = 0; p < pages_per_file; ++p) {
+      const uint64_t block = AllocBlock();
+      inode.blocks.push_back(block);
+      cache_.Insert(block);  // recently written files sit in the page cache
+    }
+    inode.dirty_from = pages_per_file;  // clean
+    ids.push_back(inode.id);
+    files_.emplace(inode.id, std::move(inode));
+  }
+  return ids;
+}
+
+void SimpleFs::Create(Callback done, FileId* out_id) {
+  Inode inode;
+  inode.id = next_id_++;
+  if (out_id != nullptr) {
+    *out_id = inode.id;
+  }
+  const uint64_t meta_lba = InodeLba(inode.id);
+  files_.emplace(inode.id, std::move(inode));
+  ++meta_writes_;
+  io_->Write(meta_lba, 1, /*sync=*/true, /*meta=*/true, std::move(done));
+}
+
+void SimpleFs::Append(FileId id, uint32_t pages, Callback done) {
+  auto it = files_.find(id);
+  assert(it != files_.end());
+  for (uint32_t p = 0; p < pages; ++p) {
+    const uint64_t block = AllocBlock();
+    it->second.blocks.push_back(block);
+    cache_.Insert(block);  // written through the page cache
+  }
+  io_->Compute(config_.cpu_per_op, std::move(done));
+}
+
+void SimpleFs::Fsync(FileId id, Callback done) {
+  auto it = files_.find(id);
+  assert(it != files_.end());
+  Inode& inode = it->second;
+  const uint32_t first_dirty = inode.dirty_from;
+  const auto total = static_cast<uint32_t>(inode.blocks.size());
+  if (first_dirty >= total) {
+    // Nothing dirty: inode write only.
+    ++meta_writes_;
+    io_->Write(InodeLba(id), 1, /*sync=*/true, /*meta=*/true, std::move(done));
+    return;
+  }
+  const uint32_t dirty_pages = total - first_dirty;
+  const uint64_t start_block = inode.blocks[first_dirty];
+  inode.dirty_from = total;
+  data_write_pages_ += dirty_pages;
+  const uint64_t meta_lba = InodeLba(id);
+  // Data pages first (allocated contiguously by Append), then the inode.
+  io_->Write(start_block, dirty_pages, /*sync=*/true, /*meta=*/false,
+             [this, meta_lba, done = std::move(done)]() mutable {
+               ++meta_writes_;
+               io_->Write(meta_lba, 1, /*sync=*/true, /*meta=*/true,
+                          std::move(done));
+             });
+}
+
+void SimpleFs::Read(FileId id, Callback done) {
+  auto it = files_.find(id);
+  assert(it != files_.end());
+  const Inode& inode = it->second;
+  bool all_cached = true;
+  for (uint64_t block : inode.blocks) {
+    if (!cache_.Touch(block)) {
+      all_cached = false;
+    }
+  }
+  if (all_cached || inode.blocks.empty()) {
+    io_->Compute(config_.cpu_per_op, std::move(done));
+    return;
+  }
+  const uint64_t start = inode.blocks.front();
+  const auto pages = static_cast<uint32_t>(inode.blocks.size());
+  io_->Read(start, pages, [this, id, done = std::move(done)]() mutable {
+    auto file = files_.find(id);
+    if (file != files_.end()) {
+      for (uint64_t block : file->second.blocks) {
+        cache_.Insert(block);
+      }
+    }
+    io_->Compute(config_.cpu_per_op, std::move(done));
+  });
+}
+
+void SimpleFs::Delete(FileId id, Callback done) {
+  auto it = files_.find(id);
+  assert(it != files_.end());
+  for (uint64_t block : it->second.blocks) {
+    cache_.Erase(block);
+  }
+  const uint64_t meta_lba = InodeLba(id);
+  files_.erase(it);
+  ++meta_writes_;
+  io_->Write(meta_lba, 1, /*sync=*/true, /*meta=*/true, std::move(done));
+}
+
+void SimpleFs::Stat(FileId id, Callback done) {
+  (void)id;
+  io_->Compute(config_.cpu_per_op, std::move(done));
+}
+
+}  // namespace daredevil

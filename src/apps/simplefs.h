@@ -1,0 +1,85 @@
+// Minimal file system model (the ext4 stand-in for the Filebench Mailserver
+// experiment, §7.4 / Fig. 12e).
+//
+// Files are page-granular: an inode region holds metadata pages, data blocks
+// come from a bump allocator, and a page cache absorbs reads/writes. Appends
+// dirty the cache only; fsync writes the dirty pages (synchronous writes) and
+// the inode (metadata write); delete writes the inode synchronously. This
+// reproduces the paper's split: ~77% of mailserver operations are
+// cache-served, while fsync and delete hit the storage stack directly.
+#ifndef DAREDEVIL_SRC_APPS_SIMPLEFS_H_
+#define DAREDEVIL_SRC_APPS_SIMPLEFS_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/apps/app_io.h"
+#include "src/apps/lru_cache.h"
+
+namespace daredevil {
+
+struct SimpleFsConfig {
+  uint64_t inode_region_pages = 1024;
+  uint64_t page_cache_pages = 16384;  // 64MB
+  Tick cpu_per_op = 1500;             // path lookup / metadata update
+};
+
+class SimpleFs {
+ public:
+  using Callback = std::function<void()>;
+  using FileId = uint64_t;
+
+  SimpleFs(AppIoContext* io, const SimpleFsConfig& config);
+
+  // Instantly installs n files of the given size (no simulated I/O),
+  // modelling a pre-populated mail directory.
+  std::vector<FileId> Preload(int n, uint32_t pages_per_file);
+
+  // Creates an empty file; completes after the inode reaches the device.
+  void Create(Callback done, FileId* out_id);
+  // Extends the file by `pages` dirty pages in the page cache (no device I/O).
+  void Append(FileId id, uint32_t pages, Callback done);
+  // Persists dirty data pages (synchronous writes) plus the inode.
+  void Fsync(FileId id, Callback done);
+  // Reads the whole file; cache hits cost CPU only.
+  void Read(FileId id, Callback done);
+  // Removes the file: a synchronous metadata write.
+  void Delete(FileId id, Callback done);
+  // Metadata-only access (inode is cached): CPU only.
+  void Stat(FileId id, Callback done);
+
+  bool Exists(FileId id) const { return files_.count(id) != 0; }
+  size_t num_files() const { return files_.size(); }
+  uint64_t FilePages(FileId id) const;
+  uint64_t cache_hits() const { return cache_.hits(); }
+  uint64_t cache_misses() const { return cache_.misses(); }
+  uint64_t meta_writes() const { return meta_writes_; }
+  uint64_t data_write_pages() const { return data_write_pages_; }
+
+ private:
+  struct Inode {
+    FileId id = 0;
+    std::vector<uint64_t> blocks;
+    uint32_t dirty_from = 0;  // blocks[dirty_from..] are dirty
+  };
+
+  uint64_t InodeLba(FileId id) const {
+    return id % config_.inode_region_pages;
+  }
+  uint64_t AllocBlock();
+
+  AppIoContext* io_;
+  SimpleFsConfig config_;
+  LruCache cache_;
+  std::unordered_map<FileId, Inode> files_;
+  FileId next_id_ = 1;
+  uint64_t data_alloc_;
+  uint64_t meta_writes_ = 0;
+  uint64_t data_write_pages_ = 0;
+};
+
+}  // namespace daredevil
+
+#endif  // DAREDEVIL_SRC_APPS_SIMPLEFS_H_

@@ -1,0 +1,39 @@
+#include "src/blkmq/blkmq_stack.h"
+
+#include <algorithm>
+
+namespace daredevil {
+namespace {
+
+int ResolveUsedNqs(int requested, const Machine& machine, const Device& device) {
+  int n = requested > 0 ? requested : std::min(machine.num_cores(), device.nr_nsq());
+  return std::max(1, std::min(n, device.nr_nsq()));
+}
+
+}  // namespace
+
+BlkMqStack::BlkMqStack(Machine* machine, Device* device, const StackCosts& costs,
+                       int used_nqs)
+    : StorageStack(machine, device, costs),
+      nr_hw_(ResolveUsedNqs(used_nqs, *machine, *device)) {}
+
+int BlkMqStack::RouteRequest(Request* rq) {
+  // The request strictly follows its core's SQ -> HQ -> NQ binding.
+  return NsqOfCore(rq->submit_core);
+}
+
+StaticSplitStack::StaticSplitStack(Machine* machine, Device* device,
+                                   const StackCosts& costs, int used_nqs)
+    : StorageStack(machine, device, costs),
+      nr_hw_(std::max(2, ResolveUsedNqs(used_nqs, *machine, *device))) {}
+
+int StaticSplitStack::RouteRequest(Request* rq) {
+  const int h = half();
+  const int slot = rq->submit_core % h;
+  const bool latency_class =
+      rq->tenant != nullptr && rq->tenant->IsLatencySensitive();
+  // L-tenants use the first half of the NQs, T-tenants the second half.
+  return latency_class ? slot : h + slot;
+}
+
+}  // namespace daredevil

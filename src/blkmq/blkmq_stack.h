@@ -1,0 +1,75 @@
+// Vanilla blk-mq: static per-core SQ -> HQ -> NQ bindings (§2.2), plus the
+// modified "static split" variant used by the paper's motivation experiment
+// (§3.1, "w/o Interfere").
+#ifndef DAREDEVIL_SRC_BLKMQ_BLKMQ_STACK_H_
+#define DAREDEVIL_SRC_BLKMQ_BLKMQ_STACK_H_
+
+#include <string_view>
+#include <vector>
+
+#include "src/stack/storage_stack.h"
+
+namespace daredevil {
+
+// The Linux v6.1 storage stack model: each core's software queue is
+// exclusively mapped to one hardware queue (core % nr_hw), and the kernel
+// caps the number of used NQs by the number of cores. All namespaces share
+// the same mapping (they share the device's tagset and NQs), which is exactly
+// why Figure 3c's interference persists across namespaces.
+class BlkMqStack : public StorageStack {
+ public:
+  // used_nqs limits the NQs blk-mq will touch (<=0 means min(cores, nsqs)).
+  BlkMqStack(Machine* machine, Device* device, const StackCosts& costs,
+             int used_nqs = 0);
+
+  std::string_view name() const override { return "vanilla"; }
+  StackCapabilities capabilities() const override {
+    // Table 1: hardware independence only; "-" factors reported as false.
+    return StackCapabilities{.hardware_independence = true,
+                             .nq_exploitation = false,
+                             .cross_core_autonomy = false,
+                             .multi_namespace_support = false};
+  }
+
+  int nr_hw_queues() const { return nr_hw_; }
+  // The static binding: which NSQ a core submits through.
+  int NsqOfCore(int core) const { return core % nr_hw_; }
+
+ protected:
+  int RouteRequest(Request* rq) override;
+
+ private:
+  int nr_hw_;
+};
+
+// blk-mq modified so that L- and T-tenants are statically separated into the
+// first and second half of the used NQs (the paper's §3.1 "w/o Interfere"
+// configuration, and the NQ-overprovision scheme of FlashShare/D2FQ in
+// Figure 3a). Still static: an overloaded half cannot borrow the other
+// half's NQs.
+class StaticSplitStack : public StorageStack {
+ public:
+  StaticSplitStack(Machine* machine, Device* device, const StackCosts& costs,
+                   int used_nqs = 0);
+
+  std::string_view name() const override { return "static-split"; }
+  StackCapabilities capabilities() const override {
+    return StackCapabilities{.hardware_independence = true,
+                             .nq_exploitation = false,
+                             .cross_core_autonomy = true,
+                             .multi_namespace_support = false};
+  }
+
+  int nr_hw_queues() const { return nr_hw_; }
+  int half() const { return nr_hw_ / 2; }
+
+ protected:
+  int RouteRequest(Request* rq) override;
+
+ private:
+  int nr_hw_;
+};
+
+}  // namespace daredevil
+
+#endif  // DAREDEVIL_SRC_BLKMQ_BLKMQ_STACK_H_

@@ -1,0 +1,116 @@
+// blk-switch (Hwang et al., OSDI'21) ported to the simulated stack.
+//
+// blk-switch keeps blk-mq's static per-core NQ bindings but layers a switched
+// architecture on top:
+//   * prioritized processing: L-requests always use their own core's NQ;
+//   * application steering (cross-core scheduling): the stack periodically
+//     partitions cores into L-cores and T-cores (proportionally to the tenant
+//     mix) and migrates tenants toward that placement, bounded by per-core
+//     scheduling slots. When T-tenants exceed the slots, the overflow spills
+//     onto L-cores - and the overflow assignment rotates every period, which
+//     reproduces the migration thrash and fluctuating performance the paper
+//     observes under high T-pressure (§7.1, Figure 8);
+//   * request steering: T-requests target the least-loaded T-core NQ; once
+//     T-core NQs carry more than spill_bytes of outstanding T traffic, the
+//     steering falls back to all NQs (balancing its own objective), which
+//     re-mixes L- and T-requests inside NQs exactly as Figure 6c describes.
+//
+// Faithful to the paper's §3.2 critique, all steering state is per namespace
+// (each namespace has its own blk-mq structure), so one namespace's steering
+// cannot see another's T-pressure (Figure 3c).
+#ifndef DAREDEVIL_SRC_BLKSWITCH_BLKSWITCH_STACK_H_
+#define DAREDEVIL_SRC_BLKSWITCH_BLKSWITCH_STACK_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "src/sim/rng.h"
+#include "src/stack/storage_stack.h"
+
+namespace daredevil {
+
+struct BlkSwitchConfig {
+  Tick resched_interval = 2 * kMillisecond;  // application-steering period
+  Tick migration_cost = 20 * kMicrosecond;   // charged on source + target cores
+  Tick steering_cost = 500;                  // per-T-request target computation
+  int max_t_apps_per_core = 6;               // T scheduling slots per core
+  int max_migrations_per_tick = 4;
+  // Per-NQ outstanding T-bytes above which request steering spills beyond the
+  // T-core NQs (its balancing objective overrides separation).
+  uint64_t spill_bytes = 16ULL << 20;  // 16 MiB
+  uint64_t seed = 0x62736b31;
+};
+
+class BlkSwitchStack : public StorageStack {
+ public:
+  BlkSwitchStack(Machine* machine, Device* device, const StackCosts& costs,
+                 const BlkSwitchConfig& config = {});
+
+  std::string_view name() const override { return "blk-switch"; }
+  StackCapabilities capabilities() const override {
+    return StackCapabilities{.hardware_independence = true,
+                             .nq_exploitation = true,
+                             .cross_core_autonomy = false,
+                             .multi_namespace_support = false};
+  }
+
+  void OnTenantStart(Tenant* tenant) override;
+  void OnTenantExit(Tenant* tenant) override;
+
+  int nr_hw_queues() const { return nr_hw_; }
+  uint64_t migrations() const { return migrations_; }
+  uint64_t steered_requests() const { return steered_; }
+  uint64_t spilled_requests() const { return spilled_; }
+  // Current core partition of a namespace's blk-mq structure (recomputed
+  // every resched period). A namespace hosting no L-tenants designates every
+  // core for T - which is exactly why multi-namespace separation fails
+  // (Figure 3c).
+  const std::vector<bool>& t_core_mask(uint32_t nsid = 0) const {
+    return per_ns_[nsid].t_core;
+  }
+  // Stops the periodic rescheduler (lets tests drain the event queue).
+  void StopRescheduling() { resched_stopped_ = true; }
+
+  // Exposed for unit tests: the steering decision for a T-request of the
+  // given namespace.
+  int SteerTarget(uint32_t nsid);
+
+ protected:
+  int RouteRequest(Request* rq) override;
+  Tick RoutingCost(const Request& rq) const override;
+  void OnRequestCompleted(Request* rq) override;
+
+ private:
+  struct PerNamespace {
+    std::vector<uint64_t> t_outstanding_bytes;  // per NQ
+    std::vector<Tenant*> tenants;
+    std::vector<bool> t_core;  // per core: designated for T-tenants
+  };
+
+  static bool IsLatencyClass(const Request& rq) {
+    return (rq.tenant != nullptr && rq.tenant->IsLatencySensitive()) ||
+           rq.IsOutlier();
+  }
+  PerNamespace& ns_state(uint32_t nsid);
+  void ArmReschedTimer();
+  void ReschedTick();
+  void RecomputePartition(PerNamespace& ns);
+  void ReschedNamespace(PerNamespace& ns, int* budget);
+
+  BlkSwitchConfig config_;
+  int nr_hw_;
+  Rng rng_;
+  std::vector<PerNamespace> per_ns_;
+  size_t num_tenants_ = 0;
+  int rotate_ = 0;  // rotates overflow placement each period
+  bool resched_armed_ = false;
+  bool resched_stopped_ = false;
+  uint64_t migrations_ = 0;
+  uint64_t steered_ = 0;
+  uint64_t spilled_ = 0;
+};
+
+}  // namespace daredevil
+
+#endif  // DAREDEVIL_SRC_BLKSWITCH_BLKSWITCH_STACK_H_

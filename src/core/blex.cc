@@ -1,0 +1,12 @@
+#include "src/core/blex.h"
+
+namespace daredevil {
+
+Blex::Blex(Device* device, int num_cores) : device_(device) {
+  proxies_.reserve(static_cast<size_t>(device->nr_nsq()));
+  for (int i = 0; i < device->nr_nsq(); ++i) {
+    proxies_.emplace_back(i, device->NcqOfNsq(i), num_cores);
+  }
+}
+
+}  // namespace daredevil

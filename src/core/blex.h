@@ -1,0 +1,76 @@
+// blex: the decoupled block layer (§5.1).
+//
+// blex replaces blk-mq's static SQ->HQ binding with full connectivity between
+// cores and NSQs, mediated by nproxies: lightweight per-NSQ wrappers that
+// expose NSQ state to the block layer without breaking the block-layer /
+// driver module boundary. nproxies are device-global and therefore observed
+// uniformly across namespaces, which is what gives Daredevil multi-namespace
+// support.
+#ifndef DAREDEVIL_SRC_CORE_BLEX_H_
+#define DAREDEVIL_SRC_CORE_BLEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/nvme/device.h"
+
+namespace daredevil {
+
+// One nproxy per NSQ: a wrapper holding the NSQ's identity, its paired NCQ
+// and the per-core claim counts troute maintains (the CPU bitmap of §5.2,
+// generalized to counts so claims can be released on migration/exit).
+class NProxy {
+ public:
+  NProxy(int nsq_id, int ncq_id, int num_cores)
+      : nsq_id_(nsq_id), ncq_id_(ncq_id), claim_counts_(num_cores, 0) {}
+
+  int nsq_id() const { return nsq_id_; }
+  int ncq_id() const { return ncq_id_; }
+
+  void Claim(int core) { ++claim_counts_[static_cast<size_t>(core)]; }
+  void Unclaim(int core) {
+    auto& c = claim_counts_[static_cast<size_t>(core)];
+    if (c > 0) {
+      --c;
+    }
+  }
+  bool IsClaimedBy(int core) const {
+    return claim_counts_[static_cast<size_t>(core)] > 0;
+  }
+  // Number of cores claiming frequent usage (nq.nr_claimed_cores in
+  // Algorithm 2's NSQ merit).
+  int claimed_cores() const {
+    int n = 0;
+    for (uint32_t c : claim_counts_) {
+      n += c > 0 ? 1 : 0;
+    }
+    return n;
+  }
+
+ private:
+  int nsq_id_;
+  int ncq_id_;
+  std::vector<uint32_t> claim_counts_;
+};
+
+class Blex {
+ public:
+  Blex(Device* device, int num_cores);
+
+  Device& device() { return *device_; }
+  const Device& device() const { return *device_; }
+
+  int nr_proxies() const { return static_cast<int>(proxies_.size()); }
+  NProxy& proxy(int nsq_id) { return proxies_[static_cast<size_t>(nsq_id)]; }
+  const NProxy& proxy(int nsq_id) const {
+    return proxies_[static_cast<size_t>(nsq_id)];
+  }
+
+ private:
+  Device* device_;
+  std::vector<NProxy> proxies_;
+};
+
+}  // namespace daredevil
+
+#endif  // DAREDEVIL_SRC_CORE_BLEX_H_

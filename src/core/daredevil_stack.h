@@ -1,0 +1,55 @@
+// The Daredevil storage stack: blex + troute + nqreg wired into the shared
+// stack plumbing (§4, Figure 4).
+#ifndef DAREDEVIL_SRC_CORE_DAREDEVIL_STACK_H_
+#define DAREDEVIL_SRC_CORE_DAREDEVIL_STACK_H_
+
+#include <memory>
+#include <string_view>
+
+#include "src/core/blex.h"
+#include "src/core/config.h"
+#include "src/core/nqreg.h"
+#include "src/core/troute.h"
+#include "src/stack/storage_stack.h"
+
+namespace daredevil {
+
+class DaredevilStack : public StorageStack {
+ public:
+  DaredevilStack(Machine* machine, Device* device, const StackCosts& costs,
+                 const DaredevilConfig& config = DareFullConfig());
+
+  std::string_view name() const override;
+  StackCapabilities capabilities() const override {
+    return StackCapabilities{.hardware_independence = true,
+                             .nq_exploitation = true,
+                             .cross_core_autonomy = true,
+                             .multi_namespace_support = true};
+  }
+
+  void OnTenantStart(Tenant* tenant) override;
+  void OnTenantExit(Tenant* tenant) override;
+  void OnIoniceChange(Tenant* tenant) override;
+  void OnTenantMigrated(Tenant* tenant, int old_core) override;
+
+  const DaredevilConfig& dd_config() const { return config_; }
+  Blex& blex() { return *blex_; }
+  NqReg& nqreg() { return *nqreg_; }
+  TRoute& troute() { return *troute_; }
+
+ protected:
+  int RouteRequest(Request* rq) override;
+  Tick RoutingCost(const Request& rq) const override;
+
+ private:
+  void ApplyDispatchPolicies();
+
+  DaredevilConfig config_;
+  std::unique_ptr<Blex> blex_;
+  std::unique_ptr<NqReg> nqreg_;
+  std::unique_ptr<TRoute> troute_;
+};
+
+}  // namespace daredevil
+
+#endif  // DAREDEVIL_SRC_CORE_DAREDEVIL_STACK_H_

@@ -1,0 +1,211 @@
+#include "src/core/nqreg.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace daredevil {
+
+NqReg::NqReg(Blex* blex, const DaredevilConfig& config)
+    : blex_(blex), config_(config) {
+  Device& dev = blex_->device();
+  assert(dev.nr_ncq() >= 2 && "NQGroup division needs at least two NCQs");
+
+  // Equal division at init (§5.3): nqreg cannot foresee the tenant mix, so
+  // the first half of the NCQs (with their attached NSQs) serve L-requests
+  // and the second half serve T-requests.
+  ncq_group_.resize(static_cast<size_t>(dev.nr_ncq()));
+  const int high_ncqs = dev.nr_ncq() / 2;
+  for (int i = 0; i < dev.nr_ncq(); ++i) {
+    const NqPrio prio = i < high_ncqs ? NqPrio::kHigh : NqPrio::kLow;
+    ncq_group_[static_cast<size_t>(i)] = prio;
+    NcqNode node;
+    node.id = i;
+    node.mru = config_.mru;
+    for (int nsq : dev.NsqsOfNcq(i)) {
+      NsqEntry entry;
+      entry.id = nsq;
+      node.nsqs.push_back(entry);
+    }
+    groups_[static_cast<int>(prio)].ncqs.push_back(std::move(node));
+  }
+  for (auto& g : groups_) {
+    g.mru = config_.mru;
+  }
+}
+
+std::vector<int> NqReg::NcqsOfGroup(NqPrio prio) const {
+  std::vector<int> out;
+  for (const auto& node : groups_[static_cast<int>(prio)].ncqs) {
+    out.push_back(node.id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<int> NqReg::NsqsOfGroup(NqPrio prio) const {
+  std::vector<int> out;
+  for (const auto& node : groups_[static_cast<int>(prio)].ncqs) {
+    for (const auto& entry : node.nsqs) {
+      out.push_back(entry.id);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+double NqReg::NcqMeritSample(double in_flight, double depth, double complete_delta,
+                             double irq_delta) {
+  const double incoming = depth > 0 ? in_flight / depth : 0.0;
+  const double per_irq = irq_delta > 0 ? complete_delta / irq_delta : 0.0;
+  return (incoming + per_irq) * irq_delta;
+}
+
+double NqReg::NsqMeritSample(double contention_us_delta, double submitted_delta,
+                             int claimed_cores) {
+  const double per_rq_us =
+      submitted_delta > 0 ? contention_us_delta / submitted_delta : 0.0;
+  return per_rq_us * static_cast<double>(claimed_cores);
+}
+
+double NqReg::Smooth(double alpha, double merit_k, double merit_prev) {
+  return alpha * merit_k + (1.0 - alpha) * merit_prev;
+}
+
+void NqReg::RecalcNcqMerit(NcqNode& node) {
+  const CompletionQueue& cq = blex_->device().ncq(node.id);
+  const double complete_delta =
+      static_cast<double>(cq.complete_rqs() - node.last_complete);
+  const double irq_delta = static_cast<double>(cq.irqs() - node.last_irqs);
+  node.last_complete = cq.complete_rqs();
+  node.last_irqs = cq.irqs();
+  const double merit_k =
+      NcqMeritSample(static_cast<double>(cq.in_flight_rqs()),
+                     static_cast<double>(cq.depth()), complete_delta, irq_delta);
+  node.merit = Smooth(config_.alpha, merit_k, node.merit);
+}
+
+void NqReg::RecalcNsqMerit(NsqEntry& entry) {
+  const SubmissionQueue& sq = blex_->device().nsq(entry.id);
+  const double submitted_delta =
+      static_cast<double>(sq.submitted_rqs() - entry.last_submitted);
+  const double contention_us_delta =
+      static_cast<double>(sq.in_contention_ns() - entry.last_contention_ns) / 1000.0;
+  entry.last_submitted = sq.submitted_rqs();
+  entry.last_contention_ns = sq.in_contention_ns();
+  const double merit_k =
+      NsqMeritSample(contention_us_delta, submitted_delta,
+                     blex_->proxy(entry.id).claimed_cores());
+  entry.merit = Smooth(config_.alpha, merit_k, entry.merit);
+}
+
+int NqReg::FetchTopNcqId(Group& group, int m) {
+  NcqNode& top = group.ncqs.front();
+  const int top_id = top.id;
+  ++top.selections;
+  group.mru -= m;
+  if (group.mru <= 0) {
+    for (auto& node : group.ncqs) {
+      RecalcNcqMerit(node);
+    }
+    // Equal merits tie-break on selection count so the heap rotates a new
+    // top in (the paper: "schedules a new top NQ for future requests").
+    std::stable_sort(group.ncqs.begin(), group.ncqs.end(),
+                     [](const NcqNode& a, const NcqNode& b) {
+                       if (a.merit != b.merit) {
+                         return a.merit < b.merit;
+                       }
+                       return a.selections < b.selections;
+                     });
+    group.mru = config_.mru;
+    ++group.version;
+    ++heap_resorts_;
+  }
+  return top_id;
+}
+
+int NqReg::FetchTopNsqId(NcqNode& node, int m) {
+  NsqEntry& top = node.nsqs.front();
+  const int top_id = top.id;
+  if (node.nsqs.size() == 1) {
+    // 1:1 NSQ-NCQ binding: the heap degenerates to a single NSQ (§5.3).
+    return top_id;
+  }
+  ++top.selections;
+  node.mru -= m;
+  if (node.mru <= 0) {
+    for (auto& entry : node.nsqs) {
+      RecalcNsqMerit(entry);
+    }
+    std::stable_sort(node.nsqs.begin(), node.nsqs.end(),
+                     [](const NsqEntry& a, const NsqEntry& b) {
+                       if (a.merit != b.merit) {
+                         return a.merit < b.merit;
+                       }
+                       return a.selections < b.selections;
+                     });
+    node.mru = config_.mru;
+    ++node.version;
+    ++heap_resorts_;
+  }
+  return top_id;
+}
+
+int NqReg::Schedule(NqPrio prio, int m) {
+  ++schedules_;
+  Group& group = groups_[static_cast<int>(prio)];
+  assert(!group.ncqs.empty());
+  if (!config_.enable_nq_scheduling) {
+    // dare-base: round-robin over the group's NSQs.
+    int total = 0;
+    for (const auto& node : group.ncqs) {
+      total += static_cast<int>(node.nsqs.size());
+    }
+    int idx = group.rr_next % total;
+    group.rr_next = (group.rr_next + 1) % total;
+    for (const auto& node : group.ncqs) {
+      if (idx < static_cast<int>(node.nsqs.size())) {
+        return node.nsqs[static_cast<size_t>(idx)].id;
+      }
+      idx -= static_cast<int>(node.nsqs.size());
+    }
+    return group.ncqs.front().nsqs.front().id;
+  }
+  // FetchTopNcqId may re-sort the group heap and move nodes; re-find the
+  // fetched NCQ before descending into its NSQ heap.
+  const int ncq_id = FetchTopNcqId(group, m);
+  NcqNode* node = nullptr;
+  for (auto& n : group.ncqs) {
+    if (n.id == ncq_id) {
+      node = &n;
+      break;
+    }
+  }
+  assert(node != nullptr);
+  return FetchTopNsqId(*node, m);
+}
+
+double NqReg::NcqMerit(int ncq_id) const {
+  for (const auto& g : groups_) {
+    for (const auto& node : g.ncqs) {
+      if (node.id == ncq_id) {
+        return node.merit;
+      }
+    }
+  }
+  return 0.0;
+}
+
+double NqReg::NsqMerit(int nsq_id) const {
+  for (const auto& g : groups_) {
+    for (const auto& node : g.ncqs) {
+      for (const auto& entry : node.nsqs) {
+        if (entry.id == nsq_id) {
+          return entry.merit;
+        }
+      }
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace daredevil

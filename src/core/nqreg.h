@@ -1,0 +1,115 @@
+// nqreg: the NQ-level regulator (§5.3).
+//
+// nqreg establishes NQ heterogeneity: NCQs (and the NSQs bound to them) are
+// divided into a high- and a low-priority NQGroup at init, each organized as
+// a two-level hierarchy (group -> NCQs -> attached NSQs). NQ scheduling
+// (Algorithm 2) selects the NSQ with the lowest merit, where merits are
+// exponentially smoothed measures of IRQ-balance (NCQs) and submission
+// contention (NSQs). Min-heap updates are rate-limited by the MRU policy.
+//
+// Kernel-concurrency note: the in-kernel prototype protects the heaps with
+// RCU so that readers never block. The single-threaded simulation models
+// this as versioned snapshots: reads observe the current version; updates
+// (re-sorts) publish a new version. The version counters are exposed so
+// tests can assert the MRU policy's update frequency.
+#ifndef DAREDEVIL_SRC_CORE_NQREG_H_
+#define DAREDEVIL_SRC_CORE_NQREG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/blex.h"
+#include "src/core/config.h"
+#include "src/nvme/device.h"
+
+namespace daredevil {
+
+enum class NqPrio : int {
+  kHigh = 0,  // serves L-requests
+  kLow = 1,   // serves T-requests
+};
+inline constexpr int kNumNqPrios = 2;
+
+class NqReg {
+ public:
+  NqReg(Blex* blex, const DaredevilConfig& config);
+
+  // Algorithm 2: selects an NSQ within the NQGroup of the given priority.
+  // m is the MRU decrement chosen by troute's calling context (MRU for
+  // tenant-based and tagged-outlier queries, 1 for per-request queries).
+  int Schedule(NqPrio prio, int m);
+
+  NqPrio GroupOfNcq(int ncq_id) const {
+    return static_cast<size_t>(ncq_id) < ncq_group_.size()
+               ? ncq_group_[static_cast<size_t>(ncq_id)]
+               : NqPrio::kLow;
+  }
+  NqPrio GroupOfNsq(int nsq_id) const {
+    return GroupOfNcq(blex_->device().NcqOfNsq(nsq_id));
+  }
+  std::vector<int> NcqsOfGroup(NqPrio prio) const;
+  std::vector<int> NsqsOfGroup(NqPrio prio) const;
+
+  int mru_budget() const { return config_.mru; }
+  uint64_t schedules() const { return schedules_; }
+  uint64_t heap_resorts() const { return heap_resorts_; }
+  // "RCU" snapshot version of a group's NCQ heap (bumped on re-sort).
+  uint64_t GroupVersion(NqPrio prio) const {
+    return groups_[static_cast<int>(prio)].version;
+  }
+
+  // Exposed for tests and benches: current smoothed merits.
+  double NcqMerit(int ncq_id) const;
+  double NsqMerit(int nsq_id) const;
+
+  // Merit formulas of Algorithm 2 (MeritCalc), on explicit inputs so tests
+  // and microbenches can exercise them directly.
+  static double NcqMeritSample(double in_flight, double depth, double complete_delta,
+                               double irq_delta);
+  static double NsqMeritSample(double contention_us_delta, double submitted_delta,
+                               int claimed_cores);
+  static double Smooth(double alpha, double merit_k, double merit_prev);
+
+ private:
+  struct NsqEntry {
+    int id = -1;
+    double merit = 0.0;
+    uint64_t selections = 0;  // tie-breaker: distributes equal-merit NQs
+    uint64_t last_submitted = 0;
+    Tick last_contention_ns = 0;
+  };
+  struct NcqNode {
+    int id = -1;
+    double merit = 0.0;
+    uint64_t selections = 0;  // tie-breaker: distributes equal-merit NQs
+    uint64_t last_complete = 0;
+    uint64_t last_irqs = 0;
+    int mru = 0;
+    uint64_t version = 0;
+    std::vector<NsqEntry> nsqs;  // ascending by merit after each re-sort
+  };
+  struct Group {
+    int mru = 0;
+    uint64_t version = 0;
+    std::vector<NcqNode> ncqs;  // ascending by merit after each re-sort
+    int rr_next = 0;            // used when NQ scheduling is disabled
+  };
+
+  void RecalcNcqMerit(NcqNode& node);
+  void RecalcNsqMerit(NsqEntry& entry);
+  // Algorithm 2's FetchTop: returns the pre-update top's id (the re-sort, if
+  // the MRU budget is exhausted, only affects future queries).
+  int FetchTopNcqId(Group& group, int m);
+  int FetchTopNsqId(NcqNode& node, int m);
+
+  Blex* blex_;
+  DaredevilConfig config_;
+  Group groups_[kNumNqPrios];
+  std::vector<NqPrio> ncq_group_;
+  uint64_t schedules_ = 0;
+  uint64_t heap_resorts_ = 0;
+};
+
+}  // namespace daredevil
+
+#endif  // DAREDEVIL_SRC_CORE_NQREG_H_

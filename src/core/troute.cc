@@ -1,0 +1,164 @@
+#include "src/core/troute.h"
+
+#include <cassert>
+
+namespace daredevil {
+
+TRoute::TRoute(Blex* blex, NqReg* nqreg, const DaredevilConfig& config)
+    : blex_(blex), nqreg_(nqreg), config_(config) {}
+
+TRoute::TenantState& TRoute::StateOf(Tenant* tenant) {
+  auto it = tenants_.find(tenant->id);
+  assert(it != tenants_.end() && "tenant not registered with troute");
+  return it->second;
+}
+
+const TRoute::TenantState* TRoute::GetState(uint64_t tenant_id) const {
+  auto it = tenants_.find(tenant_id);
+  return it == tenants_.end() ? nullptr : &it->second;
+}
+
+void TRoute::OnTenantStart(Tenant* tenant) {
+  TenantState state;
+  state.base_prio = AssessPrio(*tenant);
+  state.claimed_core = tenant->core;
+  auto [it, inserted] = tenants_.emplace(tenant->id, state);
+  assert(inserted);
+  AssignDefaultNsq(it->second, tenant);
+}
+
+void TRoute::OnTenantExit(Tenant* tenant) {
+  auto it = tenants_.find(tenant->id);
+  if (it == tenants_.end()) {
+    return;
+  }
+  ReleaseClaims(it->second);
+  tenants_.erase(it);
+}
+
+void TRoute::ReleaseClaims(TenantState& state) {
+  if (state.claimed_core < 0) {
+    return;
+  }
+  if (state.default_nsq >= 0) {
+    blex_->proxy(state.default_nsq).Unclaim(state.claimed_core);
+  }
+  if (state.outlier_nsq >= 0) {
+    blex_->proxy(state.outlier_nsq).Unclaim(state.claimed_core);
+  }
+}
+
+void TRoute::AssignDefaultNsq(TenantState& state, Tenant* tenant) {
+  if (state.default_nsq >= 0 && state.claimed_core >= 0) {
+    blex_->proxy(state.default_nsq).Unclaim(state.claimed_core);
+  }
+  // Tenant-based context: full MRU decrement so the heap rotates tenants
+  // across NQs (§5.3).
+  state.default_nsq = nqreg_->Schedule(state.base_prio, nqreg_->mru_budget());
+  state.claimed_core = tenant->core;
+  blex_->proxy(state.default_nsq).Claim(state.claimed_core);
+}
+
+void TRoute::AssignOutlierNsq(TenantState& state, Tenant* tenant) {
+  if (state.outlier_nsq >= 0 && state.claimed_core >= 0) {
+    blex_->proxy(state.outlier_nsq).Unclaim(state.claimed_core);
+  }
+  // Outlier NSQs always serve L-requests: query with high priority.
+  state.outlier_nsq = nqreg_->Schedule(NqPrio::kHigh, nqreg_->mru_budget());
+  blex_->proxy(state.outlier_nsq).Claim(tenant->core);
+}
+
+void TRoute::OnIoniceChange(Tenant* tenant) {
+  TenantState& state = StateOf(tenant);
+  state.base_prio = AssessPrio(*tenant);
+  ++priority_updates_;
+  // Every ionice update re-schedules the default NSQ along the kernel's
+  // ionice-change path: one extra nqreg query, asynchronous to the critical
+  // I/O path (§5.2; the overhead studied by §7.5 / Fig. 14).
+  AssignDefaultNsq(state, tenant);
+}
+
+void TRoute::OnTenantMigrated(Tenant* tenant, int old_core) {
+  TenantState& state = StateOf(tenant);
+  if (state.claimed_core != old_core) {
+    return;
+  }
+  if (state.default_nsq >= 0) {
+    blex_->proxy(state.default_nsq).Unclaim(old_core);
+    blex_->proxy(state.default_nsq).Claim(tenant->core);
+  }
+  if (state.outlier_nsq >= 0) {
+    blex_->proxy(state.outlier_nsq).Unclaim(old_core);
+    blex_->proxy(state.outlier_nsq).Claim(tenant->core);
+  }
+  state.claimed_core = tenant->core;
+}
+
+void TRoute::Profile(TenantState& state, Tenant* tenant, bool outlier) {
+  if (outlier) {
+    ++state.outlier_rqs;
+  } else {
+    ++state.normal_rqs;
+  }
+  if (++state.requests_since_profile < config_.outlier_profile_window) {
+    return;
+  }
+  state.requests_since_profile = 0;
+  // Outlier tendency: outlier requests within one order of magnitude of
+  // normal ones (§5.2).
+  const bool tendency = state.outlier_rqs * 10 >= state.normal_rqs &&
+                        state.outlier_rqs > 0;
+  if (tendency && !state.outlier_tag) {
+    state.outlier_tag = true;
+    AssignOutlierNsq(state, tenant);
+  } else if (!tendency && state.outlier_tag) {
+    state.outlier_tag = false;
+    if (state.outlier_nsq >= 0 && state.claimed_core >= 0) {
+      blex_->proxy(state.outlier_nsq).Unclaim(state.claimed_core);
+    }
+    state.outlier_nsq = -1;
+  }
+}
+
+bool TRoute::NeedsPerRequestQuery(const Request& rq) const {
+  if (rq.tenant == nullptr || !rq.IsOutlier()) {
+    return false;
+  }
+  const TenantState* state = GetState(rq.tenant->id);
+  return state != nullptr && state->base_prio == NqPrio::kLow && !state->outlier_tag;
+}
+
+int TRoute::Route(Request* rq) {
+  assert(rq->tenant != nullptr);
+  TenantState& state = StateOf(rq->tenant);
+
+  if (!config_.enable_nq_scheduling) {
+    // dare-base (§7.3): the decoupled layer only, with per-request
+    // round-robin routing inside the priority group.
+    const bool high = state.base_prio == NqPrio::kHigh || rq->IsOutlier();
+    Profile(state, rq->tenant, /*outlier=*/rq->IsOutlier() &&
+                                   state.base_prio == NqPrio::kLow);
+    return nqreg_->Schedule(high ? NqPrio::kHigh : NqPrio::kLow, 1);
+  }
+
+  // Algorithm 1: high-priority tenants always use their default NSQ.
+  if (state.base_prio == NqPrio::kHigh) {
+    Profile(state, rq->tenant, /*outlier=*/false);
+    return state.default_nsq;
+  }
+  if (rq->IsOutlier()) {
+    Profile(state, rq->tenant, /*outlier=*/true);
+    if (state.outlier_tag && state.outlier_nsq >= 0) {
+      // Request-specific context, tagged tenant: dedicated outlier NSQ.
+      return state.outlier_nsq;
+    }
+    // Request-specific context, untagged tenant: per-request query with
+    // m = 1 (the returned NQ is accessed infrequently, §5.3).
+    ++per_request_queries_;
+    return nqreg_->Schedule(NqPrio::kHigh, 1);
+  }
+  Profile(state, rq->tenant, /*outlier=*/false);
+  return state.default_nsq;
+}
+
+}  // namespace daredevil

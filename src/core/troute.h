@@ -1,0 +1,77 @@
+// troute: the tenant-NQ request router (§5.2).
+//
+// troute assesses tenants' SLAs from their ionice values (base priority),
+// profiles T-tenants' outlier tendency at runtime, and routes each request
+// (Algorithm 1) to an NSQ consistent with its SLA: high-priority tenants use
+// their default NSQ; tagged T-tenants route outlier (sync/metadata) requests
+// to a dedicated outlier NSQ; untagged T-tenants' outliers trigger a
+// per-request nqreg query. troute also feeds nqreg: the calling context sets
+// the MRU decrement m, and per-NSQ core bitmaps record likely submitters.
+#ifndef DAREDEVIL_SRC_CORE_TROUTE_H_
+#define DAREDEVIL_SRC_CORE_TROUTE_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/core/blex.h"
+#include "src/core/config.h"
+#include "src/core/nqreg.h"
+#include "src/stack/request.h"
+
+namespace daredevil {
+
+class TRoute {
+ public:
+  // Per-tenant routing state (lives alongside task_struct in the kernel).
+  struct TenantState {
+    NqPrio base_prio = NqPrio::kLow;
+    int default_nsq = -1;
+    int outlier_nsq = -1;  // only assigned to tagged T-tenants
+    bool outlier_tag = false;
+    uint64_t outlier_rqs = 0;
+    uint64_t normal_rqs = 0;
+    int requests_since_profile = 0;
+    int claimed_core = -1;  // core whose bit is set in the NSQ bitmaps
+  };
+
+  TRoute(Blex* blex, NqReg* nqreg, const DaredevilConfig& config);
+
+  void OnTenantStart(Tenant* tenant);
+  void OnTenantExit(Tenant* tenant);
+  // Re-assesses the base priority and re-schedules the default NSQ (the
+  // caller charges the asynchronous kernel work, §5.2 runtime updates).
+  void OnIoniceChange(Tenant* tenant);
+  void OnTenantMigrated(Tenant* tenant, int old_core);
+
+  // Algorithm 1. Returns the NSQ to enqueue on.
+  int Route(Request* rq);
+
+  // True when routing rq will need a per-request nqreg query (the
+  // request-specific context of an untagged T-tenant) - costs extra CPU.
+  bool NeedsPerRequestQuery(const Request& rq) const;
+
+  const TenantState* GetState(uint64_t tenant_id) const;
+  uint64_t priority_updates() const { return priority_updates_; }
+  uint64_t per_request_queries() const { return per_request_queries_; }
+
+ private:
+  TenantState& StateOf(Tenant* tenant);
+  static NqPrio AssessPrio(const Tenant& tenant) {
+    return tenant.IsLatencySensitive() ? NqPrio::kHigh : NqPrio::kLow;
+  }
+  void AssignDefaultNsq(TenantState& state, Tenant* tenant);
+  void AssignOutlierNsq(TenantState& state, Tenant* tenant);
+  void ReleaseClaims(TenantState& state);
+  void Profile(TenantState& state, Tenant* tenant, bool outlier);
+
+  Blex* blex_;
+  NqReg* nqreg_;
+  DaredevilConfig config_;
+  std::unordered_map<uint64_t, TenantState> tenants_;
+  uint64_t priority_updates_ = 0;
+  uint64_t per_request_queries_ = 0;
+};
+
+}  // namespace daredevil
+
+#endif  // DAREDEVIL_SRC_CORE_TROUTE_H_

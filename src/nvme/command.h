@@ -1,0 +1,39 @@
+// NVMe command and completion records exchanged between the host-side storage
+// stacks and the simulated device.
+#ifndef DAREDEVIL_SRC_NVME_COMMAND_H_
+#define DAREDEVIL_SRC_NVME_COMMAND_H_
+
+#include <cstdint>
+
+#include "src/sim/clock.h"
+
+namespace daredevil {
+
+// One NVMe I/O command. LBAs are namespace-relative and expressed in 4KB
+// pages (the device's logical block size); `pages` is the transfer length.
+struct NvmeCommand {
+  uint64_t cid = 0;        // command id, unique per device lifetime
+  int sqid = -1;           // submission queue the host placed it on
+  uint32_t nsid = 0;       // 0-based namespace index
+  uint64_t lba = 0;        // namespace-relative, in pages
+  uint32_t pages = 1;      // transfer size in 4KB pages
+  bool is_write = false;
+  // ZNS mode: resets the zone containing `lba` (an erase-cost management op).
+  bool is_zone_reset = false;
+  void* cookie = nullptr;  // host-side request pointer, returned on completion
+
+  Tick enqueue_time = 0;   // host placed it in the NSQ
+  Tick fetch_time = 0;     // controller finished fetching/decomposing it
+};
+
+// A completion queue entry.
+struct NvmeCompletion {
+  uint64_t cid = 0;
+  int sqid = -1;
+  void* cookie = nullptr;
+  Tick posted_time = 0;    // controller placed it in the NCQ
+};
+
+}  // namespace daredevil
+
+#endif  // DAREDEVIL_SRC_NVME_COMMAND_H_

@@ -1,0 +1,287 @@
+#include "src/nvme/device.h"
+
+#include <cassert>
+#include <utility>
+
+namespace daredevil {
+
+Device::Device(Simulator* sim, const DeviceConfig& config)
+    : sim_(sim), config_(config), flash_(config.flash) {
+  assert(config_.nr_nsq >= 1);
+  assert(config_.nr_ncq >= 1);
+  assert(config_.nr_nsq >= config_.nr_ncq);
+  nsqs_.reserve(static_cast<size_t>(config_.nr_nsq));
+  for (int i = 0; i < config_.nr_nsq; ++i) {
+    nsqs_.push_back(std::make_unique<SubmissionQueue>(i, config_.queue_depth));
+  }
+  ncqs_.reserve(static_cast<size_t>(config_.nr_ncq));
+  for (int i = 0; i < config_.nr_ncq; ++i) {
+    // IRQ cores are assigned by the driver (storage stack) at attach time;
+    // default to a spread the stacks overwrite.
+    ncqs_.push_back(std::make_unique<CompletionQueue>(i, config_.queue_depth, i));
+  }
+  uint64_t base = 0;
+  ns_base_.reserve(config_.namespace_pages.size());
+  for (uint64_t pages : config_.namespace_pages) {
+    ns_base_.push_back(base);
+    base += pages;
+  }
+}
+
+std::vector<int> Device::NsqsOfNcq(int ncq_id) const {
+  std::vector<int> out;
+  for (int i = ncq_id; i < nr_nsq(); i += nr_ncq()) {
+    out.push_back(i);
+  }
+  return out;
+}
+
+uint64_t Device::ZoneWritePointer(uint64_t zone) const {
+  auto it = zone_wp_.find(zone);
+  return it == zone_wp_.end() ? 0 : it->second;
+}
+
+void Device::ZnsCheckWrite(const NvmeCommand& cmd) {
+  const uint64_t zone_pages = config_.zns_zone_pages;
+  const uint64_t gp = GlobalPage(cmd.nsid, cmd.lba);
+  const uint64_t zone = gp / zone_pages;
+  if (cmd.is_zone_reset) {
+    zone_wp_[zone] = 0;
+    ++zns_resets_;
+    return;
+  }
+  uint64_t& wp = zone_wp_[zone];
+  const uint64_t offset = gp % zone_pages;
+  if (offset != wp || offset + cmd.pages > zone_pages) {
+    // Out-of-order or zone-crossing write: a real drive fails the command;
+    // we count the violation and let it complete so workload bugs surface
+    // in stats rather than deadlocks.
+    ++zns_violations_;
+    return;
+  }
+  wp += cmd.pages;
+}
+
+bool Device::Enqueue(int sqid, NvmeCommand cmd) {
+  cmd.sqid = sqid;
+  cmd.enqueue_time = sim_->now();
+  if (zns_enabled() && (cmd.is_write || cmd.is_zone_reset)) {
+    ZnsCheckWrite(cmd);
+  }
+  if (!nsqs_[sqid]->Enqueue(cmd)) {
+    return false;
+  }
+  // The command will complete on the statically bound NCQ; count it as in
+  // flight there from submission (used by the NCQ merit).
+  ncqs_[NcqOfNsq(sqid)]->AddInFlight(1);
+  return true;
+}
+
+void Device::RingDoorbell(int sqid) {
+  nsqs_[sqid]->RingDoorbell();
+  KickController();
+}
+
+void Device::KickController() {
+  if (stalled_) {
+    stalled_ = false;
+    fetch_stall_ns_ += sim_->now() - stall_since_;
+  }
+  ControllerStep();
+}
+
+int Device::SelectNsq() {
+  const int n = nr_nsq();
+  // Continue the current burst when possible. Under WRR the burst scales
+  // with the queue's weight.
+  int burst_limit = config_.arb_burst;
+  if (config_.arbitration == ArbitrationPolicy::kWeightedRoundRobin &&
+      current_sq_ >= 0) {
+    burst_limit *= nsqs_[current_sq_]->weight();
+  }
+  if (current_sq_ >= 0 && burst_used_ < burst_limit) {
+    SubmissionQueue& sq = *nsqs_[current_sq_];
+    if (sq.armed() &&
+        inflight_pages_ + static_cast<int>(sq.PeekVisible().pages) <=
+            config_.max_inflight_pages) {
+      return current_sq_;
+    }
+  }
+  // Round-robin scan for the next armed NSQ whose head fits the remaining
+  // device capacity (small commands slip past stalled bulky ones).
+  for (int i = 0; i < n; ++i) {
+    const int sqid = (rr_next_ + i) % n;
+    SubmissionQueue& sq = *nsqs_[sqid];
+    if (!sq.armed()) {
+      continue;
+    }
+    if (inflight_pages_ + static_cast<int>(sq.PeekVisible().pages) >
+        config_.max_inflight_pages) {
+      continue;
+    }
+    current_sq_ = sqid;
+    burst_used_ = 0;
+    rr_next_ = (sqid + 1) % n;
+    return sqid;
+  }
+  return -1;
+}
+
+void Device::ControllerStep() {
+  if (fetch_busy_) {
+    return;
+  }
+  const int sqid = SelectNsq();
+  if (sqid < 0) {
+    // Nothing fetchable. If work is pending we are stalled on capacity.
+    bool any_armed = false;
+    for (const auto& sq : nsqs_) {
+      if (sq->armed()) {
+        any_armed = true;
+        break;
+      }
+    }
+    if (any_armed && !stalled_) {
+      stalled_ = true;
+      stall_since_ = sim_->now();
+    }
+    return;
+  }
+  FetchFrom(sqid);
+}
+
+void Device::FetchFrom(int sqid) {
+  NvmeCommand cmd = nsqs_[sqid]->PopVisible();
+  ++burst_used_;
+  fetch_busy_ = true;
+  const Tick cost =
+      config_.cmd_fetch + static_cast<Tick>(cmd.pages) * config_.per_page_decompose;
+  sim_->After(cost, [this, cmd]() mutable {
+    fetch_busy_ = false;
+    ++commands_fetched_;
+    cmd.fetch_time = sim_->now();
+    if (trace_ != nullptr) {
+      trace_->Record(sim_->now(), TraceCategory::kFetch, cmd.cid, cmd.sqid,
+                     cmd.pages);
+    }
+    inflight_pages_ += static_cast<int>(cmd.pages);
+
+    InflightCommand ic;
+    ic.cmd = cmd;
+    ic.pages_remaining = cmd.pages;
+    const uint64_t cid = cmd.cid;
+    [[maybe_unused]] const bool inserted = inflight_.emplace(cid, ic).second;
+    assert(inserted && "duplicate command id in flight");
+
+    const uint64_t base = GlobalPage(cmd.nsid, cmd.lba);
+    if (cmd.is_zone_reset) {
+      // Zone reset: one erase-scale operation on the zone's first chip.
+      const Tick done = sim_->now() + config_.flash.erase_time;
+      inflight_.at(cid).pages_remaining = 1;
+      inflight_pages_ -= static_cast<int>(cmd.pages) - 1;
+      sim_->At(done, [this, cid]() { OnPageDone(cid); });
+    } else {
+      for (uint32_t p = 0; p < cmd.pages; ++p) {
+        const Tick done = flash_.SchedulePage(sim_->now(), base + p, cmd.is_write);
+        sim_->At(done, [this, cid]() { OnPageDone(cid); });
+      }
+    }
+    ControllerStep();
+  });
+}
+
+void Device::OnPageDone(uint64_t cid) {
+  auto it = inflight_.find(cid);
+  assert(it != inflight_.end());
+  InflightCommand& ic = it->second;
+  --ic.pages_remaining;
+  --inflight_pages_;
+  ic.last_page_done = sim_->now();
+  if (ic.pages_remaining == 0) {
+    InflightCommand done = ic;
+    inflight_.erase(it);
+    sim_->After(config_.completion_post, [this, done]() { PostCompletion(done); });
+  }
+  // Freed capacity may unblock the fetch engine.
+  KickController();
+}
+
+void Device::PostCompletion(const InflightCommand& ic) {
+  ++commands_completed_;
+  const int ncq_id = NcqOfNsq(ic.cmd.sqid);
+  CompletionQueue& cq = *ncqs_[ncq_id];
+  NvmeCompletion cqe;
+  cqe.cid = ic.cmd.cid;
+  cqe.sqid = ic.cmd.sqid;
+  cqe.cookie = ic.cmd.cookie;
+  cqe.posted_time = sim_->now();
+  cq.Push(cqe);
+  if (trace_ != nullptr) {
+    trace_->Record(sim_->now(), TraceCategory::kComplete, cqe.cid, ncq_id, 0);
+  }
+
+  if (cq.polled()) {
+    return;  // the host polls this NCQ; no IRQ is ever raised
+  }
+  if (cq.irq_masked()) {
+    return;  // the in-service ISR (or IrqDone) will pick this up
+  }
+  if (cq.pending() >= static_cast<size_t>(cq.coalesce_count())) {
+    RaiseIrq(ncq_id);
+  } else {
+    ArmCoalesceTimer(ncq_id);
+  }
+}
+
+void Device::RaiseIrq(int ncq_id) {
+  CompletionQueue& cq = *ncqs_[ncq_id];
+  cq.CountIrq();
+  if (trace_ != nullptr) {
+    trace_->Record(sim_->now(), TraceCategory::kIrq, 0, ncq_id, cq.irq_core());
+  }
+  cq.set_irq_masked(true);
+  if (irq_handler_) {
+    irq_handler_(ncq_id);
+  }
+}
+
+void Device::ArmCoalesceTimer(int ncq_id) {
+  CompletionQueue& cq = *ncqs_[ncq_id];
+  if (cq.timer_armed()) {
+    return;
+  }
+  cq.set_timer_armed(true);
+  sim_->After(cq.coalesce_timeout(), [this, ncq_id]() {
+    CompletionQueue& q = *ncqs_[ncq_id];
+    q.set_timer_armed(false);
+    if (q.pending() > 0 && !q.irq_masked()) {
+      RaiseIrq(ncq_id);
+    }
+  });
+}
+
+std::vector<NvmeCompletion> Device::DrainCompletions(int ncq_id, size_t max) {
+  CompletionQueue& cq = *ncqs_[ncq_id];
+  std::vector<NvmeCompletion> out;
+  out.reserve(std::min(max, cq.pending()));
+  while (out.size() < max && cq.pending() > 0) {
+    out.push_back(cq.Pop());
+  }
+  cq.AddInFlight(-static_cast<int>(out.size()));
+  return out;
+}
+
+void Device::IrqDone(int ncq_id) {
+  CompletionQueue& cq = *ncqs_[ncq_id];
+  cq.set_irq_masked(false);
+  if (cq.pending() == 0) {
+    return;
+  }
+  if (cq.pending() >= static_cast<size_t>(cq.coalesce_count())) {
+    RaiseIrq(ncq_id);
+  } else {
+    ArmCoalesceTimer(ncq_id);
+  }
+}
+
+}  // namespace daredevil

@@ -1,0 +1,209 @@
+// Simulated NVMe SSD: submission/completion queues, a round-robin command
+// arbiter with device-capacity backpressure, a flash backend, namespaces, and
+// interrupt generation with optional coalescing.
+//
+// The device implements the I/O service routine of Figure 1 in the paper:
+//   (1) host enqueues to NSQs and rings doorbells,
+//   (2) the controller fetches commands, round-robining across armed NSQs,
+//   (3) fetched commands are decomposed into 4KB pages serviced by flash,
+//   (4) completed commands are posted to the bound NCQ,
+//   (5) an IRQ (per-request or coalesced) notifies the host,
+//   (6) the driver drains the NCQ.
+//
+// Backpressure: the controller only fetches a command when its pages fit in
+// the device-internal buffer (max_inflight_pages); commands that do not fit
+// are skipped this round (small commands slip into free die slots ahead of
+// stalled bulky ones, as on real controllers). This makes NSQ occupancy - and
+// therefore in-NSQ head-of-line blocking - the dominant queueing effect, which
+// is exactly the multi-tenancy issue the paper studies.
+#ifndef DAREDEVIL_SRC_NVME_DEVICE_H_
+#define DAREDEVIL_SRC_NVME_DEVICE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/nvme/command.h"
+#include "src/nvme/flash.h"
+#include "src/nvme/queues.h"
+#include "src/sim/clock.h"
+#include "src/sim/simulator.h"
+#include "src/sim/trace.h"
+
+namespace daredevil {
+
+// NVMe controller queue-arbitration policy (the spec's round-robin default
+// or weighted round robin with per-queue weights).
+enum class ArbitrationPolicy {
+  kRoundRobin,
+  kWeightedRoundRobin,
+};
+
+struct DeviceConfig {
+  ArbitrationPolicy arbitration = ArbitrationPolicy::kRoundRobin;
+  int nr_nsq = 64;
+  int nr_ncq = 64;
+  int queue_depth = 1024;
+
+  FlashConfig flash;
+
+  // Controller costs.
+  Tick cmd_fetch = 600;            // fixed fetch cost per command
+  Tick per_page_decompose = 100;   // per-4KB decompose cost
+  Tick completion_post = 200;      // cost to build + post a CQE
+  int arb_burst = 4;               // commands fetched per NSQ per RR visit
+  int max_inflight_pages = 256;    // device-internal buffer (pages)
+
+  // Coalescing presets. Drivers apply `driver_*` to every NCQ at attach time
+  // (the kernel's default batched completion, §2.1: mild batching that the
+  // ISR drains in one pass); stacks opting an NCQ into the heavy batched path
+  // (Daredevil's low-priority NCQs) use `coalesce_*`; the per-request path is
+  // count == 1.
+  int driver_coalesce_count = 4;
+  Tick driver_coalesce_timeout = 4 * kMicrosecond;
+  int coalesce_count = 16;
+  Tick coalesce_timeout = 100 * kMicrosecond;
+
+  // Namespace sizes in 4KB pages. Namespaces share the same NQs (NVMe spec).
+  std::vector<uint64_t> namespace_pages = {1ULL << 22};  // one 16GiB namespace
+
+  // Zoned-namespace mode (§8.2 extensibility): > 0 divides every namespace
+  // into zones of this many pages. Writes must land on each zone's write
+  // pointer (violations are counted, the command still completes - like a
+  // drive returning an error status); zone-reset commands rewind the pointer
+  // at erase cost. The multi-queue feature is unchanged, so every stack
+  // (including Daredevil) runs unmodified on a ZNS device.
+  uint64_t zns_zone_pages = 0;
+
+  uint32_t page_bytes = 4096;
+};
+
+class Device {
+ public:
+  // Called in "hardware context" when an IRQ fires for an NCQ; the driver
+  // must schedule its ISR (the device masks the vector until IrqDone()).
+  using IrqHandler = std::function<void(int ncq_id)>;
+
+  Device(Simulator* sim, const DeviceConfig& config);
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  const DeviceConfig& config() const { return config_; }
+  int nr_nsq() const { return static_cast<int>(nsqs_.size()); }
+  int nr_ncq() const { return static_cast<int>(ncqs_.size()); }
+  int num_namespaces() const { return static_cast<int>(ns_base_.size()); }
+
+  // Static NSQ->NCQ binding: NSQ i completes on NCQ (i % nr_ncq).
+  int NcqOfNsq(int sqid) const { return sqid % nr_ncq(); }
+  // NSQs attached to an NCQ (the leaves under it in nqreg's hierarchy).
+  std::vector<int> NsqsOfNcq(int ncq_id) const;
+
+  uint64_t NamespaceBasePage(uint32_t nsid) const { return ns_base_[nsid]; }
+  uint64_t NamespacePages(uint32_t nsid) const {
+    return config_.namespace_pages[nsid];
+  }
+
+  void SetIrqHandler(IrqHandler handler) { irq_handler_ = std::move(handler); }
+  // Attaches a tracepoint sink (fetch/complete/irq events). May be null.
+  void SetTraceLog(TraceLog* trace) { trace_ = trace; }
+
+  // --- Host-side submission path --------------------------------------
+  // Returns the contention wait incurred serializing on the NSQ lock
+  // (including the remote cacheline penalty for cross-core access).
+  Tick AcquireSubmitLock(int sqid, Tick hold, int core = -1,
+                         Tick remote_penalty = 0) {
+    return nsqs_[sqid]->AcquireSubmitLock(sim_->now(), hold, core, remote_penalty);
+  }
+  // Enqueues a command (host memory write). Returns false if the ring is
+  // full; the caller must retry after completions free entries.
+  bool Enqueue(int sqid, NvmeCommand cmd);
+  // Makes enqueued entries visible and kicks the controller.
+  void RingDoorbell(int sqid);
+
+  // --- Host-side completion path ---------------------------------------
+  // Drains up to `max` completions from an NCQ (driver ISR body).
+  std::vector<NvmeCompletion> DrainCompletions(int ncq_id, size_t max);
+  // Unmasks the NCQ vector; re-raises immediately if entries are pending.
+  void IrqDone(int ncq_id);
+
+  SubmissionQueue& nsq(int i) { return *nsqs_[i]; }
+  const SubmissionQueue& nsq(int i) const { return *nsqs_[i]; }
+  CompletionQueue& ncq(int i) { return *ncqs_[i]; }
+  const CompletionQueue& ncq(int i) const { return *ncqs_[i]; }
+  FlashBackend& flash() { return flash_; }
+  const FlashBackend& flash() const { return flash_; }
+
+  // Device-wide stats.
+  uint64_t commands_fetched() const { return commands_fetched_; }
+  uint64_t commands_completed() const { return commands_completed_; }
+  Tick fetch_stall_ns() const { return fetch_stall_ns_; }
+  int inflight_pages() const { return inflight_pages_; }
+
+  // --- ZNS mode ---------------------------------------------------------
+  bool zns_enabled() const { return config_.zns_zone_pages > 0; }
+  uint64_t ZoneOf(uint32_t nsid, uint64_t lba) const {
+    return (GlobalPage(nsid, lba)) / config_.zns_zone_pages;
+  }
+  // Current write pointer of a zone (pages written since zone start).
+  uint64_t ZoneWritePointer(uint64_t zone) const;
+  uint64_t zns_violations() const { return zns_violations_; }
+  uint64_t zns_resets() const { return zns_resets_; }
+
+ private:
+  struct InflightCommand {
+    NvmeCommand cmd;
+    uint32_t pages_remaining = 0;
+    Tick last_page_done = 0;
+  };
+
+  uint64_t GlobalPage(uint32_t nsid, uint64_t lba) const {
+    return ns_base_[nsid] + lba;
+  }
+  void ZnsCheckWrite(const NvmeCommand& cmd);
+
+  void KickController();
+  void ControllerStep();
+  // Picks the NSQ to fetch from next (round-robin with burst, skipping heads
+  // that exceed remaining device capacity). Returns -1 when nothing is
+  // fetchable.
+  int SelectNsq();
+  void FetchFrom(int sqid);
+  void OnPageDone(uint64_t cid);
+  void PostCompletion(const InflightCommand& ic);
+  void RaiseIrq(int ncq_id);
+  void ArmCoalesceTimer(int ncq_id);
+
+  Simulator* sim_;
+  DeviceConfig config_;
+  FlashBackend flash_;
+  std::vector<std::unique_ptr<SubmissionQueue>> nsqs_;
+  std::vector<std::unique_ptr<CompletionQueue>> ncqs_;
+  std::vector<uint64_t> ns_base_;
+  IrqHandler irq_handler_;
+  TraceLog* trace_ = nullptr;
+
+  // Controller state.
+  bool fetch_busy_ = false;
+  bool stalled_ = false;
+  Tick stall_since_ = 0;
+  int rr_next_ = 0;      // next NSQ for round-robin scan
+  int current_sq_ = -1;  // NSQ currently holding the burst
+  int burst_used_ = 0;
+  int inflight_pages_ = 0;
+  std::unordered_map<uint64_t, InflightCommand> inflight_;
+
+  uint64_t commands_fetched_ = 0;
+  uint64_t commands_completed_ = 0;
+  Tick fetch_stall_ns_ = 0;
+
+  // ZNS state: zone -> write pointer (pages written within the zone).
+  std::unordered_map<uint64_t, uint64_t> zone_wp_;
+  uint64_t zns_violations_ = 0;
+  uint64_t zns_resets_ = 0;
+};
+
+}  // namespace daredevil
+
+#endif  // DAREDEVIL_SRC_NVME_DEVICE_H_

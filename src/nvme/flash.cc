@@ -1,0 +1,78 @@
+#include "src/nvme/flash.h"
+
+#include <algorithm>
+
+namespace daredevil {
+
+FlashBackend::FlashBackend(const FlashConfig& config)
+    : config_(config),
+      channel_free_(static_cast<size_t>(config.channels), 0),
+      chip_free_(static_cast<size_t>(config.channels) *
+                     static_cast<size_t>(config.chips_per_channel),
+                 0),
+      programs_since_erase_(chip_free_.size(), 0) {
+  // Stagger the initial erase counters so chips do not hit their GC cycles
+  // in lockstep (real devices interleave GC across dies).
+  if (config_.erase_after_programs > 0) {
+    for (size_t i = 0; i < programs_since_erase_.size(); ++i) {
+      programs_since_erase_[i] = static_cast<int>(
+          (i * 2654435761UL) % static_cast<size_t>(config_.erase_after_programs));
+    }
+  }
+}
+
+int FlashBackend::ChannelOf(uint64_t global_page) const {
+  return static_cast<int>(global_page % static_cast<uint64_t>(config_.channels));
+}
+
+int FlashBackend::ChipOf(uint64_t global_page) const {
+  const int channel = ChannelOf(global_page);
+  const auto way = static_cast<int>(
+      (global_page / static_cast<uint64_t>(config_.channels)) %
+      static_cast<uint64_t>(config_.chips_per_channel));
+  return channel * config_.chips_per_channel + way;
+}
+
+Tick FlashBackend::ChipFreeAt(uint64_t global_page) const {
+  return chip_free_[static_cast<size_t>(ChipOf(global_page))];
+}
+
+Tick FlashBackend::SchedulePage(Tick at, uint64_t global_page, bool is_write) {
+  const auto channel = static_cast<size_t>(ChannelOf(global_page));
+  const auto chip = static_cast<size_t>(ChipOf(global_page));
+
+  Tick done;
+  if (is_write) {
+    // Bus transfer into the chip, then program.
+    const Tick bus_start = std::max(at, channel_free_[channel]);
+    const Tick bus_done = bus_start + config_.channel_xfer;
+    channel_free_[channel] = bus_done;
+    const Tick op_start = std::max(bus_done, chip_free_[chip]);
+    done = op_start + config_.page_program;
+    chip_free_[chip] = done;
+    chip_busy_ns_ += config_.page_program;
+    ++pages_written_;
+    // Periodic erase/GC: the chip stays busy past the program, delaying any
+    // queued operation behind it (erase-after-write interference, §8.1).
+    if (config_.erase_after_programs > 0 &&
+        ++programs_since_erase_[chip] >= config_.erase_after_programs) {
+      programs_since_erase_[chip] = 0;
+      chip_free_[chip] += config_.erase_time;
+      chip_busy_ns_ += config_.erase_time;
+      ++erases_;
+    }
+  } else {
+    // Sense on the chip, then transfer out over the bus.
+    const Tick op_start = std::max(at, chip_free_[chip]);
+    const Tick op_done = op_start + config_.page_read;
+    chip_free_[chip] = op_done;
+    chip_busy_ns_ += config_.page_read;
+    const Tick bus_start = std::max(op_done, channel_free_[channel]);
+    done = bus_start + config_.channel_xfer;
+    channel_free_[channel] = done;
+    ++pages_read_;
+  }
+  return done;
+}
+
+}  // namespace daredevil

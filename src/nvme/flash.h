@@ -1,0 +1,61 @@
+// Flash backend: channels x chips with serialized bus transfers and chip
+// operations (an MQSim-style time-advance model, one event per page).
+#ifndef DAREDEVIL_SRC_NVME_FLASH_H_
+#define DAREDEVIL_SRC_NVME_FLASH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/clock.h"
+
+namespace daredevil {
+
+struct FlashConfig {
+  int channels = 8;
+  int chips_per_channel = 4;
+  Tick page_read = 65 * kMicrosecond;
+  Tick page_program = 60 * kMicrosecond;  // SLC-cache-like, ~2.1GB/s across chips
+  Tick channel_xfer = 3 * kMicrosecond;  // 4KB over the channel bus
+
+  // Erase-after-write interference (§8.1): after this many page programs a
+  // chip pauses for an erase/GC cycle, delaying queued reads behind it. This
+  // is the SSD-internal interference that keeps L tail latency in the ms
+  // range even with perfect NQ-level separation. 0 disables.
+  int erase_after_programs = 256;
+  Tick erase_time = 3 * kMillisecond;
+};
+
+class FlashBackend {
+ public:
+  explicit FlashBackend(const FlashConfig& config);
+
+  // Schedules one 4KB page operation arriving at `at` targeting the chip that
+  // owns `global_page`. Returns the simulated completion time. Writes
+  // transfer over the bus then program; reads sense then transfer out.
+  Tick SchedulePage(Tick at, uint64_t global_page, bool is_write);
+
+  int num_chips() const { return static_cast<int>(chip_free_.size()); }
+  int ChannelOf(uint64_t global_page) const;
+  int ChipOf(uint64_t global_page) const;
+
+  uint64_t pages_read() const { return pages_read_; }
+  uint64_t pages_written() const { return pages_written_; }
+  uint64_t erases() const { return erases_; }
+  Tick chip_busy_ns() const { return chip_busy_ns_; }
+  // Earliest time the chip owning global_page becomes free (load probe).
+  Tick ChipFreeAt(uint64_t global_page) const;
+
+ private:
+  FlashConfig config_;
+  std::vector<Tick> channel_free_;
+  std::vector<Tick> chip_free_;
+  std::vector<int> programs_since_erase_;
+  uint64_t pages_read_ = 0;
+  uint64_t pages_written_ = 0;
+  uint64_t erases_ = 0;
+  Tick chip_busy_ns_ = 0;
+};
+
+}  // namespace daredevil
+
+#endif  // DAREDEVIL_SRC_NVME_FLASH_H_

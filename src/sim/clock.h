@@ -1,0 +1,27 @@
+// Simulated time base for the Daredevil discrete-event simulation.
+//
+// All simulated time is expressed in integer nanosecond ticks. Helpers below
+// make durations in call sites read like units ("40 * kMicrosecond").
+#ifndef DAREDEVIL_SRC_SIM_CLOCK_H_
+#define DAREDEVIL_SRC_SIM_CLOCK_H_
+
+#include <cstdint>
+
+namespace daredevil {
+
+// One tick == one simulated nanosecond.
+using Tick = int64_t;
+
+inline constexpr Tick kNanosecond = 1;
+inline constexpr Tick kMicrosecond = 1000 * kNanosecond;
+inline constexpr Tick kMillisecond = 1000 * kMicrosecond;
+inline constexpr Tick kSecond = 1000 * kMillisecond;
+
+// Converts ticks to floating-point units for reporting.
+constexpr double ToUs(Tick t) { return static_cast<double>(t) / kMicrosecond; }
+constexpr double ToMs(Tick t) { return static_cast<double>(t) / kMillisecond; }
+constexpr double ToSec(Tick t) { return static_cast<double>(t) / kSecond; }
+
+}  // namespace daredevil
+
+#endif  // DAREDEVIL_SRC_SIM_CLOCK_H_

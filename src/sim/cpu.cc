@@ -1,0 +1,106 @@
+#include "src/sim/cpu.h"
+
+#include <utility>
+
+namespace daredevil {
+
+CpuCore::CpuCore(Simulator* sim, int id, Tick dispatch_overhead)
+    : sim_(sim), id_(id), dispatch_overhead_(dispatch_overhead) {}
+
+void CpuCore::Post(WorkLevel level, Tick duration, std::function<void()> fn,
+                   uint64_t tenant_id) {
+  if (duration < 0) {
+    duration = 0;
+  }
+  queues_[static_cast<int>(level)].push_back(
+      Work{level, duration, std::move(fn), tenant_id});
+  MaybeRun();
+}
+
+size_t CpuCore::TotalQueueDepth() const {
+  size_t n = 0;
+  for (const auto& q : queues_) {
+    n += q.size();
+  }
+  return n;
+}
+
+Tick CpuCore::total_busy_ns() const {
+  return busy_ns_[0] + busy_ns_[1] + busy_ns_[2];
+}
+
+Tick CpuCore::TenantBusyNs(uint64_t tenant_id) const {
+  auto it = tenant_busy_ns_.find(tenant_id);
+  return it == tenant_busy_ns_.end() ? 0 : it->second;
+}
+
+void CpuCore::MaybeRun() {
+  if (running_) {
+    return;
+  }
+  int level = -1;
+  for (int i = 0; i < kNumWorkLevels; ++i) {
+    if (!queues_[i].empty()) {
+      level = i;
+      break;
+    }
+  }
+  if (level < 0) {
+    return;
+  }
+  Work work = std::move(queues_[level].front());
+  queues_[level].pop_front();
+  running_ = true;
+  const Tick cost = dispatch_overhead_ + work.duration;
+  sim_->After(cost, [this, work = std::move(work), cost]() mutable {
+    busy_ns_[static_cast<int>(work.level)] += cost;
+    if (work.tenant_id != 0) {
+      tenant_busy_ns_[work.tenant_id] += cost;
+    }
+    ++items_executed_;
+    running_ = false;
+    if (work.fn) {
+      work.fn();
+    }
+    MaybeRun();
+  });
+}
+
+Machine::Machine(Simulator* sim, const Config& config) : sim_(sim), config_(config) {
+  cores_.reserve(static_cast<size_t>(config.num_cores));
+  for (int i = 0; i < config.num_cores; ++i) {
+    cores_.push_back(std::make_unique<CpuCore>(sim, i, config.dispatch_overhead));
+  }
+}
+
+void Machine::Post(int core, WorkLevel level, Tick duration, std::function<void()> fn,
+                   uint64_t tenant_id, int from_core) {
+  if (from_core >= 0 && from_core != core) {
+    ++cross_core_posts_;
+    sim_->After(config_.cross_core_wakeup,
+                [this, core, level, duration, fn = std::move(fn), tenant_id]() mutable {
+                  cores_[core]->Post(level, duration, std::move(fn), tenant_id);
+                });
+    return;
+  }
+  cores_[core]->Post(level, duration, std::move(fn), tenant_id);
+}
+
+Tick Machine::total_busy_ns() const {
+  Tick total = 0;
+  for (const auto& c : cores_) {
+    total += c->total_busy_ns();
+  }
+  return total;
+}
+
+double Machine::Utilization(Tick busy_at_from, Tick from, Tick to) const {
+  if (to <= from || cores_.empty()) {
+    return 0.0;
+  }
+  const Tick busy = total_busy_ns() - busy_at_from;
+  const Tick wall = (to - from) * static_cast<Tick>(cores_.size());
+  return static_cast<double>(busy) / static_cast<double>(wall);
+}
+
+}  // namespace daredevil

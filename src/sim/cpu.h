@@ -1,0 +1,112 @@
+// Simulated CPU cores.
+//
+// Each core executes work items serially. Work items carry a privilege level
+// (IRQ > kernel > user); the core always picks the highest-priority pending
+// item next, FIFO within a level. Execution is non-preemptive at work-item
+// granularity, so callers model long computations as chains of short chunks.
+// Tenants that post one item at a time therefore round-robin naturally,
+// approximating a time-sliced scheduler at microsecond scales.
+#ifndef DAREDEVIL_SRC_SIM_CPU_H_
+#define DAREDEVIL_SRC_SIM_CPU_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/sim/clock.h"
+#include "src/sim/simulator.h"
+
+namespace daredevil {
+
+enum class WorkLevel : int {
+  kIrq = 0,     // interrupt service routines
+  kKernel = 1,  // syscall/block-layer/driver work
+  kUser = 2,    // tenant userspace work
+};
+inline constexpr int kNumWorkLevels = 3;
+
+class CpuCore {
+ public:
+  // dispatch_overhead models the fixed cost of switching to a new work item
+  // (context switch / mode switch), charged once per item.
+  CpuCore(Simulator* sim, int id, Tick dispatch_overhead);
+  CpuCore(const CpuCore&) = delete;
+  CpuCore& operator=(const CpuCore&) = delete;
+
+  // Enqueues a work item. fn runs when the item's computation finishes.
+  // tenant_id (0 = none) attributes the CPU time for accounting.
+  void Post(WorkLevel level, Tick duration, std::function<void()> fn, uint64_t tenant_id = 0);
+
+  int id() const { return id_; }
+  bool busy() const { return running_; }
+  size_t QueueDepth(WorkLevel level) const {
+    return queues_[static_cast<int>(level)].size();
+  }
+  size_t TotalQueueDepth() const;
+
+  Tick busy_ns(WorkLevel level) const { return busy_ns_[static_cast<int>(level)]; }
+  Tick total_busy_ns() const;
+  Tick TenantBusyNs(uint64_t tenant_id) const;
+  uint64_t items_executed() const { return items_executed_; }
+
+ private:
+  struct Work {
+    WorkLevel level;
+    Tick duration;
+    std::function<void()> fn;
+    uint64_t tenant_id;
+  };
+
+  void MaybeRun();
+
+  Simulator* sim_;
+  int id_;
+  Tick dispatch_overhead_;
+  std::deque<Work> queues_[kNumWorkLevels];
+  bool running_ = false;
+  Tick busy_ns_[kNumWorkLevels] = {0, 0, 0};
+  uint64_t items_executed_ = 0;
+  std::unordered_map<uint64_t, Tick> tenant_busy_ns_;
+};
+
+// A set of cores sharing one simulator, plus cross-core signalling costs.
+class Machine {
+ public:
+  struct Config {
+    int num_cores = 4;
+    Tick dispatch_overhead = 300;     // per-work-item switch cost (0.3us)
+    Tick cross_core_wakeup = 5 * kMicrosecond;  // IPI + wakeup + cache effects
+  };
+
+  Machine(Simulator* sim, const Config& config);
+
+  int num_cores() const { return static_cast<int>(cores_.size()); }
+  CpuCore& core(int i) { return *cores_[i]; }
+  const CpuCore& core(int i) const { return *cores_[i]; }
+  Simulator& sim() { return *sim_; }
+  Tick now() const { return sim_->now(); }
+
+  // Posts work to a core. If from_core differs from core (a cross-core wakeup
+  // or IPI), the item is delayed by the cross-core cost and the event counted.
+  void Post(int core, WorkLevel level, Tick duration, std::function<void()> fn,
+            uint64_t tenant_id = 0, int from_core = -1);
+
+  uint64_t cross_core_posts() const { return cross_core_posts_; }
+  Tick total_busy_ns() const;
+  // Fraction of [from, to) during which cores were busy, averaged over cores.
+  // Callers snapshot total_busy_ns() at `from` themselves for windowed stats.
+  double Utilization(Tick busy_at_from, Tick from, Tick to) const;
+
+ private:
+  Simulator* sim_;
+  Config config_;
+  std::vector<std::unique_ptr<CpuCore>> cores_;
+  uint64_t cross_core_posts_ = 0;
+};
+
+}  // namespace daredevil
+
+#endif  // DAREDEVIL_SRC_SIM_CPU_H_

@@ -1,0 +1,64 @@
+// Ordered event queue for the discrete-event simulator.
+#ifndef DAREDEVIL_SRC_SIM_EVENT_QUEUE_H_
+#define DAREDEVIL_SRC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "src/sim/clock.h"
+
+namespace daredevil {
+
+// A scheduled callback. Events with equal timestamps fire in insertion order
+// (the sequence number breaks ties), which keeps simulations deterministic.
+struct Event {
+  Tick at = 0;
+  uint64_t seq = 0;
+  std::function<void()> fn;
+};
+
+class EventQueue {
+ public:
+  void Push(Tick at, std::function<void()> fn) {
+    heap_.push(HeapEntry{at, next_seq_++, std::move(fn)});
+  }
+
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+
+  Tick NextTime() const { return heap_.top().at; }
+
+  // Removes and returns the earliest event. Requires !empty().
+  Event PopNext() {
+    // std::priority_queue::top() is const; the move is safe because the entry
+    // is popped immediately after.
+    HeapEntry entry = std::move(const_cast<HeapEntry&>(heap_.top()));
+    heap_.pop();
+    return Event{entry.at, entry.seq, std::move(entry.fn)};
+  }
+
+ private:
+  struct HeapEntry {
+    Tick at;
+    uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+      if (a.at != b.at) {
+        return a.at > b.at;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, Later> heap_;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace daredevil
+
+#endif  // DAREDEVIL_SRC_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,80 @@
+// Deterministic random number generation for the simulation.
+//
+// Every source of randomness in an experiment flows from a single seeded
+// xoshiro256** generator so that scenarios are bit-exact reproducible.
+#ifndef DAREDEVIL_SRC_SIM_RNG_H_
+#define DAREDEVIL_SRC_SIM_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace daredevil {
+
+// xoshiro256** 1.0 by Blackman & Vigna (public domain reference algorithm).
+// Small, fast, and statistically strong enough for workload generation.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Uniform over the full 64-bit range.
+  uint64_t NextU64();
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t NextBelow(uint64_t bound);
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Returns true with probability p (clamped to [0, 1]).
+  bool NextBool(double p);
+
+  // Exponentially distributed value with the given mean (> 0).
+  double NextExponential(double mean);
+
+  // Forks an independent stream (for per-tenant generators) in a way that is
+  // itself deterministic in the parent's state.
+  Rng Fork();
+
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = NextBelow(i);
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  uint64_t s_[4];
+};
+
+// Zipfian key distribution over [0, n) with skew theta, as used by YCSB.
+// Uses the Gray et al. rejection-free inverse-CDF approximation so that a
+// draw is O(1).
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(uint64_t n, double theta);
+
+  uint64_t Next(Rng& rng);
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  static double Zeta(uint64_t n, double theta);
+
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double zeta2theta_;
+};
+
+}  // namespace daredevil
+
+#endif  // DAREDEVIL_SRC_SIM_RNG_H_

@@ -1,0 +1,46 @@
+#include "src/sim/simulator.h"
+
+#include <utility>
+
+namespace daredevil {
+
+void Simulator::At(Tick t, std::function<void()> fn) {
+  if (t < now_) {
+    t = now_;
+  }
+  queue_.Push(t, std::move(fn));
+}
+
+void Simulator::After(Tick delay, std::function<void()> fn) {
+  if (delay < 0) {
+    delay = 0;
+  }
+  At(now_ + delay, std::move(fn));
+}
+
+bool Simulator::Step() {
+  if (queue_.empty()) {
+    return false;
+  }
+  Event e = queue_.PopNext();
+  now_ = e.at;
+  ++events_processed_;
+  e.fn();
+  return true;
+}
+
+void Simulator::RunUntil(Tick t) {
+  while (!queue_.empty() && queue_.NextTime() <= t) {
+    Step();
+  }
+  if (now_ < t) {
+    now_ = t;
+  }
+}
+
+void Simulator::RunUntilIdle() {
+  while (Step()) {
+  }
+}
+
+}  // namespace daredevil

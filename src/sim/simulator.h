@@ -1,0 +1,49 @@
+// The discrete-event simulator driving every experiment in this repository.
+#ifndef DAREDEVIL_SRC_SIM_SIMULATOR_H_
+#define DAREDEVIL_SRC_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/sim/clock.h"
+#include "src/sim/event_queue.h"
+
+namespace daredevil {
+
+// Single-threaded deterministic event loop. Components schedule callbacks at
+// absolute or relative simulated times; RunUntil() advances the clock.
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  Tick now() const { return now_; }
+  uint64_t events_processed() const { return events_processed_; }
+  size_t pending_events() const { return queue_.size(); }
+
+  // Schedules fn at absolute time t (clamped to now if t is in the past).
+  void At(Tick t, std::function<void()> fn);
+
+  // Schedules fn after the given delay (delay < 0 is treated as 0).
+  void After(Tick delay, std::function<void()> fn);
+
+  // Processes the next event if any; returns false when the queue is empty.
+  bool Step();
+
+  // Runs events until the clock reaches t. Events scheduled exactly at t are
+  // processed. The clock ends at max(now, t).
+  void RunUntil(Tick t);
+
+  // Runs until no events remain.
+  void RunUntilIdle();
+
+ private:
+  Tick now_ = 0;
+  uint64_t events_processed_ = 0;
+  EventQueue queue_;
+};
+
+}  // namespace daredevil
+
+#endif  // DAREDEVIL_SRC_SIM_SIMULATOR_H_

@@ -1,0 +1,88 @@
+#include "src/sim/trace.h"
+
+#include <cstdio>
+
+namespace daredevil {
+
+const char* TraceCategoryName(TraceCategory c) {
+  switch (c) {
+    case TraceCategory::kSubmit:
+      return "submit";
+    case TraceCategory::kRoute:
+      return "route";
+    case TraceCategory::kDoorbell:
+      return "doorbell";
+    case TraceCategory::kFetch:
+      return "fetch";
+    case TraceCategory::kComplete:
+      return "complete";
+    case TraceCategory::kIrq:
+      return "irq";
+    case TraceCategory::kDeliver:
+      return "deliver";
+    case TraceCategory::kSchedule:
+      return "schedule";
+    case TraceCategory::kMigrate:
+      return "migrate";
+    case TraceCategory::kOther:
+      return "other";
+  }
+  return "?";
+}
+
+TraceLog::TraceLog(size_t capacity) : capacity_(capacity > 0 ? capacity : 1) {
+  events_.reserve(capacity_);
+}
+
+void TraceLog::Record(Tick at, TraceCategory category, uint64_t id, int64_t a,
+                      int64_t b) {
+  ++total_;
+  ++counts_[static_cast<int>(category)];
+  TraceEvent event{at, category, id, a, b};
+  if (events_.size() < capacity_) {
+    events_.push_back(event);
+    return;
+  }
+  full_ = true;
+  ++dropped_;
+  events_[head_] = event;
+  head_ = (head_ + 1) % capacity_;
+}
+
+std::vector<TraceEvent> TraceLog::Events() const {
+  if (!full_) {
+    return events_;
+  }
+  std::vector<TraceEvent> out;
+  out.reserve(events_.size());
+  for (size_t i = 0; i < events_.size(); ++i) {
+    out.push_back(events_[(head_ + i) % events_.size()]);
+  }
+  return out;
+}
+
+std::string TraceLog::ToCsv() const {
+  std::string out = "time_ns,category,id,a,b\n";
+  char row[128];
+  for (const TraceEvent& e : Events()) {
+    std::snprintf(row, sizeof(row), "%lld,%s,%llu,%lld,%lld\n",
+                  static_cast<long long>(e.at), TraceCategoryName(e.category),
+                  static_cast<unsigned long long>(e.id),
+                  static_cast<long long>(e.a), static_cast<long long>(e.b));
+    out += row;
+  }
+  return out;
+}
+
+void TraceLog::Clear() {
+  events_.clear();
+  head_ = 0;
+  full_ = false;
+  total_ = 0;
+  dropped_ = 0;
+  for (auto& c : counts_) {
+    c = 0;
+  }
+}
+
+}  // namespace daredevil

@@ -1,0 +1,76 @@
+// Lightweight tracepoint infrastructure (the simulation's analogue of kernel
+// tracepoints/blktrace): components record fixed-size events into a bounded
+// ring buffer that tools dump as CSV. Recording is a no-op when no TraceLog
+// is attached, so the hot paths stay clean.
+#ifndef DAREDEVIL_SRC_SIM_TRACE_H_
+#define DAREDEVIL_SRC_SIM_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sim/clock.h"
+
+namespace daredevil {
+
+enum class TraceCategory : int {
+  kSubmit = 0,   // request entered the block layer
+  kRoute,        // routing decision (request -> NSQ)
+  kDoorbell,     // NSQ doorbell rung
+  kFetch,        // controller fetched a command
+  kComplete,     // command completion posted to an NCQ
+  kIrq,          // interrupt raised
+  kDeliver,      // completion delivered to the tenant
+  kSchedule,     // nqreg NQ-scheduling decision
+  kMigrate,      // tenant moved cores
+  kOther,
+};
+inline constexpr int kNumTraceCategories = 10;
+
+const char* TraceCategoryName(TraceCategory c);
+
+struct TraceEvent {
+  Tick at = 0;
+  TraceCategory category = TraceCategory::kOther;
+  uint64_t id = 0;  // request/command/tenant id
+  int64_t a = 0;    // category-specific (e.g. NSQ id)
+  int64_t b = 0;    // category-specific (e.g. core id)
+};
+
+class TraceLog {
+ public:
+  explicit TraceLog(size_t capacity = 1 << 16);
+
+  void Record(Tick at, TraceCategory category, uint64_t id = 0, int64_t a = 0,
+              int64_t b = 0);
+
+  // Number of retained events (oldest are dropped once full).
+  size_t size() const { return events_.size(); }
+  size_t capacity() const { return capacity_; }
+  uint64_t total_recorded() const { return total_; }
+  uint64_t dropped() const { return dropped_; }
+  uint64_t CountOf(TraceCategory category) const {
+    return counts_[static_cast<int>(category)];
+  }
+
+  // Events in chronological order.
+  std::vector<TraceEvent> Events() const;
+
+  // "time_ns,category,id,a,b" rows with a header line.
+  std::string ToCsv() const;
+
+  void Clear();
+
+ private:
+  size_t capacity_;
+  std::vector<TraceEvent> events_;  // ring
+  size_t head_ = 0;                 // next write slot when full
+  bool full_ = false;
+  uint64_t total_ = 0;
+  uint64_t dropped_ = 0;
+  uint64_t counts_[kNumTraceCategories] = {0};
+};
+
+}  // namespace daredevil
+
+#endif  // DAREDEVIL_SRC_SIM_TRACE_H_

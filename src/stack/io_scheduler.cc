@@ -1,0 +1,91 @@
+#include "src/stack/io_scheduler.h"
+
+namespace daredevil {
+
+std::string_view IoSchedulerKindName(IoSchedulerKind kind) {
+  switch (kind) {
+    case IoSchedulerKind::kNone:
+      return "none";
+    case IoSchedulerKind::kNoop:
+      return "noop";
+    case IoSchedulerKind::kDeadline:
+      return "deadline";
+  }
+  return "?";
+}
+
+void NoopScheduler::Add(Request* rq, Tick now) {
+  (void)now;
+  fifo_.push_back(rq);
+}
+
+Request* NoopScheduler::Dispatch(Tick now) {
+  (void)now;
+  if (fifo_.empty()) {
+    return nullptr;
+  }
+  Request* rq = fifo_.front();
+  fifo_.pop_front();
+  return rq;
+}
+
+void DeadlineScheduler::Add(Request* rq, Tick now) {
+  if (rq->is_write) {
+    writes_.push_back(Entry{rq, now + config_.write_expire});
+  } else {
+    reads_.push_back(Entry{rq, now + config_.read_expire});
+  }
+}
+
+Request* DeadlineScheduler::Dispatch(Tick now) {
+  // An expired write is served promptly, but never twice in a row while
+  // reads wait (mq-deadline's starvation guard) - otherwise a deep expired
+  // write backlog would starve reads entirely.
+  const bool writes_expired = !writes_.empty() && writes_.front().deadline <= now;
+  if (writes_expired && (!write_served_last_ || reads_.empty())) {
+    Request* rq = writes_.front().rq;
+    writes_.pop_front();
+    ++expired_writes_served_;
+    write_served_last_ = true;
+    batch_credit_ = config_.read_batch;
+    return rq;
+  }
+  // Prefer reads in batches.
+  if (!reads_.empty() && (batch_credit_ > 0 || writes_.empty())) {
+    Request* rq = reads_.front().rq;
+    reads_.pop_front();
+    if (batch_credit_ > 0) {
+      --batch_credit_;
+    }
+    write_served_last_ = false;
+    return rq;
+  }
+  if (!writes_.empty()) {
+    Request* rq = writes_.front().rq;
+    writes_.pop_front();
+    write_served_last_ = true;
+    batch_credit_ = config_.read_batch;
+    return rq;
+  }
+  if (!reads_.empty()) {
+    Request* rq = reads_.front().rq;
+    reads_.pop_front();
+    write_served_last_ = false;
+    return rq;
+  }
+  return nullptr;
+}
+
+std::unique_ptr<IoScheduler> MakeIoScheduler(IoSchedulerKind kind) {
+  switch (kind) {
+    case IoSchedulerKind::kNone:
+      return nullptr;
+    case IoSchedulerKind::kNoop:
+      return std::make_unique<NoopScheduler>();
+    case IoSchedulerKind::kDeadline:
+      return std::make_unique<DeadlineScheduler>();
+  }
+  return nullptr;
+}
+
+}  // namespace daredevil

@@ -1,0 +1,79 @@
+// Block-layer I/O request and tenant descriptors shared by all storage
+// stacks (the simulation's analogue of struct bio/request + task_struct).
+#ifndef DAREDEVIL_SRC_STACK_REQUEST_H_
+#define DAREDEVIL_SRC_STACK_REQUEST_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "src/sim/clock.h"
+
+namespace daredevil {
+
+// The ionice class carried by a tenant's task_struct. Real-time tenants are
+// L-tenants; best-effort/idle are T-tenants (troute's SLA assessment, §5.2).
+enum class IoniceClass {
+  kRealtime,
+  kBestEffort,
+  kIdle,
+};
+
+inline const char* IoniceName(IoniceClass c) {
+  switch (c) {
+    case IoniceClass::kRealtime:
+      return "realtime";
+    case IoniceClass::kBestEffort:
+      return "best-effort";
+    case IoniceClass::kIdle:
+      return "idle";
+  }
+  return "?";
+}
+
+// A process (or thread) demanding I/O service. Tenants are owned by the
+// workload layer; stacks receive stable pointers.
+struct Tenant {
+  uint64_t id = 0;  // nonzero; 0 means "no tenant" in CPU accounting
+  std::string name;
+  std::string group;  // stats label: "L", "T", "TL", ...
+  IoniceClass ionice = IoniceClass::kBestEffort;
+  int core = 0;       // current CPU; stacks with cross-core scheduling move it
+  // The namespace the tenant's I/O targets (per-namespace stacks like
+  // blk-switch keep their scheduling state under this key).
+  uint32_t primary_nsid = 0;
+
+  bool IsLatencySensitive() const { return ionice == IoniceClass::kRealtime; }
+};
+
+struct Request {
+  uint64_t id = 0;
+  Tenant* tenant = nullptr;
+  uint32_t nsid = 0;
+  uint64_t lba = 0;      // namespace-relative, in 4KB pages
+  uint32_t pages = 1;
+  bool is_write = false;
+  bool is_sync = false;  // REQ_SYNC analogue
+  bool is_meta = false;  // REQ_META analogue
+  bool is_zone_reset = false;  // ZNS zone-management op (REQ_OP_ZONE_RESET)
+
+  int submit_core = 0;   // core the syscall ran on
+
+  Tick issue_time = 0;     // tenant initiated the I/O (userspace)
+  Tick submit_time = 0;    // entered the block layer
+  Tick nsq_enqueue_time = 0;
+  Tick complete_time = 0;  // completion delivered back to userspace
+
+  int routed_nsq = -1;     // recorded for invariant checks
+
+  // Invoked in user context on the tenant's core when the I/O completes.
+  std::function<void(Request*)> on_complete;
+
+  // Outlier L-requests are sync or metadata requests (REQ_HIPRIO analogue).
+  bool IsOutlier() const { return is_sync || is_meta; }
+  uint64_t bytes() const { return static_cast<uint64_t>(pages) * 4096; }
+};
+
+}  // namespace daredevil
+
+#endif  // DAREDEVIL_SRC_STACK_REQUEST_H_

@@ -1,0 +1,317 @@
+#include "src/stack/storage_stack.h"
+
+#include <cassert>
+
+namespace daredevil {
+
+StorageStack::StorageStack(Machine* machine, Device* device, const StackCosts& costs)
+    : machine_(machine), device_(device), costs_(costs) {
+  doorbells_.resize(static_cast<size_t>(device->nr_nsq()));
+  AssignIrqCoresRoundRobin();
+  // The kernel default completes requests in (mild) batches (§2.1).
+  for (int i = 0; i < device_->nr_ncq(); ++i) {
+    device_->ncq(i).SetCoalescing(device_->config().driver_coalesce_count,
+                                  device_->config().driver_coalesce_timeout);
+  }
+  device_->SetIrqHandler([this](int ncq_id) { OnDeviceIrq(ncq_id); });
+}
+
+void StorageStack::OnTenantStart(Tenant* tenant) { (void)tenant; }
+void StorageStack::OnTenantExit(Tenant* tenant) { (void)tenant; }
+void StorageStack::OnIoniceChange(Tenant* tenant) { (void)tenant; }
+void StorageStack::OnTenantMigrated(Tenant* tenant, int old_core) {
+  (void)tenant;
+  (void)old_core;
+}
+
+void StorageStack::AssignIrqCoresRoundRobin() {
+  for (int i = 0; i < device_->nr_ncq(); ++i) {
+    device_->ncq(i).set_irq_core(i % machine_->num_cores());
+  }
+}
+
+void StorageStack::SetTraceLog(TraceLog* trace) {
+  trace_ = trace;
+  device_->SetTraceLog(trace);
+}
+
+void StorageStack::EnableIoScheduler(IoSchedulerKind kind, int dispatch_window) {
+  sched_kind_ = kind;
+  sched_window_ = dispatch_window > 0 ? dispatch_window : 1;
+  sched_.clear();
+  if (kind == IoSchedulerKind::kNone) {
+    return;
+  }
+  sched_.resize(static_cast<size_t>(device_->nr_nsq()));
+  for (auto& state : sched_) {
+    state.sched = MakeIoScheduler(kind);
+  }
+}
+
+void StorageStack::SetDoorbellPolicy(int nsq, const DoorbellPolicy& policy) {
+  doorbells_[static_cast<size_t>(nsq)].policy = policy;
+}
+
+void StorageStack::SetCompletionPath(int ncq, bool per_request) {
+  if (per_request) {
+    device_->ncq(ncq).SetCoalescing(1, device_->config().coalesce_timeout);
+  } else {
+    device_->ncq(ncq).SetCoalescing(device_->config().coalesce_count,
+                                    device_->config().coalesce_timeout);
+  }
+}
+
+void StorageStack::SubmitAsync(Request* rq) {
+  if (split_threshold_ > 0 && rq->pages > split_threshold_) {
+    SubmitSplit(rq);
+    return;
+  }
+  const Tick work = costs_.submit_kernel +
+                    static_cast<Tick>(rq->pages) * costs_.per_page_kernel +
+                    RoutingCost(*rq);
+  machine_->Post(rq->submit_core, WorkLevel::kKernel, work, [this, rq]() {
+    rq->submit_time = machine_->now();
+    if (trace_ != nullptr) {
+      trace_->Record(machine_->now(), TraceCategory::kSubmit, rq->id,
+                     rq->submit_core, rq->pages);
+    }
+    const int nsq = RouteRequest(rq);
+    assert(nsq >= 0 && nsq < device_->nr_nsq());
+    rq->routed_nsq = nsq;
+    if (trace_ != nullptr) {
+      trace_->Record(machine_->now(), TraceCategory::kRoute, rq->id, nsq,
+                     rq->tenant != nullptr && rq->tenant->IsLatencySensitive() ? 1
+                                                                               : 0);
+    }
+    if (sched_kind_ != IoSchedulerKind::kNone) {
+      // I/O-scheduler path: queue in the per-NSQ scheduler; the dispatch
+      // window pulls requests out in scheduler order.
+      DispatchOrSchedule(rq, nsq);
+      return;
+    }
+    const Tick wait = device_->AcquireSubmitLock(
+        nsq, costs_.nsq_lock_hold, rq->submit_core, costs_.nsq_remote_access);
+    submission_lock_wait_ns_ += wait;
+    if (wait > 0) {
+      // Spin for our turn at the NSQ tail (cross-core contention, §5.1).
+      machine_->Post(rq->submit_core, WorkLevel::kKernel, wait,
+                     [this, rq, nsq]() { EnqueueLocked(rq, nsq); });
+    } else {
+      EnqueueLocked(rq, nsq);
+    }
+  });
+}
+
+void StorageStack::DispatchOrSchedule(Request* rq, int nsq) {
+  SchedState& state = sched_[static_cast<size_t>(nsq)];
+  state.sched->Add(rq, machine_->now());
+  ++sched_queued_;
+  PumpScheduler(nsq);
+}
+
+void StorageStack::PumpScheduler(int nsq) {
+  SchedState& state = sched_[static_cast<size_t>(nsq)];
+  while (state.outstanding < sched_window_) {
+    Request* rq = state.sched->Dispatch(machine_->now());
+    if (rq == nullptr) {
+      return;
+    }
+    ++state.outstanding;
+    const Tick wait = device_->AcquireSubmitLock(
+        nsq, costs_.nsq_lock_hold, rq->submit_core, costs_.nsq_remote_access);
+    submission_lock_wait_ns_ += wait;
+    EnqueueLocked(rq, nsq);
+  }
+}
+
+void StorageStack::SubmitSplit(Request* rq) {
+  // Decompose into <= split_threshold_ chunks; each chunk traverses the full
+  // submission path. The parent completes when the last chunk does.
+  ++requests_split_;
+  auto job = std::make_unique<SplitJob>();
+  job->parent = rq;
+  SplitJob* job_ptr = job.get();
+  uint64_t child_seq = 0;
+  for (uint32_t offset = 0; offset < rq->pages; offset += split_threshold_) {
+    auto child = std::make_unique<Request>();
+    // Derive a collision-free child id: parent ids occupy the high bits
+    // (tenant << 32 | counter), so shifting leaves room for the chunk index.
+    child->id = (rq->id << 8) | (++child_seq);
+    assert(child_seq < 256);
+    child->tenant = rq->tenant;
+    child->nsid = rq->nsid;
+    child->lba = rq->lba + offset;
+    child->pages = std::min(split_threshold_, rq->pages - offset);
+    child->is_write = rq->is_write;
+    child->is_sync = rq->is_sync;
+    child->is_meta = rq->is_meta;
+    child->submit_core = rq->submit_core;
+    child->issue_time = rq->issue_time;
+    child->on_complete = [this, job_ptr](Request* done_child) {
+      Request* parent = job_ptr->parent;
+      parent->routed_nsq = done_child->routed_nsq;
+      if (--job_ptr->remaining == 0) {
+        parent->complete_time = machine_->now();
+        // Defer the job teardown one event: this closure is owned by one of
+        // the job's children, so destroying the job here would destroy the
+        // currently-executing function object.
+        const uint64_t parent_id = parent->id;
+        machine_->sim().After(0, [this, parent_id]() { splits_.erase(parent_id); });
+        if (parent->on_complete) {
+          parent->on_complete(parent);
+        }
+      }
+    };
+    job->children.push_back(std::move(child));
+  }
+  job->remaining = static_cast<int>(job->children.size());
+  auto [it, inserted] = splits_.emplace(rq->id, std::move(job));
+  assert(inserted && "duplicate in-flight request id in split path");
+  for (auto& child : it->second->children) {
+    SubmitAsync(child.get());
+  }
+}
+
+void StorageStack::EnqueueLocked(Request* rq, int nsq) {
+  NvmeCommand cmd;
+  cmd.cid = rq->id;
+  cmd.nsid = rq->nsid;
+  cmd.lba = rq->lba;
+  cmd.pages = rq->pages;
+  cmd.is_write = rq->is_write;
+  cmd.is_zone_reset = rq->is_zone_reset;
+  cmd.cookie = rq;
+
+  if (!device_->Enqueue(nsq, cmd)) {
+    // Ring full: back off and retry (blk-mq's BLK_STS_RESOURCE requeue).
+    ++requeues_;
+    machine_->sim().After(costs_.requeue_backoff, [this, rq, nsq]() {
+      machine_->Post(rq->submit_core, WorkLevel::kKernel,
+                     costs_.submit_kernel / 2,
+                     [this, rq, nsq]() { EnqueueLocked(rq, nsq); });
+    });
+    return;
+  }
+  rq->nsq_enqueue_time = machine_->now();
+  ++requests_submitted_;
+  AfterEnqueue(nsq, rq);
+  RingOrBatchDoorbell(nsq);
+}
+
+void StorageStack::RingOrBatchDoorbell(int nsq) {
+  DoorbellState& db = doorbells_[static_cast<size_t>(nsq)];
+  if (!db.policy.batched) {
+    if (trace_ != nullptr) {
+      trace_->Record(machine_->now(), TraceCategory::kDoorbell, 0, nsq, 1);
+    }
+    device_->RingDoorbell(nsq);
+    return;
+  }
+  // Postpone notifying the controller until a batch accumulated (§5.3,
+  // SLA-aware submission dispatching for low-priority NSQs).
+  ++db.pending;
+  if (db.pending >= db.policy.batch) {
+    if (trace_ != nullptr) {
+      trace_->Record(machine_->now(), TraceCategory::kDoorbell, 0, nsq,
+                     db.pending);
+    }
+    db.pending = 0;
+    device_->RingDoorbell(nsq);
+    return;
+  }
+  if (!db.timer_armed) {
+    db.timer_armed = true;
+    machine_->sim().After(db.policy.timeout, [this, nsq]() {
+      DoorbellState& state = doorbells_[static_cast<size_t>(nsq)];
+      state.timer_armed = false;
+      if (state.pending > 0) {
+        state.pending = 0;
+        device_->RingDoorbell(nsq);
+      }
+    });
+  }
+}
+
+void StorageStack::EnablePolledCompletion(int ncq, Tick interval) {
+  device_->ncq(ncq).set_polled(true);
+  machine_->sim().After(interval, [this, ncq, interval]() { PollBody(ncq, interval); });
+}
+
+void StorageStack::PollBody(int ncq_id, Tick interval) {
+  const int core = device_->ncq(ncq_id).irq_core();
+  machine_->Post(core, WorkLevel::kKernel, costs_.poll_base, [this, ncq_id, interval]() {
+    auto cqes = device_->DrainCompletions(
+        ncq_id, static_cast<size_t>(device_->config().queue_depth));
+    const int poll_core = device_->ncq(ncq_id).irq_core();
+    if (!cqes.empty()) {
+      const Tick work = static_cast<Tick>(cqes.size()) * costs_.isr_per_cqe;
+      machine_->Post(poll_core, WorkLevel::kKernel, work,
+                     [this, poll_core, cqes = std::move(cqes)]() {
+                       for (const auto& cqe : cqes) {
+                         DeliverCompletion(cqe, poll_core);
+                       }
+                     });
+    }
+    machine_->sim().After(interval,
+                          [this, ncq_id, interval]() { PollBody(ncq_id, interval); });
+  });
+}
+
+void StorageStack::OnDeviceIrq(int ncq_id) {
+  const int core = device_->ncq(ncq_id).irq_core();
+  machine_->Post(core, WorkLevel::kIrq, costs_.isr_base,
+                 [this, ncq_id]() { IsrBody(ncq_id); });
+}
+
+void StorageStack::IsrBody(int ncq_id) {
+  auto cqes = device_->DrainCompletions(
+      ncq_id, static_cast<size_t>(device_->config().queue_depth));
+  const int irq_core = device_->ncq(ncq_id).irq_core();
+  if (cqes.empty()) {
+    device_->IrqDone(ncq_id);
+    return;
+  }
+  // Charge per-CQE processing, then deliver and unmask.
+  const Tick work = static_cast<Tick>(cqes.size()) * costs_.isr_per_cqe;
+  machine_->Post(irq_core, WorkLevel::kIrq, work,
+                 [this, ncq_id, irq_core, cqes = std::move(cqes)]() {
+                   for (const auto& cqe : cqes) {
+                     DeliverCompletion(cqe, irq_core);
+                   }
+                   device_->IrqDone(ncq_id);
+                 });
+}
+
+void StorageStack::DeliverCompletion(const NvmeCompletion& cqe, int irq_core) {
+  auto* rq = static_cast<Request*>(cqe.cookie);
+  assert(rq != nullptr);
+  const int tenant_core = rq->tenant != nullptr ? rq->tenant->core : irq_core;
+  if (tenant_core != irq_core) {
+    ++cross_core_completions_;
+  }
+  ++requests_completed_;
+  if (sched_kind_ != IoSchedulerKind::kNone && rq->routed_nsq >= 0) {
+    SchedState& state = sched_[static_cast<size_t>(rq->routed_nsq)];
+    if (state.outstanding > 0) {
+      --state.outstanding;
+    }
+    PumpScheduler(rq->routed_nsq);
+  }
+  if (trace_ != nullptr) {
+    trace_->Record(machine_->now(), TraceCategory::kDeliver, rq->id, irq_core,
+                   tenant_core);
+  }
+  OnRequestCompleted(rq);
+  const uint64_t tid = rq->tenant != nullptr ? rq->tenant->id : 0;
+  machine_->Post(
+      tenant_core, WorkLevel::kUser, costs_.complete_delivery,
+      [this, rq]() {
+        rq->complete_time = machine_->now();
+        if (rq->on_complete) {
+          rq->on_complete(rq);
+        }
+      },
+      tid, irq_core);
+}
+
+}  // namespace daredevil

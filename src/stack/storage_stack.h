@@ -1,0 +1,189 @@
+// Abstract storage stack interface plus the driver-side plumbing shared by
+// every stack implementation (submission work accounting, NSQ lock handling,
+// doorbell policies, the interrupt service routine, and completion delivery).
+#ifndef DAREDEVIL_SRC_STACK_STORAGE_STACK_H_
+#define DAREDEVIL_SRC_STACK_STORAGE_STACK_H_
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/nvme/device.h"
+#include "src/sim/cpu.h"
+#include "src/stack/io_scheduler.h"
+#include "src/stack/request.h"
+
+namespace daredevil {
+
+// Table 1's comparison factors, exposed as queryable capabilities.
+struct StackCapabilities {
+  bool hardware_independence = false;  // Factor 1
+  bool nq_exploitation = false;        // Factor 2
+  bool cross_core_autonomy = false;    // Factor 3
+  bool multi_namespace_support = false;  // Factor 4
+};
+
+// CPU cost model of the kernel I/O path.
+struct StackCosts {
+  Tick syscall = 1 * kMicrosecond;       // user->kernel crossing (workload side)
+  Tick per_page_user = 800;              // userspace buffer prep per 4KB page
+  Tick submit_kernel = 1200;             // block layer submit work per request
+  Tick per_page_kernel = 400;            // pinning/DMA mapping per 4KB page
+  Tick nsq_lock_hold = 150;              // tail-doorbell critical section
+  Tick nsq_remote_access = 400;          // doorbell cacheline bounce, cross-core
+  Tick isr_base = 1500;                  // fixed ISR entry cost
+  Tick isr_per_cqe = 400;                // per completion processed in the ISR
+  Tick complete_delivery = 700;          // completion delivery to userspace
+  Tick poll_base = 400;                  // cost of one (possibly empty) NCQ poll
+  Tick requeue_backoff = 50 * kMicrosecond;  // retry delay on a full NSQ
+};
+
+class StorageStack {
+ public:
+  StorageStack(Machine* machine, Device* device, const StackCosts& costs);
+  virtual ~StorageStack() = default;
+  StorageStack(const StorageStack&) = delete;
+  StorageStack& operator=(const StorageStack&) = delete;
+
+  virtual std::string_view name() const = 0;
+  virtual StackCapabilities capabilities() const = 0;
+
+  // Lifecycle notifications from the workload layer.
+  virtual void OnTenantStart(Tenant* tenant);
+  virtual void OnTenantExit(Tenant* tenant);
+  // The tenant's ionice value changed (tenant->ionice already updated).
+  virtual void OnIoniceChange(Tenant* tenant);
+  // The tenant moved cores (tenant->core already updated). Stacks that track
+  // per-core state (bitmaps, steering tables) refresh it here.
+  virtual void OnTenantMigrated(Tenant* tenant, int old_core);
+
+  // Issues a request: posts the kernel submission work on rq->submit_core,
+  // then routes, serializes on the NSQ lock, enqueues and rings/batches the
+  // doorbell. Callable from any context.
+  void SubmitAsync(Request* rq);
+
+  // Enables the block layer's I/O splitting mechanism (§2.3): requests larger
+  // than `pages` are decomposed into chunks that traverse the submission path
+  // independently. The split chunks still occupy the same total NQ space (in
+  // more entries), so - as the paper argues - splitting does NOT resolve the
+  // multi-tenancy issue (see bench_ablation_splitting). 0 disables.
+  void SetSplitThreshold(uint32_t pages) { split_threshold_ = pages; }
+  uint32_t split_threshold() const { return split_threshold_; }
+  uint64_t requests_split() const { return requests_split_; }
+
+  // Switches an NCQ to polled completion: the driver drains it every
+  // `interval` on its (former IRQ) core instead of taking interrupts.
+  void EnablePolledCompletion(int ncq, Tick interval);
+
+  // Installs a per-NSQ block-layer I/O scheduler with a bounded device
+  // dispatch window (outstanding commands per NSQ); excess requests queue in
+  // the scheduler, which picks dispatch order. kNone restores direct
+  // dispatch.
+  void EnableIoScheduler(IoSchedulerKind kind, int dispatch_window = 32);
+  IoSchedulerKind io_scheduler_kind() const { return sched_kind_; }
+  uint64_t scheduler_queued() const { return sched_queued_; }
+
+  // Stats.
+  uint64_t requests_submitted() const { return requests_submitted_; }
+  uint64_t requests_completed() const { return requests_completed_; }
+  uint64_t requeues() const { return requeues_; }
+  uint64_t cross_core_completions() const { return cross_core_completions_; }
+  Tick submission_lock_wait_ns() const { return submission_lock_wait_ns_; }
+
+  Machine& machine() { return *machine_; }
+  Device& device() { return *device_; }
+  const StackCosts& costs() const { return costs_; }
+
+  // Attaches a tracepoint sink for block-layer events (also forwarded to the
+  // device). May be null.
+  void SetTraceLog(TraceLog* trace);
+  TraceLog* trace() { return trace_; }
+
+  // Doorbell behaviour for an NSQ (public so tests and tools can configure
+  // policies through subclasses exposing SetDoorbellPolicy).
+  struct DoorbellPolicy {
+    bool batched = false;
+    int batch = 8;
+    Tick timeout = 100 * kMicrosecond;
+  };
+
+ protected:
+  // --- Strategy points implemented by concrete stacks -------------------
+  // Returns the NSQ the request must be enqueued on. Runs in kernel context
+  // on rq->submit_core.
+  virtual int RouteRequest(Request* rq) = 0;
+  // Extra CPU the routing decision costs (charged with the submit work).
+  virtual Tick RoutingCost(const Request& rq) const {
+    (void)rq;
+    return 0;
+  }
+  // Hook after a request reaches its NSQ (before the doorbell decision).
+  virtual void AfterEnqueue(int nsq, Request* rq) {
+    (void)nsq;
+    (void)rq;
+  }
+  // Hook when a completion is handed back (runs on the IRQ core, before the
+  // cross-core delivery to the tenant).
+  virtual void OnRequestCompleted(Request* rq) { (void)rq; }
+
+  // --- Services for subclasses ------------------------------------------
+  void SetDoorbellPolicy(int nsq, const DoorbellPolicy& policy);
+  // Selects per-request (true) vs coalesced (false) completion on an NCQ
+  // (coalesced uses the device config's count/timeout).
+  void SetCompletionPath(int ncq, bool per_request);
+  // Spreads NCQ IRQ vectors across cores (ncq i -> core i % cores).
+  void AssignIrqCoresRoundRobin();
+
+ private:
+  void SubmitSplit(Request* rq);
+  void DispatchOrSchedule(Request* rq, int nsq);
+  void PumpScheduler(int nsq);
+  void EnqueueLocked(Request* rq, int nsq);
+  void RingOrBatchDoorbell(int nsq);
+  void OnDeviceIrq(int ncq_id);
+  void IsrBody(int ncq_id);
+  void PollBody(int ncq_id, Tick interval);
+  void DeliverCompletion(const NvmeCompletion& cqe, int irq_core);
+
+  Machine* machine_;
+  Device* device_;
+  StackCosts costs_;
+  TraceLog* trace_ = nullptr;
+
+  struct DoorbellState {
+    DoorbellPolicy policy;
+    int pending = 0;
+    bool timer_armed = false;
+  };
+  std::vector<DoorbellState> doorbells_;
+
+  struct SplitJob {
+    Request* parent = nullptr;
+    int remaining = 0;
+    std::vector<std::unique_ptr<Request>> children;
+  };
+  std::unordered_map<uint64_t, std::unique_ptr<SplitJob>> splits_;  // by parent id
+  uint32_t split_threshold_ = 0;
+  uint64_t requests_split_ = 0;
+
+  struct SchedState {
+    std::unique_ptr<IoScheduler> sched;
+    int outstanding = 0;
+  };
+  std::vector<SchedState> sched_;  // per NSQ; empty unless a scheduler is set
+  IoSchedulerKind sched_kind_ = IoSchedulerKind::kNone;
+  int sched_window_ = 32;
+  uint64_t sched_queued_ = 0;
+
+  uint64_t requests_submitted_ = 0;
+  uint64_t requests_completed_ = 0;
+  uint64_t requeues_ = 0;
+  uint64_t cross_core_completions_ = 0;
+  Tick submission_lock_wait_ns_ = 0;
+};
+
+}  // namespace daredevil
+
+#endif  // DAREDEVIL_SRC_STACK_STORAGE_STACK_H_

@@ -1,0 +1,109 @@
+#include "src/stats/histogram.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace daredevil {
+namespace {
+
+constexpr int kSubBucketBits = 6;
+constexpr int kSubBuckets = 1 << kSubBucketBits;
+constexpr int kHalf = kSubBuckets / 2;
+// One group of kHalf linear buckets per power of two above the base region.
+constexpr int kGroups = 48;
+constexpr int kTotalBuckets = kSubBuckets + kGroups * kHalf;
+
+}  // namespace
+
+Histogram::Histogram() : buckets_(kTotalBuckets, 0) {}
+
+int Histogram::BucketIndex(int64_t value) {
+  if (value < 0) {
+    value = 0;
+  }
+  const auto v = static_cast<uint64_t>(value);
+  if (v < kSubBuckets) {
+    return static_cast<int>(v);
+  }
+  const int k = 64 - std::countl_zero(v);  // bit width, >= kSubBucketBits + 1
+  const int shift = k - kSubBucketBits;
+  const int group = shift - 1;
+  const auto sub = static_cast<int>(v >> shift);  // in [kHalf, kSubBuckets)
+  int index = kSubBuckets + group * kHalf + (sub - kHalf);
+  if (index >= kTotalBuckets) {
+    index = kTotalBuckets - 1;
+  }
+  return index;
+}
+
+int64_t Histogram::BucketUpperBound(int index) {
+  if (index < kSubBuckets) {
+    return index;
+  }
+  const int group = (index - kSubBuckets) / kHalf;
+  const int rem = (index - kSubBuckets) % kHalf;
+  const int shift = group + 1;
+  const int64_t sub = kHalf + rem;
+  return ((sub + 1) << shift) - 1;
+}
+
+void Histogram::Record(int64_t value) {
+  if (value < 0) {
+    value = 0;
+  }
+  ++buckets_[static_cast<size_t>(BucketIndex(value))];
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += static_cast<double>(value);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  if (other.count_ > 0) {
+    if (count_ == 0) {
+      min_ = other.min_;
+      max_ = other.max_;
+    } else {
+      min_ = std::min(min_, other.min_);
+      max_ = std::max(max_, other.max_);
+    }
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  min_ = max_ = 0;
+  sum_ = 0.0;
+}
+
+double Histogram::Mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+int64_t Histogram::Percentile(double p) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  p = std::clamp(p, 0.0, 100.0);
+  const double target_rank = p / 100.0 * static_cast<double>(count_);
+  uint64_t cumulative = 0;
+  for (int i = 0; i < kTotalBuckets; ++i) {
+    cumulative += buckets_[static_cast<size_t>(i)];
+    if (static_cast<double>(cumulative) >= target_rank && cumulative > 0) {
+      return std::min<int64_t>(BucketUpperBound(i), max_);
+    }
+  }
+  return max_;
+}
+
+}  // namespace daredevil

@@ -1,0 +1,53 @@
+// Log-linear latency histogram (HdrHistogram-style).
+//
+// Values are bucketed into powers of two with kSubBuckets linear sub-buckets
+// each, giving <= 1/kSubBuckets relative quantization error while keeping
+// Record() O(1) and memory fixed. Used for every latency series reported by
+// the benchmarks.
+#ifndef DAREDEVIL_SRC_STATS_HISTOGRAM_H_
+#define DAREDEVIL_SRC_STATS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace daredevil {
+
+class Histogram {
+ public:
+  Histogram();
+
+  void Record(int64_t value);
+  void Merge(const Histogram& other);
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  int64_t min() const { return count_ == 0 ? 0 : min_; }
+  int64_t max() const { return count_ == 0 ? 0 : max_; }
+  double Mean() const;
+  // p in [0, 100]. Returns an upper bound of the bucket containing the
+  // p-th percentile observation (0 when empty).
+  int64_t Percentile(double p) const;
+
+  int64_t P50() const { return Percentile(50.0); }
+  int64_t P90() const { return Percentile(90.0); }
+  int64_t P99() const { return Percentile(99.0); }
+  int64_t P999() const { return Percentile(99.9); }
+
+ private:
+  static constexpr int kSubBucketBits = 6;  // 64 sub-buckets => <=1.6% error
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;
+  static constexpr int kMaxExponent = 45;   // covers ~2^45 ns ~= 9.7 simulated hours
+
+  static int BucketIndex(int64_t value);
+  static int64_t BucketUpperBound(int index);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  int64_t min_ = 0;
+  int64_t max_ = 0;
+  double sum_ = 0.0;
+};
+
+}  // namespace daredevil
+
+#endif  // DAREDEVIL_SRC_STATS_HISTOGRAM_H_

@@ -1,0 +1,96 @@
+#include "src/stats/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+namespace daredevil {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::Render() const {
+  std::vector<size_t> width(header_.size(), 0);
+  for (size_t c = 0; c < header_.size(); ++c) {
+    width[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string out;
+    for (size_t c = 0; c < row.size(); ++c) {
+      out += row[c];
+      out.append(width[c] - row[c].size(), ' ');
+      if (c + 1 < row.size()) {
+        out += "  ";
+      }
+    }
+    out += '\n';
+    return out;
+  };
+
+  std::string out = render_row(header_);
+  size_t total = 0;
+  for (size_t c = 0; c < width.size(); ++c) {
+    total += width[c] + (c + 1 < width.size() ? 2 : 0);
+  }
+  out.append(total, '-');
+  out += '\n';
+  for (const auto& row : rows_) {
+    out += render_row(row);
+  }
+  return out;
+}
+
+void TablePrinter::Print() const {
+  const std::string s = Render();
+  std::fwrite(s.data(), 1, s.size(), stdout);
+  std::fflush(stdout);
+}
+
+namespace {
+std::string Format(const char* fmt, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+}  // namespace
+
+std::string FormatMs(double ns) { return Format("%.3fms", ns / 1e6); }
+
+std::string FormatUs(double ns) { return Format("%.1fus", ns / 1e3); }
+
+std::string FormatMiBps(double bytes_per_sec) {
+  return Format("%.1fMiB/s", bytes_per_sec / (1024.0 * 1024.0));
+}
+
+std::string FormatCount(double v) {
+  if (v >= 1e6) {
+    return Format("%.2fM", v / 1e6);
+  }
+  if (v >= 1e3) {
+    return Format("%.1fK", v / 1e3);
+  }
+  return Format("%.0f", v);
+}
+
+std::string FormatRatio(double v) { return Format("%.2fx", v); }
+
+std::string FormatPercent(double v) { return Format("%.1f%%", v * 100.0); }
+
+std::string FormatDouble(double v, int precision) {
+  char fmt[16];
+  std::snprintf(fmt, sizeof(fmt), "%%.%df", precision);
+  return Format(fmt, v);
+}
+
+}  // namespace daredevil

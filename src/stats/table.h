@@ -1,0 +1,40 @@
+// Plain-text table rendering for benchmark output.
+#ifndef DAREDEVIL_SRC_STATS_TABLE_H_
+#define DAREDEVIL_SRC_STATS_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace daredevil {
+
+// Collects rows of cells and renders them as an aligned ASCII table, the
+// format every bench binary uses to print paper-style rows/series.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+  // Renders the table (header, separator, rows) to a string.
+  std::string Render() const;
+  // Renders and writes to stdout.
+  void Print() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Number formatting helpers used by benches.
+std::string FormatMs(double ns);      // nanoseconds -> "12.34ms"
+std::string FormatUs(double ns);      // nanoseconds -> "56.7us"
+std::string FormatMiBps(double bytes_per_sec);
+std::string FormatCount(double v);    // "12.3K" / "4.56M"
+std::string FormatRatio(double v);    // "3.2x"
+std::string FormatPercent(double v);  // 0.123 -> "12.3%"
+std::string FormatDouble(double v, int precision);
+
+}  // namespace daredevil
+
+#endif  // DAREDEVIL_SRC_STATS_TABLE_H_

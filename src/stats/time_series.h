@@ -1,0 +1,58 @@
+// Windowed time-series collection for the "performance over time" figures.
+#ifndef DAREDEVIL_SRC_STATS_TIME_SERIES_H_
+#define DAREDEVIL_SRC_STATS_TIME_SERIES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/clock.h"
+#include "src/stats/histogram.h"
+
+namespace daredevil {
+
+// Buckets scalar samples (e.g. per-request latency, per-request bytes) into
+// fixed-width time windows starting at `origin`.
+class TimeSeries {
+ public:
+  TimeSeries(Tick origin, Tick window)
+      : origin_(origin), window_(window > 0 ? window : 1) {}
+
+  void Record(Tick at, int64_t value) {
+    if (at < origin_) {
+      return;
+    }
+    const auto idx = static_cast<size_t>((at - origin_) / window_);
+    if (idx >= windows_.size()) {
+      windows_.resize(idx + 1);
+    }
+    windows_[idx].hist.Record(value);
+    windows_[idx].sum += value;
+  }
+
+  size_t num_windows() const { return windows_.size(); }
+  Tick window_width() const { return window_; }
+  Tick WindowStart(size_t i) const { return origin_ + static_cast<Tick>(i) * window_; }
+
+  const Histogram& WindowHistogram(size_t i) const { return windows_[i].hist; }
+  uint64_t WindowCount(size_t i) const { return windows_[i].hist.count(); }
+  int64_t WindowSum(size_t i) const { return windows_[i].sum; }
+  double WindowMean(size_t i) const { return windows_[i].hist.Mean(); }
+  // Sum-per-second rate for throughput series (value == bytes).
+  double WindowRatePerSec(size_t i) const {
+    return static_cast<double>(windows_[i].sum) / ToSec(window_);
+  }
+
+ private:
+  struct Window {
+    Histogram hist;
+    int64_t sum = 0;
+  };
+
+  Tick origin_;
+  Tick window_;
+  std::vector<Window> windows_;
+};
+
+}  // namespace daredevil
+
+#endif  // DAREDEVIL_SRC_STATS_TIME_SERIES_H_

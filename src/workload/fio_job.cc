@@ -1,0 +1,172 @@
+#include "src/workload/fio_job.h"
+
+#include <cassert>
+
+namespace daredevil {
+
+FioJob::FioJob(Machine* machine, StorageStack* stack, const FioJobSpec& spec,
+               uint64_t tenant_id, int core, Rng rng, Tick measure_start,
+               Tick measure_end)
+    : machine_(machine),
+      stack_(stack),
+      spec_(spec),
+      rng_(rng),
+      measure_start_(measure_start),
+      measure_end_(measure_end),
+      next_rq_id_(tenant_id << 32) {
+  tenant_.id = tenant_id;
+  tenant_.name = spec.name;
+  tenant_.group = spec.group;
+  tenant_.ionice = spec.ionice;
+  tenant_.core = core;
+  tenant_.primary_nsid = spec.nsid;
+
+  const uint64_t ns_pages = stack_->device().NamespacePages(spec_.nsid);
+  assert(ns_pages >= spec_.pages);
+  pool_.reserve(static_cast<size_t>(spec_.iodepth));
+  free_list_.reserve(static_cast<size_t>(spec_.iodepth));
+  for (int i = 0; i < spec_.iodepth; ++i) {
+    auto rq = std::make_unique<Request>();
+    rq->tenant = &tenant_;
+    rq->on_complete = [this](Request* r) { OnComplete(r); };
+    free_list_.push_back(rq.get());
+    pool_.push_back(std::move(rq));
+  }
+  // Streaming jobs start at a random aligned offset so concurrent T-tenants
+  // do not all hammer the same flash chips.
+  seq_lba_ = rng_.NextBelow(ns_pages / spec_.pages) * spec_.pages;
+}
+
+bool FioJob::Stopped() const {
+  const Tick now = machine_->now();
+  if (spec_.stop_time >= 0 && now >= spec_.stop_time) {
+    return true;
+  }
+  return false;
+}
+
+void FioJob::Start() {
+  machine_->sim().At(spec_.start_time, [this]() {
+    stack_->OnTenantStart(&tenant_);
+    for (int i = 0; i < spec_.iodepth; ++i) {
+      IssueOne();
+    }
+  });
+  if (spec_.ionice_update_interval > 0) {
+    ArmIoniceUpdate();
+  }
+  if (spec_.migrate_interval > 0) {
+    ArmMigration();
+  }
+}
+
+void FioJob::IssueOne() {
+  if (free_list_.empty() || Stopped()) {
+    return;
+  }
+  Request* rq = free_list_.back();
+  free_list_.pop_back();
+  ++inflight_;
+  ++issued_;
+
+  rq->id = ++next_rq_id_;
+  rq->nsid = spec_.nsid;
+  rq->pages = spec_.pages;
+  rq->is_write = spec_.is_write;
+  rq->is_sync = spec_.sync_prob > 0.0 && rng_.NextBool(spec_.sync_prob);
+  rq->is_meta = spec_.meta_prob > 0.0 && rng_.NextBool(spec_.meta_prob);
+  const uint64_t ns_pages = stack_->device().NamespacePages(spec_.nsid);
+  if (spec_.random) {
+    rq->lba = rng_.NextBelow(ns_pages - spec_.pages + 1);
+  } else {
+    rq->lba = seq_lba_;
+    seq_lba_ += spec_.pages;
+    if (seq_lba_ + spec_.pages > ns_pages) {
+      seq_lba_ = 0;
+    }
+  }
+  rq->issue_time = machine_->now();
+  rq->complete_time = 0;
+  rq->routed_nsq = -1;
+
+  // The syscall runs in user context on the tenant's current core, then the
+  // stack takes over in kernel context.
+  rq->submit_core = tenant_.core;
+  const Tick issue_cost =
+      stack_->costs().syscall +
+      static_cast<Tick>(spec_.pages) * stack_->costs().per_page_user;
+  machine_->Post(tenant_.core, WorkLevel::kUser, issue_cost,
+                 [this, rq]() {
+                   rq->submit_core = tenant_.core;
+                   stack_->SubmitAsync(rq);
+                 },
+                 tenant_.id);
+}
+
+void FioJob::OnComplete(Request* rq) {
+  --inflight_;
+  ++completed_;
+  const Tick latency = rq->complete_time - rq->issue_time;
+  const Tick now = machine_->now();
+  if (now >= measure_start_ && now < measure_end_) {
+    latency_.Record(latency);
+    ++ios_;
+    bytes_ += rq->bytes();
+  }
+  if (latency_series_ != nullptr) {
+    latency_series_->Record(now, latency);
+  }
+  if (bytes_series_ != nullptr) {
+    bytes_series_->Record(now, static_cast<int64_t>(rq->bytes()));
+  }
+  free_list_.push_back(rq);
+  ScheduleNextIssue();
+}
+
+void FioJob::ScheduleNextIssue() {
+  if (Stopped()) {
+    return;
+  }
+  if (spec_.think_time > 0) {
+    machine_->sim().After(spec_.think_time, [this]() { IssueOne(); });
+  } else {
+    IssueOne();
+  }
+}
+
+void FioJob::ArmIoniceUpdate() {
+  machine_->sim().After(spec_.ionice_update_interval, [this]() {
+    if (machine_->now() >= measure_end_) {
+      return;
+    }
+    // Re-applying the (unchanged) ionice value runs the kernel update path,
+    // which re-schedules the tenant's default NSQ in Daredevil (§7.5). The
+    // updater is a userspace syscall loop: the next update is armed only
+    // after this one's syscall ran, so it self-throttles under CPU
+    // saturation like the paper's updater.
+    machine_->Post(tenant_.core, WorkLevel::kUser, stack_->costs().syscall,
+                   [this]() {
+                     stack_->OnIoniceChange(&tenant_);
+                     ArmIoniceUpdate();
+                   },
+                   tenant_.id);
+  });
+}
+
+void FioJob::ArmMigration() {
+  machine_->sim().After(spec_.migrate_interval, [this]() {
+    if (machine_->now() >= measure_end_) {
+      return;
+    }
+    const int old_core = tenant_.core;
+    const int new_core =
+        static_cast<int>(rng_.NextBelow(static_cast<uint64_t>(machine_->num_cores())));
+    if (new_core != old_core) {
+      tenant_.core = new_core;
+      stack_->OnTenantMigrated(&tenant_, old_core);
+    }
+    ArmMigration();
+  });
+}
+
+}  // namespace daredevil

@@ -1,0 +1,128 @@
+// FIO-like closed-loop workload generator (the paper evaluates with FIO jobs:
+// L-tenants = 4KB random QD1 realtime-ionice, T-tenants = 128KB QD32
+// best-effort, both via libaio).
+#ifndef DAREDEVIL_SRC_WORKLOAD_FIO_JOB_H_
+#define DAREDEVIL_SRC_WORKLOAD_FIO_JOB_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/sim/rng.h"
+#include "src/stack/storage_stack.h"
+#include "src/stats/histogram.h"
+#include "src/stats/time_series.h"
+
+namespace daredevil {
+
+struct FioJobSpec {
+  std::string name;
+  std::string group = "T";  // stats label ("L", "T", "TL", ...)
+  IoniceClass ionice = IoniceClass::kBestEffort;
+  uint32_t nsid = 0;
+  uint32_t pages = 32;  // request size in 4KB pages (32 => 128KB)
+  int iodepth = 32;
+  bool is_write = false;
+  bool random = true;
+  double sync_prob = 0.0;  // probability a request carries REQ_SYNC
+  double meta_prob = 0.0;  // probability a request carries REQ_META
+  Tick think_time = 0;     // delay between completion and next issue
+  Tick start_time = 0;
+  Tick stop_time = -1;     // -1 => run until the scenario ends
+  int core = -1;           // -1 => assigned round-robin by the scenario
+
+  // Fault/behaviour injection used by the overhead experiments:
+  // >0: re-apply the tenant's ionice value periodically, triggering the
+  // kernel update path and Daredevil's default-NSQ re-scheduling (Fig 14).
+  Tick ionice_update_interval = 0;
+  Tick migrate_interval = 0;  // >0: hop to a random core periodically (Fig 13)
+};
+
+inline FioJobSpec LTenantSpec(int index, uint32_t nsid = 0) {
+  FioJobSpec spec;
+  spec.name = "L" + std::to_string(index);
+  spec.group = "L";
+  spec.ionice = IoniceClass::kRealtime;
+  spec.nsid = nsid;
+  spec.pages = 1;  // 4KB
+  spec.iodepth = 1;
+  spec.is_write = false;
+  spec.random = true;
+  return spec;
+}
+
+inline FioJobSpec TTenantSpec(int index, uint32_t nsid = 0) {
+  FioJobSpec spec;
+  spec.name = "T" + std::to_string(index);
+  spec.group = "T";
+  spec.ionice = IoniceClass::kBestEffort;
+  spec.nsid = nsid;
+  spec.pages = 32;  // 128KB
+  spec.iodepth = 32;
+  spec.is_write = true;
+  spec.random = false;  // streaming
+  return spec;
+}
+
+class FioJob {
+ public:
+  FioJob(Machine* machine, StorageStack* stack, const FioJobSpec& spec,
+         uint64_t tenant_id, int core, Rng rng, Tick measure_start,
+         Tick measure_end);
+
+  // Schedules the job's first issues (and periodic behaviours) on the
+  // simulator; the job then self-perpetuates in closed loop.
+  void Start();
+
+  Tenant& tenant() { return tenant_; }
+  const FioJobSpec& spec() const { return spec_; }
+
+  // Measured within [measure_start, measure_end) only.
+  const Histogram& latency() const { return latency_; }
+  uint64_t measured_ios() const { return ios_; }
+  uint64_t measured_bytes() const { return bytes_; }
+  uint64_t total_issued() const { return issued_; }
+  uint64_t total_completed() const { return completed_; }
+  int inflight() const { return inflight_; }
+
+  // Optional whole-run series (shared per group; owned by the scenario).
+  void AttachSeries(TimeSeries* latency_series, TimeSeries* bytes_series) {
+    latency_series_ = latency_series;
+    bytes_series_ = bytes_series;
+  }
+
+ private:
+  void IssueOne();
+  void OnComplete(Request* rq);
+  void ScheduleNextIssue();
+  void ArmIoniceUpdate();
+  void ArmMigration();
+  bool Stopped() const;
+
+  Machine* machine_;
+  StorageStack* stack_;
+  FioJobSpec spec_;
+  Tenant tenant_;
+  Rng rng_;
+  Tick measure_start_;
+  Tick measure_end_;
+
+  std::vector<std::unique_ptr<Request>> pool_;
+  std::vector<Request*> free_list_;
+  uint64_t next_rq_id_;
+  uint64_t seq_lba_ = 0;
+
+  Histogram latency_;
+  uint64_t ios_ = 0;
+  uint64_t bytes_ = 0;
+  uint64_t issued_ = 0;
+  uint64_t completed_ = 0;
+  int inflight_ = 0;
+
+  TimeSeries* latency_series_ = nullptr;
+  TimeSeries* bytes_series_ = nullptr;
+};
+
+}  // namespace daredevil
+
+#endif  // DAREDEVIL_SRC_WORKLOAD_FIO_JOB_H_

@@ -1,0 +1,225 @@
+#include "src/workload/scenario.h"
+
+#include <cassert>
+
+#include "src/blkmq/blkmq_stack.h"
+#include "src/core/daredevil_stack.h"
+
+namespace daredevil {
+
+std::string_view StackKindName(StackKind kind) {
+  switch (kind) {
+    case StackKind::kVanilla:
+      return "vanilla";
+    case StackKind::kStaticSplit:
+      return "static-split";
+    case StackKind::kBlkSwitch:
+      return "blk-switch";
+    case StackKind::kDareBase:
+      return "dare-base";
+    case StackKind::kDareSched:
+      return "dare-sched";
+    case StackKind::kDareFull:
+      return "daredevil";
+  }
+  return "?";
+}
+
+const GroupStats* ScenarioResult::Find(const std::string& group) const {
+  auto it = groups.find(group);
+  return it == groups.end() ? nullptr : &it->second;
+}
+
+double ScenarioResult::AvgLatencyNs(const std::string& group) const {
+  const GroupStats* g = Find(group);
+  return g == nullptr ? 0.0 : g->latency.Mean();
+}
+
+int64_t ScenarioResult::P99Ns(const std::string& group) const {
+  const GroupStats* g = Find(group);
+  return g == nullptr ? 0 : g->latency.P99();
+}
+
+int64_t ScenarioResult::P999Ns(const std::string& group) const {
+  const GroupStats* g = Find(group);
+  return g == nullptr ? 0 : g->latency.P999();
+}
+
+double ScenarioResult::Iops(const std::string& group) const {
+  const GroupStats* g = Find(group);
+  if (g == nullptr || measure_duration <= 0) {
+    return 0.0;
+  }
+  return static_cast<double>(g->ios) / ToSec(measure_duration);
+}
+
+double ScenarioResult::ThroughputBps(const std::string& group) const {
+  const GroupStats* g = Find(group);
+  if (g == nullptr || measure_duration <= 0) {
+    return 0.0;
+  }
+  return static_cast<double>(g->bytes) / ToSec(measure_duration);
+}
+
+std::unique_ptr<StorageStack> MakeStack(StackKind kind, Machine* machine,
+                                        Device* device, const ScenarioConfig& config) {
+  switch (kind) {
+    case StackKind::kVanilla:
+      return std::make_unique<BlkMqStack>(machine, device, config.costs,
+                                          config.used_nqs);
+    case StackKind::kStaticSplit:
+      return std::make_unique<StaticSplitStack>(machine, device, config.costs,
+                                                config.used_nqs);
+    case StackKind::kBlkSwitch:
+      return std::make_unique<BlkSwitchStack>(machine, device, config.costs,
+                                              config.blkswitch);
+    case StackKind::kDareBase: {
+      DaredevilConfig dd = config.dd;
+      dd.enable_nq_scheduling = false;
+      dd.enable_sla_dispatch = false;
+      return std::make_unique<DaredevilStack>(machine, device, config.costs, dd);
+    }
+    case StackKind::kDareSched: {
+      DaredevilConfig dd = config.dd;
+      dd.enable_nq_scheduling = true;
+      dd.enable_sla_dispatch = false;
+      return std::make_unique<DaredevilStack>(machine, device, config.costs, dd);
+    }
+    case StackKind::kDareFull: {
+      DaredevilConfig dd = config.dd;
+      dd.enable_nq_scheduling = true;
+      dd.enable_sla_dispatch = true;
+      return std::make_unique<DaredevilStack>(machine, device, config.costs, dd);
+    }
+  }
+  return nullptr;
+}
+
+ScenarioEnv::ScenarioEnv(const ScenarioConfig& config)
+    : config_(config),
+      machine_(&sim_, config.machine),
+      device_(&sim_, config.device),
+      stack_(MakeStack(config.stack, &machine_, &device_, config)) {
+  assert(stack_ != nullptr);
+  if (config.split_pages > 0) {
+    stack_->SetSplitThreshold(config.split_pages);
+  }
+  if (config.trace_capacity > 0) {
+    trace_ = std::make_unique<TraceLog>(config.trace_capacity);
+    stack_->SetTraceLog(trace_.get());
+  }
+  if (config.io_scheduler != IoSchedulerKind::kNone) {
+    stack_->EnableIoScheduler(config.io_scheduler, config.io_scheduler_window);
+  }
+}
+
+ScenarioResult RunScenario(const ScenarioConfig& config) {
+  ScenarioEnv env(config);
+  Simulator& sim = env.sim();
+  Machine& machine = env.machine();
+  Device& device = env.device();
+  StorageStack* stack = &env.stack();
+
+  const Tick measure_start = config.warmup;
+  const Tick measure_end = config.warmup + config.duration;
+
+  ScenarioResult result;
+  result.measure_duration = config.duration;
+
+  // Pre-create per-group series so jobs can hold stable pointers.
+  if (config.series_window > 0) {
+    for (const auto& spec : config.jobs) {
+      result.latency_series.try_emplace(spec.group, 0, config.series_window);
+      result.bytes_series.try_emplace(spec.group, 0, config.series_window);
+    }
+  }
+
+  Rng master(config.seed);
+  std::vector<std::unique_ptr<FioJob>> jobs;
+  jobs.reserve(config.jobs.size());
+  int next_core = 0;
+  uint64_t next_tenant_id = 1;
+  for (const auto& spec : config.jobs) {
+    int core = spec.core;
+    if (core < 0) {
+      core = next_core;
+      next_core = (next_core + 1) % machine.num_cores();
+    }
+    auto job = std::make_unique<FioJob>(&machine, stack, spec,
+                                        next_tenant_id++, core, master.Fork(),
+                                        measure_start, measure_end);
+    if (config.series_window > 0) {
+      job->AttachSeries(&result.latency_series.at(spec.group),
+                        &result.bytes_series.at(spec.group));
+    }
+    jobs.push_back(std::move(job));
+  }
+  for (auto& job : jobs) {
+    job->Start();
+  }
+
+  // Snapshot CPU busy time at the start of the measurement window.
+  Tick busy_at_warmup = 0;
+  sim.At(measure_start, [&]() { busy_at_warmup = machine.total_busy_ns(); });
+
+  sim.RunUntil(measure_end);
+
+  for (auto& job : jobs) {
+    GroupStats& g = result.groups[job->spec().group];
+    g.latency.Merge(job->latency());
+    g.ios += job->measured_ios();
+    g.bytes += job->measured_bytes();
+    result.total_issued += job->total_issued();
+    result.total_completed += job->total_completed();
+  }
+  result.cpu_util = machine.Utilization(busy_at_warmup, measure_start, measure_end);
+  result.cross_core_completions = stack->cross_core_completions();
+  result.requeues = stack->requeues();
+  result.lock_wait_ns = stack->submission_lock_wait_ns();
+  result.requests_submitted = stack->requests_submitted();
+  result.requests_completed = stack->requests_completed();
+  result.commands_fetched = device.commands_fetched();
+  result.commands_completed = device.commands_completed();
+  for (int i = 0; i < device.nr_ncq(); ++i) {
+    result.irqs_total += device.ncq(i).irqs();
+  }
+  if (auto* bsw = dynamic_cast<BlkSwitchStack*>(stack)) {
+    result.migrations = bsw->migrations();
+  }
+  return result;
+}
+
+ScenarioConfig MakeSvmConfig(int cores) {
+  ScenarioConfig config;
+  config.machine.num_cores = cores;
+  config.device.nr_nsq = 64;
+  config.device.nr_ncq = 64;
+  config.device.queue_depth = 1024;
+  config.device.namespace_pages = {1ULL << 22};  // 16GiB
+  return config;
+}
+
+ScenarioConfig MakeWsmConfig(int cores) {
+  ScenarioConfig config;
+  config.machine.num_cores = cores;
+  // 980Pro-like: 128 NSQs, 24 NCQs (the paper's WS-M exposes ~5 NSQs per NCQ).
+  config.device.nr_nsq = 128;
+  config.device.nr_ncq = 24;
+  config.device.queue_depth = 1024;
+  config.device.namespace_pages = {1ULL << 22};
+  return config;
+}
+
+void AddLTenants(ScenarioConfig& config, int n, uint32_t nsid) {
+  for (int i = 0; i < n; ++i) {
+    config.jobs.push_back(LTenantSpec(static_cast<int>(config.jobs.size()), nsid));
+  }
+}
+
+void AddTTenants(ScenarioConfig& config, int n, uint32_t nsid) {
+  for (int i = 0; i < n; ++i) {
+    config.jobs.push_back(TTenantSpec(static_cast<int>(config.jobs.size()), nsid));
+  }
+}
+
+}  // namespace daredevil

@@ -1,0 +1,138 @@
+// Scenario runner: builds a machine + device + storage stack + tenants, runs
+// the simulation, and aggregates per-group statistics. Every test, example
+// and bench goes through this entry point.
+#ifndef DAREDEVIL_SRC_WORKLOAD_SCENARIO_H_
+#define DAREDEVIL_SRC_WORKLOAD_SCENARIO_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/blkswitch/blkswitch_stack.h"
+#include "src/core/config.h"
+#include "src/nvme/device.h"
+#include "src/sim/cpu.h"
+#include "src/sim/simulator.h"
+#include "src/stack/storage_stack.h"
+#include "src/stats/time_series.h"
+#include "src/workload/fio_job.h"
+
+namespace daredevil {
+
+enum class StackKind {
+  kVanilla,      // Linux blk-mq + noop scheduler
+  kStaticSplit,  // modified blk-mq (§3.1 "w/o Interfere")
+  kBlkSwitch,    // blk-switch (OSDI'21) port
+  kDareBase,     // decoupled layer + round-robin routing (§7.3)
+  kDareSched,    // + NQ scheduling
+  kDareFull,     // + SLA-aware dispatching (the full system)
+};
+
+std::string_view StackKindName(StackKind kind);
+
+struct ScenarioConfig {
+  Machine::Config machine;
+  DeviceConfig device;
+  StackCosts costs;
+  StackKind stack = StackKind::kVanilla;
+  DaredevilConfig dd;        // used by the kDare* kinds (flags overridden)
+  BlkSwitchConfig blkswitch;
+  int used_nqs = 0;          // NQ cap for vanilla/static-split (0 = default)
+  uint32_t split_pages = 0;  // block-layer I/O splitting threshold (0 = off)
+  size_t trace_capacity = 0;  // >0: attach a TraceLog ring of this many events
+  IoSchedulerKind io_scheduler = IoSchedulerKind::kNone;
+  int io_scheduler_window = 32;
+
+  std::vector<FioJobSpec> jobs;
+
+  Tick warmup = 20 * kMillisecond;
+  Tick duration = 150 * kMillisecond;
+  uint64_t seed = 42;
+  Tick series_window = 0;    // >0: collect per-group time series over the run
+};
+
+struct GroupStats {
+  Histogram latency;
+  uint64_t ios = 0;
+  uint64_t bytes = 0;
+};
+
+struct ScenarioResult {
+  std::map<std::string, GroupStats> groups;
+  Tick measure_duration = 0;
+
+  double cpu_util = 0.0;
+  uint64_t cross_core_completions = 0;
+  uint64_t requeues = 0;
+  uint64_t migrations = 0;  // blk-switch only
+  Tick lock_wait_ns = 0;
+  uint64_t irqs_total = 0;
+  uint64_t commands_fetched = 0;
+  uint64_t commands_completed = 0;
+  uint64_t requests_submitted = 0;
+  uint64_t requests_completed = 0;
+  uint64_t total_issued = 0;
+  uint64_t total_completed = 0;
+
+  std::map<std::string, TimeSeries> latency_series;
+  std::map<std::string, TimeSeries> bytes_series;
+
+  const GroupStats* Find(const std::string& group) const;
+  double AvgLatencyNs(const std::string& group) const;
+  int64_t P99Ns(const std::string& group) const;
+  int64_t P999Ns(const std::string& group) const;
+  double Iops(const std::string& group) const;
+  double ThroughputBps(const std::string& group) const;
+};
+
+// Builds the storage stack for a kind (factory shared with tests/benches).
+std::unique_ptr<StorageStack> MakeStack(StackKind kind, Machine* machine,
+                                        Device* device, const ScenarioConfig& config);
+
+// A ready-to-run environment (simulator + machine + device + stack) for
+// harnesses that mix FIO jobs with application tenants (e.g. the YCSB and
+// Mailserver benches).
+class ScenarioEnv {
+ public:
+  explicit ScenarioEnv(const ScenarioConfig& config);
+  ScenarioEnv(const ScenarioEnv&) = delete;
+  ScenarioEnv& operator=(const ScenarioEnv&) = delete;
+
+  Simulator& sim() { return sim_; }
+  Machine& machine() { return machine_; }
+  Device& device() { return device_; }
+  StorageStack& stack() { return *stack_; }
+  const ScenarioConfig& config() const { return config_; }
+  Tick measure_start() const { return config_.warmup; }
+  Tick measure_end() const { return config_.warmup + config_.duration; }
+  // Null unless config.trace_capacity > 0.
+  TraceLog* trace_log() { return trace_.get(); }
+
+ private:
+  ScenarioConfig config_;
+  Simulator sim_;
+  Machine machine_;
+  Device device_;
+  std::unique_ptr<StorageStack> stack_;
+  std::unique_ptr<TraceLog> trace_;
+};
+
+ScenarioResult RunScenario(const ScenarioConfig& config);
+
+// --- Paper experiment helpers -------------------------------------------
+
+// SV-M: 64 cores / 64 NSQ / 64 NCQ Samsung PM1735-like device. The scenario
+// uses `cores` of the socket (the paper confines tenants to a core pool).
+ScenarioConfig MakeSvmConfig(int cores = 4);
+// WS-M: i9-13900K P-cores with a 980Pro-like device: 128 NSQs, 24 NCQs.
+ScenarioConfig MakeWsmConfig(int cores = 8);
+
+// Adds n L-tenants / T-tenants (paper job shapes) targeting a namespace.
+void AddLTenants(ScenarioConfig& config, int n, uint32_t nsid = 0);
+void AddTTenants(ScenarioConfig& config, int n, uint32_t nsid = 0);
+
+}  // namespace daredevil
+
+#endif  // DAREDEVIL_SRC_WORKLOAD_SCENARIO_H_

@@ -1,0 +1,167 @@
+// Unit tests for vanilla blk-mq and the static-split variant.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "src/blkmq/blkmq_stack.h"
+#include "src/sim/simulator.h"
+
+namespace daredevil {
+namespace {
+
+class BlkMqTest : public ::testing::Test {
+ protected:
+  void Build(int cores, int nsqs, int used = 0) {
+    Machine::Config machine_config;
+    machine_config.num_cores = cores;
+    machine_ = std::make_unique<Machine>(&sim_, machine_config);
+    DeviceConfig device_config;
+    device_config.nr_nsq = nsqs;
+    device_config.nr_ncq = nsqs;
+    device_config.namespace_pages = {1 << 16, 1 << 16};
+    device_ = std::make_unique<Device>(&sim_, device_config);
+    stack_ = std::make_unique<BlkMqStack>(machine_.get(), device_.get(),
+                                          StackCosts{}, used);
+    split_ = std::make_unique<StaticSplitStack>(machine_.get(), device_.get(),
+                                                StackCosts{}, used);
+  }
+
+  Request MakeRequest(Tenant* tenant, int core, uint32_t nsid = 0) {
+    Request rq;
+    rq.tenant = tenant;
+    rq.submit_core = core;
+    rq.nsid = nsid;
+    return rq;
+  }
+
+  Simulator sim_;
+  std::unique_ptr<Machine> machine_;
+  std::unique_ptr<Device> device_;
+  std::unique_ptr<BlkMqStack> stack_;
+  std::unique_ptr<StaticSplitStack> split_;
+};
+
+class RouteProbe {
+ public:
+  // Routes through the full async path and reports the NSQ used.
+  static int Route(Simulator& sim, StorageStack& stack, Request& rq) {
+    bool done = false;
+    rq.id = ++next_id_;
+    rq.pages = 1;
+    rq.on_complete = [&done](Request*) { done = true; };
+    stack.SubmitAsync(&rq);
+    sim.RunUntilIdle();
+    EXPECT_TRUE(done);
+    return rq.routed_nsq;
+  }
+
+ private:
+  static uint64_t next_id_;
+};
+uint64_t RouteProbe::next_id_ = 0;
+
+TEST_F(BlkMqTest, UsedNqsCappedByCores) {
+  Build(4, 64);
+  EXPECT_EQ(stack_->nr_hw_queues(), 4);
+  Build(8, 4);
+  EXPECT_EQ(stack_->nr_hw_queues(), 4);
+}
+
+TEST_F(BlkMqTest, ExplicitUsedNqsRespected) {
+  Build(4, 64, /*used=*/2);
+  EXPECT_EQ(stack_->nr_hw_queues(), 2);
+}
+
+TEST_F(BlkMqTest, StaticCoreBinding) {
+  Build(4, 64);
+  Tenant t;
+  t.id = 1;
+  for (int core = 0; core < 4; ++core) {
+    t.core = core;
+    EXPECT_EQ(stack_->NsqOfCore(core), core);
+    Request rq = MakeRequest(&t, core);
+    EXPECT_EQ(RouteProbe::Route(sim_, *stack_, rq), core);
+  }
+}
+
+TEST_F(BlkMqTest, IoniceIgnoredByVanilla) {
+  Build(4, 64);
+  Tenant l;
+  l.id = 1;
+  l.core = 2;
+  l.ionice = IoniceClass::kRealtime;
+  Tenant t;
+  t.id = 2;
+  t.core = 2;
+  t.ionice = IoniceClass::kBestEffort;
+  Request rq1 = MakeRequest(&l, 2);
+  Request rq2 = MakeRequest(&t, 2);
+  // Same core => same NQ regardless of SLA: the root of the multi-tenancy
+  // issue.
+  EXPECT_EQ(RouteProbe::Route(sim_, *stack_, rq1),
+            RouteProbe::Route(sim_, *stack_, rq2));
+}
+
+TEST_F(BlkMqTest, NamespacesShareTheSameNqs) {
+  Build(4, 64);
+  Tenant t;
+  t.id = 1;
+  t.core = 1;
+  Request ns0 = MakeRequest(&t, 1, 0);
+  Request ns1 = MakeRequest(&t, 1, 1);
+  // Figure 3c: different namespaces, same core -> same NQ.
+  EXPECT_EQ(RouteProbe::Route(sim_, *stack_, ns0),
+            RouteProbe::Route(sim_, *stack_, ns1));
+}
+
+TEST_F(BlkMqTest, CapabilitiesMatchTable1) {
+  Build(4, 64);
+  const StackCapabilities caps = stack_->capabilities();
+  EXPECT_TRUE(caps.hardware_independence);
+  EXPECT_FALSE(caps.nq_exploitation);
+  EXPECT_FALSE(caps.multi_namespace_support);
+}
+
+TEST_F(BlkMqTest, StaticSplitSeparatesClasses) {
+  Build(4, 64, /*used=*/4);
+  Tenant l;
+  l.id = 1;
+  l.ionice = IoniceClass::kRealtime;
+  Tenant t;
+  t.id = 2;
+  t.ionice = IoniceClass::kBestEffort;
+  const int half = split_->half();
+  ASSERT_EQ(half, 2);
+  for (int core = 0; core < 4; ++core) {
+    l.core = core;
+    t.core = core;
+    Request lrq = MakeRequest(&l, core);
+    Request trq = MakeRequest(&t, core);
+    const int l_nsq = RouteProbe::Route(sim_, *split_, lrq);
+    const int t_nsq = RouteProbe::Route(sim_, *split_, trq);
+    EXPECT_LT(l_nsq, half);
+    EXPECT_GE(t_nsq, half);
+  }
+}
+
+TEST_F(BlkMqTest, StaticSplitCannotBorrowOtherHalf) {
+  Build(4, 64, /*used=*/4);
+  // Even with zero L traffic, T-requests stay confined to the second half.
+  Tenant t;
+  t.id = 2;
+  t.ionice = IoniceClass::kBestEffort;
+  std::set<int> used;
+  for (int core = 0; core < 4; ++core) {
+    t.core = core;
+    Request rq = MakeRequest(&t, core);
+    used.insert(RouteProbe::Route(sim_, *split_, rq));
+  }
+  for (int nsq : used) {
+    EXPECT_GE(nsq, split_->half());
+  }
+  EXPECT_LE(used.size(), static_cast<size_t>(split_->half()));
+}
+
+}  // namespace
+}  // namespace daredevil

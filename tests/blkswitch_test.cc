@@ -1,0 +1,236 @@
+// Unit tests for the blk-switch port: request steering, core partitioning,
+// application steering (migrations), spill behaviour, namespace blindness.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/blkswitch/blkswitch_stack.h"
+#include "src/sim/simulator.h"
+
+namespace daredevil {
+namespace {
+
+class BlkSwitchTest : public ::testing::Test {
+ protected:
+  void Build(int cores, const BlkSwitchConfig& config = {}) {
+    Machine::Config machine_config;
+    machine_config.num_cores = cores;
+    machine_ = std::make_unique<Machine>(&sim_, machine_config);
+    DeviceConfig device_config;
+    device_config.nr_nsq = 16;
+    device_config.nr_ncq = 16;
+    device_config.namespace_pages = {1 << 16, 1 << 16};
+    device_ = std::make_unique<Device>(&sim_, device_config);
+    stack_ = std::make_unique<BlkSwitchStack>(machine_.get(), device_.get(),
+                                              StackCosts{}, config);
+  }
+
+  Tenant* AddTenant(IoniceClass ionice, int core) {
+    auto tenant = std::make_unique<Tenant>();
+    tenant->id = next_id_++;
+    tenant->ionice = ionice;
+    tenant->core = core;
+    tenants_.push_back(std::move(tenant));
+    stack_->OnTenantStart(tenants_.back().get());
+    return tenants_.back().get();
+  }
+
+  int Route(Tenant* tenant, uint32_t pages = 32, bool sync = false,
+            uint32_t nsid = 0) {
+    Request rq;
+    rq.id = next_rq_++;
+    rq.tenant = tenant;
+    rq.submit_core = tenant->core;
+    rq.pages = pages;
+    rq.is_sync = sync;
+    rq.nsid = nsid;
+    bool done = false;
+    rq.on_complete = [&done](Request*) { done = true; };
+    stack_->SubmitAsync(&rq);
+    // Drain without letting the resched timer run forever.
+    stack_->StopRescheduling();
+    sim_.RunUntilIdle();
+    EXPECT_TRUE(done);
+    return rq.routed_nsq;
+  }
+
+  Simulator sim_;
+  std::unique_ptr<Machine> machine_;
+  std::unique_ptr<Device> device_;
+  std::unique_ptr<BlkSwitchStack> stack_;
+  std::vector<std::unique_ptr<Tenant>> tenants_;
+  uint64_t next_id_ = 1;
+  uint64_t next_rq_ = 1;
+};
+
+TEST_F(BlkSwitchTest, PartitionProportionalToMix) {
+  Build(4);
+  AddTenant(IoniceClass::kRealtime, 0);
+  AddTenant(IoniceClass::kRealtime, 1);
+  AddTenant(IoniceClass::kBestEffort, 2);
+  AddTenant(IoniceClass::kBestEffort, 3);
+  // 2 L vs 2 T -> half the cores for T.
+  const auto& mask = stack_->t_core_mask();
+  int t_cores = 0;
+  for (bool b : mask) {
+    t_cores += b ? 1 : 0;
+  }
+  EXPECT_EQ(t_cores, 2);
+  // The highest-numbered cores are the T-cores.
+  EXPECT_FALSE(mask[0]);
+  EXPECT_TRUE(mask[3]);
+}
+
+TEST_F(BlkSwitchTest, PartitionKeepsOneLCore) {
+  Build(4);
+  AddTenant(IoniceClass::kRealtime, 0);
+  for (int i = 0; i < 32; ++i) {
+    AddTenant(IoniceClass::kBestEffort, i % 4);
+  }
+  const auto& mask = stack_->t_core_mask();
+  int l_cores = 0;
+  for (bool b : mask) {
+    l_cores += b ? 0 : 1;
+  }
+  EXPECT_GE(l_cores, 1);  // never starves L-tenants of every core
+}
+
+TEST_F(BlkSwitchTest, LRequestsStayOnOwnCoreNq) {
+  Build(4);
+  Tenant* l = AddTenant(IoniceClass::kRealtime, 1);
+  AddTenant(IoniceClass::kBestEffort, 3);
+  EXPECT_EQ(Route(l, /*pages=*/1), 1);
+}
+
+TEST_F(BlkSwitchTest, OutlierRequestsTreatedAsLatencyClass) {
+  Build(4);
+  AddTenant(IoniceClass::kRealtime, 0);
+  Tenant* t = AddTenant(IoniceClass::kBestEffort, 2);
+  // A sync request from a T-tenant is prioritized: own core's NQ, no steering.
+  EXPECT_EQ(Route(t, /*pages=*/1, /*sync=*/true), 2);
+}
+
+TEST_F(BlkSwitchTest, TRequestsSteeredToTCores) {
+  Build(4);
+  AddTenant(IoniceClass::kRealtime, 0);
+  AddTenant(IoniceClass::kRealtime, 1);
+  Tenant* t = AddTenant(IoniceClass::kBestEffort, 0);
+  const auto& mask = stack_->t_core_mask();
+  const int target = stack_->SteerTarget(/*nsid=*/0);
+  ASSERT_GE(target, 0);
+  EXPECT_TRUE(mask[static_cast<size_t>(target % 4)]);
+  (void)t;
+}
+
+TEST_F(BlkSwitchTest, SteeringBalancesOutstandingBytes) {
+  Build(4);
+  AddTenant(IoniceClass::kRealtime, 0);
+  Tenant* t = AddTenant(IoniceClass::kBestEffort, 1);
+  // Repeated routing with outstanding tracking spreads across T-core NQs.
+  std::vector<int> first_targets;
+  for (int i = 0; i < 3; ++i) {
+    first_targets.push_back(Route(t));
+  }
+  // With completions in between, steering keeps picking the emptiest T NQ;
+  // all chosen targets are T-core NQs.
+  const auto& mask = stack_->t_core_mask();
+  for (int nsq : first_targets) {
+    EXPECT_TRUE(mask[static_cast<size_t>(nsq % 4)]);
+  }
+}
+
+TEST_F(BlkSwitchTest, SpillBeyondTCoresWhenSaturated) {
+  BlkSwitchConfig config;
+  config.spill_bytes = 64 * 1024;  // tiny spill threshold
+  Build(4, config);
+  AddTenant(IoniceClass::kRealtime, 0);
+  Tenant* t = AddTenant(IoniceClass::kBestEffort, 1);
+  // Route many T-requests without completing them: outstanding bytes exceed
+  // the spill threshold and steering falls back to every NQ.
+  std::vector<Request> requests(24);
+  for (auto& rq : requests) {
+    rq.id = next_rq_++;
+    rq.tenant = t;
+    rq.submit_core = t->core;
+    rq.pages = 32;  // 128KB
+    stack_->SubmitAsync(&rq);
+  }
+  stack_->StopRescheduling();
+  sim_.RunUntilIdle();
+  EXPECT_GT(stack_->spilled_requests(), 0u);
+}
+
+TEST_F(BlkSwitchTest, ReschedulingMigratesTenantsTowardPartition) {
+  Build(4);
+  // All tenants piled on core 0: the rescheduler must move T-tenants to the
+  // T-cores.
+  AddTenant(IoniceClass::kRealtime, 0);
+  std::vector<Tenant*> t_tenants;
+  for (int i = 0; i < 3; ++i) {
+    t_tenants.push_back(AddTenant(IoniceClass::kBestEffort, 0));
+  }
+  sim_.RunUntil(50 * kMillisecond);
+  stack_->StopRescheduling();
+  EXPECT_GT(stack_->migrations(), 0u);
+  const auto& mask = stack_->t_core_mask();
+  for (Tenant* t : t_tenants) {
+    EXPECT_TRUE(mask[static_cast<size_t>(t->core)])
+        << "T-tenant still on an L-core";
+  }
+}
+
+TEST_F(BlkSwitchTest, OverflowTenantsChurn) {
+  BlkSwitchConfig config;
+  config.max_t_apps_per_core = 1;  // tiny slots: most T-tenants overflow
+  config.max_migrations_per_tick = 8;
+  Build(4, config);
+  AddTenant(IoniceClass::kRealtime, 0);
+  for (int i = 0; i < 12; ++i) {
+    AddTenant(IoniceClass::kBestEffort, i % 4);
+  }
+  sim_.RunUntil(40 * kMillisecond);
+  const uint64_t first = stack_->migrations();
+  sim_.RunUntil(80 * kMillisecond);
+  stack_->StopRescheduling();
+  // The rotating overflow placement keeps migrating tenants (thrash).
+  EXPECT_GT(stack_->migrations(), first);
+}
+
+TEST_F(BlkSwitchTest, PerNamespaceSteeringStateIsBlind) {
+  Build(4);
+  AddTenant(IoniceClass::kRealtime, 0);
+  Tenant* t = AddTenant(IoniceClass::kBestEffort, 1);
+  // Load namespace 0's counters heavily; namespace 1's steering cannot see it
+  // and picks the same (per-its-state empty) NQ.
+  std::vector<Request> requests(8);
+  for (auto& rq : requests) {
+    rq.id = next_rq_++;
+    rq.tenant = t;
+    rq.submit_core = t->core;
+    rq.pages = 32;
+    rq.nsid = 0;
+    stack_->SubmitAsync(&rq);
+  }
+  const int ns1_target = stack_->SteerTarget(/*nsid=*/1);
+  const int ns0_target = stack_->SteerTarget(/*nsid=*/0);
+  // ns1 sees zero outstanding everywhere (blind to ns0's pressure), so any
+  // T-core NQ ties; ns0 avoids the loaded NQs. The key property: the states
+  // are independent.
+  EXPECT_NE(ns0_target, -1);
+  EXPECT_NE(ns1_target, -1);
+  stack_->StopRescheduling();
+  sim_.RunUntilIdle();
+}
+
+TEST_F(BlkSwitchTest, CapabilitiesMatchTable1) {
+  Build(4);
+  const StackCapabilities caps = stack_->capabilities();
+  EXPECT_TRUE(caps.hardware_independence);
+  EXPECT_TRUE(caps.nq_exploitation);
+  EXPECT_FALSE(caps.cross_core_autonomy);
+  EXPECT_FALSE(caps.multi_namespace_support);
+}
+
+}  // namespace
+}  // namespace daredevil

@@ -1,0 +1,418 @@
+// Unit tests for the Daredevil core: blex proxies, nqreg (NQGroups, merits,
+// MRU policy, Algorithm 2), troute (SLA assessment, Algorithm 1, outlier
+// profiling), and the assembled stack's dispatch policies.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "src/core/daredevil_stack.h"
+#include "src/sim/simulator.h"
+
+namespace daredevil {
+namespace {
+
+class CoreTest : public ::testing::Test {
+ protected:
+  void Build(int cores = 4, int nsqs = 16, int ncqs = 8,
+             const DaredevilConfig& config = DareFullConfig()) {
+    Machine::Config machine_config;
+    machine_config.num_cores = cores;
+    machine_ = std::make_unique<Machine>(&sim_, machine_config);
+    DeviceConfig device_config;
+    device_config.nr_nsq = nsqs;
+    device_config.nr_ncq = ncqs;
+    device_config.namespace_pages = {1 << 16, 1 << 16};
+    device_config.flash.erase_after_programs = 0;
+    device_ = std::make_unique<Device>(&sim_, device_config);
+    stack_ = std::make_unique<DaredevilStack>(machine_.get(), device_.get(),
+                                              StackCosts{}, config);
+  }
+
+  Tenant* AddTenant(IoniceClass ionice, int core) {
+    auto tenant = std::make_unique<Tenant>();
+    tenant->id = next_id_++;
+    tenant->ionice = ionice;
+    tenant->core = core;
+    tenants_.push_back(std::move(tenant));
+    stack_->OnTenantStart(tenants_.back().get());
+    return tenants_.back().get();
+  }
+
+  int Route(Tenant* tenant, bool sync = false, bool meta = false,
+            uint32_t nsid = 0, uint32_t pages = 1) {
+    Request rq;
+    rq.id = next_rq_++;
+    rq.tenant = tenant;
+    rq.submit_core = tenant->core;
+    rq.pages = pages;
+    rq.is_sync = sync;
+    rq.is_meta = meta;
+    rq.nsid = nsid;
+    bool done = false;
+    rq.on_complete = [&done](Request*) { done = true; };
+    stack_->SubmitAsync(&rq);
+    sim_.RunUntilIdle();
+    EXPECT_TRUE(done);
+    return rq.routed_nsq;
+  }
+
+  Simulator sim_;
+  std::unique_ptr<Machine> machine_;
+  std::unique_ptr<Device> device_;
+  std::unique_ptr<DaredevilStack> stack_;
+  std::vector<std::unique_ptr<Tenant>> tenants_;
+  uint64_t next_id_ = 1;
+  uint64_t next_rq_ = 1;
+};
+
+// --- blex -----------------------------------------------------------------
+
+TEST_F(CoreTest, BlexOneProxyPerNsq) {
+  Build();
+  EXPECT_EQ(stack_->blex().nr_proxies(), 16);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(stack_->blex().proxy(i).nsq_id(), i);
+    EXPECT_EQ(stack_->blex().proxy(i).ncq_id(), device_->NcqOfNsq(i));
+  }
+}
+
+TEST_F(CoreTest, NProxyClaimCounting) {
+  Build();
+  NProxy& proxy = stack_->blex().proxy(0);
+  EXPECT_EQ(proxy.claimed_cores(), 0);
+  proxy.Claim(1);
+  proxy.Claim(1);
+  proxy.Claim(3);
+  EXPECT_EQ(proxy.claimed_cores(), 2);
+  EXPECT_TRUE(proxy.IsClaimedBy(1));
+  proxy.Unclaim(1);
+  EXPECT_TRUE(proxy.IsClaimedBy(1));  // still one claim left
+  proxy.Unclaim(1);
+  EXPECT_FALSE(proxy.IsClaimedBy(1));
+  EXPECT_EQ(proxy.claimed_cores(), 1);
+  proxy.Unclaim(1);  // extra unclaim is harmless
+  EXPECT_EQ(proxy.claimed_cores(), 1);
+}
+
+// --- nqreg ----------------------------------------------------------------
+
+TEST_F(CoreTest, EqualNqGroupDivision) {
+  Build(4, 16, 8);
+  NqReg& nqreg = stack_->nqreg();
+  EXPECT_EQ(nqreg.NcqsOfGroup(NqPrio::kHigh), (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(nqreg.NcqsOfGroup(NqPrio::kLow), (std::vector<int>{4, 5, 6, 7}));
+  // NSQs inherit the group of their bound NCQ (nsq % ncqs).
+  EXPECT_EQ(nqreg.NsqsOfGroup(NqPrio::kHigh),
+            (std::vector<int>{0, 1, 2, 3, 8, 9, 10, 11}));
+  EXPECT_EQ(nqreg.GroupOfNsq(4), NqPrio::kLow);
+  EXPECT_EQ(nqreg.GroupOfNsq(8), NqPrio::kHigh);
+}
+
+TEST_F(CoreTest, ScheduleReturnsNsqOfRequestedGroup) {
+  Build();
+  NqReg& nqreg = stack_->nqreg();
+  for (int i = 0; i < 50; ++i) {
+    const int high = nqreg.Schedule(NqPrio::kHigh, 1);
+    const int low = nqreg.Schedule(NqPrio::kLow, 1);
+    EXPECT_EQ(nqreg.GroupOfNsq(high), NqPrio::kHigh);
+    EXPECT_EQ(nqreg.GroupOfNsq(low), NqPrio::kLow);
+  }
+}
+
+TEST_F(CoreTest, TenantContextQueriesRotateAcrossNqs) {
+  Build(4, 16, 8);
+  NqReg& nqreg = stack_->nqreg();
+  std::set<int> selected;
+  for (int i = 0; i < 4; ++i) {
+    selected.insert(nqreg.Schedule(NqPrio::kHigh, nqreg.mru_budget()));
+  }
+  // With equal merits, consecutive tenant-context queries distribute across
+  // distinct NQs (§5.3, the MRU update schedules a new top each time).
+  EXPECT_GE(selected.size(), 3u);
+}
+
+TEST_F(CoreTest, MruPolicyLimitsUpdateFrequency) {
+  DaredevilConfig config = DareFullConfig();
+  config.mru = 100;
+  Build(4, 16, 8, config);
+  NqReg& nqreg = stack_->nqreg();
+  const uint64_t v0 = nqreg.GroupVersion(NqPrio::kHigh);
+  // 99 per-request queries: budget not exhausted, no re-sort.
+  for (int i = 0; i < 99; ++i) {
+    nqreg.Schedule(NqPrio::kHigh, 1);
+  }
+  EXPECT_EQ(nqreg.GroupVersion(NqPrio::kHigh), v0);
+  nqreg.Schedule(NqPrio::kHigh, 1);  // the 100th exhausts it
+  EXPECT_EQ(nqreg.GroupVersion(NqPrio::kHigh), v0 + 1);
+}
+
+TEST_F(CoreTest, TenantContextForcesImmediateUpdate) {
+  Build();
+  NqReg& nqreg = stack_->nqreg();
+  const uint64_t v0 = nqreg.GroupVersion(NqPrio::kLow);
+  nqreg.Schedule(NqPrio::kLow, nqreg.mru_budget());
+  EXPECT_EQ(nqreg.GroupVersion(NqPrio::kLow), v0 + 1);
+}
+
+TEST_F(CoreTest, NcqMeritFormula) {
+  // (in_flight/depth + complete/irqs) * irqs
+  EXPECT_DOUBLE_EQ(NqReg::NcqMeritSample(512, 1024, 30, 10),
+                   (0.5 + 3.0) * 10.0);
+  // No IRQs in the window: only the incoming term, scaled by zero.
+  EXPECT_DOUBLE_EQ(NqReg::NcqMeritSample(512, 1024, 0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(NqReg::NcqMeritSample(0, 1024, 0, 5), 0.0);
+}
+
+TEST_F(CoreTest, NsqMeritFormula) {
+  // (contention_us / submitted) * claimed_cores
+  EXPECT_DOUBLE_EQ(NqReg::NsqMeritSample(100.0, 50.0, 4), 8.0);
+  EXPECT_DOUBLE_EQ(NqReg::NsqMeritSample(100.0, 0.0, 4), 0.0);
+  EXPECT_DOUBLE_EQ(NqReg::NsqMeritSample(0.0, 50.0, 4), 0.0);
+}
+
+TEST_F(CoreTest, ExponentialSmoothingIsConvex) {
+  // alpha in (0.5, 1): the result lies between history and sample.
+  const double s = NqReg::Smooth(0.8, 10.0, 2.0);
+  EXPECT_GT(s, 2.0);
+  EXPECT_LT(s, 10.0);
+  EXPECT_DOUBLE_EQ(s, 0.8 * 10.0 + 0.2 * 2.0);
+  // Repeated smoothing of a constant converges to the constant.
+  double v = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    v = NqReg::Smooth(0.8, 5.0, v);
+  }
+  EXPECT_NEAR(v, 5.0, 1e-6);
+}
+
+TEST_F(CoreTest, MeritsPreferLessLoadedNcq) {
+  Build(4, 8, 4);  // high group: NCQ 0,1 with NSQs {0,4},{1,5}
+  NqReg& nqreg = stack_->nqreg();
+  // Load NCQ 0 with in-flight requests and IRQ activity (the merit scales
+  // with the IRQ delta, Algorithm 2 line 4).
+  device_->ncq(0).AddInFlight(500);
+  device_->ncq(0).CountIrq();
+  device_->ncq(0).CountIrq();
+  device_->ncq(0).CountIrq();
+  // Exhaust the MRU so merits recalc.
+  for (int i = 0; i < 3; ++i) {
+    nqreg.Schedule(NqPrio::kHigh, nqreg.mru_budget());
+  }
+  EXPECT_GT(nqreg.NcqMerit(0), nqreg.NcqMerit(1));
+  // The schedule should now avoid NCQ 0.
+  const int nsq = nqreg.Schedule(NqPrio::kHigh, 1);
+  EXPECT_NE(device_->NcqOfNsq(nsq), 0);
+  device_->ncq(0).AddInFlight(-500);
+}
+
+// --- troute ---------------------------------------------------------------
+
+TEST_F(CoreTest, SlaAssessmentFromIonice) {
+  Build();
+  Tenant* l = AddTenant(IoniceClass::kRealtime, 0);
+  Tenant* t = AddTenant(IoniceClass::kBestEffort, 1);
+  Tenant* idle = AddTenant(IoniceClass::kIdle, 2);
+  const TRoute& troute = stack_->troute();
+  EXPECT_EQ(troute.GetState(l->id)->base_prio, NqPrio::kHigh);
+  EXPECT_EQ(troute.GetState(t->id)->base_prio, NqPrio::kLow);
+  EXPECT_EQ(troute.GetState(idle->id)->base_prio, NqPrio::kLow);
+}
+
+TEST_F(CoreTest, DefaultNsqAssignedAtStartMatchesGroup) {
+  Build();
+  Tenant* l = AddTenant(IoniceClass::kRealtime, 0);
+  Tenant* t = AddTenant(IoniceClass::kBestEffort, 1);
+  const TRoute& troute = stack_->troute();
+  EXPECT_EQ(stack_->nqreg().GroupOfNsq(troute.GetState(l->id)->default_nsq),
+            NqPrio::kHigh);
+  EXPECT_EQ(stack_->nqreg().GroupOfNsq(troute.GetState(t->id)->default_nsq),
+            NqPrio::kLow);
+}
+
+TEST_F(CoreTest, Algorithm1HighPrioUsesDefault) {
+  Build();
+  Tenant* l = AddTenant(IoniceClass::kRealtime, 0);
+  const int default_nsq = stack_->troute().GetState(l->id)->default_nsq;
+  EXPECT_EQ(Route(l), default_nsq);
+  // Even outliers from an L-tenant use the default NSQ (Algorithm 1 line 2).
+  EXPECT_EQ(Route(l, /*sync=*/true), default_nsq);
+}
+
+TEST_F(CoreTest, Algorithm1NormalTRequestUsesDefault) {
+  Build();
+  Tenant* t = AddTenant(IoniceClass::kBestEffort, 0);
+  const int default_nsq = stack_->troute().GetState(t->id)->default_nsq;
+  EXPECT_EQ(Route(t), default_nsq);
+  EXPECT_EQ(stack_->nqreg().GroupOfNsq(default_nsq), NqPrio::kLow);
+}
+
+TEST_F(CoreTest, Algorithm1UntaggedOutlierGetsHighPrioNsqPerRequest) {
+  Build();
+  Tenant* t = AddTenant(IoniceClass::kBestEffort, 0);
+  const uint64_t queries_before = stack_->troute().per_request_queries();
+  const int nsq = Route(t, /*sync=*/true);
+  EXPECT_EQ(stack_->nqreg().GroupOfNsq(nsq), NqPrio::kHigh);
+  EXPECT_EQ(stack_->troute().per_request_queries(), queries_before + 1);
+}
+
+TEST_F(CoreTest, MetadataRequestsAreOutliers) {
+  Build();
+  Tenant* t = AddTenant(IoniceClass::kBestEffort, 0);
+  const int nsq = Route(t, /*sync=*/false, /*meta=*/true);
+  EXPECT_EQ(stack_->nqreg().GroupOfNsq(nsq), NqPrio::kHigh);
+}
+
+TEST_F(CoreTest, OutlierProfilingTagsAndAssignsOutlierNsq) {
+  DaredevilConfig config = DareFullConfig();
+  config.outlier_profile_window = 8;
+  Build(4, 16, 8, config);
+  Tenant* t = AddTenant(IoniceClass::kBestEffort, 0);
+  // Issue a sync-heavy pattern: outliers ~50% >> 10% threshold.
+  for (int i = 0; i < 16; ++i) {
+    Route(t, /*sync=*/(i % 2 == 0));
+  }
+  const TRoute::TenantState* state = stack_->troute().GetState(t->id);
+  EXPECT_TRUE(state->outlier_tag);
+  ASSERT_GE(state->outlier_nsq, 0);
+  EXPECT_EQ(stack_->nqreg().GroupOfNsq(state->outlier_nsq), NqPrio::kHigh);
+  // Tagged tenants route outliers to the dedicated outlier NSQ.
+  EXPECT_EQ(Route(t, /*sync=*/true), state->outlier_nsq);
+  // Normal requests still use the (low-priority) default NSQ.
+  EXPECT_EQ(Route(t, /*sync=*/false), state->default_nsq);
+}
+
+TEST_F(CoreTest, OutlierProfilingUntagsWhenPatternFades) {
+  DaredevilConfig config = DareFullConfig();
+  config.outlier_profile_window = 8;
+  Build(4, 16, 8, config);
+  Tenant* t = AddTenant(IoniceClass::kBestEffort, 0);
+  for (int i = 0; i < 8; ++i) {
+    Route(t, /*sync=*/true);
+  }
+  EXPECT_TRUE(stack_->troute().GetState(t->id)->outlier_tag);
+  // A long run of normal requests pushes outliers below one order of
+  // magnitude of normals.
+  for (int i = 0; i < 96; ++i) {
+    Route(t, /*sync=*/false);
+  }
+  EXPECT_FALSE(stack_->troute().GetState(t->id)->outlier_tag);
+  EXPECT_EQ(stack_->troute().GetState(t->id)->outlier_nsq, -1);
+}
+
+TEST_F(CoreTest, IoniceChangeReassignsDefaultNsq) {
+  Build();
+  Tenant* t = AddTenant(IoniceClass::kBestEffort, 0);
+  const int old_default = stack_->troute().GetState(t->id)->default_nsq;
+  EXPECT_EQ(stack_->nqreg().GroupOfNsq(old_default), NqPrio::kLow);
+  t->ionice = IoniceClass::kRealtime;
+  stack_->OnIoniceChange(t);
+  sim_.RunUntilIdle();  // the update runs asynchronously in kernel work
+  const TRoute::TenantState* state = stack_->troute().GetState(t->id);
+  EXPECT_EQ(state->base_prio, NqPrio::kHigh);
+  EXPECT_EQ(stack_->nqreg().GroupOfNsq(state->default_nsq), NqPrio::kHigh);
+  EXPECT_GE(stack_->troute().priority_updates(), 1u);
+}
+
+TEST_F(CoreTest, ClaimsFollowDefaultNsq) {
+  Build();
+  Tenant* t = AddTenant(IoniceClass::kBestEffort, 2);
+  const TRoute::TenantState* state = stack_->troute().GetState(t->id);
+  EXPECT_TRUE(stack_->blex().proxy(state->default_nsq).IsClaimedBy(2));
+}
+
+TEST_F(CoreTest, MigrationMovesClaims) {
+  Build();
+  Tenant* t = AddTenant(IoniceClass::kBestEffort, 2);
+  const int default_nsq = stack_->troute().GetState(t->id)->default_nsq;
+  t->core = 3;
+  stack_->OnTenantMigrated(t, 2);
+  EXPECT_FALSE(stack_->blex().proxy(default_nsq).IsClaimedBy(2));
+  EXPECT_TRUE(stack_->blex().proxy(default_nsq).IsClaimedBy(3));
+}
+
+TEST_F(CoreTest, TenantExitReleasesClaims) {
+  Build();
+  Tenant* t = AddTenant(IoniceClass::kBestEffort, 1);
+  const int default_nsq = stack_->troute().GetState(t->id)->default_nsq;
+  stack_->OnTenantExit(t);
+  EXPECT_FALSE(stack_->blex().proxy(default_nsq).IsClaimedBy(1));
+  EXPECT_EQ(stack_->troute().GetState(t->id), nullptr);
+}
+
+TEST_F(CoreTest, RoutingIsNamespaceUniform) {
+  Build();
+  Tenant* l = AddTenant(IoniceClass::kRealtime, 0);
+  Tenant* t = AddTenant(IoniceClass::kBestEffort, 1);
+  // The same tenant routes identically regardless of target namespace
+  // (nproxies are device-global, §5.1).
+  EXPECT_EQ(Route(l, false, false, /*nsid=*/0), Route(l, false, false, 1));
+  EXPECT_EQ(Route(t, false, false, /*nsid=*/0), Route(t, false, false, 1));
+}
+
+// --- dispatch policies ------------------------------------------------------
+
+TEST_F(CoreTest, DareFullSetsCompletionPaths) {
+  Build(4, 16, 8);
+  for (int i = 0; i < device_->nr_ncq(); ++i) {
+    const bool high = stack_->nqreg().GroupOfNcq(i) == NqPrio::kHigh;
+    EXPECT_EQ(device_->ncq(i).per_request_irq(), high) << "ncq " << i;
+  }
+}
+
+TEST_F(CoreTest, DareSchedKeepsKernelDefaults) {
+  Build(4, 16, 8, DareSchedConfig());
+  for (int i = 0; i < device_->nr_ncq(); ++i) {
+    EXPECT_EQ(device_->ncq(i).coalesce_count(),
+              device_->config().driver_coalesce_count);
+  }
+}
+
+TEST_F(CoreTest, StackNamesReflectAblationLevel) {
+  Build(4, 16, 8, DareBaseConfig());
+  EXPECT_EQ(stack_->name(), "dare-base");
+  Build(4, 16, 8, DareSchedConfig());
+  EXPECT_EQ(stack_->name(), "dare-sched");
+  Build(4, 16, 8, DareFullConfig());
+  EXPECT_EQ(stack_->name(), "daredevil");
+}
+
+TEST_F(CoreTest, DareBaseRoundRobinsPerRequest) {
+  Build(4, 16, 8, DareBaseConfig());
+  Tenant* t = AddTenant(IoniceClass::kBestEffort, 0);
+  std::set<int> used;
+  for (int i = 0; i < 8; ++i) {
+    const int nsq = Route(t);
+    EXPECT_EQ(stack_->nqreg().GroupOfNsq(nsq), NqPrio::kLow);
+    used.insert(nsq);
+  }
+  EXPECT_EQ(used.size(), 8u);  // all low-group NSQs visited
+}
+
+TEST_F(CoreTest, SeparationInvariantEndToEnd) {
+  Build(4, 16, 8);
+  Tenant* l = AddTenant(IoniceClass::kRealtime, 0);
+  Tenant* t = AddTenant(IoniceClass::kBestEffort, 1);
+  for (int i = 0; i < 30; ++i) {
+    const int l_nsq = Route(l);
+    const int t_nsq = Route(t, /*sync=*/(i % 7 == 0));
+    EXPECT_EQ(stack_->nqreg().GroupOfNsq(l_nsq), NqPrio::kHigh);
+    if (i % 7 == 0) {
+      EXPECT_EQ(stack_->nqreg().GroupOfNsq(t_nsq), NqPrio::kHigh);  // outlier
+    } else {
+      EXPECT_EQ(stack_->nqreg().GroupOfNsq(t_nsq), NqPrio::kLow);
+    }
+  }
+}
+
+TEST_F(CoreTest, CapabilitiesAllFour) {
+  Build();
+  const StackCapabilities caps = stack_->capabilities();
+  EXPECT_TRUE(caps.hardware_independence);
+  EXPECT_TRUE(caps.nq_exploitation);
+  EXPECT_TRUE(caps.cross_core_autonomy);
+  EXPECT_TRUE(caps.multi_namespace_support);
+}
+
+}  // namespace
+}  // namespace daredevil

@@ -1,0 +1,192 @@
+// Tests for the block-layer I/O scheduler framework (noop + deadline) and
+// its stack wiring.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/stack/io_scheduler.h"
+#include "src/workload/scenario.h"
+
+namespace daredevil {
+namespace {
+
+Request MakeReq(uint64_t id, bool write) {
+  Request rq;
+  rq.id = id;
+  rq.is_write = write;
+  rq.pages = 1;
+  return rq;
+}
+
+TEST(NoopSchedulerTest, FifoOrder) {
+  NoopScheduler sched;
+  Request a = MakeReq(1, false);
+  Request b = MakeReq(2, true);
+  sched.Add(&a, 0);
+  sched.Add(&b, 0);
+  EXPECT_EQ(sched.Depth(), 2u);
+  EXPECT_EQ(sched.Dispatch(0), &a);
+  EXPECT_EQ(sched.Dispatch(0), &b);
+  EXPECT_EQ(sched.Dispatch(0), nullptr);
+  EXPECT_TRUE(sched.Empty());
+}
+
+TEST(DeadlineSchedulerTest, ReadsPreferredOverWrites) {
+  DeadlineScheduler sched;
+  Request w = MakeReq(1, true);
+  Request r = MakeReq(2, false);
+  sched.Add(&w, 0);
+  sched.Add(&r, 0);
+  // The read jumps the queued write.
+  EXPECT_EQ(sched.Dispatch(0), &r);
+  EXPECT_EQ(sched.Dispatch(0), &w);
+}
+
+TEST(DeadlineSchedulerTest, ExpiredWriteServedFirst) {
+  DeadlineScheduler::Config config;
+  config.write_expire = 100;
+  DeadlineScheduler sched(config);
+  Request w = MakeReq(1, true);
+  Request r = MakeReq(2, false);
+  sched.Add(&w, 0);
+  sched.Add(&r, 0);
+  // Past the write deadline: the write wins despite the pending read.
+  EXPECT_EQ(sched.Dispatch(200), &w);
+  EXPECT_EQ(sched.expired_writes_served(), 1u);
+  EXPECT_EQ(sched.Dispatch(200), &r);
+}
+
+TEST(DeadlineSchedulerTest, ReadBatchYieldsToWrites) {
+  DeadlineScheduler::Config config;
+  config.read_batch = 2;
+  DeadlineScheduler sched(config);
+  std::vector<Request> reads;
+  for (uint64_t i = 0; i < 4; ++i) {
+    reads.push_back(MakeReq(10 + i, false));
+  }
+  Request w = MakeReq(1, true);
+  sched.Add(&w, 0);
+  for (auto& r : reads) {
+    sched.Add(&r, 0);
+  }
+  // Two reads (the batch), then the write, then remaining reads.
+  EXPECT_FALSE(sched.Dispatch(0)->is_write);
+  EXPECT_FALSE(sched.Dispatch(0)->is_write);
+  EXPECT_TRUE(sched.Dispatch(0)->is_write);
+  EXPECT_FALSE(sched.Dispatch(0)->is_write);
+  EXPECT_FALSE(sched.Dispatch(0)->is_write);
+  EXPECT_TRUE(sched.Empty());
+}
+
+TEST(DeadlineSchedulerTest, EmptyDispatchReturnsNull) {
+  DeadlineScheduler sched;
+  EXPECT_EQ(sched.Dispatch(0), nullptr);
+}
+
+TEST(IoSchedulerFactoryTest, KindsAndNames) {
+  EXPECT_EQ(MakeIoScheduler(IoSchedulerKind::kNone), nullptr);
+  EXPECT_EQ(MakeIoScheduler(IoSchedulerKind::kNoop)->name(), "noop");
+  EXPECT_EQ(MakeIoScheduler(IoSchedulerKind::kDeadline)->name(), "deadline");
+  EXPECT_EQ(IoSchedulerKindName(IoSchedulerKind::kDeadline), "deadline");
+}
+
+// --- stack wiring -----------------------------------------------------------
+
+TEST(IoSchedulerWiringTest, ScenarioCompletesWithScheduler) {
+  for (IoSchedulerKind kind : {IoSchedulerKind::kNoop, IoSchedulerKind::kDeadline}) {
+    ScenarioConfig cfg = MakeSvmConfig(2);
+    cfg.device.nr_nsq = 8;
+    cfg.device.nr_ncq = 8;
+    cfg.io_scheduler = kind;
+    cfg.io_scheduler_window = 4;
+    cfg.warmup = 2 * kMillisecond;
+    cfg.duration = 20 * kMillisecond;
+    AddLTenants(cfg, 2);
+    AddTTenants(cfg, 4);
+    const ScenarioResult r = RunScenario(cfg);
+    EXPECT_GT(r.total_completed, 0u) << IoSchedulerKindName(kind);
+    EXPECT_LE(r.total_issued - r.total_completed, 2u + 4u * 32u)
+        << IoSchedulerKindName(kind);
+    EXPECT_GT(r.Find("L")->ios, 0u);
+  }
+}
+
+TEST(IoSchedulerWiringTest, WindowBoundsOutstandingPerNsq) {
+  ScenarioConfig cfg = MakeSvmConfig(1);
+  cfg.device.nr_nsq = 2;
+  cfg.device.nr_ncq = 2;
+  cfg.io_scheduler = IoSchedulerKind::kNoop;
+  cfg.io_scheduler_window = 2;
+  ScenarioEnv env(cfg);
+  // Submit 10 requests back to back: at most 2 may sit in the NSQ at once.
+  Tenant tenant;
+  tenant.id = 1;
+  tenant.core = 0;
+  std::vector<std::unique_ptr<Request>> requests;
+  int done = 0;
+  size_t max_occupancy = 0;
+  for (int i = 0; i < 10; ++i) {
+    auto rq = std::make_unique<Request>();
+    rq->id = static_cast<uint64_t>(i) + 1;
+    rq->tenant = &tenant;
+    rq->pages = 1;
+    rq->submit_core = 0;
+    rq->on_complete = [&](Request*) { ++done; };
+    env.stack().SubmitAsync(rq.get());
+    requests.push_back(std::move(rq));
+  }
+  env.sim().RunUntilIdle();
+  max_occupancy = env.device().nsq(0).max_occupancy();
+  EXPECT_EQ(done, 10);
+  EXPECT_LE(max_occupancy, 2u);
+  EXPECT_EQ(env.stack().scheduler_queued(), 10u);
+}
+
+TEST(IoSchedulerWiringTest, DeadlineLiftsReadsOverQueuedWrites) {
+  // One NSQ, small window: a read submitted after many writes should jump
+  // the scheduler queue (though not the in-NSQ backlog).
+  ScenarioConfig cfg = MakeSvmConfig(1);
+  cfg.device.nr_nsq = 2;
+  cfg.device.nr_ncq = 2;
+  cfg.io_scheduler = IoSchedulerKind::kDeadline;
+  cfg.io_scheduler_window = 1;
+  ScenarioEnv env(cfg);
+  Tenant tenant;
+  tenant.id = 1;
+  tenant.core = 0;
+  std::vector<std::unique_ptr<Request>> requests;
+  std::vector<uint64_t> completion_order;
+  auto add = [&](uint64_t id, bool write, uint32_t pages) {
+    auto rq = std::make_unique<Request>();
+    rq->id = id;
+    rq->tenant = &tenant;
+    rq->pages = pages;
+    rq->lba = id * 64;
+    rq->is_write = write;
+    rq->submit_core = 0;
+    rq->on_complete = [&completion_order](Request* r) {
+      completion_order.push_back(r->id);
+    };
+    env.stack().SubmitAsync(rq.get());
+    requests.push_back(std::move(rq));
+  };
+  for (uint64_t i = 1; i <= 6; ++i) {
+    add(i, /*write=*/true, 32);
+  }
+  add(100, /*write=*/false, 1);  // the late read
+  env.sim().RunUntilIdle();
+  ASSERT_EQ(completion_order.size(), 7u);
+  // The read completes before most of the writes (it can't beat the ones
+  // already dispatched into the NSQ window).
+  size_t read_pos = 0;
+  for (size_t i = 0; i < completion_order.size(); ++i) {
+    if (completion_order[i] == 100) {
+      read_pos = i;
+    }
+  }
+  EXPECT_LE(read_pos, 2u);
+}
+
+}  // namespace
+}  // namespace daredevil

@@ -1,0 +1,264 @@
+// Property-based tests: invariants checked over randomized inputs and
+// parameterized sweeps of device geometries.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "src/core/daredevil_stack.h"
+#include "src/workload/scenario.h"
+
+namespace daredevil {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Device geometry sweep: the full stack works for any (nsq, ncq, cores)
+// shape, including NSQ:NCQ ratios above 1 (WS-M-like) and tiny devices.
+// ---------------------------------------------------------------------------
+
+using Geometry = std::tuple<int, int, int>;  // nsq, ncq, cores
+
+class GeometrySweep : public ::testing::TestWithParam<Geometry> {};
+
+TEST_P(GeometrySweep, DaredevilRunsAndSeparates) {
+  const auto [nsq, ncq, cores] = GetParam();
+  ScenarioConfig cfg = MakeSvmConfig(cores);
+  cfg.stack = StackKind::kDareFull;
+  cfg.device.nr_nsq = nsq;
+  cfg.device.nr_ncq = ncq;
+  cfg.warmup = 2 * kMillisecond;
+  cfg.duration = 20 * kMillisecond;
+  AddLTenants(cfg, 2);
+  AddTTenants(cfg, 4);
+
+  ScenarioEnv env(cfg);
+  auto* dd = dynamic_cast<DaredevilStack*>(&env.stack());
+  ASSERT_NE(dd, nullptr);
+
+  // NQGroup division is an equal split of the NCQs, and every NSQ belongs to
+  // exactly one group (via its bound NCQ).
+  EXPECT_EQ(dd->nqreg().NcqsOfGroup(NqPrio::kHigh).size(),
+            static_cast<size_t>(ncq / 2));
+  EXPECT_EQ(dd->nqreg().NsqsOfGroup(NqPrio::kHigh).size() +
+                dd->nqreg().NsqsOfGroup(NqPrio::kLow).size(),
+            static_cast<size_t>(nsq));
+
+  Rng master(cfg.seed);
+  std::vector<std::unique_ptr<FioJob>> jobs;
+  uint64_t tid = 1;
+  int core = 0;
+  for (const auto& spec : cfg.jobs) {
+    jobs.push_back(std::make_unique<FioJob>(&env.machine(), &env.stack(), spec,
+                                            tid++, core, master.Fork(), 0,
+                                            env.measure_end()));
+    core = (core + 1) % cores;
+    jobs.back()->Start();
+  }
+  env.sim().RunUntil(env.measure_end());
+
+  // Traffic flowed and the groups never mixed.
+  uint64_t total = 0;
+  for (int q = 0; q < env.device().nr_nsq(); ++q) {
+    total += env.device().nsq(q).submitted_rqs();
+  }
+  EXPECT_GT(total, 0u);
+  uint64_t l_issued = 0;
+  uint64_t all_issued = 0;
+  for (const auto& job : jobs) {
+    all_issued += job->total_issued();
+    if (job->spec().group == "L") {
+      l_issued += job->total_issued();
+    }
+  }
+  uint64_t high_submitted = 0;
+  for (int q = 0; q < env.device().nr_nsq(); ++q) {
+    if (dd->nqreg().GroupOfNsq(q) == NqPrio::kHigh) {
+      high_submitted += env.device().nsq(q).submitted_rqs();
+    }
+  }
+  EXPECT_GE(high_submitted, l_issued);
+  EXPECT_LE(high_submitted, l_issued + (all_issued - l_issued) / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GeometrySweep,
+    ::testing::Values(Geometry{2, 2, 1}, Geometry{4, 2, 2}, Geometry{8, 8, 4},
+                      Geometry{16, 4, 4}, Geometry{64, 64, 8},
+                      Geometry{128, 24, 8}, Geometry{32, 2, 4}),
+    [](const ::testing::TestParamInfo<Geometry>& info) {
+      return std::to_string(std::get<0>(info.param)) + "nsq_" +
+             std::to_string(std::get<1>(info.param)) + "ncq_" +
+             std::to_string(std::get<2>(info.param)) + "cores";
+    });
+
+// ---------------------------------------------------------------------------
+// nqreg properties under randomized stats.
+// ---------------------------------------------------------------------------
+
+struct NqRegEnv {
+  Simulator sim;
+  Machine machine;
+  Device device;
+  Blex blex;
+  NqReg nqreg;
+
+  NqRegEnv(int nsq, int ncq, const DaredevilConfig& config)
+      : machine(&sim, Machine::Config{.num_cores = 4}),
+        device(&sim,
+               [&] {
+                 DeviceConfig c;
+                 c.nr_nsq = nsq;
+                 c.nr_ncq = ncq;
+                 return c;
+               }()),
+        blex(&device, 4),
+        nqreg(&blex, config) {}
+};
+
+TEST(NqRegProperty, ScheduleAlwaysReturnsGroupMember) {
+  Rng rng(100);
+  NqRegEnv env(32, 8, DareFullConfig());
+  for (int i = 0; i < 2000; ++i) {
+    // Randomly perturb device stats so merits diverge.
+    const int ncq = static_cast<int>(rng.NextBelow(8));
+    env.device.ncq(ncq).AddInFlight(static_cast<int>(rng.NextBelow(5)));
+    if (rng.NextBool(0.3)) {
+      env.device.ncq(ncq).CountIrq();
+    }
+    const NqPrio prio = rng.NextBool(0.5) ? NqPrio::kHigh : NqPrio::kLow;
+    const int m = rng.NextBool(0.2) ? env.nqreg.mru_budget() : 1;
+    const int nsq = env.nqreg.Schedule(prio, m);
+    ASSERT_GE(nsq, 0);
+    ASSERT_LT(nsq, 32);
+    EXPECT_EQ(env.nqreg.GroupOfNsq(nsq), prio);
+  }
+}
+
+TEST(NqRegProperty, ResortCountMatchesMruArithmetic) {
+  DaredevilConfig config = DareFullConfig();
+  config.mru = 50;
+  NqRegEnv env(8, 4, config);
+  const uint64_t v0 = env.nqreg.GroupVersion(NqPrio::kHigh);
+  // 500 single-decrement queries on one group: exactly 10 re-sorts.
+  for (int i = 0; i < 500; ++i) {
+    env.nqreg.Schedule(NqPrio::kHigh, 1);
+  }
+  EXPECT_EQ(env.nqreg.GroupVersion(NqPrio::kHigh), v0 + 10);
+}
+
+TEST(NqRegProperty, MeritsStayFiniteAndNonNegative) {
+  Rng rng(7);
+  NqRegEnv env(16, 8, DareFullConfig());
+  for (int i = 0; i < 1000; ++i) {
+    const int ncq = static_cast<int>(rng.NextBelow(8));
+    env.device.ncq(ncq).AddInFlight(1);
+    env.device.ncq(ncq).CountIrq();
+    env.nqreg.Schedule(NqPrio::kHigh, env.nqreg.mru_budget());
+    env.nqreg.Schedule(NqPrio::kLow, env.nqreg.mru_budget());
+  }
+  for (int q = 0; q < 8; ++q) {
+    const double merit = env.nqreg.NcqMerit(q);
+    EXPECT_GE(merit, 0.0);
+    EXPECT_TRUE(std::isfinite(merit));
+  }
+  for (int q = 0; q < 16; ++q) {
+    EXPECT_TRUE(std::isfinite(env.nqreg.NsqMerit(q)));
+  }
+}
+
+TEST(NqRegProperty, SmoothingConvergesToSteadyState) {
+  // For any alpha in (0.5, 1) and any start, repeated smoothing toward a
+  // constant sample converges to that constant.
+  Rng rng(42);
+  for (int trial = 0; trial < 50; ++trial) {
+    const double alpha = 0.5 + 0.49 * rng.NextDouble() + 0.01;
+    const double target = rng.NextDouble() * 1000.0;
+    double merit = rng.NextDouble() * 1e6;
+    for (int i = 0; i < 200; ++i) {
+      merit = NqReg::Smooth(alpha, target, merit);
+    }
+    EXPECT_NEAR(merit, target, 1e-3) << "alpha=" << alpha;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Histogram fuzz: percentiles stay within quantization error of exact ranks
+// for arbitrary distributions.
+// ---------------------------------------------------------------------------
+
+TEST(HistogramProperty, FuzzAgainstExactQuantiles) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 8; ++trial) {
+    Histogram h;
+    std::vector<int64_t> values;
+    const int n = 2000 + static_cast<int>(rng.NextBelow(3000));
+    for (int i = 0; i < n; ++i) {
+      // Mix of scales: heavy tails like latency data.
+      int64_t v;
+      if (rng.NextBool(0.05)) {
+        v = static_cast<int64_t>(rng.NextBelow(1'000'000'000));
+      } else if (rng.NextBool(0.3)) {
+        v = static_cast<int64_t>(rng.NextBelow(1'000'000));
+      } else {
+        v = static_cast<int64_t>(rng.NextBelow(10'000));
+      }
+      h.Record(v);
+      values.push_back(v);
+    }
+    std::sort(values.begin(), values.end());
+    for (double p : {10.0, 50.0, 90.0, 99.0}) {
+      const auto rank = static_cast<size_t>(
+          p / 100.0 * static_cast<double>(values.size()));
+      const auto exact =
+          static_cast<double>(values[std::min(rank, values.size() - 1)]);
+      const auto approx = static_cast<double>(h.Percentile(p));
+      // Allow quantization error plus one rank of slack.
+      EXPECT_NEAR(approx, exact, std::max(64.0, exact * 0.07))
+          << "trial " << trial << " p" << p;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Flash degradation injection: a failing (slow) chip must never break
+// conservation, only latency.
+// ---------------------------------------------------------------------------
+
+TEST(FailureInjection, SlowFlashStillConserves) {
+  ScenarioConfig cfg = MakeSvmConfig(2);
+  cfg.stack = StackKind::kDareFull;
+  cfg.device.nr_nsq = 8;
+  cfg.device.nr_ncq = 8;
+  // A pathologically slow device region: reads take 10ms.
+  cfg.device.flash.page_read = 10 * kMillisecond;
+  cfg.warmup = 2 * kMillisecond;
+  cfg.duration = 60 * kMillisecond;
+  AddLTenants(cfg, 2);
+  AddTTenants(cfg, 2);
+  const ScenarioResult r = RunScenario(cfg);
+  EXPECT_GT(r.total_completed, 0u);
+  EXPECT_LE(r.total_issued - r.total_completed, 2u + 2u * 32u);
+}
+
+TEST(FailureInjection, ZeroCapacityDeviceBufferStillProgresses) {
+  // max_inflight_pages smaller than any T-request: T commands can never be
+  // fetched, but 1-page L commands keep slipping through (no deadlock for
+  // them), and nothing is lost.
+  ScenarioConfig cfg = MakeSvmConfig(2);
+  cfg.stack = StackKind::kVanilla;
+  cfg.device.nr_nsq = 4;
+  cfg.device.nr_ncq = 4;
+  cfg.device.max_inflight_pages = 8;
+  cfg.warmup = kMillisecond;
+  cfg.duration = 30 * kMillisecond;
+  AddLTenants(cfg, 2);
+  const ScenarioResult r = RunScenario(cfg);
+  EXPECT_GT(r.Find("L")->ios, 0u);
+}
+
+}  // namespace
+}  // namespace daredevil

@@ -1,0 +1,214 @@
+// Unit tests for the statistics module: histogram, time series, tables.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/sim/rng.h"
+#include "src/stats/histogram.h"
+#include "src/stats/table.h"
+#include "src/stats/time_series.h"
+
+namespace daredevil {
+namespace {
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.Percentile(50), 0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Record(12345);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 12345);
+  EXPECT_EQ(h.max(), 12345);
+  EXPECT_DOUBLE_EQ(h.Mean(), 12345.0);
+  // Quantization error is bounded by ~3% in the log-linear mapping.
+  EXPECT_NEAR(static_cast<double>(h.Percentile(50)), 12345.0, 12345.0 * 0.04);
+}
+
+TEST(HistogramTest, SmallValuesExact) {
+  Histogram h;
+  for (int i = 0; i < 64; ++i) {
+    h.Record(i);
+  }
+  // The base region is exact: percentile of p% is close to p% of 63.
+  EXPECT_EQ(h.Percentile(0), 0);
+  EXPECT_EQ(h.Percentile(100), 63);
+  EXPECT_NEAR(static_cast<double>(h.P50()), 31.5, 1.0);
+}
+
+TEST(HistogramTest, NegativeClampsToZero) {
+  Histogram h;
+  h.Record(-5);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 0);
+}
+
+TEST(HistogramTest, MeanMatchesArithmeticMean) {
+  Histogram h;
+  double sum = 0;
+  Rng rng(4);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = static_cast<int64_t>(rng.NextBelow(1'000'000));
+    h.Record(v);
+    sum += static_cast<double>(v);
+  }
+  EXPECT_DOUBLE_EQ(h.Mean(), sum / 10000.0);
+}
+
+TEST(HistogramTest, PercentilesWithinQuantizationError) {
+  Histogram h;
+  std::vector<int64_t> values;
+  Rng rng(9);
+  for (int i = 0; i < 50000; ++i) {
+    const auto v = static_cast<int64_t>(rng.NextBelow(100'000'000)) + 1;
+    h.Record(v);
+    values.push_back(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (double p : {50.0, 90.0, 99.0, 99.9}) {
+    const auto rank = static_cast<size_t>(p / 100.0 * 50000.0) - 1;
+    const double exact = static_cast<double>(values[rank]);
+    const double approx = static_cast<double>(h.Percentile(p));
+    EXPECT_NEAR(approx, exact, exact * 0.05) << "percentile " << p;
+  }
+}
+
+TEST(HistogramTest, PercentileMonotoneInP) {
+  Histogram h;
+  Rng rng(11);
+  for (int i = 0; i < 5000; ++i) {
+    h.Record(static_cast<int64_t>(rng.NextBelow(1'000'000)));
+  }
+  int64_t prev = 0;
+  for (double p = 0; p <= 100.0; p += 2.5) {
+    const int64_t v = h.Percentile(p);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(HistogramTest, PercentileBoundedByMinMax) {
+  Histogram h;
+  Rng rng(12);
+  for (int i = 0; i < 1000; ++i) {
+    h.Record(static_cast<int64_t>(rng.NextBelow(1'000'000'000)));
+  }
+  EXPECT_GE(h.Percentile(0), h.min());
+  EXPECT_LE(h.Percentile(100), h.max());
+}
+
+TEST(HistogramTest, MergeCombinesCounts) {
+  Histogram a;
+  Histogram b;
+  a.Record(10);
+  a.Record(20);
+  b.Record(1'000'000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.min(), 10);
+  EXPECT_EQ(a.max(), 1'000'000);
+  EXPECT_NEAR(a.Mean(), (10.0 + 20.0 + 1'000'000.0) / 3.0, 0.001);
+}
+
+TEST(HistogramTest, MergeIntoEmpty) {
+  Histogram a;
+  Histogram b;
+  b.Record(42);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_EQ(a.min(), 42);
+  EXPECT_EQ(a.max(), 42);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.Record(100);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Percentile(99), 0);
+}
+
+TEST(HistogramTest, VeryLargeValuesDoNotOverflow) {
+  Histogram h;
+  h.Record(int64_t{1} << 44);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GT(h.Percentile(100), 0);
+}
+
+TEST(TimeSeriesTest, RecordsIntoCorrectWindows) {
+  TimeSeries ts(0, 100);
+  ts.Record(10, 5);
+  ts.Record(99, 7);
+  ts.Record(100, 11);
+  ts.Record(350, 1);
+  ASSERT_EQ(ts.num_windows(), 4u);
+  EXPECT_EQ(ts.WindowCount(0), 2u);
+  EXPECT_EQ(ts.WindowSum(0), 12);
+  EXPECT_EQ(ts.WindowCount(1), 1u);
+  EXPECT_EQ(ts.WindowCount(2), 0u);
+  EXPECT_EQ(ts.WindowCount(3), 1u);
+}
+
+TEST(TimeSeriesTest, OriginOffset) {
+  TimeSeries ts(1000, 100);
+  ts.Record(500, 5);  // before origin: ignored
+  ts.Record(1000, 3);
+  ts.Record(1150, 4);
+  ASSERT_EQ(ts.num_windows(), 2u);
+  EXPECT_EQ(ts.WindowStart(0), 1000);
+  EXPECT_EQ(ts.WindowStart(1), 1100);
+  EXPECT_EQ(ts.WindowCount(0), 1u);
+}
+
+TEST(TimeSeriesTest, RatePerSecond) {
+  TimeSeries ts(0, kSecond / 10);  // 100ms windows
+  ts.Record(0, 1000);
+  ts.Record(50 * kMillisecond, 1000);
+  EXPECT_DOUBLE_EQ(ts.WindowRatePerSec(0), 20000.0);
+}
+
+TEST(TimeSeriesTest, WindowMean) {
+  TimeSeries ts(0, 100);
+  ts.Record(0, 10);
+  ts.Record(1, 30);
+  EXPECT_DOUBLE_EQ(ts.WindowMean(0), 20.0);
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"a", "long-header"});
+  t.AddRow({"xxxxxx", "1"});
+  const std::string out = t.Render();
+  // Header, separator and one row.
+  EXPECT_NE(out.find("a       long-header"), std::string::npos);
+  EXPECT_NE(out.find("xxxxxx  1"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(TablePrinterTest, ShortRowsPadded) {
+  TablePrinter t({"a", "b", "c"});
+  t.AddRow({"1"});
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_NE(t.Render().find("1"), std::string::npos);
+}
+
+TEST(FormatTest, Formatters) {
+  EXPECT_EQ(FormatMs(12'345'678.0), "12.346ms");
+  EXPECT_EQ(FormatUs(12'345.0), "12.3us");
+  EXPECT_EQ(FormatCount(1'234.0), "1.2K");
+  EXPECT_EQ(FormatCount(12'345'678.0), "12.35M");
+  EXPECT_EQ(FormatCount(12.0), "12");
+  EXPECT_EQ(FormatRatio(3.1415), "3.14x");
+  EXPECT_EQ(FormatPercent(0.123), "12.3%");
+  EXPECT_EQ(FormatDouble(1.23456, 3), "1.235");
+  EXPECT_EQ(FormatMiBps(1024.0 * 1024.0 * 2.5), "2.5MiB/s");
+}
+
+}  // namespace
+}  // namespace daredevil

@@ -1,0 +1,114 @@
+// Tests for the tracepoint infrastructure and its wiring into the stack.
+#include <gtest/gtest.h>
+
+#include "src/sim/trace.h"
+#include "src/workload/scenario.h"
+
+namespace daredevil {
+namespace {
+
+TEST(TraceLogTest, RecordsEventsInOrder) {
+  TraceLog log(8);
+  log.Record(10, TraceCategory::kSubmit, 1, 2, 3);
+  log.Record(20, TraceCategory::kRoute, 1, 5, 0);
+  ASSERT_EQ(log.size(), 2u);
+  const auto events = log.Events();
+  EXPECT_EQ(events[0].at, 10);
+  EXPECT_EQ(events[0].category, TraceCategory::kSubmit);
+  EXPECT_EQ(events[0].a, 2);
+  EXPECT_EQ(events[1].at, 20);
+  EXPECT_EQ(log.CountOf(TraceCategory::kSubmit), 1u);
+  EXPECT_EQ(log.CountOf(TraceCategory::kRoute), 1u);
+  EXPECT_EQ(log.CountOf(TraceCategory::kIrq), 0u);
+}
+
+TEST(TraceLogTest, RingDropsOldestWhenFull) {
+  TraceLog log(4);
+  for (int i = 0; i < 10; ++i) {
+    log.Record(i, TraceCategory::kOther, static_cast<uint64_t>(i));
+  }
+  EXPECT_EQ(log.size(), 4u);
+  EXPECT_EQ(log.total_recorded(), 10u);
+  EXPECT_EQ(log.dropped(), 6u);
+  const auto events = log.Events();
+  // Chronological: the last 4 events survive.
+  EXPECT_EQ(events.front().at, 6);
+  EXPECT_EQ(events.back().at, 9);
+}
+
+TEST(TraceLogTest, CsvFormat) {
+  TraceLog log(8);
+  log.Record(100, TraceCategory::kFetch, 42, 3, 8);
+  const std::string csv = log.ToCsv();
+  EXPECT_NE(csv.find("time_ns,category,id,a,b\n"), std::string::npos);
+  EXPECT_NE(csv.find("100,fetch,42,3,8\n"), std::string::npos);
+}
+
+TEST(TraceLogTest, ClearResets) {
+  TraceLog log(4);
+  log.Record(1, TraceCategory::kIrq);
+  log.Clear();
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_EQ(log.total_recorded(), 0u);
+  EXPECT_EQ(log.CountOf(TraceCategory::kIrq), 0u);
+}
+
+TEST(TraceLogTest, CategoryNamesStable) {
+  EXPECT_STREQ(TraceCategoryName(TraceCategory::kSubmit), "submit");
+  EXPECT_STREQ(TraceCategoryName(TraceCategory::kSchedule), "schedule");
+  EXPECT_STREQ(TraceCategoryName(TraceCategory::kMigrate), "migrate");
+}
+
+TEST(TraceWiringTest, ScenarioProducesLifecycleEvents) {
+  ScenarioConfig cfg = MakeSvmConfig(2);
+  cfg.device.nr_nsq = 8;
+  cfg.device.nr_ncq = 8;
+  cfg.stack = StackKind::kDareFull;
+  cfg.trace_capacity = 1 << 14;
+  cfg.warmup = kMillisecond;
+  cfg.duration = 10 * kMillisecond;
+  AddLTenants(cfg, 2);
+  AddTTenants(cfg, 2);
+
+  ScenarioEnv env(cfg);
+  ASSERT_NE(env.trace_log(), nullptr);
+  Rng master(cfg.seed);
+  std::vector<std::unique_ptr<FioJob>> jobs;
+  uint64_t tid = 1;
+  int core = 0;
+  for (const auto& spec : cfg.jobs) {
+    jobs.push_back(std::make_unique<FioJob>(&env.machine(), &env.stack(), spec,
+                                            tid++, core, master.Fork(), 0,
+                                            env.measure_end()));
+    core = (core + 1) % 2;
+    jobs.back()->Start();
+  }
+  env.sim().RunUntil(env.measure_end());
+
+  TraceLog& log = *env.trace_log();
+  // Every lifecycle stage fired, and submits == routes (1:1 per request).
+  EXPECT_GT(log.CountOf(TraceCategory::kSubmit), 0u);
+  EXPECT_EQ(log.CountOf(TraceCategory::kSubmit),
+            log.CountOf(TraceCategory::kRoute));
+  EXPECT_GT(log.CountOf(TraceCategory::kFetch), 0u);
+  EXPECT_GT(log.CountOf(TraceCategory::kComplete), 0u);
+  EXPECT_GT(log.CountOf(TraceCategory::kIrq), 0u);
+  EXPECT_GT(log.CountOf(TraceCategory::kDeliver), 0u);
+  // Deliveries cannot exceed completions posted by the device.
+  EXPECT_LE(log.CountOf(TraceCategory::kDeliver),
+            log.CountOf(TraceCategory::kComplete));
+}
+
+TEST(TraceWiringTest, NoTraceLogMeansNoOverheadPath) {
+  ScenarioConfig cfg = MakeSvmConfig(2);
+  cfg.device.nr_nsq = 8;
+  cfg.device.nr_ncq = 8;
+  cfg.warmup = kMillisecond;
+  cfg.duration = 5 * kMillisecond;
+  AddLTenants(cfg, 1);
+  ScenarioEnv env(cfg);
+  EXPECT_EQ(env.trace_log(), nullptr);  // default: tracing off
+}
+
+}  // namespace
+}  // namespace daredevil

@@ -1,0 +1,170 @@
+// Tests for the ZNS-mode extension (§8.2: Daredevil applies to zoned
+// namespaces unchanged because they retain the multi-queue feature).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/core/daredevil_stack.h"
+#include "src/workload/scenario.h"
+
+namespace daredevil {
+namespace {
+
+class ZnsTest : public ::testing::Test {
+ protected:
+  void Build(StackKind kind = StackKind::kDareFull) {
+    ScenarioConfig cfg = MakeSvmConfig(2);
+    cfg.stack = kind;
+    cfg.device.nr_nsq = 8;
+    cfg.device.nr_ncq = 8;
+    cfg.device.namespace_pages = {1 << 16};
+    cfg.device.zns_zone_pages = 256;  // 1MB zones
+    cfg.device.flash.erase_after_programs = 0;
+    env_ = std::make_unique<ScenarioEnv>(cfg);
+    tenant_.id = 1;
+    tenant_.core = 0;
+    env_->stack().OnTenantStart(&tenant_);
+  }
+
+  // Issues one request and runs to completion.
+  void Io(uint64_t lba, uint32_t pages, bool write, bool reset = false) {
+    auto rq = std::make_unique<Request>();
+    rq->id = next_id_++;
+    rq->tenant = &tenant_;
+    rq->lba = lba;
+    rq->pages = pages;
+    rq->is_write = write;
+    rq->is_zone_reset = reset;
+    rq->submit_core = 0;
+    bool done = false;
+    rq->on_complete = [&done](Request*) { done = true; };
+    env_->stack().SubmitAsync(rq.get());
+    env_->sim().RunUntilIdle();
+    EXPECT_TRUE(done);
+    requests_.push_back(std::move(rq));
+  }
+
+  std::unique_ptr<ScenarioEnv> env_;
+  Tenant tenant_;
+  uint64_t next_id_ = 1;
+  std::vector<std::unique_ptr<Request>> requests_;
+};
+
+TEST_F(ZnsTest, SequentialWritesAdvanceWritePointer) {
+  Build();
+  Io(0, 64, /*write=*/true);
+  Io(64, 64, /*write=*/true);
+  EXPECT_EQ(env_->device().ZoneWritePointer(0), 128u);
+  EXPECT_EQ(env_->device().zns_violations(), 0u);
+}
+
+TEST_F(ZnsTest, OutOfOrderWriteCountsViolation) {
+  Build();
+  Io(0, 64, /*write=*/true);
+  Io(128, 64, /*write=*/true);  // gap: wp is at 64
+  EXPECT_EQ(env_->device().zns_violations(), 1u);
+  // The violating write does not advance the pointer.
+  EXPECT_EQ(env_->device().ZoneWritePointer(0), 64u);
+}
+
+TEST_F(ZnsTest, ZoneCrossingWriteCountsViolation) {
+  Build();
+  Io(255, 4, /*write=*/true);  // would span zones 0 and 1 (and is not at wp)
+  EXPECT_EQ(env_->device().zns_violations(), 1u);
+}
+
+TEST_F(ZnsTest, ReadsNeverViolate) {
+  Build();
+  Io(200, 8, /*write=*/false);
+  Io(17, 1, /*write=*/false);
+  EXPECT_EQ(env_->device().zns_violations(), 0u);
+}
+
+TEST_F(ZnsTest, ZoneResetRewindsPointer) {
+  Build();
+  Io(0, 128, /*write=*/true);
+  EXPECT_EQ(env_->device().ZoneWritePointer(0), 128u);
+  Io(0, 1, /*write=*/false, /*reset=*/true);
+  EXPECT_EQ(env_->device().zns_resets(), 1u);
+  EXPECT_EQ(env_->device().ZoneWritePointer(0), 0u);
+  // The zone accepts sequential writes from the start again.
+  Io(0, 32, /*write=*/true);
+  EXPECT_EQ(env_->device().zns_violations(), 0u);
+}
+
+TEST_F(ZnsTest, ZonesAreIndependent) {
+  Build();
+  Io(0, 16, /*write=*/true);        // zone 0
+  Io(256, 16, /*write=*/true);      // zone 1 from its start
+  Io(512 + 0, 16, /*write=*/true);  // zone 2
+  EXPECT_EQ(env_->device().zns_violations(), 0u);
+  EXPECT_EQ(env_->device().ZoneWritePointer(1), 16u);
+}
+
+TEST_F(ZnsTest, DaredevilSeparationHoldsOnZnsDevice) {
+  // §8.2: Daredevil works unchanged on ZNS. Zone-sequential T-writers plus a
+  // random L-reader: separation + sequential discipline both hold.
+  Build(StackKind::kDareFull);
+  auto* dd = dynamic_cast<DaredevilStack*>(&env_->stack());
+  ASSERT_NE(dd, nullptr);
+  Tenant t_tenant;
+  t_tenant.id = 2;
+  t_tenant.core = 1;
+  env_->stack().OnTenantStart(&t_tenant);
+
+  uint64_t wp = 0;
+  for (int i = 0; i < 12; ++i) {
+    // Zone-append-style writer (sequential within zone 3).
+    auto wrq = std::make_unique<Request>();
+    wrq->id = next_id_++;
+    wrq->tenant = &t_tenant;
+    wrq->lba = 3 * 256 + wp;
+    wrq->pages = 16;
+    wp += 16;
+    wrq->is_write = true;
+    wrq->submit_core = 1;
+    env_->stack().SubmitAsync(wrq.get());
+    requests_.push_back(std::move(wrq));
+    // Random L read.
+    auto rrq = std::make_unique<Request>();
+    rrq->id = next_id_++;
+    rrq->tenant = &tenant_;
+    rrq->lba = static_cast<uint64_t>(i) * 97;
+    rrq->pages = 1;
+    rrq->submit_core = 0;
+    env_->stack().SubmitAsync(rrq.get());
+    requests_.push_back(std::move(rrq));
+    env_->sim().RunUntilIdle();
+  }
+  EXPECT_EQ(env_->device().zns_violations(), 0u);
+  // Separation check: promote the reader to realtime; its requests must land
+  // in the high-priority NQGroup even on the ZNS device.
+  tenant_.ionice = IoniceClass::kRealtime;
+  env_->stack().OnIoniceChange(&tenant_);
+  env_->sim().RunUntilIdle();
+  auto rrq = std::make_unique<Request>();
+  rrq->id = next_id_++;
+  rrq->tenant = &tenant_;
+  rrq->lba = 5;
+  rrq->pages = 1;
+  rrq->submit_core = 0;
+  bool done = false;
+  rrq->on_complete = [&done](Request*) { done = true; };
+  env_->stack().SubmitAsync(rrq.get());
+  env_->sim().RunUntilIdle();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(dd->nqreg().GroupOfNsq(rrq->routed_nsq), NqPrio::kHigh);
+  requests_.push_back(std::move(rrq));
+}
+
+TEST_F(ZnsTest, ZnsDisabledByDefault) {
+  ScenarioConfig cfg = MakeSvmConfig(1);
+  cfg.device.nr_nsq = 2;
+  cfg.device.nr_ncq = 2;
+  ScenarioEnv env(cfg);
+  EXPECT_FALSE(env.device().zns_enabled());
+}
+
+}  // namespace
+}  // namespace daredevil
