@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_iosched"
+  "../bench/bench_ablation_iosched.pdb"
+  "CMakeFiles/bench_ablation_iosched.dir/bench_ablation_iosched.cc.o"
+  "CMakeFiles/bench_ablation_iosched.dir/bench_ablation_iosched.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_iosched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

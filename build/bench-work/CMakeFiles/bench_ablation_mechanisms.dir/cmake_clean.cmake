@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_mechanisms"
+  "../bench/bench_ablation_mechanisms.pdb"
+  "CMakeFiles/bench_ablation_mechanisms.dir/bench_ablation_mechanisms.cc.o"
+  "CMakeFiles/bench_ablation_mechanisms.dir/bench_ablation_mechanisms.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_mechanisms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig02_motivation"
+  "../bench/bench_fig02_motivation.pdb"
+  "CMakeFiles/bench_fig02_motivation.dir/bench_fig02_motivation.cc.o"
+  "CMakeFiles/bench_fig02_motivation.dir/bench_fig02_motivation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_motivation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

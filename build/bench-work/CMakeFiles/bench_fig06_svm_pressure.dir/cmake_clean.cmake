@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig06_svm_pressure"
+  "../bench/bench_fig06_svm_pressure.pdb"
+  "CMakeFiles/bench_fig06_svm_pressure.dir/bench_fig06_svm_pressure.cc.o"
+  "CMakeFiles/bench_fig06_svm_pressure.dir/bench_fig06_svm_pressure.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_svm_pressure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig08_timeseries"
+  "../bench/bench_fig08_timeseries.pdb"
+  "CMakeFiles/bench_fig08_timeseries.dir/bench_fig08_timeseries.cc.o"
+  "CMakeFiles/bench_fig08_timeseries.dir/bench_fig08_timeseries.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_timeseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_multinamespace"
+  "../bench/bench_fig10_multinamespace.pdb"
+  "CMakeFiles/bench_fig10_multinamespace.dir/bench_fig10_multinamespace.cc.o"
+  "CMakeFiles/bench_fig10_multinamespace.dir/bench_fig10_multinamespace.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_multinamespace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_mailserver"
+  "../bench/bench_fig12_mailserver.pdb"
+  "CMakeFiles/bench_fig12_mailserver.dir/bench_fig12_mailserver.cc.o"
+  "CMakeFiles/bench_fig12_mailserver.dir/bench_fig12_mailserver.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_mailserver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_ycsb"
+  "../bench/bench_fig12_ycsb.pdb"
+  "CMakeFiles/bench_fig12_ycsb.dir/bench_fig12_ycsb.cc.o"
+  "CMakeFiles/bench_fig12_ycsb.dir/bench_fig12_ycsb.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_ycsb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig13_crosscore"
+  "../bench/bench_fig13_crosscore.pdb"
+  "CMakeFiles/bench_fig13_crosscore.dir/bench_fig13_crosscore.cc.o"
+  "CMakeFiles/bench_fig13_crosscore.dir/bench_fig13_crosscore.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_crosscore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig14_ionice_updates"
+  "../bench/bench_fig14_ionice_updates.pdb"
+  "CMakeFiles/bench_fig14_ionice_updates.dir/bench_fig14_ionice_updates.cc.o"
+  "CMakeFiles/bench_fig14_ionice_updates.dir/bench_fig14_ionice_updates.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_ionice_updates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

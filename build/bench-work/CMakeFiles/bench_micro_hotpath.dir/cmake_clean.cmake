@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_micro_hotpath"
+  "../bench/bench_micro_hotpath.pdb"
+  "CMakeFiles/bench_micro_hotpath.dir/bench_micro_hotpath.cc.o"
+  "CMakeFiles/bench_micro_hotpath.dir/bench_micro_hotpath.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_hotpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_openloop_saturation"
+  "../bench/bench_openloop_saturation.pdb"
+  "CMakeFiles/bench_openloop_saturation.dir/bench_openloop_saturation.cc.o"
+  "CMakeFiles/bench_openloop_saturation.dir/bench_openloop_saturation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_openloop_saturation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

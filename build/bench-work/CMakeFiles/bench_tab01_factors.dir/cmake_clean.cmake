@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tab01_factors"
+  "../bench/bench_tab01_factors.pdb"
+  "CMakeFiles/bench_tab01_factors.dir/bench_tab01_factors.cc.o"
+  "CMakeFiles/bench_tab01_factors.dir/bench_tab01_factors.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab01_factors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

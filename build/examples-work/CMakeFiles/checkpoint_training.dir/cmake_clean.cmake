@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/checkpoint_training"
+  "../examples/checkpoint_training.pdb"
+  "CMakeFiles/checkpoint_training.dir/checkpoint_training.cpp.o"
+  "CMakeFiles/checkpoint_training.dir/checkpoint_training.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checkpoint_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

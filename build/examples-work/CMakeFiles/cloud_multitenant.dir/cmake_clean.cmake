@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/cloud_multitenant"
+  "../examples/cloud_multitenant.pdb"
+  "CMakeFiles/cloud_multitenant.dir/cloud_multitenant.cpp.o"
+  "CMakeFiles/cloud_multitenant.dir/cloud_multitenant.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloud_multitenant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

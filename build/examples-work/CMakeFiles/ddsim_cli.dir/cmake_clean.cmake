@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/ddsim_cli"
+  "../examples/ddsim_cli.pdb"
+  "CMakeFiles/ddsim_cli.dir/ddsim_cli.cpp.o"
+  "CMakeFiles/ddsim_cli.dir/ddsim_cli.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddsim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/rocksdb_under_pressure"
+  "../examples/rocksdb_under_pressure.pdb"
+  "CMakeFiles/rocksdb_under_pressure.dir/rocksdb_under_pressure.cpp.o"
+  "CMakeFiles/rocksdb_under_pressure.dir/rocksdb_under_pressure.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rocksdb_under_pressure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for rocksdb_under_pressure.
+# This may be replaced when dependencies are built.

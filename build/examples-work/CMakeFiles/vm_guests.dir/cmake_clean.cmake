@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/vm_guests"
+  "../examples/vm_guests.pdb"
+  "CMakeFiles/vm_guests.dir/vm_guests.cpp.o"
+  "CMakeFiles/vm_guests.dir/vm_guests.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_guests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/app_io.cc" "src/apps/CMakeFiles/dd_apps.dir/app_io.cc.o" "gcc" "src/apps/CMakeFiles/dd_apps.dir/app_io.cc.o.d"
+  "/root/repo/src/apps/kvstore.cc" "src/apps/CMakeFiles/dd_apps.dir/kvstore.cc.o" "gcc" "src/apps/CMakeFiles/dd_apps.dir/kvstore.cc.o.d"
+  "/root/repo/src/apps/mailserver.cc" "src/apps/CMakeFiles/dd_apps.dir/mailserver.cc.o" "gcc" "src/apps/CMakeFiles/dd_apps.dir/mailserver.cc.o.d"
+  "/root/repo/src/apps/simplefs.cc" "src/apps/CMakeFiles/dd_apps.dir/simplefs.cc.o" "gcc" "src/apps/CMakeFiles/dd_apps.dir/simplefs.cc.o.d"
+  "/root/repo/src/apps/ycsb.cc" "src/apps/CMakeFiles/dd_apps.dir/ycsb.cc.o" "gcc" "src/apps/CMakeFiles/dd_apps.dir/ycsb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stack/CMakeFiles/dd_stack.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dd_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvme/CMakeFiles/dd_nvme.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dd_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dd_apps.dir/app_io.cc.o"
+  "CMakeFiles/dd_apps.dir/app_io.cc.o.d"
+  "CMakeFiles/dd_apps.dir/kvstore.cc.o"
+  "CMakeFiles/dd_apps.dir/kvstore.cc.o.d"
+  "CMakeFiles/dd_apps.dir/mailserver.cc.o"
+  "CMakeFiles/dd_apps.dir/mailserver.cc.o.d"
+  "CMakeFiles/dd_apps.dir/simplefs.cc.o"
+  "CMakeFiles/dd_apps.dir/simplefs.cc.o.d"
+  "CMakeFiles/dd_apps.dir/ycsb.cc.o"
+  "CMakeFiles/dd_apps.dir/ycsb.cc.o.d"
+  "libdd_apps.a"
+  "libdd_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dd_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/blkmq/blkmq_stack.cc" "src/blkmq/CMakeFiles/dd_blkmq.dir/blkmq_stack.cc.o" "gcc" "src/blkmq/CMakeFiles/dd_blkmq.dir/blkmq_stack.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stack/CMakeFiles/dd_stack.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvme/CMakeFiles/dd_nvme.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dd_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dd_blkmq.dir/blkmq_stack.cc.o"
+  "CMakeFiles/dd_blkmq.dir/blkmq_stack.cc.o.d"
+  "libdd_blkmq.a"
+  "libdd_blkmq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dd_blkmq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

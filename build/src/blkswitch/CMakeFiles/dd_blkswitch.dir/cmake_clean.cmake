@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dd_blkswitch.dir/blkswitch_stack.cc.o"
+  "CMakeFiles/dd_blkswitch.dir/blkswitch_stack.cc.o.d"
+  "libdd_blkswitch.a"
+  "libdd_blkswitch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dd_blkswitch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dd_core.dir/blex.cc.o"
+  "CMakeFiles/dd_core.dir/blex.cc.o.d"
+  "CMakeFiles/dd_core.dir/daredevil_stack.cc.o"
+  "CMakeFiles/dd_core.dir/daredevil_stack.cc.o.d"
+  "CMakeFiles/dd_core.dir/nqreg.cc.o"
+  "CMakeFiles/dd_core.dir/nqreg.cc.o.d"
+  "CMakeFiles/dd_core.dir/troute.cc.o"
+  "CMakeFiles/dd_core.dir/troute.cc.o.d"
+  "libdd_core.a"
+  "libdd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

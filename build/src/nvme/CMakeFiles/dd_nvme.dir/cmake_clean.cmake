@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dd_nvme.dir/device.cc.o"
+  "CMakeFiles/dd_nvme.dir/device.cc.o.d"
+  "CMakeFiles/dd_nvme.dir/flash.cc.o"
+  "CMakeFiles/dd_nvme.dir/flash.cc.o.d"
+  "libdd_nvme.a"
+  "libdd_nvme.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dd_nvme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

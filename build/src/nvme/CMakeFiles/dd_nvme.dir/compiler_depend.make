@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dd_nvme.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dd_sim.dir/cpu.cc.o"
+  "CMakeFiles/dd_sim.dir/cpu.cc.o.d"
+  "CMakeFiles/dd_sim.dir/rng.cc.o"
+  "CMakeFiles/dd_sim.dir/rng.cc.o.d"
+  "CMakeFiles/dd_sim.dir/simulator.cc.o"
+  "CMakeFiles/dd_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/dd_sim.dir/trace.cc.o"
+  "CMakeFiles/dd_sim.dir/trace.cc.o.d"
+  "libdd_sim.a"
+  "libdd_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dd_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dd_stack.dir/io_scheduler.cc.o"
+  "CMakeFiles/dd_stack.dir/io_scheduler.cc.o.d"
+  "CMakeFiles/dd_stack.dir/storage_stack.cc.o"
+  "CMakeFiles/dd_stack.dir/storage_stack.cc.o.d"
+  "libdd_stack.a"
+  "libdd_stack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dd_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

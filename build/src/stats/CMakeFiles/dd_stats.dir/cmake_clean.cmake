@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dd_stats.dir/histogram.cc.o"
+  "CMakeFiles/dd_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/dd_stats.dir/table.cc.o"
+  "CMakeFiles/dd_stats.dir/table.cc.o.d"
+  "libdd_stats.a"
+  "libdd_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dd_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

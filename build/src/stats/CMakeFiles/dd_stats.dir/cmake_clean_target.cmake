@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdd_stats.a"
+)

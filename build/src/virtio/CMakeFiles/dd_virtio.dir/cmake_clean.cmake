@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dd_virtio.dir/virtio_blk.cc.o"
+  "CMakeFiles/dd_virtio.dir/virtio_blk.cc.o.d"
+  "libdd_virtio.a"
+  "libdd_virtio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dd_virtio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dd_workload.dir/fio_job.cc.o"
+  "CMakeFiles/dd_workload.dir/fio_job.cc.o.d"
+  "CMakeFiles/dd_workload.dir/open_loop.cc.o"
+  "CMakeFiles/dd_workload.dir/open_loop.cc.o.d"
+  "CMakeFiles/dd_workload.dir/scenario.cc.o"
+  "CMakeFiles/dd_workload.dir/scenario.cc.o.d"
+  "libdd_workload.a"
+  "libdd_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dd_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

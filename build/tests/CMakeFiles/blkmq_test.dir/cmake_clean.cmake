@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blkmq_test.dir/blkmq_test.cc.o"
+  "CMakeFiles/blkmq_test.dir/blkmq_test.cc.o.d"
+  "blkmq_test"
+  "blkmq_test.pdb"
+  "blkmq_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blkmq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blkswitch_test.dir/blkswitch_test.cc.o"
+  "CMakeFiles/blkswitch_test.dir/blkswitch_test.cc.o.d"
+  "blkswitch_test"
+  "blkswitch_test.pdb"
+  "blkswitch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blkswitch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

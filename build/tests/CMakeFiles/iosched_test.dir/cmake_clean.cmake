@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iosched_test.dir/iosched_test.cc.o"
+  "CMakeFiles/iosched_test.dir/iosched_test.cc.o.d"
+  "iosched_test"
+  "iosched_test.pdb"
+  "iosched_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iosched_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mechanisms_test.dir/mechanisms_test.cc.o"
+  "CMakeFiles/mechanisms_test.dir/mechanisms_test.cc.o.d"
+  "mechanisms_test"
+  "mechanisms_test.pdb"
+  "mechanisms_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mechanisms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nvme_test.dir/nvme_test.cc.o"
+  "CMakeFiles/nvme_test.dir/nvme_test.cc.o.d"
+  "nvme_test"
+  "nvme_test.pdb"
+  "nvme_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nvme_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

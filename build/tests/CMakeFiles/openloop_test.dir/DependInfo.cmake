@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/openloop_test.cc" "tests/CMakeFiles/openloop_test.dir/openloop_test.cc.o" "gcc" "tests/CMakeFiles/openloop_test.dir/openloop_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dd_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvme/CMakeFiles/dd_nvme.dir/DependInfo.cmake"
+  "/root/repo/build/src/stack/CMakeFiles/dd_stack.dir/DependInfo.cmake"
+  "/root/repo/build/src/blkmq/CMakeFiles/dd_blkmq.dir/DependInfo.cmake"
+  "/root/repo/build/src/blkswitch/CMakeFiles/dd_blkswitch.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dd_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/dd_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/virtio/CMakeFiles/dd_virtio.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/openloop_test.dir/openloop_test.cc.o"
+  "CMakeFiles/openloop_test.dir/openloop_test.cc.o.d"
+  "openloop_test"
+  "openloop_test.pdb"
+  "openloop_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/openloop_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stack_test.dir/stack_test.cc.o"
+  "CMakeFiles/stack_test.dir/stack_test.cc.o.d"
+  "stack_test"
+  "stack_test.pdb"
+  "stack_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/virtio_test.dir/virtio_test.cc.o"
+  "CMakeFiles/virtio_test.dir/virtio_test.cc.o.d"
+  "virtio_test"
+  "virtio_test.pdb"
+  "virtio_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/virtio_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zns_test.dir/zns_test.cc.o"
+  "CMakeFiles/zns_test.dir/zns_test.cc.o.d"
+  "zns_test"
+  "zns_test.pdb"
+  "zns_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zns_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
