@@ -27,6 +27,7 @@ int main() {
       {StackKind::kDareFull, IoSchedulerKind::kNone},
       {StackKind::kDareFull, IoSchedulerKind::kDeadline},
   };
+  BenchJsonSink json("ablation_iosched");
   for (const Cell& cell : cells) {
     ScenarioConfig cfg = MakeSvmConfig(4);
     cfg.stack = cell.stack;
@@ -37,6 +38,9 @@ int main() {
     AddLTenants(cfg, 4);
     AddTTenants(cfg, 16);
     const ScenarioResult r = RunScenario(cfg);
+    json.Add(std::string(StackKindName(cell.stack)) + "/" +
+                 std::string(IoSchedulerKindName(cell.sched)),
+             r);
     table.AddRow({std::string(StackKindName(cell.stack)),
                   std::string(IoSchedulerKindName(cell.sched)),
                   FormatMs(static_cast<double>(r.P999Ns("L"))),

@@ -38,6 +38,7 @@ int main() {
               "§2.3 (splitting), §2.1 (polling), related work [43] (WRR)",
               "Fig. 6 cell: 4 L + 16 T on 4 cores");
 
+  BenchJsonSink json("ablation_mechanisms");
   std::printf("(1) vanilla blk-mq with the I/O splitting mechanism (§2.3):\n");
   TablePrinter split_table(
       {"split at", "L p99.9", "L avg", "L IOPS", "T tput", "CPU util"});
@@ -45,6 +46,7 @@ int main() {
     ScenarioConfig cfg = Cell(StackKind::kVanilla);
     cfg.split_pages = threshold;
     const ScenarioResult r = RunScenario(cfg);
+    json.Add("split/" + std::to_string(threshold), r);
     split_table.AddRow(Row(threshold == 0 ? "off"
                                           : std::to_string(threshold * 4) + "KB",
                            r));
@@ -60,14 +62,18 @@ int main() {
       {"config", "L p99.9", "L avg", "L IOPS", "T tput", "CPU util"});
   {
     ScenarioConfig cfg = Cell(StackKind::kDareFull);
-    wrr_table.AddRow(Row("RR (default)", RunScenario(cfg)));
+    const ScenarioResult r = RunScenario(cfg);
+    json.Add("wrr/rr-default", r);
+    wrr_table.AddRow(Row("RR (default)", r));
   }
   for (int weight : {2, 4, 8}) {
     ScenarioConfig cfg = Cell(StackKind::kDareFull);
     cfg.device.arbitration = ArbitrationPolicy::kWeightedRoundRobin;
     cfg.dd.use_wrr_weights = true;
     cfg.dd.wrr_high_weight = weight;
-    wrr_table.AddRow(Row("WRR w=" + std::to_string(weight), RunScenario(cfg)));
+    const ScenarioResult r = RunScenario(cfg);
+    json.Add("wrr/w=" + std::to_string(weight), r);
+    wrr_table.AddRow(Row("WRR w=" + std::to_string(weight), r));
   }
   wrr_table.Print();
   std::printf(
@@ -80,14 +86,17 @@ int main() {
       {"config", "L p99.9", "L avg", "L IOPS", "T tput", "CPU util"});
   {
     ScenarioConfig cfg = Cell(StackKind::kDareFull);
-    poll_table.AddRow(Row("IRQ (default)", RunScenario(cfg)));
+    const ScenarioResult r = RunScenario(cfg);
+    json.Add("poll/irq-default", r);
+    poll_table.AddRow(Row("IRQ (default)", r));
   }
   for (Tick interval : {5 * kMicrosecond, 20 * kMicrosecond, 100 * kMicrosecond}) {
     ScenarioConfig cfg = Cell(StackKind::kDareFull);
     cfg.dd.poll_interval = interval;
+    const ScenarioResult r = RunScenario(cfg);
+    json.Add("poll/" + std::to_string(interval / kMicrosecond) + "us", r);
     poll_table.AddRow(
-        Row("poll " + std::to_string(interval / kMicrosecond) + "us",
-            RunScenario(cfg)));
+        Row("poll " + std::to_string(interval / kMicrosecond) + "us", r));
   }
   poll_table.Print();
   std::printf(

@@ -47,13 +47,16 @@ int main() {
               "doorbells); DESIGN.md §4",
               "Fig. 6 cell: 4 L + 16 T on 4 cores, dare-full");
 
+  BenchJsonSink json("ablation_params");
   std::printf("(1) exponential smoothing weight alpha (paper: 0.8):\n");
   TablePrinter alpha_table(
       {"alpha", "L p99.9", "L avg", "L IOPS", "T avg", "T tput"});
   for (double alpha : {0.55, 0.7, 0.8, 0.9, 0.99}) {
     DaredevilConfig dd = DareFullConfig();
     dd.alpha = alpha;
-    alpha_table.AddRow(Row(FormatDouble(alpha, 2), RunWith(dd)));
+    const ScenarioResult r = RunWith(dd);
+    json.Add("alpha=" + FormatDouble(alpha, 2), r);
+    alpha_table.AddRow(Row(FormatDouble(alpha, 2), r));
   }
   alpha_table.Print();
 
@@ -63,7 +66,9 @@ int main() {
   for (int mru : {1, 64, 1024, 4096}) {
     DaredevilConfig dd = DareFullConfig();
     dd.mru = mru;
-    mru_table.AddRow(Row(std::to_string(mru), RunWith(dd)));
+    const ScenarioResult r = RunWith(dd);
+    json.Add("mru=" + std::to_string(mru), r);
+    mru_table.AddRow(Row(std::to_string(mru), r));
   }
   mru_table.Print();
 
@@ -73,7 +78,9 @@ int main() {
   for (int batch : {1, 4, 8, 32}) {
     DaredevilConfig dd = DareFullConfig();
     dd.doorbell_batch = batch;
-    db_table.AddRow(Row(std::to_string(batch), RunWith(dd)));
+    const ScenarioResult r = RunWith(dd);
+    json.Add("doorbell_batch=" + std::to_string(batch), r);
+    db_table.AddRow(Row(std::to_string(batch), r));
   }
   db_table.Print();
 

@@ -14,6 +14,7 @@ int main() {
               "4 L-tenants + N T-tenants on 4 cores, 4 NQs; vanilla co-locates "
               "(w/ Interfere), modified blk-mq splits NQ halves (w/o Interfere)");
 
+  BenchJsonSink json("fig02_motivation");
   const std::vector<int> pressures = {0, 2, 4, 8, 16, 32};
   TablePrinter table({"T-tenants", "variant", "L p99.9", "L avg", "tail ratio",
                       "avg ratio"});
@@ -29,6 +30,7 @@ int main() {
       AddLTenants(cfg, 4);
       AddTTenants(cfg, n_t);
       const ScenarioResult r = RunScenario(cfg);
+      json.Add(std::string(StackKindName(kind)) + "/nt=" + std::to_string(n_t), r);
       const auto tail = static_cast<double>(r.P999Ns("L"));
       const double avg = r.AvgLatencyNs("L");
       const bool is_base = kind == StackKind::kStaticSplit;

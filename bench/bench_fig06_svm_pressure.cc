@@ -14,6 +14,7 @@ int main() {
               "4 L-tenants (4KB rand read QD1, RT) + N T-tenants (128KB stream "
               "write QD32, BE) on 4 cores; 64 NSQs / 64 NCQs");
 
+  BenchJsonSink json("fig06_svm_pressure");
   const std::vector<int> pressures = {0, 4, 8, 16, 24, 32};
   const std::vector<StackKind> stacks = {StackKind::kVanilla, StackKind::kBlkSwitch,
                                          StackKind::kDareFull};
@@ -29,6 +30,7 @@ int main() {
       AddLTenants(cfg, 4);
       AddTTenants(cfg, n_t);
       const ScenarioResult r = RunScenario(cfg);
+      json.Add(std::string(StackKindName(kind)) + "/nt=" + std::to_string(n_t), r);
       table.AddRow({std::to_string(n_t), std::string(StackKindName(kind)),
                     FormatMs(static_cast<double>(r.P999Ns("L"))),
                     FormatMs(r.AvgLatencyNs("L")), FormatCount(r.Iops("L")),

@@ -12,6 +12,7 @@ int main() {
               "§7.1, Fig. 7a (p99.9) and 7b (avg)",
               "4 L + N T tenants on 8 P-cores; 128 NSQs / 24 NCQs");
 
+  BenchJsonSink json("fig07_wsm_pressure");
   const std::vector<int> pressures = {0, 4, 8, 16, 24, 32};
   const std::vector<StackKind> stacks = {StackKind::kVanilla, StackKind::kBlkSwitch,
                                          StackKind::kDareFull};
@@ -27,6 +28,7 @@ int main() {
       AddLTenants(cfg, 4);
       AddTTenants(cfg, n_t);
       const ScenarioResult r = RunScenario(cfg);
+      json.Add(std::string(StackKindName(kind)) + "/nt=" + std::to_string(n_t), r);
       table.AddRow({std::to_string(n_t), std::string(StackKindName(kind)),
                     FormatMs(static_cast<double>(r.P999Ns("L"))),
                     FormatMs(r.AvgLatencyNs("L")), FormatCount(r.Iops("L")),

@@ -14,6 +14,7 @@ int main() {
               "4 L-tenants; T-tenants arrive in waves of 8 every 60ms "
               "(scaled from the paper's 10-minute stages); 8 cores, WS-M");
 
+  BenchJsonSink json("fig08_timeseries");
   const Tick stage = ScaledMs(60);
   const Tick window = ScaledMs(10);
 
@@ -33,6 +34,7 @@ int main() {
       }
     }
     const ScenarioResult r = RunScenario(cfg);
+    json.Add(std::string(StackKindName(kind)), r);
 
     std::printf("--- %s ---\n", std::string(StackKindName(kind)).c_str());
     TablePrinter table({"t (ms)", "T-tenants", "L avg", "L p99", "T tput"});

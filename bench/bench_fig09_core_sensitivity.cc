@@ -12,6 +12,7 @@ int main() {
   PrintHeader("Figure 9: L p99.9 vs T-pressure with 2/4/8 cores",
               "§7.1, Fig. 9a-9c", "4 L + N T tenants, SV-M device");
 
+  BenchJsonSink json("fig09_core_sensitivity");
   for (int cores : {2, 4, 8}) {
     std::printf("--- %d cores ---\n", cores);
     TablePrinter table({"T-tenants", "vanilla", "blk-switch", "daredevil"});
@@ -26,6 +27,9 @@ int main() {
         AddLTenants(cfg, 4);
         AddTTenants(cfg, n_t);
         const ScenarioResult r = RunScenario(cfg);
+        json.Add(std::string(StackKindName(kind)) + "/cores=" +
+                     std::to_string(cores) + "/nt=" + std::to_string(n_t),
+                 r);
         row.push_back(FormatMs(static_cast<double>(r.P999Ns("L"))));
       }
       table.AddRow(row);

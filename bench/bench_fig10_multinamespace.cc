@@ -34,11 +34,15 @@ int main() {
               "N namespaces (L-ns:T-ns = 1:3), 2 L-tenants per L-ns, 8 "
               "T-tenants per T-ns, 4 cores, SV-M device");
 
+  BenchJsonSink json("fig10_multinamespace");
   TablePrinter table({"namespaces", "stack", "L p99.9", "L avg", "T tput"});
   for (int namespaces : {4, 8, 12}) {
     for (StackKind kind :
          {StackKind::kVanilla, StackKind::kBlkSwitch, StackKind::kDareFull}) {
       const ScenarioResult r = RunScenario(MultiNamespaceConfig(namespaces, kind));
+      json.Add(std::string(StackKindName(kind)) + "/ns=" +
+                   std::to_string(namespaces),
+               r);
       const bool l_progress = r.Find("L") != nullptr && r.Find("L")->ios > 0;
       table.AddRow({std::to_string(namespaces), std::string(StackKindName(kind)),
                     l_progress ? FormatMs(static_cast<double>(r.P999Ns("L")))

@@ -23,6 +23,7 @@ int main() {
               "dare-base -> dare-sched -> dare-full; single- and multi-"
               "namespace scenarios on SV-M, 4 cores");
 
+  BenchJsonSink json("fig11_ablation");
   std::printf("(a)(b) single namespace, rising T-pressure:\n");
   TablePrinter single({"T-tenants", "subsystem", "L p99.9", "L p99", "L avg",
                        "lock-wait/rq", "x-core compl"});
@@ -35,6 +36,7 @@ int main() {
       AddLTenants(cfg, 4);
       AddTTenants(cfg, n_t);
       const ScenarioResult r = RunScenario(cfg);
+      json.Add(std::string(StackKindName(kind)) + "/nt=" + std::to_string(n_t), r);
       const double lock_per_rq =
           r.requests_submitted > 0
               ? static_cast<double>(r.lock_wait_ns) /
@@ -73,6 +75,9 @@ int main() {
         }
       }
       const ScenarioResult r = RunScenario(cfg);
+      json.Add(std::string(StackKindName(kind)) + "/ns=" +
+                   std::to_string(namespaces),
+               r);
       multi.AddRow({std::to_string(namespaces), std::string(StackKindName(kind)),
                     FormatMs(static_cast<double>(r.P999Ns("L"))),
                     FormatMs(r.AvgLatencyNs("L"))});

@@ -16,6 +16,7 @@ int main() {
               "varmail-like op mix over SimpleFs (16KB files), 8 background "
               "streaming T-tenants, 4 cores");
 
+  BenchJsonSink json("fig12_mailserver");
   TablePrinter table({"stack", "fsync avg", "delete avg", "read avg",
                       "stat avg", "ops", "cache-served"});
   for (StackKind kind :
@@ -85,6 +86,23 @@ int main() {
       ops += user->mail->total_ops();
       cached += user->fs->cache_hits();
       total_pages += user->fs->cache_hits() + user->fs->cache_misses();
+    }
+    if (json.enabled()) {
+      JsonWriter w;
+      w.BeginObject();
+      w.Key("ops").UInt(ops);
+      w.Key("cache_hits").UInt(cached);
+      w.Key("cache_lookups").UInt(total_pages);
+      w.Key("fsync_ns");
+      AppendHistogramJson(w, fsync_lat);
+      w.Key("delete_ns");
+      AppendHistogramJson(w, delete_lat);
+      w.Key("read_ns");
+      AppendHistogramJson(w, read_lat);
+      w.Key("stat_ns");
+      AppendHistogramJson(w, stat_lat);
+      w.EndObject();
+      json.AddJson(std::string(StackKindName(kind)), w.str());
     }
     table.AddRow(
         {std::string(StackKindName(kind)), FormatMs(fsync_lat.Mean()),

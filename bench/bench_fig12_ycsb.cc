@@ -99,12 +99,35 @@ int main() {
               "64GB-db-shaped mini LSM (scaled to 200K keys), zipfian, with 8 "
               "background streaming T-tenants on 4 cores");
 
+  BenchJsonSink json("fig12_ycsb");
   for (char workload : {'A', 'B', 'E', 'F'}) {
     std::printf("--- YCSB-%c ---\n", workload);
     TablePrinter table({"stack", "op", "p99.9", "avg", "ops"});
     for (StackKind kind :
          {StackKind::kVanilla, StackKind::kBlkSwitch, StackKind::kDareFull}) {
       const CellResult cell = RunCell(workload, kind);
+      if (json.enabled()) {
+        JsonWriter w;
+        w.BeginObject();
+        w.Key("cache_hits").UInt(cell.cache_hits);
+        w.Key("cache_misses").UInt(cell.cache_misses);
+        w.Key("ops").BeginObject();
+        for (int op = 0; op < kNumYcsbOps; ++op) {
+          if (cell.counts[op] == 0) {
+            continue;
+          }
+          w.Key(std::string(YcsbOpName(static_cast<YcsbOp>(op)))).BeginObject();
+          w.Key("count").UInt(cell.counts[op]);
+          w.Key("latency_ns");
+          AppendHistogramJson(w, cell.latency[op]);
+          w.EndObject();
+        }
+        w.EndObject();
+        w.EndObject();
+        json.AddJson(std::string(1, workload) + "/" +
+                         std::string(StackKindName(kind)),
+                     w.str());
+      }
       for (int op = 0; op < kNumYcsbOps; ++op) {
         if (cell.counts[op] == 0) {
           continue;

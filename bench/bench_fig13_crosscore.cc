@@ -27,7 +27,7 @@ struct Cell {
   double cross_core_frac = 0;
 };
 
-Cell RunCell(StackKind kind, int n_l, int n_tl) {
+Cell RunCell(StackKind kind, int n_l, int n_tl, BenchJsonSink* json) {
   ScenarioConfig cfg = MakeSvmConfig(/*cores=*/4);
   cfg.stack = kind;
   cfg.device.nr_nsq = 16;
@@ -45,6 +45,9 @@ Cell RunCell(StackKind kind, int n_l, int n_tl) {
     cfg.jobs.push_back(tl);
   }
   const ScenarioResult r = RunScenario(cfg);
+  json->Add(std::string(StackKindName(kind)) + "/nl=" + std::to_string(n_l) +
+                "/ntl=" + std::to_string(n_tl),
+            r);
   Cell cell;
   cell.l_avg_ns = r.AvgLatencyNs("L");
   const GroupStats* l = r.Find("L");
@@ -71,12 +74,13 @@ int main() {
               "TL-tenants (T workload, RT ionice) share high-priority NQs "
               "with L-tenants; 4 cores, 16 NQs, tenants hop cores every 1ms");
 
+  BenchJsonSink json("fig13_crosscore");
   std::printf("(a)(c) fixed 12 TL-tenants, increasing L-tenants:\n");
   TablePrinter fixed_tl({"L-tenants", "stack", "L avg", "spread(p99-p50)",
                          "lock-wait/rq", "x-core compl"});
   for (int n_l : {4, 8, 12, 16}) {
     for (StackKind kind : {StackKind::kVanilla, StackKind::kDareFull}) {
-      const Cell c = RunCell(kind, n_l, 12);
+      const Cell c = RunCell(kind, n_l, 12, &json);
       fixed_tl.AddRow({std::to_string(n_l), std::string(StackKindName(kind)),
                        FormatMs(c.l_avg_ns), FormatMs(c.l_std_hint_ns),
                        FormatUs(c.lock_wait_per_rq_ns),
@@ -90,7 +94,7 @@ int main() {
                         "lock-wait/rq", "x-core compl"});
   for (int n_tl : {4, 8, 12, 16}) {
     for (StackKind kind : {StackKind::kVanilla, StackKind::kDareFull}) {
-      const Cell c = RunCell(kind, 12, n_tl);
+      const Cell c = RunCell(kind, 12, n_tl, &json);
       fixed_l.AddRow({std::to_string(n_tl), std::string(StackKindName(kind)),
                       FormatMs(c.l_avg_ns), FormatMs(c.l_std_hint_ns),
                       FormatUs(c.lock_wait_per_rq_ns),

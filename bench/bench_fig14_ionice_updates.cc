@@ -32,7 +32,9 @@ int main() {
               "4 L + 8 T tenants on Daredevil; ionice re-applied per tenant "
               "at decreasing intervals (0 = never, the baseline)");
 
+  BenchJsonSink json("fig14_ionice_updates");
   const ScenarioResult base = RunCell(0);
+  json.Add("interval=baseline", base);
   const double base_iops = base.Iops("L");
   const double base_tput = base.ThroughputBps("T");
   const double base_lat = base.AvgLatencyNs("L");
@@ -47,6 +49,7 @@ int main() {
       {"100us", 100 * kMicrosecond}, {"10us", 10 * kMicrosecond}};
   for (const auto& [label, interval] : intervals) {
     const ScenarioResult r = RunCell(interval);
+    json.Add(std::string("interval=") + label, r);
     table.AddRow({label, FormatPercent(r.Iops("L") / base_iops),
                   FormatPercent(r.ThroughputBps("T") / base_tput),
                   FormatPercent(r.AvgLatencyNs("L") / base_lat),

@@ -17,6 +17,7 @@ int main() {
               "4 open-loop L sources (4KB reads, 5K IOPS each, 10% bursts of "
               "8) + N closed-loop T-tenants, 4 cores");
 
+  BenchJsonSink json("openloop_saturation");
   TablePrinter table({"T-tenants", "stack", "L avg", "L p99", "L p99.9",
                       "achieved IOPS", "dropped"});
   for (int n_t : {0, 8, 16}) {
@@ -58,12 +59,28 @@ int main() {
       env.sim().RunUntil(env.measure_end());
 
       Histogram latency;
+      StageBreakdown stages;
       uint64_t ios = 0;
       uint64_t dropped = 0;
       for (const auto& src : sources) {
         latency.Merge(src->latency());
+        stages.Merge(src->stages());
         ios += src->measured_ios();
         dropped += src->dropped_arrivals();
+      }
+      if (json.enabled()) {
+        JsonWriter w;
+        w.BeginObject();
+        w.Key("ios").UInt(ios);
+        w.Key("dropped").UInt(dropped);
+        w.Key("latency_ns");
+        AppendHistogramJson(w, latency);
+        w.Key("stages_ns");
+        stages.AppendJson(w);
+        w.EndObject();
+        json.AddJson(std::string(StackKindName(kind)) + "/nt=" +
+                         std::to_string(n_t),
+                     w.str());
       }
       table.AddRow({std::to_string(n_t), std::string(StackKindName(kind)),
                     FormatMs(latency.Mean()),

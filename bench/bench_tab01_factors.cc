@@ -34,6 +34,7 @@ int main() {
   table.Print();
 
   std::printf("\nRuntime check (F2): distinct NSQs used, 4 cores, 64 NSQs, 4L+8T:\n");
+  BenchJsonSink json("tab01_factors");
   TablePrinter usage({"stack", "NSQs used", "note"});
   for (StackKind kind :
        {StackKind::kVanilla, StackKind::kBlkSwitch, StackKind::kDareFull}) {
@@ -61,6 +62,14 @@ int main() {
     int used = 0;
     for (int q = 0; q < env.device().nr_nsq(); ++q) {
       used += env.device().nsq(q).submitted_rqs() > 0 ? 1 : 0;
+    }
+    if (json.enabled()) {
+      JsonWriter w;
+      w.BeginObject();
+      w.Key("nsqs_used").Int(used);
+      w.Key("nr_nsq").Int(env.device().nr_nsq());
+      w.EndObject();
+      json.AddJson(std::string(StackKindName(kind)), w.str());
     }
     const char* note = kind == StackKind::kVanilla
                            ? "capped by core count (static binding)"

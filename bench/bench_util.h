@@ -5,8 +5,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "src/sim/clock.h"
+#include "src/stats/metrics.h"
 #include "src/stats/table.h"
 #include "src/workload/scenario.h"
 
@@ -33,6 +36,96 @@ inline void PrintHeader(const char* experiment, const char* paper_ref,
   std::printf("Paper reference: %s\n", paper_ref);
   std::printf("Setup: %s\n\n", setup);
 }
+
+// Machine-readable bench results. When DD_BENCH_JSON=<path> is set, every
+// result added here is serialized (per-group percentiles + stage breakdowns
+// + the metrics snapshot) and the file is written when the sink goes out of
+// scope at the end of main(). Disabled (zero-cost) without the env var.
+//
+//   BenchJsonSink json("fig02_motivation");
+//   ...
+//   json.Add("vanilla/nt=8", result);
+//
+// Schema: {"bench":..., "params":{...}, "results":[{"label":..., <ScenarioResult::ToJson()>}]}
+class BenchJsonSink {
+ public:
+  explicit BenchJsonSink(std::string bench_name)
+      : name_(std::move(bench_name)) {
+    const char* env = std::getenv("DD_BENCH_JSON");
+    if (env != nullptr && env[0] != '\0') {
+      path_ = env;
+    }
+  }
+  BenchJsonSink(const BenchJsonSink&) = delete;
+  BenchJsonSink& operator=(const BenchJsonSink&) = delete;
+
+  ~BenchJsonSink() { Write(); }
+
+  bool enabled() const { return !path_.empty(); }
+
+  // Records a scenario result under a label like "vanilla/nt=8".
+  void Add(const std::string& label, const ScenarioResult& result) {
+    if (enabled()) {
+      entries_.emplace_back(label, result.ToJson());
+    }
+  }
+  // Records a pre-rendered JSON object (for benches with bespoke stats,
+  // e.g. per-op histograms via HistogramToJson()).
+  void AddJson(const std::string& label, std::string json) {
+    if (enabled()) {
+      entries_.emplace_back(label, std::move(json));
+    }
+  }
+  // Records a scalar bench parameter (scale factor, core count, ...).
+  void AddParam(const std::string& key, double value) {
+    if (enabled()) {
+      params_.emplace_back(key, value);
+    }
+  }
+
+  // Writes the file now (also called from the destructor; idempotent).
+  void Write() {
+    if (!enabled() || written_) {
+      return;
+    }
+    written_ = true;
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("bench").String(name_);
+    w.Key("bench_scale").Double(BenchScale());
+    w.Key("params").BeginObject();
+    for (const auto& [key, value] : params_) {
+      w.Key(key).Double(value);
+    }
+    w.EndObject();
+    w.Key("results").BeginArray();
+    for (const auto& [label, json] : entries_) {
+      w.BeginObject();
+      w.Key("label").String(label);
+      w.Key("result").Raw(json);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "DD_BENCH_JSON: cannot open %s\n", path_.c_str());
+      return;
+    }
+    std::fwrite(w.str().data(), 1, w.str().size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::fprintf(stderr, "DD_BENCH_JSON: wrote %zu result(s) to %s\n",
+                 entries_.size(), path_.c_str());
+  }
+
+ private:
+  std::string name_;
+  std::string path_;
+  std::vector<std::pair<std::string, double>> params_;
+  std::vector<std::pair<std::string, std::string>> entries_;
+  bool written_ = false;
+};
 
 }  // namespace daredevil
 

@@ -49,8 +49,8 @@ void AppIoContext::Issue(uint64_t lba, uint32_t pages, bool is_write, bool sync,
   rq.is_write = is_write;
   rq.is_sync = sync;
   rq.is_meta = meta;
+  rq.ResetTimeline();  // pooled request: clear the previous run's stamps
   rq.issue_time = machine_->now();
-  rq.complete_time = 0;
   rq.routed_nsq = -1;
   rq.submit_core = tenant_->core;
   op->done = std::move(done);

@@ -116,6 +116,26 @@ void KvStore::Put(uint64_t key, Callback done) {
              });
 }
 
+// Scan loop state lives outside any lambda so the continuation chain holds
+// no self-referencing std::function (each ReadBlock callback owns the state
+// only until the next hop fires).
+struct KvStore::ScanState {
+  uint64_t cur = 0;
+  uint64_t end = 0;
+  Callback done;
+};
+
+void KvStore::ScanBlocks(std::shared_ptr<ScanState> scan) {
+  if (scan->cur >= scan->end) {
+    scan->done();
+    return;
+  }
+  const uint64_t cur = scan->cur++;
+  ReadBlock(cur, [this, scan = std::move(scan)]() mutable {
+    ScanBlocks(std::move(scan));
+  });
+}
+
 void KvStore::Scan(uint64_t key, int n, Callback done) {
   io_->Compute(config_.cpu_per_op, [this, key, n, done = std::move(done)]() mutable {
     auto loc = location_.find(key);
@@ -131,15 +151,11 @@ void KvStore::Scan(uint64_t key, int n, Callback done) {
                                       entries_per_page());
         const uint64_t end = std::min(lba + span, table.base_lba + table.num_pages);
         // Read the covered blocks sequentially through the cache.
-        auto step = std::make_shared<std::function<void(uint64_t)>>();
-        *step = [this, end, done = std::move(done), step](uint64_t cur) mutable {
-          if (cur >= end) {
-            done();
-            return;
-          }
-          ReadBlock(cur, [step, cur]() { (*step)(cur + 1); });
-        };
-        (*step)(lba);
+        auto scan = std::make_shared<ScanState>();
+        scan->cur = lba;
+        scan->end = end;
+        scan->done = std::move(done);
+        ScanBlocks(std::move(scan));
         return;
       }
     }
@@ -233,11 +249,18 @@ void KvStore::MaybeCompact() {
 void KvStore::BackgroundJob(uint64_t read_base, uint64_t read_pages,
                             uint64_t write_base, uint64_t write_pages,
                             Callback done) {
+  if (read_pages == 0 && write_pages == 0) {
+    done();
+    return;
+  }
   struct Job {
     uint64_t read_next, read_end;
     uint64_t write_next, write_end;
     int outstanding = 0;
     Callback done;
+    // The pump lambda captures the job that owns it; the cycle is broken
+    // explicitly when the last chunk completes.
+    std::function<void()> pump;
   };
   auto job = std::make_shared<Job>();
   job->read_next = read_base;
@@ -247,8 +270,7 @@ void KvStore::BackgroundJob(uint64_t read_base, uint64_t read_pages,
   job->done = std::move(done);
 
   const uint64_t ns_pages = io_->namespace_pages();
-  auto pump = std::make_shared<std::function<void()>>();
-  *pump = [this, job, pump, ns_pages]() {
+  job->pump = [this, job, ns_pages]() {
     while (job->outstanding < config_.flush_iodepth &&
            (job->read_next < job->read_end || job->write_next < job->write_end)) {
       const bool is_read = job->read_next < job->read_end;
@@ -260,14 +282,16 @@ void KvStore::BackgroundJob(uint64_t read_base, uint64_t read_pages,
       chunk = static_cast<uint32_t>(std::min<uint64_t>(chunk, ns_pages - lba));
       next += chunk;
       ++job->outstanding;
-      auto on_done = [job, pump]() {
+      auto on_done = [job]() {
         --job->outstanding;
         if (job->outstanding == 0 && job->read_next >= job->read_end &&
             job->write_next >= job->write_end) {
-          job->done();
+          Callback finished = std::move(job->done);
+          job->pump = nullptr;
+          finished();
           return;
         }
-        (*pump)();
+        job->pump();
       };
       if (is_read) {
         io_->Read(lba, chunk, on_done);
@@ -276,7 +300,7 @@ void KvStore::BackgroundJob(uint64_t read_base, uint64_t read_pages,
       }
     }
   };
-  (*pump)();
+  job->pump();
 }
 
 }  // namespace daredevil

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -83,6 +84,8 @@ class KvStore {
   }
   uint64_t AllocExtent(uint64_t pages);
   void ReadBlock(uint64_t lba, Callback done);
+  struct ScanState;
+  void ScanBlocks(std::shared_ptr<ScanState> scan);
   void MaybeFlush();
   void FinishFlush(std::vector<uint64_t> keys, uint64_t base, uint64_t pages);
   void MaybeCompact();

@@ -24,6 +24,20 @@ BlkSwitchStack::PerNamespace& BlkSwitchStack::ns_state(uint32_t nsid) {
   return per_ns_[nsid];
 }
 
+void BlkSwitchStack::RegisterMetrics(MetricsRegistry* registry) const {
+  StorageStack::RegisterMetrics(registry);
+  const BlkSwitchStack* s = this;
+  registry->RegisterGauge("blkswitch.migrations", [s]() {
+    return static_cast<double>(s->migrations());
+  });
+  registry->RegisterGauge("blkswitch.steered_requests", [s]() {
+    return static_cast<double>(s->steered_requests());
+  });
+  registry->RegisterGauge("blkswitch.spilled_requests", [s]() {
+    return static_cast<double>(s->spilled_requests());
+  });
+}
+
 void BlkSwitchStack::OnTenantStart(Tenant* tenant) {
   PerNamespace& ns = ns_state(tenant->primary_nsid);
   ns.tenants.push_back(tenant);

@@ -57,6 +57,7 @@ class BlkSwitchStack : public StorageStack {
 
   void OnTenantStart(Tenant* tenant) override;
   void OnTenantExit(Tenant* tenant) override;
+  void RegisterMetrics(MetricsRegistry* registry) const override;
 
   int nr_hw_queues() const { return nr_hw_; }
   uint64_t migrations() const { return migrations_; }

@@ -58,6 +58,23 @@ void DaredevilStack::ApplyDispatchPolicies() {
   }
 }
 
+void DaredevilStack::RegisterMetrics(MetricsRegistry* registry) const {
+  StorageStack::RegisterMetrics(registry);
+  const DaredevilStack* s = this;
+  registry->RegisterGauge("daredevil.nqreg_schedules", [s]() {
+    return static_cast<double>(s->nqreg_->schedules());
+  });
+  registry->RegisterGauge("daredevil.nqreg_heap_resorts", [s]() {
+    return static_cast<double>(s->nqreg_->heap_resorts());
+  });
+  registry->RegisterGauge("daredevil.troute_priority_updates", [s]() {
+    return static_cast<double>(s->troute_->priority_updates());
+  });
+  registry->RegisterGauge("daredevil.troute_queries", [s]() {
+    return static_cast<double>(s->troute_->per_request_queries());
+  });
+}
+
 void DaredevilStack::OnTenantStart(Tenant* tenant) { troute_->OnTenantStart(tenant); }
 
 void DaredevilStack::OnTenantExit(Tenant* tenant) { troute_->OnTenantExit(tenant); }

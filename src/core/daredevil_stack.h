@@ -31,6 +31,7 @@ class DaredevilStack : public StorageStack {
   void OnTenantExit(Tenant* tenant) override;
   void OnIoniceChange(Tenant* tenant) override;
   void OnTenantMigrated(Tenant* tenant, int old_core) override;
+  void RegisterMetrics(MetricsRegistry* registry) const override;
 
   const DaredevilConfig& dd_config() const { return config_; }
   Blex& blex() { return *blex_; }

@@ -22,16 +22,31 @@ struct NvmeCommand {
   bool is_zone_reset = false;
   void* cookie = nullptr;  // host-side request pointer, returned on completion
 
-  Tick enqueue_time = 0;   // host placed it in the NSQ
-  Tick fetch_time = 0;     // controller finished fetching/decomposing it
+  // Stage timeline accumulated as the command moves through the device; the
+  // completion carries it back so the host can attribute latency per stage.
+  Tick enqueue_time = 0;      // host placed it in the NSQ
+  Tick doorbell_time = 0;     // doorbell made it visible to the controller
+  Tick fetch_start_time = 0;  // controller began the fetch/decompose
+  Tick fetch_time = 0;        // controller finished fetching/decomposing it
+  Tick flash_start_time = 0;  // first page operation started on a chip
+  Tick flash_end_time = 0;    // last page operation finished
 };
 
-// A completion queue entry.
+// A completion queue entry. Carries the device-side stage timeline back to
+// the host (a real controller logs these via its telemetry pages; here they
+// ride in the CQE).
 struct NvmeCompletion {
   uint64_t cid = 0;
   int sqid = -1;
   void* cookie = nullptr;
+  Tick enqueue_time = 0;
+  Tick doorbell_time = 0;
+  Tick fetch_start_time = 0;
+  Tick fetch_time = 0;
+  Tick flash_start_time = 0;
+  Tick flash_end_time = 0;
   Tick posted_time = 0;    // controller placed it in the NCQ
+  Tick drained_time = 0;   // host driver reaped it (ISR drain or poll)
 };
 
 }  // namespace daredevil

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <utility>
 
+#include "src/stats/metrics.h"
+
 namespace daredevil {
 
 Device::Device(Simulator* sim, const DeviceConfig& config)
@@ -25,6 +27,60 @@ Device::Device(Simulator* sim, const DeviceConfig& config)
   for (uint64_t pages : config_.namespace_pages) {
     ns_base_.push_back(base);
     base += pages;
+  }
+}
+
+void Device::RegisterMetrics(MetricsRegistry* registry) const {
+  const Device* d = this;
+  registry->RegisterGauge("device.commands_fetched", [d]() {
+    return static_cast<double>(d->commands_fetched());
+  });
+  registry->RegisterGauge("device.commands_completed", [d]() {
+    return static_cast<double>(d->commands_completed());
+  });
+  registry->RegisterGauge("device.fetch_stall_ns", [d]() {
+    return static_cast<double>(d->fetch_stall_ns());
+  });
+  registry->RegisterGauge("device.irqs_total", [d]() {
+    uint64_t total = 0;
+    for (int i = 0; i < d->nr_ncq(); ++i) {
+      total += d->ncq(i).irqs();
+    }
+    return static_cast<double>(total);
+  });
+  registry->RegisterGauge("device.nsq_contention_ns", [d]() {
+    Tick total = 0;
+    for (int i = 0; i < d->nr_nsq(); ++i) {
+      total += d->nsq(i).in_contention_ns();
+    }
+    return static_cast<double>(total);
+  });
+  registry->RegisterGauge("device.nsq_full_rejections", [d]() {
+    uint64_t total = 0;
+    for (int i = 0; i < d->nr_nsq(); ++i) {
+      total += d->nsq(i).full_rejections();
+    }
+    return static_cast<double>(total);
+  });
+  registry->RegisterGauge("device.flash.pages_read", [d]() {
+    return static_cast<double>(d->flash().pages_read());
+  });
+  registry->RegisterGauge("device.flash.pages_written", [d]() {
+    return static_cast<double>(d->flash().pages_written());
+  });
+  registry->RegisterGauge("device.flash.erases", [d]() {
+    return static_cast<double>(d->flash().erases());
+  });
+  registry->RegisterGauge("device.flash.chip_busy_ns", [d]() {
+    return static_cast<double>(d->flash().chip_busy_ns());
+  });
+  if (zns_enabled()) {
+    registry->RegisterGauge("device.zns.violations", [d]() {
+      return static_cast<double>(d->zns_violations());
+    });
+    registry->RegisterGauge("device.zns.resets", [d]() {
+      return static_cast<double>(d->zns_resets());
+    });
   }
 }
 
@@ -78,7 +134,7 @@ bool Device::Enqueue(int sqid, NvmeCommand cmd) {
 }
 
 void Device::RingDoorbell(int sqid) {
-  nsqs_[sqid]->RingDoorbell();
+  nsqs_[sqid]->RingDoorbell(sim_->now());
   KickController();
 }
 
@@ -152,6 +208,11 @@ void Device::ControllerStep() {
 
 void Device::FetchFrom(int sqid) {
   NvmeCommand cmd = nsqs_[sqid]->PopVisible();
+  cmd.fetch_start_time = sim_->now();
+  if (trace_ != nullptr) {
+    trace_->Record(sim_->now(), TraceCategory::kFetchStart, cmd.cid, cmd.sqid,
+                   cmd.pages);
+  }
   ++burst_used_;
   fetch_busy_ = true;
   const Tick cost =
@@ -166,25 +227,39 @@ void Device::FetchFrom(int sqid) {
     }
     inflight_pages_ += static_cast<int>(cmd.pages);
 
+    const uint64_t base = GlobalPage(cmd.nsid, cmd.lba);
+    Tick flash_start = 0;
+    std::vector<Tick> page_done;
+    page_done.reserve(cmd.pages);
+    if (cmd.is_zone_reset) {
+      // Zone reset: one erase-scale operation on the zone's first chip.
+      flash_start = sim_->now();
+      page_done.push_back(sim_->now() + config_.flash.erase_time);
+      inflight_pages_ -= static_cast<int>(cmd.pages) - 1;
+    } else {
+      for (uint32_t p = 0; p < cmd.pages; ++p) {
+        Tick start = 0;
+        page_done.push_back(
+            flash_.SchedulePage(sim_->now(), base + p, cmd.is_write, &start));
+        flash_start = p == 0 ? start : std::min(flash_start, start);
+      }
+    }
+    cmd.flash_start_time = flash_start;
+    if (trace_ != nullptr) {
+      // The time-advance flash model computes service times up front, so the
+      // event timestamp (the chip-op start) can lie ahead of record order.
+      trace_->Record(flash_start, TraceCategory::kFlashStart, cmd.cid,
+                     cmd.sqid, cmd.pages);
+    }
+
     InflightCommand ic;
     ic.cmd = cmd;
-    ic.pages_remaining = cmd.pages;
+    ic.pages_remaining = static_cast<uint32_t>(page_done.size());
     const uint64_t cid = cmd.cid;
     [[maybe_unused]] const bool inserted = inflight_.emplace(cid, ic).second;
     assert(inserted && "duplicate command id in flight");
-
-    const uint64_t base = GlobalPage(cmd.nsid, cmd.lba);
-    if (cmd.is_zone_reset) {
-      // Zone reset: one erase-scale operation on the zone's first chip.
-      const Tick done = sim_->now() + config_.flash.erase_time;
-      inflight_.at(cid).pages_remaining = 1;
-      inflight_pages_ -= static_cast<int>(cmd.pages) - 1;
+    for (Tick done : page_done) {
       sim_->At(done, [this, cid]() { OnPageDone(cid); });
-    } else {
-      for (uint32_t p = 0; p < cmd.pages; ++p) {
-        const Tick done = flash_.SchedulePage(sim_->now(), base + p, cmd.is_write);
-        sim_->At(done, [this, cid]() { OnPageDone(cid); });
-      }
     }
     ControllerStep();
   });
@@ -200,6 +275,10 @@ void Device::OnPageDone(uint64_t cid) {
   if (ic.pages_remaining == 0) {
     InflightCommand done = ic;
     inflight_.erase(it);
+    if (trace_ != nullptr) {
+      trace_->Record(sim_->now(), TraceCategory::kFlashEnd, done.cmd.cid,
+                     done.cmd.sqid, done.cmd.pages);
+    }
     sim_->After(config_.completion_post, [this, done]() { PostCompletion(done); });
   }
   // Freed capacity may unblock the fetch engine.
@@ -214,6 +293,12 @@ void Device::PostCompletion(const InflightCommand& ic) {
   cqe.cid = ic.cmd.cid;
   cqe.sqid = ic.cmd.sqid;
   cqe.cookie = ic.cmd.cookie;
+  cqe.enqueue_time = ic.cmd.enqueue_time;
+  cqe.doorbell_time = ic.cmd.doorbell_time;
+  cqe.fetch_start_time = ic.cmd.fetch_start_time;
+  cqe.fetch_time = ic.cmd.fetch_time;
+  cqe.flash_start_time = ic.cmd.flash_start_time;
+  cqe.flash_end_time = ic.last_page_done;
   cqe.posted_time = sim_->now();
   cq.Push(cqe);
   if (trace_ != nullptr) {
@@ -266,6 +351,7 @@ std::vector<NvmeCompletion> Device::DrainCompletions(int ncq_id, size_t max) {
   out.reserve(std::min(max, cq.pending()));
   while (out.size() < max && cq.pending() > 0) {
     out.push_back(cq.Pop());
+    out.back().drained_time = sim_->now();
   }
   cq.AddInFlight(-static_cast<int>(out.size()));
   return out;

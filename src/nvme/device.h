@@ -34,6 +34,8 @@
 
 namespace daredevil {
 
+class MetricsRegistry;
+
 // NVMe controller queue-arbitration policy (the spec's round-robin default
 // or weighted round robin with per-queue weights).
 enum class ArbitrationPolicy {
@@ -134,6 +136,10 @@ class Device {
   const CompletionQueue& ncq(int i) const { return *ncqs_[i]; }
   FlashBackend& flash() { return flash_; }
   const FlashBackend& flash() const { return flash_; }
+
+  // Registers the device's controller/flash/queue accounting as gauges
+  // ("device.*"). The registry must not outlive the device.
+  void RegisterMetrics(MetricsRegistry* registry) const;
 
   // Device-wide stats.
   uint64_t commands_fetched() const { return commands_fetched_; }

@@ -37,7 +37,8 @@ Tick FlashBackend::ChipFreeAt(uint64_t global_page) const {
   return chip_free_[static_cast<size_t>(ChipOf(global_page))];
 }
 
-Tick FlashBackend::SchedulePage(Tick at, uint64_t global_page, bool is_write) {
+Tick FlashBackend::SchedulePage(Tick at, uint64_t global_page, bool is_write,
+                                Tick* start) {
   const auto channel = static_cast<size_t>(ChannelOf(global_page));
   const auto chip = static_cast<size_t>(ChipOf(global_page));
 
@@ -45,6 +46,9 @@ Tick FlashBackend::SchedulePage(Tick at, uint64_t global_page, bool is_write) {
   if (is_write) {
     // Bus transfer into the chip, then program.
     const Tick bus_start = std::max(at, channel_free_[channel]);
+    if (start != nullptr) {
+      *start = bus_start;
+    }
     const Tick bus_done = bus_start + config_.channel_xfer;
     channel_free_[channel] = bus_done;
     const Tick op_start = std::max(bus_done, chip_free_[chip]);
@@ -64,6 +68,9 @@ Tick FlashBackend::SchedulePage(Tick at, uint64_t global_page, bool is_write) {
   } else {
     // Sense on the chip, then transfer out over the bus.
     const Tick op_start = std::max(at, chip_free_[chip]);
+    if (start != nullptr) {
+      *start = op_start;
+    }
     const Tick op_done = op_start + config_.page_read;
     chip_free_[chip] = op_done;
     chip_busy_ns_ += config_.page_read;

@@ -32,7 +32,10 @@ class FlashBackend {
   // Schedules one 4KB page operation arriving at `at` targeting the chip that
   // owns `global_page`. Returns the simulated completion time. Writes
   // transfer over the bus then program; reads sense then transfer out.
-  Tick SchedulePage(Tick at, uint64_t global_page, bool is_write);
+  // When `start` is non-null it receives the time the operation actually
+  // began service (after bus/chip queueing) - the flash-stage start stamp.
+  Tick SchedulePage(Tick at, uint64_t global_page, bool is_write,
+                    Tick* start = nullptr);
 
   int num_chips() const { return static_cast<int>(chip_free_.size()); }
   int ChannelOf(uint64_t global_page) const;

@@ -45,8 +45,14 @@ class SubmissionQueue {
     return true;
   }
 
-  // Makes all enqueued entries visible to the controller.
-  void RingDoorbell() { visible_ = entries_.size(); }
+  // Makes all enqueued entries visible to the controller, stamping the
+  // doorbell time on the entries that just became visible.
+  void RingDoorbell(Tick now = 0) {
+    for (size_t i = visible_; i < entries_.size(); ++i) {
+      entries_[i].doorbell_time = now;
+    }
+    visible_ = entries_.size();
+  }
 
   // Controller side: removes the oldest visible entry. Requires armed().
   NvmeCommand PopVisible() {

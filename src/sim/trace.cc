@@ -12,8 +12,14 @@ const char* TraceCategoryName(TraceCategory c) {
       return "route";
     case TraceCategory::kDoorbell:
       return "doorbell";
+    case TraceCategory::kFetchStart:
+      return "fetch-start";
     case TraceCategory::kFetch:
       return "fetch";
+    case TraceCategory::kFlashStart:
+      return "flash-start";
+    case TraceCategory::kFlashEnd:
+      return "flash-end";
     case TraceCategory::kComplete:
       return "complete";
     case TraceCategory::kIrq:

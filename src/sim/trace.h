@@ -17,7 +17,10 @@ enum class TraceCategory : int {
   kSubmit = 0,   // request entered the block layer
   kRoute,        // routing decision (request -> NSQ)
   kDoorbell,     // NSQ doorbell rung
+  kFetchStart,   // controller began fetching a command (left the NSQ head)
   kFetch,        // controller fetched a command
+  kFlashStart,   // first page of a command started on a flash chip
+  kFlashEnd,     // last page of a command finished flash service
   kComplete,     // command completion posted to an NCQ
   kIrq,          // interrupt raised
   kDeliver,      // completion delivered to the tenant
@@ -25,7 +28,7 @@ enum class TraceCategory : int {
   kMigrate,      // tenant moved cores
   kOther,
 };
-inline constexpr int kNumTraceCategories = 10;
+inline constexpr int kNumTraceCategories = 13;
 
 const char* TraceCategoryName(TraceCategory c);
 

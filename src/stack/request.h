@@ -59,10 +59,24 @@ struct Request {
 
   int submit_core = 0;   // core the syscall ran on
 
-  Tick issue_time = 0;     // tenant initiated the I/O (userspace)
-  Tick submit_time = 0;    // entered the block layer
-  Tick nsq_enqueue_time = 0;
-  Tick complete_time = 0;  // completion delivered back to userspace
+  // --- Lifecycle stage timeline (Figure 1's I/O service routine) --------
+  // Host-side timestamps are stamped by the workload layer and the storage
+  // stack; device-side ones travel back with the NVMe completion and are
+  // copied here on delivery. All are 0 until reached; a completed request
+  // that traversed the device has the full monotonic chain
+  //   issue <= submit <= nsq_enqueue <= doorbell <= fetch_start <= fetch
+  //         <= flash_start <= flash_end <= cqe_post <= drain <= complete.
+  Tick issue_time = 0;        // tenant initiated the I/O (userspace)
+  Tick submit_time = 0;       // entered the block layer
+  Tick nsq_enqueue_time = 0;  // placed in its NSQ (after routing + lock)
+  Tick doorbell_time = 0;     // doorbell rung: visible to the controller
+  Tick fetch_start_time = 0;  // controller began fetching the command
+  Tick fetch_time = 0;        // fetch/decompose finished
+  Tick flash_start_time = 0;  // first page started on a flash chip
+  Tick flash_end_time = 0;    // last page finished flash service
+  Tick cqe_post_time = 0;     // completion posted to the bound NCQ
+  Tick drain_time = 0;        // driver reaped the CQE (ISR drain or poll)
+  Tick complete_time = 0;     // completion delivered back to userspace
 
   int routed_nsq = -1;     // recorded for invariant checks
 
@@ -72,6 +86,19 @@ struct Request {
   // Outlier L-requests are sync or metadata requests (REQ_HIPRIO analogue).
   bool IsOutlier() const { return is_sync || is_meta; }
   uint64_t bytes() const { return static_cast<uint64_t>(pages) * 4096; }
+
+  // True when the request carries the complete device-side timeline (split
+  // parents complete via their children and never see the device directly).
+  bool HasDeviceTimeline() const {
+    return fetch_start_time > 0 && flash_end_time > 0 && drain_time > 0 &&
+           complete_time > 0;
+  }
+
+  void ResetTimeline() {
+    issue_time = submit_time = nsq_enqueue_time = doorbell_time = 0;
+    fetch_start_time = fetch_time = flash_start_time = flash_end_time = 0;
+    cqe_post_time = drain_time = complete_time = 0;
+  }
 };
 
 }  // namespace daredevil

@@ -24,6 +24,31 @@ void StorageStack::OnTenantMigrated(Tenant* tenant, int old_core) {
   (void)old_core;
 }
 
+void StorageStack::RegisterMetrics(MetricsRegistry* registry) const {
+  const StorageStack* s = this;
+  registry->RegisterGauge("stack.requests_submitted", [s]() {
+    return static_cast<double>(s->requests_submitted());
+  });
+  registry->RegisterGauge("stack.requests_completed", [s]() {
+    return static_cast<double>(s->requests_completed());
+  });
+  registry->RegisterGauge("stack.requeues", [s]() {
+    return static_cast<double>(s->requeues());
+  });
+  registry->RegisterGauge("stack.cross_core_completions", [s]() {
+    return static_cast<double>(s->cross_core_completions());
+  });
+  registry->RegisterGauge("stack.lock_wait_ns", [s]() {
+    return static_cast<double>(s->submission_lock_wait_ns());
+  });
+  registry->RegisterGauge("stack.requests_split", [s]() {
+    return static_cast<double>(s->requests_split());
+  });
+  registry->RegisterGauge("stack.scheduler_queued", [s]() {
+    return static_cast<double>(s->scheduler_queued());
+  });
+}
+
 void StorageStack::AssignIrqCoresRoundRobin() {
   for (int i = 0; i < device_->nr_ncq(); ++i) {
     device_->ncq(i).set_irq_core(i % machine_->num_cores());
@@ -285,6 +310,15 @@ void StorageStack::IsrBody(int ncq_id) {
 void StorageStack::DeliverCompletion(const NvmeCompletion& cqe, int irq_core) {
   auto* rq = static_cast<Request*>(cqe.cookie);
   assert(rq != nullptr);
+  // Copy the device-side stage timeline onto the request (the host-side
+  // stamps were written on the submission path).
+  rq->doorbell_time = cqe.doorbell_time;
+  rq->fetch_start_time = cqe.fetch_start_time;
+  rq->fetch_time = cqe.fetch_time;
+  rq->flash_start_time = cqe.flash_start_time;
+  rq->flash_end_time = cqe.flash_end_time;
+  rq->cqe_post_time = cqe.posted_time;
+  rq->drain_time = cqe.drained_time;
   const int tenant_core = rq->tenant != nullptr ? rq->tenant->core : irq_core;
   if (tenant_core != irq_core) {
     ++cross_core_completions_;

@@ -14,6 +14,7 @@
 #include "src/sim/cpu.h"
 #include "src/stack/io_scheduler.h"
 #include "src/stack/request.h"
+#include "src/stats/metrics.h"
 
 namespace daredevil {
 
@@ -84,6 +85,11 @@ class StorageStack {
   void EnableIoScheduler(IoSchedulerKind kind, int dispatch_window = 32);
   IoSchedulerKind io_scheduler_kind() const { return sched_kind_; }
   uint64_t scheduler_queued() const { return sched_queued_; }
+
+  // Registers this stack's counters as gauges ("stack.*"); subclasses extend
+  // with their own namespaces (e.g. "blkswitch.*", "daredevil.*"). The
+  // registry must not outlive the stack.
+  virtual void RegisterMetrics(MetricsRegistry* registry) const;
 
   // Stats.
   uint64_t requests_submitted() const { return requests_submitted_; }

@@ -1,0 +1,312 @@
+#include "src/stats/metrics.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+#include "src/sim/cpu.h"
+#include "src/stack/request.h"
+
+namespace daredevil {
+
+// --- JsonWriter -----------------------------------------------------------
+
+void JsonWriter::BeforeValue() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!first_.empty()) {
+    if (!first_.back()) {
+      out_ += ',';
+    }
+    first_.back() = false;
+  }
+}
+
+void JsonWriter::Escape(std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out_ += "\\\"";
+        break;
+      case '\\':
+        out_ += "\\\\";
+        break;
+      case '\n':
+        out_ += "\\n";
+        break;
+      case '\t':
+        out_ += "\\t";
+        break;
+      case '\r':
+        out_ += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out_ += buf;
+        } else {
+          out_ += c;
+        }
+    }
+  }
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  BeforeValue();
+  out_ += '{';
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  assert(!first_.empty());
+  first_.pop_back();
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  BeforeValue();
+  out_ += '[';
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  assert(!first_.empty());
+  first_.pop_back();
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view k) {
+  BeforeValue();
+  out_ += '"';
+  Escape(k);
+  out_ += "\":";
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(std::string_view v) {
+  BeforeValue();
+  out_ += '"';
+  Escape(v);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Int(int64_t v) {
+  BeforeValue();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::UInt(uint64_t v) {
+  BeforeValue();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Double(double v) {
+  BeforeValue();
+  if (!std::isfinite(v)) {
+    out_ += "null";
+    return *this;
+  }
+  char buf[40];
+  // %.15g keeps integer-valued doubles exact up to ~1e15 (our tick range).
+  std::snprintf(buf, sizeof(buf), "%.15g", v);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool v) {
+  BeforeValue();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Raw(std::string_view json) {
+  BeforeValue();
+  out_ += json;
+  return *this;
+}
+
+void AppendHistogramJson(JsonWriter& w, const Histogram& h) {
+  w.BeginObject();
+  w.Key("count").UInt(h.count());
+  w.Key("min").Int(h.min());
+  w.Key("mean").Double(h.Mean());
+  w.Key("p50").Int(h.P50());
+  w.Key("p90").Int(h.P90());
+  w.Key("p99").Int(h.P99());
+  w.Key("p999").Int(h.P999());
+  w.Key("max").Int(h.max());
+  w.EndObject();
+}
+
+std::string HistogramToJson(const Histogram& h) {
+  JsonWriter w;
+  AppendHistogramJson(w, h);
+  return w.str();
+}
+
+// --- StageBreakdown -------------------------------------------------------
+
+const char* StageName(Stage s) {
+  switch (s) {
+    case Stage::kSubmit:
+      return "submit";
+    case Stage::kNsqWait:
+      return "nsq_wait";
+    case Stage::kFetch:
+      return "fetch";
+    case Stage::kFlash:
+      return "flash";
+    case Stage::kCompletionWait:
+      return "completion_wait";
+    case Stage::kDelivery:
+      return "delivery";
+  }
+  return "?";
+}
+
+void StageBreakdown::Record(const Request& rq) {
+  if (!rq.HasDeviceTimeline()) {
+    return;
+  }
+  stages_[static_cast<int>(Stage::kSubmit)].Record(rq.nsq_enqueue_time -
+                                                   rq.issue_time);
+  stages_[static_cast<int>(Stage::kNsqWait)].Record(rq.fetch_start_time -
+                                                    rq.nsq_enqueue_time);
+  stages_[static_cast<int>(Stage::kFetch)].Record(rq.fetch_time -
+                                                  rq.fetch_start_time);
+  stages_[static_cast<int>(Stage::kFlash)].Record(rq.flash_end_time -
+                                                  rq.fetch_time);
+  stages_[static_cast<int>(Stage::kCompletionWait)].Record(rq.drain_time -
+                                                           rq.flash_end_time);
+  stages_[static_cast<int>(Stage::kDelivery)].Record(rq.complete_time -
+                                                     rq.drain_time);
+}
+
+void StageBreakdown::Merge(const StageBreakdown& other) {
+  for (int i = 0; i < kNumStages; ++i) {
+    stages_[i].Merge(other.stages_[i]);
+  }
+}
+
+void StageBreakdown::Reset() {
+  for (auto& h : stages_) {
+    h.Reset();
+  }
+}
+
+double StageBreakdown::TotalMeanNs() const {
+  double total = 0.0;
+  for (const auto& h : stages_) {
+    total += h.Mean();
+  }
+  return total;
+}
+
+void StageBreakdown::AppendJson(JsonWriter& w) const {
+  w.BeginObject();
+  for (int i = 0; i < kNumStages; ++i) {
+    w.Key(StageName(static_cast<Stage>(i)));
+    AppendHistogramJson(w, stages_[i]);
+  }
+  w.EndObject();
+}
+
+// --- MetricsRegistry ------------------------------------------------------
+
+uint64_t* MetricsRegistry::Counter(const std::string& name) {
+  return &counters_[name];
+}
+
+Histogram* MetricsRegistry::Hist(const std::string& name) {
+  return &hists_[name];
+}
+
+void MetricsRegistry::RegisterGauge(const std::string& name,
+                                    std::function<double()> fn) {
+  gauges_[name] = std::move(fn);
+}
+
+double MetricsRegistry::Value(const std::string& name) const {
+  if (auto it = counters_.find(name); it != counters_.end()) {
+    return static_cast<double>(it->second);
+  }
+  if (auto it = gauges_.find(name); it != gauges_.end()) {
+    return it->second();
+  }
+  return 0.0;
+}
+
+bool MetricsRegistry::Has(const std::string& name) const {
+  return counters_.count(name) > 0 || gauges_.count(name) > 0 ||
+         hists_.count(name) > 0;
+}
+
+std::map<std::string, double> MetricsRegistry::Snapshot() const {
+  std::map<std::string, double> out;
+  for (const auto& [name, value] : counters_) {
+    out[name] = static_cast<double>(value);
+  }
+  for (const auto& [name, fn] : gauges_) {
+    out[name] = fn();
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  for (const auto& [name, value] : Snapshot()) {
+    w.Key(name).Double(value);
+  }
+  for (const auto& [name, hist] : hists_) {
+    w.Key(name);
+    AppendHistogramJson(w, hist);
+  }
+  w.EndObject();
+  return w.str();
+}
+
+// --- Machine gauges -------------------------------------------------------
+
+void RegisterMachineMetrics(const Machine& machine, MetricsRegistry* registry) {
+  const Machine* m = &machine;
+  registry->RegisterGauge("machine.cross_core_posts", [m]() {
+    return static_cast<double>(m->cross_core_posts());
+  });
+  registry->RegisterGauge("machine.total_busy_ns", [m]() {
+    return static_cast<double>(m->total_busy_ns());
+  });
+  static constexpr struct {
+    WorkLevel level;
+    const char* name;
+  } kLevels[] = {{WorkLevel::kIrq, "machine.busy_irq_ns"},
+                 {WorkLevel::kKernel, "machine.busy_kernel_ns"},
+                 {WorkLevel::kUser, "machine.busy_user_ns"}};
+  for (const auto& entry : kLevels) {
+    const WorkLevel level = entry.level;
+    registry->RegisterGauge(entry.name, [m, level]() {
+      Tick total = 0;
+      for (int i = 0; i < m->num_cores(); ++i) {
+        total += m->core(i).busy_ns(level);
+      }
+      return static_cast<double>(total);
+    });
+  }
+}
+
+}  // namespace daredevil

@@ -68,6 +68,9 @@ void FioJob::IssueOne() {
   free_list_.pop_back();
   ++inflight_;
   ++issued_;
+  if (issued_cell_ != nullptr) {
+    ++*issued_cell_;
+  }
 
   rq->id = ++next_rq_id_;
   rq->nsid = spec_.nsid;
@@ -85,8 +88,8 @@ void FioJob::IssueOne() {
       seq_lba_ = 0;
     }
   }
+  rq->ResetTimeline();  // pooled request: clear the previous run's stamps
   rq->issue_time = machine_->now();
-  rq->complete_time = 0;
   rq->routed_nsq = -1;
 
   // The syscall runs in user context on the tenant's current core, then the
@@ -106,10 +109,14 @@ void FioJob::IssueOne() {
 void FioJob::OnComplete(Request* rq) {
   --inflight_;
   ++completed_;
+  if (completed_cell_ != nullptr) {
+    ++*completed_cell_;
+  }
   const Tick latency = rq->complete_time - rq->issue_time;
   const Tick now = machine_->now();
   if (now >= measure_start_ && now < measure_end_) {
     latency_.Record(latency);
+    stages_.Record(*rq);
     ++ios_;
     bytes_ += rq->bytes();
   }

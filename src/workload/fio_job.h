@@ -11,6 +11,7 @@
 #include "src/sim/rng.h"
 #include "src/stack/storage_stack.h"
 #include "src/stats/histogram.h"
+#include "src/stats/metrics.h"
 #include "src/stats/time_series.h"
 
 namespace daredevil {
@@ -79,6 +80,8 @@ class FioJob {
 
   // Measured within [measure_start, measure_end) only.
   const Histogram& latency() const { return latency_; }
+  // Per-stage lifecycle breakdown of the measured requests.
+  const StageBreakdown& stages() const { return stages_; }
   uint64_t measured_ios() const { return ios_; }
   uint64_t measured_bytes() const { return bytes_; }
   uint64_t total_issued() const { return issued_; }
@@ -89,6 +92,14 @@ class FioJob {
   void AttachSeries(TimeSeries* latency_series, TimeSeries* bytes_series) {
     latency_series_ = latency_series;
     bytes_series_ = bytes_series;
+  }
+
+  // Registers this job's traffic into group-aggregated counters
+  // ("workload.<group>.issued" / ".completed"); jobs of the same group share
+  // the cells by name.
+  void AttachMetrics(MetricsRegistry* registry) {
+    issued_cell_ = registry->Counter("workload." + spec_.group + ".issued");
+    completed_cell_ = registry->Counter("workload." + spec_.group + ".completed");
   }
 
  private:
@@ -113,11 +124,14 @@ class FioJob {
   uint64_t seq_lba_ = 0;
 
   Histogram latency_;
+  StageBreakdown stages_;
   uint64_t ios_ = 0;
   uint64_t bytes_ = 0;
   uint64_t issued_ = 0;
   uint64_t completed_ = 0;
   int inflight_ = 0;
+  uint64_t* issued_cell_ = nullptr;
+  uint64_t* completed_cell_ = nullptr;
 
   TimeSeries* latency_series_ = nullptr;
   TimeSeries* bytes_series_ = nullptr;

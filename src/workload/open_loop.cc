@@ -88,8 +88,8 @@ void OpenLoopJob::IssueOne() {
       seq_lba_ = 0;
     }
   }
+  rq->ResetTimeline();  // pooled request: clear the previous run's stamps
   rq->issue_time = machine_->now();
-  rq->complete_time = 0;
   rq->routed_nsq = -1;
   rq->submit_core = tenant_.core;
   const Tick issue_cost =
@@ -108,6 +108,7 @@ void OpenLoopJob::OnComplete(Request* rq) {
   const Tick now = machine_->now();
   if (now >= measure_start_ && now < measure_end_) {
     latency_.Record(rq->complete_time - rq->issue_time);
+    stages_.Record(*rq);
     ++ios_;
   }
   free_list_.push_back(rq);

@@ -13,6 +13,7 @@
 #include "src/sim/rng.h"
 #include "src/stack/storage_stack.h"
 #include "src/stats/histogram.h"
+#include "src/stats/metrics.h"
 
 namespace daredevil {
 
@@ -49,6 +50,8 @@ class OpenLoopJob {
   Tenant& tenant() { return tenant_; }
   const OpenLoopSpec& spec() const { return spec_; }
   const Histogram& latency() const { return latency_; }
+  // Per-stage lifecycle breakdown of the measured requests.
+  const StageBreakdown& stages() const { return stages_; }
   uint64_t measured_ios() const { return ios_; }
   uint64_t total_arrivals() const { return arrivals_; }
   uint64_t dropped_arrivals() const { return dropped_; }
@@ -75,6 +78,7 @@ class OpenLoopJob {
   uint64_t seq_lba_ = 0;
 
   Histogram latency_;
+  StageBreakdown stages_;
   uint64_t ios_ = 0;
   uint64_t arrivals_ = 0;
   uint64_t dropped_ = 0;

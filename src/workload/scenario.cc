@@ -61,6 +61,44 @@ double ScenarioResult::ThroughputBps(const std::string& group) const {
   return static_cast<double>(g->bytes) / ToSec(measure_duration);
 }
 
+double ScenarioResult::Metric(const std::string& name) const {
+  auto it = metrics.find(name);
+  return it == metrics.end() ? 0.0 : it->second;
+}
+
+std::string ScenarioResult::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("measure_duration_ns").Int(measure_duration);
+  w.Key("cpu_util").Double(cpu_util);
+  w.Key("total_issued").UInt(total_issued);
+  w.Key("total_completed").UInt(total_completed);
+  w.Key("groups").BeginObject();
+  for (const auto& [name, g] : groups) {
+    w.Key(name).BeginObject();
+    w.Key("ios").UInt(g.ios);
+    w.Key("bytes").UInt(g.bytes);
+    if (measure_duration > 0) {
+      w.Key("iops").Double(static_cast<double>(g.ios) / ToSec(measure_duration));
+      w.Key("throughput_bps")
+          .Double(static_cast<double>(g.bytes) / ToSec(measure_duration));
+    }
+    w.Key("latency_ns");
+    AppendHistogramJson(w, g.latency);
+    w.Key("stages_ns");
+    g.stages.AppendJson(w);
+    w.EndObject();
+  }
+  w.EndObject();
+  w.Key("metrics").BeginObject();
+  for (const auto& [name, value] : metrics) {
+    w.Key(name).Double(value);
+  }
+  w.EndObject();
+  w.EndObject();
+  return w.str();
+}
+
 std::unique_ptr<StorageStack> MakeStack(StackKind kind, Machine* machine,
                                         Device* device, const ScenarioConfig& config) {
   switch (kind) {
@@ -134,6 +172,13 @@ ScenarioResult RunScenario(const ScenarioConfig& config) {
     }
   }
 
+  // Every layer registers its accounting into one registry; the result is a
+  // snapshot of that registry instead of hand-copied per-class getters.
+  MetricsRegistry registry;
+  RegisterMachineMetrics(machine, &registry);
+  device.RegisterMetrics(&registry);
+  stack->RegisterMetrics(&registry);
+
   Rng master(config.seed);
   std::vector<std::unique_ptr<FioJob>> jobs;
   jobs.reserve(config.jobs.size());
@@ -148,6 +193,7 @@ ScenarioResult RunScenario(const ScenarioConfig& config) {
     auto job = std::make_unique<FioJob>(&machine, stack, spec,
                                         next_tenant_id++, core, master.Fork(),
                                         measure_start, measure_end);
+    job->AttachMetrics(&registry);
     if (config.series_window > 0) {
       job->AttachSeries(&result.latency_series.at(spec.group),
                         &result.bytes_series.at(spec.group));
@@ -167,25 +213,28 @@ ScenarioResult RunScenario(const ScenarioConfig& config) {
   for (auto& job : jobs) {
     GroupStats& g = result.groups[job->spec().group];
     g.latency.Merge(job->latency());
+    g.stages.Merge(job->stages());
     g.ios += job->measured_ios();
     g.bytes += job->measured_bytes();
     result.total_issued += job->total_issued();
     result.total_completed += job->total_completed();
   }
   result.cpu_util = machine.Utilization(busy_at_warmup, measure_start, measure_end);
-  result.cross_core_completions = stack->cross_core_completions();
-  result.requeues = stack->requeues();
-  result.lock_wait_ns = stack->submission_lock_wait_ns();
-  result.requests_submitted = stack->requests_submitted();
-  result.requests_completed = stack->requests_completed();
-  result.commands_fetched = device.commands_fetched();
-  result.commands_completed = device.commands_completed();
-  for (int i = 0; i < device.nr_ncq(); ++i) {
-    result.irqs_total += device.ncq(i).irqs();
-  }
-  if (auto* bsw = dynamic_cast<BlkSwitchStack*>(stack)) {
-    result.migrations = bsw->migrations();
-  }
+  result.metrics = registry.Snapshot();
+  // Legacy convenience fields, now sourced from the registry (reading a
+  // metric that a stack did not register yields 0, so no dynamic_cast soup).
+  auto metric_u64 = [&result](const char* name) {
+    return static_cast<uint64_t>(result.Metric(name));
+  };
+  result.cross_core_completions = metric_u64("stack.cross_core_completions");
+  result.requeues = metric_u64("stack.requeues");
+  result.lock_wait_ns = static_cast<Tick>(result.Metric("stack.lock_wait_ns"));
+  result.requests_submitted = metric_u64("stack.requests_submitted");
+  result.requests_completed = metric_u64("stack.requests_completed");
+  result.commands_fetched = metric_u64("device.commands_fetched");
+  result.commands_completed = metric_u64("device.commands_completed");
+  result.irqs_total = metric_u64("device.irqs_total");
+  result.migrations = metric_u64("blkswitch.migrations");
   return result;
 }
 

@@ -55,6 +55,7 @@ struct ScenarioConfig {
 
 struct GroupStats {
   Histogram latency;
+  StageBreakdown stages;  // per-stage lifecycle breakdown (see metrics.h)
   uint64_t ios = 0;
   uint64_t bytes = 0;
 };
@@ -63,6 +64,11 @@ struct ScenarioResult {
   std::map<std::string, GroupStats> groups;
   Tick measure_duration = 0;
 
+  // Snapshot of every metric the layers registered (machine.*, device.*,
+  // stack.*, workload.*, plus stack-specific namespaces).
+  std::map<std::string, double> metrics;
+
+  // Convenience fields filled from the metrics snapshot.
   double cpu_util = 0.0;
   uint64_t cross_core_completions = 0;
   uint64_t requeues = 0;
@@ -85,6 +91,12 @@ struct ScenarioResult {
   int64_t P999Ns(const std::string& group) const;
   double Iops(const std::string& group) const;
   double ThroughputBps(const std::string& group) const;
+  // Value from the metrics snapshot (0.0 when absent).
+  double Metric(const std::string& name) const;
+
+  // Machine-readable serialization: per-group end-to-end percentiles and
+  // stage breakdowns plus the metrics snapshot (schema in EXPERIMENTS.md).
+  std::string ToJson() const;
 };
 
 // Builds the storage stack for a kind (factory shared with tests/benches).

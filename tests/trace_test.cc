@@ -1,6 +1,9 @@
 // Tests for the tracepoint infrastructure and its wiring into the stack.
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+
 #include "src/sim/trace.h"
 #include "src/workload/scenario.h"
 
@@ -57,6 +60,17 @@ TEST(TraceLogTest, CategoryNamesStable) {
   EXPECT_STREQ(TraceCategoryName(TraceCategory::kSubmit), "submit");
   EXPECT_STREQ(TraceCategoryName(TraceCategory::kSchedule), "schedule");
   EXPECT_STREQ(TraceCategoryName(TraceCategory::kMigrate), "migrate");
+  EXPECT_STREQ(TraceCategoryName(TraceCategory::kFetchStart), "fetch-start");
+  EXPECT_STREQ(TraceCategoryName(TraceCategory::kFlashStart), "flash-start");
+  EXPECT_STREQ(TraceCategoryName(TraceCategory::kFlashEnd), "flash-end");
+  // Every category has a distinct, non-placeholder name (ToCsv relies on it).
+  std::set<std::string> names;
+  for (int c = 0; c < kNumTraceCategories; ++c) {
+    const char* name = TraceCategoryName(static_cast<TraceCategory>(c));
+    EXPECT_STRNE(name, "?");
+    names.insert(name);
+  }
+  EXPECT_EQ(names.size(), static_cast<size_t>(kNumTraceCategories));
 }
 
 TEST(TraceWiringTest, ScenarioProducesLifecycleEvents) {
@@ -91,6 +105,14 @@ TEST(TraceWiringTest, ScenarioProducesLifecycleEvents) {
   EXPECT_EQ(log.CountOf(TraceCategory::kSubmit),
             log.CountOf(TraceCategory::kRoute));
   EXPECT_GT(log.CountOf(TraceCategory::kFetch), 0u);
+  // Every fetch was preceded by a fetch-start (a command may still be
+  // mid-fetch when the sim ends, hence >=), and flash dispatch fires in the
+  // same step that finishes the fetch (exactly 1:1).
+  EXPECT_GE(log.CountOf(TraceCategory::kFetchStart),
+            log.CountOf(TraceCategory::kFetch));
+  EXPECT_EQ(log.CountOf(TraceCategory::kFlashStart),
+            log.CountOf(TraceCategory::kFetch));
+  EXPECT_GT(log.CountOf(TraceCategory::kFlashEnd), 0u);
   EXPECT_GT(log.CountOf(TraceCategory::kComplete), 0u);
   EXPECT_GT(log.CountOf(TraceCategory::kIrq), 0u);
   EXPECT_GT(log.CountOf(TraceCategory::kDeliver), 0u);
