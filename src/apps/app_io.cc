@@ -1,6 +1,6 @@
 #include "src/apps/app_io.h"
 
-#include <cassert>
+#include "src/core/invariant.h"
 
 namespace daredevil {
 
@@ -38,8 +38,11 @@ AppIoContext::Op* AppIoContext::AllocOp() {
 
 void AppIoContext::Issue(uint64_t lba, uint32_t pages, bool is_write, bool sync,
                          bool meta, Callback done) {
-  assert(pages >= 1);
-  assert(lba + pages <= namespace_pages());
+  DD_CHECK(pages >= 1) << "tenant " << tenant_->id << " issued an empty I/O";
+  DD_CHECK(lba + pages <= namespace_pages())
+      << "tenant " << tenant_->id << " I/O [" << lba << ", " << lba + pages
+      << ") overruns namespace " << nsid_ << " (" << namespace_pages()
+      << " pages)";
   Op* op = AllocOp();
   Request& rq = op->rq;
   rq.id = ++next_id_;

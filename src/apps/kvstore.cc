@@ -1,8 +1,9 @@
 #include "src/apps/kvstore.h"
 
 #include <algorithm>
-#include <cassert>
 #include <memory>
+
+#include "src/core/invariant.h"
 
 namespace daredevil {
 
@@ -16,7 +17,10 @@ KvStore::KvStore(AppIoContext* io, const KvStoreConfig& config, Rng rng)
 
 uint64_t KvStore::AllocExtent(uint64_t pages) {
   const uint64_t ns_pages = io_->namespace_pages();
-  assert(pages < ns_pages - config_.wal_pages);
+  DD_CHECK(pages < ns_pages - config_.wal_pages)
+      << "extent of " << pages << " pages cannot fit beside the "
+      << config_.wal_pages << "-page WAL in a " << ns_pages
+      << "-page namespace";
   if (data_alloc_ + pages > ns_pages) {
     data_alloc_ = config_.wal_pages;  // wrap (old extents are dead by then)
   }

@@ -1,7 +1,8 @@
 #include "src/apps/mailserver.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "src/core/invariant.h"
 
 namespace daredevil {
 
@@ -45,7 +46,7 @@ MailOp MailServer::NextOp() {
 }
 
 SimpleFs::FileId MailServer::PickFile() {
-  assert(!files_.empty());
+  DD_CHECK(!files_.empty()) << "mail server has no mailbox files to pick";
   return files_[rng_.NextBelow(files_.size())];
 }
 

@@ -1,7 +1,8 @@
 #include "src/apps/simplefs.h"
 
-#include <cassert>
 #include <memory>
+
+#include "src/core/invariant.h"
 
 namespace daredevil {
 
@@ -55,7 +56,7 @@ void SimpleFs::Create(Callback done, FileId* out_id) {
 
 void SimpleFs::Append(FileId id, uint32_t pages, Callback done) {
   auto it = files_.find(id);
-  assert(it != files_.end());
+  DD_CHECK(it != files_.end()) << "Append to unknown file " << id;
   for (uint32_t p = 0; p < pages; ++p) {
     const uint64_t block = AllocBlock();
     it->second.blocks.push_back(block);
@@ -66,7 +67,7 @@ void SimpleFs::Append(FileId id, uint32_t pages, Callback done) {
 
 void SimpleFs::Fsync(FileId id, Callback done) {
   auto it = files_.find(id);
-  assert(it != files_.end());
+  DD_CHECK(it != files_.end()) << "Fsync of unknown file " << id;
   Inode& inode = it->second;
   const uint32_t first_dirty = inode.dirty_from;
   const auto total = static_cast<uint32_t>(inode.blocks.size());
@@ -92,7 +93,7 @@ void SimpleFs::Fsync(FileId id, Callback done) {
 
 void SimpleFs::Read(FileId id, Callback done) {
   auto it = files_.find(id);
-  assert(it != files_.end());
+  DD_CHECK(it != files_.end()) << "Read of unknown file " << id;
   const Inode& inode = it->second;
   bool all_cached = true;
   for (uint64_t block : inode.blocks) {
@@ -119,7 +120,7 @@ void SimpleFs::Read(FileId id, Callback done) {
 
 void SimpleFs::Delete(FileId id, Callback done) {
   auto it = files_.find(id);
-  assert(it != files_.end());
+  DD_CHECK(it != files_.end()) << "Delete of unknown file " << id;
   for (uint64_t block : it->second.blocks) {
     cache_.Erase(block);
   }

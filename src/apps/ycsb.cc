@@ -1,6 +1,6 @@
 #include "src/apps/ycsb.h"
 
-#include <cassert>
+#include "src/core/invariant.h"
 
 namespace daredevil {
 
@@ -30,8 +30,9 @@ YcsbWorkload::YcsbWorkload(KvStore* store, const YcsbConfig& config, Rng rng,
       measure_start_(measure_start),
       measure_end_(measure_end),
       insert_cursor_(config.record_count) {
-  assert(config_.workload == 'A' || config_.workload == 'B' ||
-         config_.workload == 'E' || config_.workload == 'F');
+  DD_CHECK(config_.workload == 'A' || config_.workload == 'B' ||
+           config_.workload == 'E' || config_.workload == 'F')
+      << "unsupported YCSB workload '" << config_.workload << "'";
 }
 
 YcsbOp YcsbWorkload::NextOp() {

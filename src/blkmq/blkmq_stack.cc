@@ -19,7 +19,11 @@ BlkMqStack::BlkMqStack(Machine* machine, Device* device, const StackCosts& costs
 
 int BlkMqStack::RouteRequest(Request* rq) {
   // The request strictly follows its core's SQ -> HQ -> NQ binding.
-  return NsqOfCore(rq->submit_core);
+  const int nsq = NsqOfCore(rq->submit_core);
+  DD_CHECK(nsq >= 0 && nsq < nr_hw_)
+      << "rq=" << rq->id << " core=" << rq->submit_core
+      << " escaped the static SQ->HQ->NQ binding (nsq=" << nsq << ")";
+  return nsq;
 }
 
 StaticSplitStack::StaticSplitStack(Machine* machine, Device* device,
@@ -32,8 +36,13 @@ int StaticSplitStack::RouteRequest(Request* rq) {
   const int slot = rq->submit_core % h;
   const bool latency_class =
       rq->tenant != nullptr && rq->tenant->IsLatencySensitive();
-  // L-tenants use the first half of the NQs, T-tenants the second half.
-  return latency_class ? slot : h + slot;
+  // L-tenants use the first half of the NQs, T-tenants the second half; the
+  // halves must stay disjoint or the motivation experiment measures nothing.
+  const int nsq = latency_class ? slot : h + slot;
+  DD_CHECK(latency_class ? nsq < h : (nsq >= h && nsq < nr_hw_))
+      << "rq=" << rq->id << " crossed the static L/T split (nsq=" << nsq
+      << ", half=" << h << ")";
+  return nsq;
 }
 
 }  // namespace daredevil

@@ -1,7 +1,6 @@
 #include "src/blkswitch/blkswitch_stack.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 
 namespace daredevil {
@@ -20,7 +19,9 @@ BlkSwitchStack::BlkSwitchStack(Machine* machine, Device* device,
 }
 
 BlkSwitchStack::PerNamespace& BlkSwitchStack::ns_state(uint32_t nsid) {
-  assert(nsid < per_ns_.size());
+  DD_CHECK(nsid < per_ns_.size())
+      << "nsid=" << nsid << " outside the device's " << per_ns_.size()
+      << " namespaces";
   return per_ns_[nsid];
 }
 
@@ -130,6 +131,8 @@ int BlkSwitchStack::RouteRequest(Request* rq) {
     return rq->submit_core % nr_hw_;
   }
   const int target = SteerTarget(rq->nsid);
+  DD_CHECK(target >= 0 && target < nr_hw_)
+      << "rq=" << rq->id << " steered to invalid NQ " << target;
   if (target != rq->submit_core % nr_hw_) {
     ++steered_;
   }

@@ -1,14 +1,16 @@
 #include "src/core/nqreg.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "src/core/invariant.h"
 
 namespace daredevil {
 
 NqReg::NqReg(Blex* blex, const DaredevilConfig& config)
     : blex_(blex), config_(config) {
   Device& dev = blex_->device();
-  assert(dev.nr_ncq() >= 2 && "NQGroup division needs at least two NCQs");
+  DD_CHECK(dev.nr_ncq() >= 2)
+      << "NQGroup division needs at least two NCQs, got " << dev.nr_ncq();
 
   // Equal division at init (§5.3): nqreg cannot foresee the tenant mix, so
   // the first half of the NCQs (with their attached NSQs) serve L-requests
@@ -153,7 +155,8 @@ int NqReg::FetchTopNsqId(NcqNode& node, int m) {
 int NqReg::Schedule(NqPrio prio, int m) {
   ++schedules_;
   Group& group = groups_[static_cast<int>(prio)];
-  assert(!group.ncqs.empty());
+  DD_CHECK(!group.ncqs.empty())
+      << "priority group " << static_cast<int>(prio) << " has no NCQs";
   if (!config_.enable_nq_scheduling) {
     // dare-base: round-robin over the group's NSQs.
     int total = 0;
@@ -180,7 +183,8 @@ int NqReg::Schedule(NqPrio prio, int m) {
       break;
     }
   }
-  assert(node != nullptr);
+  DD_CHECK(node != nullptr) << "scheduled NCQ " << ncq_id
+                            << " vanished from its priority group";
   return FetchTopNsqId(*node, m);
 }
 

@@ -1,6 +1,6 @@
 #include "src/core/troute.h"
 
-#include <cassert>
+#include "src/core/invariant.h"
 
 namespace daredevil {
 
@@ -9,7 +9,9 @@ TRoute::TRoute(Blex* blex, NqReg* nqreg, const DaredevilConfig& config)
 
 TRoute::TenantState& TRoute::StateOf(Tenant* tenant) {
   auto it = tenants_.find(tenant->id);
-  assert(it != tenants_.end() && "tenant not registered with troute");
+  DD_CHECK(it != tenants_.end())
+      << "tenant id=" << tenant->id << " (" << tenant->name
+      << ") not registered with troute";
   return it->second;
 }
 
@@ -23,7 +25,7 @@ void TRoute::OnTenantStart(Tenant* tenant) {
   state.base_prio = AssessPrio(*tenant);
   state.claimed_core = tenant->core;
   auto [it, inserted] = tenants_.emplace(tenant->id, state);
-  assert(inserted);
+  DD_CHECK(inserted) << "tenant id=" << tenant->id << " started twice";
   AssignDefaultNsq(it->second, tenant);
 }
 
@@ -129,7 +131,7 @@ bool TRoute::NeedsPerRequestQuery(const Request& rq) const {
 }
 
 int TRoute::Route(Request* rq) {
-  assert(rq->tenant != nullptr);
+  DD_CHECK(rq->tenant != nullptr) << "rq=" << rq->id << " has no tenant";
   TenantState& state = StateOf(rq->tenant);
 
   if (!config_.enable_nq_scheduling) {

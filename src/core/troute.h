@@ -11,7 +11,7 @@
 #define DAREDEVIL_SRC_CORE_TROUTE_H_
 
 #include <cstdint>
-#include <unordered_map>
+#include <map>
 
 #include "src/core/blex.h"
 #include "src/core/config.h"
@@ -67,7 +67,9 @@ class TRoute {
   Blex* blex_;
   NqReg* nqreg_;
   DaredevilConfig config_;
-  std::unordered_map<uint64_t, TenantState> tenants_;
+  // Ordered by tenant id: any future iteration (bulk re-assessment, stats
+  // dumps) must be deterministic, not hash-order.
+  std::map<uint64_t, TenantState> tenants_;
   uint64_t priority_updates_ = 0;
   uint64_t per_request_queries_ = 0;
 };

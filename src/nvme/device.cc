@@ -1,17 +1,18 @@
 #include "src/nvme/device.h"
 
-#include <cassert>
 #include <utility>
 
+#include "src/core/invariant.h"
 #include "src/stats/metrics.h"
 
 namespace daredevil {
 
 Device::Device(Simulator* sim, const DeviceConfig& config)
     : sim_(sim), config_(config), flash_(config.flash) {
-  assert(config_.nr_nsq >= 1);
-  assert(config_.nr_ncq >= 1);
-  assert(config_.nr_nsq >= config_.nr_ncq);
+  DD_CHECK(config_.nr_nsq >= 1) << "nr_nsq=" << config_.nr_nsq;
+  DD_CHECK(config_.nr_ncq >= 1) << "nr_ncq=" << config_.nr_ncq;
+  DD_CHECK_LE(config_.nr_ncq, config_.nr_nsq)
+      << "NVMe exposes at least as many NSQs as NCQs";
   nsqs_.reserve(static_cast<size_t>(config_.nr_nsq));
   for (int i = 0; i < config_.nr_nsq; ++i) {
     nsqs_.push_back(std::make_unique<SubmissionQueue>(i, config_.queue_depth));
@@ -256,8 +257,10 @@ void Device::FetchFrom(int sqid) {
     ic.cmd = cmd;
     ic.pages_remaining = static_cast<uint32_t>(page_done.size());
     const uint64_t cid = cmd.cid;
-    [[maybe_unused]] const bool inserted = inflight_.emplace(cid, ic).second;
-    assert(inserted && "duplicate command id in flight");
+    const bool inserted = inflight_.emplace(cid, ic).second;
+    DD_CHECK(inserted) << "duplicate command id " << cid
+                       << " in flight (NSQ " << cmd.sqid << ", tick "
+                       << sim_->now() << ")";
     for (Tick done : page_done) {
       sim_->At(done, [this, cid]() { OnPageDone(cid); });
     }
@@ -267,10 +270,14 @@ void Device::FetchFrom(int sqid) {
 
 void Device::OnPageDone(uint64_t cid) {
   auto it = inflight_.find(cid);
-  assert(it != inflight_.end());
+  DD_CHECK(it != inflight_.end())
+      << "flash page completion for unknown command id " << cid << " at tick "
+      << sim_->now();
   InflightCommand& ic = it->second;
   --ic.pages_remaining;
   --inflight_pages_;
+  DD_CHECK_LE(0, inflight_pages_)
+      << "device buffer accounting underflow (cid " << cid << ")";
   ic.last_page_done = sim_->now();
   if (ic.pages_remaining == 0) {
     InflightCommand done = ic;

@@ -21,8 +21,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "src/nvme/command.h"
@@ -79,7 +79,9 @@ struct DeviceConfig {
   // (including Daredevil) runs unmodified on a ZNS device.
   uint64_t zns_zone_pages = 0;
 
-  uint32_t page_bytes = 4096;
+  // One source of truth with the block layer's page unit: a request's
+  // bytes() and the device's transfer accounting must agree.
+  uint32_t page_bytes = kPageBytes;
 };
 
 class Device {
@@ -198,14 +200,16 @@ class Device {
   int current_sq_ = -1;  // NSQ currently holding the burst
   int burst_used_ = 0;
   int inflight_pages_ = 0;
-  std::unordered_map<uint64_t, InflightCommand> inflight_;
+  // Ordered by command id: the in-flight table sits on the completion path,
+  // where unordered iteration order would be seed-dependent nondeterminism.
+  std::map<uint64_t, InflightCommand> inflight_;
 
   uint64_t commands_fetched_ = 0;
   uint64_t commands_completed_ = 0;
   Tick fetch_stall_ns_ = 0;
 
   // ZNS state: zone -> write pointer (pages written within the zone).
-  std::unordered_map<uint64_t, uint64_t> zone_wp_;
+  std::map<uint64_t, uint64_t> zone_wp_;
   uint64_t zns_violations_ = 0;
   uint64_t zns_resets_ = 0;
 };

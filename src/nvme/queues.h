@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <deque>
 
+#include "src/core/invariant.h"
 #include "src/nvme/command.h"
 #include "src/sim/clock.h"
 
@@ -48,6 +49,10 @@ class SubmissionQueue {
   // Makes all enqueued entries visible to the controller, stamping the
   // doorbell time on the entries that just became visible.
   void RingDoorbell(Tick now = 0) {
+    // Head-tail consistency: the visible prefix can never exceed the ring
+    // occupancy (a regression means PopVisible/Enqueue bookkeeping skew).
+    DD_CHECK_LE(visible_, entries_.size())
+        << "NSQ " << id_ << " doorbell tail ahead of ring occupancy";
     for (size_t i = visible_; i < entries_.size(); ++i) {
       entries_[i].doorbell_time = now;
     }
@@ -56,6 +61,9 @@ class SubmissionQueue {
 
   // Controller side: removes the oldest visible entry. Requires armed().
   NvmeCommand PopVisible() {
+    DD_CHECK(visible_ > 0 && !entries_.empty())
+        << "NSQ " << id_ << " fetch from empty/unarmed queue (visible="
+        << visible_ << " size=" << entries_.size() << ")";
     NvmeCommand cmd = entries_.front();
     entries_.pop_front();
     --visible_;
@@ -139,13 +147,18 @@ class CompletionQueue {
     ++complete_rqs_;
   }
   NvmeCompletion Pop() {
+    DD_CHECK(!entries_.empty()) << "NCQ " << id_ << " drained past its head";
     NvmeCompletion cqe = entries_.front();
     entries_.pop_front();
     return cqe;
   }
 
   void CountIrq() { ++irqs_; }
-  void AddInFlight(int delta) { in_flight_rqs_ += delta; }
+  void AddInFlight(int delta) {
+    in_flight_rqs_ += delta;
+    // More completions reaped than commands submitted against this NCQ.
+    DD_CHECK_LE(0, in_flight_rqs_) << "NCQ " << id_ << " in-flight underflow";
+  }
 
   // Counters consumed by nqreg's NCQ merit (Algorithm 2 line 4).
   int64_t in_flight_rqs() const { return in_flight_rqs_; }

@@ -12,8 +12,8 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "src/sim/clock.h"
@@ -69,7 +69,9 @@ class CpuCore {
   bool running_ = false;
   Tick busy_ns_[kNumWorkLevels] = {0, 0, 0};
   uint64_t items_executed_ = 0;
-  std::unordered_map<uint64_t, Tick> tenant_busy_ns_;
+  // Ordered so any future iteration (per-tenant accounting dumps) is
+  // deterministic; unordered iteration here is seed-dependent DES poison.
+  std::map<uint64_t, Tick> tenant_busy_ns_;
 };
 
 // A set of cores sharing one simulator, plus cross-core signalling costs.

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "src/core/invariant.h"
+
 namespace daredevil {
 
 void Simulator::At(Tick t, std::function<void()> fn) {
@@ -23,6 +25,10 @@ bool Simulator::Step() {
     return false;
   }
   Event e = queue_.PopNext();
+  // Pop-time monotonicity: the DES clock must never move backwards. At()
+  // clamps past timestamps, so a regression here means heap-order corruption.
+  DD_CHECK_LE(now_, e.at) << "event-queue pop-time regression (event seq "
+                          << e.seq << ")";
   now_ = e.at;
   ++events_processed_;
   e.fn();

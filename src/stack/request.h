@@ -11,6 +11,11 @@
 
 namespace daredevil {
 
+// Size of one logical page / block-layer sector unit. All byte quantities in
+// the simulation derive from page counts via this constant (ddlint's
+// unit-suffix rule flags raw 4096 arithmetic elsewhere).
+inline constexpr uint64_t kPageBytes = 4096;  // ddlint: units-ok(definition)
+
 // The ionice class carried by a tenant's task_struct. Real-time tenants are
 // L-tenants; best-effort/idle are T-tenants (troute's SLA assessment, §5.2).
 enum class IoniceClass {
@@ -85,7 +90,7 @@ struct Request {
 
   // Outlier L-requests are sync or metadata requests (REQ_HIPRIO analogue).
   bool IsOutlier() const { return is_sync || is_meta; }
-  uint64_t bytes() const { return static_cast<uint64_t>(pages) * 4096; }
+  uint64_t bytes() const { return static_cast<uint64_t>(pages) * kPageBytes; }
 
   // True when the request carries the complete device-side timeline (split
   // parents complete via their children and never see the device directly).

@@ -1,7 +1,5 @@
 #include "src/stack/storage_stack.h"
 
-#include <cassert>
-
 namespace daredevil {
 
 StorageStack::StorageStack(Machine* machine, Device* device, const StackCosts& costs)
@@ -91,6 +89,10 @@ void StorageStack::SubmitAsync(Request* rq) {
     SubmitSplit(rq);
     return;
   }
+  // In-flight uniqueness: a request must complete before its id is reused
+  // (split parents never reach the device and are tracked via children).
+  DD_CHECK(lifecycle_.OnSubmit(*rq, machine_->now()))
+      << lifecycle_.last_violation();
   const Tick work = costs_.submit_kernel +
                     static_cast<Tick>(rq->pages) * costs_.per_page_kernel +
                     RoutingCost(*rq);
@@ -101,7 +103,9 @@ void StorageStack::SubmitAsync(Request* rq) {
                      rq->submit_core, rq->pages);
     }
     const int nsq = RouteRequest(rq);
-    assert(nsq >= 0 && nsq < device_->nr_nsq());
+    DD_CHECK(nsq >= 0 && nsq < device_->nr_nsq())
+        << "rq=" << rq->id << " routed to NSQ " << nsq << " of "
+        << device_->nr_nsq() << " at tick " << machine_->now();
     rq->routed_nsq = nsq;
     if (trace_ != nullptr) {
       trace_->Record(machine_->now(), TraceCategory::kRoute, rq->id, nsq,
@@ -162,7 +166,7 @@ void StorageStack::SubmitSplit(Request* rq) {
     // Derive a collision-free child id: parent ids occupy the high bits
     // (tenant << 32 | counter), so shifting leaves room for the chunk index.
     child->id = (rq->id << 8) | (++child_seq);
-    assert(child_seq < 256);
+    DD_CHECK(child_seq < 256) << "rq=" << rq->id << " split into too many chunks";
     child->tenant = rq->tenant;
     child->nsid = rq->nsid;
     child->lba = rq->lba + offset;
@@ -191,7 +195,8 @@ void StorageStack::SubmitSplit(Request* rq) {
   }
   job->remaining = static_cast<int>(job->children.size());
   auto [it, inserted] = splits_.emplace(rq->id, std::move(job));
-  assert(inserted && "duplicate in-flight request id in split path");
+  DD_CHECK(inserted) << "duplicate in-flight request id " << rq->id
+                     << " in split path at tick " << machine_->now();
   for (auto& child : it->second->children) {
     SubmitAsync(child.get());
   }
@@ -224,6 +229,9 @@ void StorageStack::EnqueueLocked(Request* rq, int nsq) {
 }
 
 void StorageStack::RingOrBatchDoorbell(int nsq) {
+  // Doorbell tails (cumulative submissions made visible) must be monotone.
+  DD_CHECK(lifecycle_.OnDoorbell(nsq, device_->nsq(nsq).submitted_rqs()))
+      << lifecycle_.last_violation();
   DoorbellState& db = doorbells_[static_cast<size_t>(nsq)];
   if (!db.policy.batched) {
     if (trace_ != nullptr) {
@@ -271,9 +279,9 @@ void StorageStack::PollBody(int ncq_id, Tick interval) {
     if (!cqes.empty()) {
       const Tick work = static_cast<Tick>(cqes.size()) * costs_.isr_per_cqe;
       machine_->Post(poll_core, WorkLevel::kKernel, work,
-                     [this, poll_core, cqes = std::move(cqes)]() {
+                     [this, ncq_id, poll_core, cqes = std::move(cqes)]() {
                        for (const auto& cqe : cqes) {
-                         DeliverCompletion(cqe, poll_core);
+                         DeliverCompletion(cqe, ncq_id, poll_core);
                        }
                      });
     }
@@ -301,15 +309,16 @@ void StorageStack::IsrBody(int ncq_id) {
   machine_->Post(irq_core, WorkLevel::kIrq, work,
                  [this, ncq_id, irq_core, cqes = std::move(cqes)]() {
                    for (const auto& cqe : cqes) {
-                     DeliverCompletion(cqe, irq_core);
+                     DeliverCompletion(cqe, ncq_id, irq_core);
                    }
                    device_->IrqDone(ncq_id);
                  });
 }
 
-void StorageStack::DeliverCompletion(const NvmeCompletion& cqe, int irq_core) {
+void StorageStack::DeliverCompletion(const NvmeCompletion& cqe, int ncq_id,
+                                     int irq_core) {
   auto* rq = static_cast<Request*>(cqe.cookie);
-  assert(rq != nullptr);
+  DD_CHECK(rq != nullptr) << "CQE cid=" << cqe.cid << " carries no request";
   // Copy the device-side stage timeline onto the request (the host-side
   // stamps were written on the submission path).
   rq->doorbell_time = cqe.doorbell_time;
@@ -319,6 +328,12 @@ void StorageStack::DeliverCompletion(const NvmeCompletion& cqe, int irq_core) {
   rq->flash_end_time = cqe.flash_end_time;
   rq->cqe_post_time = cqe.posted_time;
   rq->drain_time = cqe.drained_time;
+  // Lifecycle validation at completion: monotone stage chain, no double
+  // completion, and the CQE must come back on the NSQ the request was routed
+  // to (via that NSQ's statically bound NCQ).
+  DD_CHECK(lifecycle_.OnComplete(*rq, machine_->now(), cqe.sqid, ncq_id,
+                                 device_->NcqOfNsq(cqe.sqid)))
+      << lifecycle_.last_violation();
   const int tenant_core = rq->tenant != nullptr ? rq->tenant->core : irq_core;
   if (tenant_core != irq_core) {
     ++cross_core_completions_;

@@ -5,11 +5,12 @@
 #define DAREDEVIL_SRC_STACK_STORAGE_STACK_H_
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
+#include "src/core/invariant.h"
 #include "src/nvme/device.h"
 #include "src/sim/cpu.h"
 #include "src/stack/io_scheduler.h"
@@ -107,6 +108,11 @@ class StorageStack {
   void SetTraceLog(TraceLog* trace);
   TraceLog* trace() { return trace_; }
 
+  // The lifecycle verifier fed by the submission/doorbell/completion paths.
+  // Only populated when DAREDEVIL_INVARIANTS is compiled in (the feeding
+  // calls sit behind DD_CHECK); exposed for tests and diagnostics.
+  const LifecycleChecker& lifecycle() const { return lifecycle_; }
+
   // Doorbell behaviour for an NSQ (public so tests and tools can configure
   // policies through subclasses exposing SetDoorbellPolicy).
   struct DoorbellPolicy {
@@ -151,7 +157,7 @@ class StorageStack {
   void OnDeviceIrq(int ncq_id);
   void IsrBody(int ncq_id);
   void PollBody(int ncq_id, Tick interval);
-  void DeliverCompletion(const NvmeCompletion& cqe, int irq_core);
+  void DeliverCompletion(const NvmeCompletion& cqe, int ncq_id, int irq_core);
 
   Machine* machine_;
   Device* device_;
@@ -170,7 +176,9 @@ class StorageStack {
     int remaining = 0;
     std::vector<std::unique_ptr<Request>> children;
   };
-  std::unordered_map<uint64_t, std::unique_ptr<SplitJob>> splits_;  // by parent id
+  // Ordered by parent id: split bookkeeping lives on the completion path,
+  // where unordered iteration order would be seed-dependent nondeterminism.
+  std::map<uint64_t, std::unique_ptr<SplitJob>> splits_;
   uint32_t split_threshold_ = 0;
   uint64_t requests_split_ = 0;
 
@@ -182,6 +190,8 @@ class StorageStack {
   IoSchedulerKind sched_kind_ = IoSchedulerKind::kNone;
   int sched_window_ = 32;
   uint64_t sched_queued_ = 0;
+
+  LifecycleChecker lifecycle_;
 
   uint64_t requests_submitted_ = 0;
   uint64_t requests_completed_ = 0;

@@ -1,9 +1,9 @@
 #include "src/stats/metrics.h"
 
-#include <cassert>
 #include <cmath>
 #include <cstdio>
 
+#include "src/core/invariant.h"
 #include "src/sim/cpu.h"
 #include "src/stack/request.h"
 
@@ -62,7 +62,7 @@ JsonWriter& JsonWriter::BeginObject() {
 }
 
 JsonWriter& JsonWriter::EndObject() {
-  assert(!first_.empty());
+  DD_CHECK(!first_.empty()) << "EndObject with no open scope";
   first_.pop_back();
   out_ += '}';
   return *this;
@@ -76,7 +76,7 @@ JsonWriter& JsonWriter::BeginArray() {
 }
 
 JsonWriter& JsonWriter::EndArray() {
-  assert(!first_.empty());
+  DD_CHECK(!first_.empty()) << "EndArray with no open scope";
   first_.pop_back();
   out_ += ']';
   return *this;

@@ -1,6 +1,6 @@
 #include "src/virtio/virtio_blk.h"
 
-#include <cassert>
+#include "src/core/invariant.h"
 
 namespace daredevil {
 
@@ -17,7 +17,8 @@ GuestVm::GuestVm(Machine* machine, StorageStack* stack, std::string name,
       high_vq_(this, GuestSla::kLatency),
       low_vq_(this, GuestSla::kThroughput),
       next_host_id_(guest_id << 32) {
-  assert(!vcpu_to_core_.empty());
+  DD_CHECK(!vcpu_to_core_.empty())
+      << "guest " << name_ << " (id=" << guest_id_ << ") has no vCPUs";
   // Register one host tenant per VQ; its ionice encodes the VQ's SLA so the
   // host stack keeps the VQ-NQ mapping SLA-consistent (§8.1).
   high_vq_.tenant_.id = (guest_id << 8) | 1;
@@ -42,7 +43,9 @@ GuestVm::~GuestVm() {
 }
 
 void GuestVm::SubmitGuestIo(GuestRequest* rq) {
-  assert(rq->vcpu >= 0 && rq->vcpu < num_vcpus());
+  DD_CHECK(rq->vcpu >= 0 && rq->vcpu < num_vcpus())
+      << "guest " << name_ << " request on invalid vCPU " << rq->vcpu << " of "
+      << num_vcpus();
   rq->issue_time = machine_->now();
   VirtQueue& vq = this->vq(rq->sla);
   ++vq.submitted_;
@@ -77,8 +80,10 @@ void GuestVm::ForwardToHost(GuestRequest* rq) {
   host.is_write = rq->is_write;
   host.is_sync = false;
   host.is_meta = false;
+  // Pooled HostIo reuse: wipe the previous request's stage stamps or the
+  // lifecycle verifier sees a stale (non-monotone) timeline.
+  host.ResetTimeline();
   host.issue_time = rq->issue_time;
-  host.complete_time = 0;
   host.routed_nsq = -1;
   // The backing tenant "runs" on the kicking vCPU's core for this request.
   vq.tenant_.core = HostCoreOfVcpu(rq->vcpu);

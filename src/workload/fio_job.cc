@@ -1,6 +1,6 @@
 #include "src/workload/fio_job.h"
 
-#include <cassert>
+#include "src/core/invariant.h"
 
 namespace daredevil {
 
@@ -22,7 +22,10 @@ FioJob::FioJob(Machine* machine, StorageStack* stack, const FioJobSpec& spec,
   tenant_.primary_nsid = spec.nsid;
 
   const uint64_t ns_pages = stack_->device().NamespacePages(spec_.nsid);
-  assert(ns_pages >= spec_.pages);
+  DD_CHECK(ns_pages >= spec_.pages)
+      << "job " << spec_.name << " working set (" << spec_.pages
+      << " pages) exceeds namespace " << spec_.nsid << " (" << ns_pages
+      << " pages)";
   pool_.reserve(static_cast<size_t>(spec_.iodepth));
   free_list_.reserve(static_cast<size_t>(spec_.iodepth));
   for (int i = 0; i < spec_.iodepth; ++i) {

@@ -1,6 +1,6 @@
 #include "src/workload/open_loop.h"
 
-#include <cassert>
+#include "src/core/invariant.h"
 
 namespace daredevil {
 
@@ -20,7 +20,8 @@ OpenLoopJob::OpenLoopJob(Machine* machine, StorageStack* stack,
   tenant_.ionice = spec.ionice;
   tenant_.core = spec.core;
   tenant_.primary_nsid = spec.nsid;
-  assert(spec_.iops > 0);
+  DD_CHECK(spec_.iops > 0) << "open-loop job " << spec_.name
+                           << " needs a positive arrival rate";
 }
 
 void OpenLoopJob::Start() {

@@ -37,7 +37,7 @@ struct OpenLoopSpec {
   int core = 0;
   // Drops new arrivals beyond this many outstanding requests (an open-loop
   // source still has finite client-side queueing).
-  int max_outstanding = 4096;
+  int max_outstanding = 4096;  // ddlint: units-ok(request count, not bytes)
 };
 
 class OpenLoopJob {

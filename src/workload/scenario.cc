@@ -1,7 +1,5 @@
 #include "src/workload/scenario.h"
 
-#include <cassert>
-
 #include "src/blkmq/blkmq_stack.h"
 #include "src/core/daredevil_stack.h"
 
@@ -64,6 +62,45 @@ double ScenarioResult::ThroughputBps(const std::string& group) const {
 double ScenarioResult::Metric(const std::string& name) const {
   auto it = metrics.find(name);
   return it == metrics.end() ? 0.0 : it->second;
+}
+
+namespace {
+
+inline constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+inline constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+uint64_t FnvMix(uint64_t h, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h = (h ^ (v & 0xff)) * kFnvPrime;
+    v >>= 8;
+  }
+  return h;
+}
+
+uint64_t FnvString(uint64_t h, std::string_view s) {
+  for (unsigned char c : s) {
+    h = (h ^ c) * kFnvPrime;
+  }
+  return h;
+}
+
+uint64_t HashTraceStream(const TraceLog& trace) {
+  uint64_t h = kFnvOffset;
+  for (const TraceEvent& e : trace.Events()) {
+    h = FnvMix(h, static_cast<uint64_t>(e.at));
+    h = FnvMix(h, static_cast<uint64_t>(e.category));
+    h = FnvMix(h, e.id);
+    h = FnvMix(h, static_cast<uint64_t>(e.a));
+    h = FnvMix(h, static_cast<uint64_t>(e.b));
+  }
+  return h;
+}
+
+}  // namespace
+
+uint64_t ScenarioResult::SimulationFingerprint() const {
+  uint64_t h = FnvString(kFnvOffset, ToJson());
+  return FnvMix(h, trace_hash);
 }
 
 std::string ScenarioResult::ToJson() const {
@@ -138,7 +175,8 @@ ScenarioEnv::ScenarioEnv(const ScenarioConfig& config)
       machine_(&sim_, config.machine),
       device_(&sim_, config.device),
       stack_(MakeStack(config.stack, &machine_, &device_, config)) {
-  assert(stack_ != nullptr);
+  DD_CHECK(stack_ != nullptr)
+      << "unknown stack kind " << static_cast<int>(config.stack);
   if (config.split_pages > 0) {
     stack_->SetSplitThreshold(config.split_pages);
   }
@@ -235,6 +273,9 @@ ScenarioResult RunScenario(const ScenarioConfig& config) {
   result.commands_completed = metric_u64("device.commands_completed");
   result.irqs_total = metric_u64("device.irqs_total");
   result.migrations = metric_u64("blkswitch.migrations");
+  if (env.trace_log() != nullptr) {
+    result.trace_hash = HashTraceStream(*env.trace_log());
+  }
   return result;
 }
 

@@ -85,6 +85,10 @@ struct ScenarioResult {
   std::map<std::string, TimeSeries> latency_series;
   std::map<std::string, TimeSeries> bytes_series;
 
+  // FNV-1a over the trace event stream (0 when the scenario ran without a
+  // TraceLog attached). Folded into SimulationFingerprint().
+  uint64_t trace_hash = 0;
+
   const GroupStats* Find(const std::string& group) const;
   double AvgLatencyNs(const std::string& group) const;
   int64_t P99Ns(const std::string& group) const;
@@ -97,6 +101,12 @@ struct ScenarioResult {
   // Machine-readable serialization: per-group end-to-end percentiles and
   // stage breakdowns plus the metrics snapshot (schema in EXPERIMENTS.md).
   std::string ToJson() const;
+
+  // Determinism gate: a stable 64-bit digest of the whole run - the JSON
+  // serialization above (std::map keys make it order-stable) folded with the
+  // trace-stream hash. Two runs of the same scenario with the same seed must
+  // produce identical fingerprints; see tests/determinism_test.cc.
+  uint64_t SimulationFingerprint() const;
 };
 
 // Builds the storage stack for a kind (factory shared with tests/benches).

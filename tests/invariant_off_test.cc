@@ -1,0 +1,58 @@
+// Compile-away test: with DAREDEVIL_INVARIANTS forced to 0 in this
+// translation unit, DD_CHECK conditions must not be evaluated (zero cost on
+// the Release bench path) and failing checks must not abort. The macros read
+// DAREDEVIL_INVARIANTS at expansion point, so redefining it here overrides
+// the project-wide CMake setting for exactly this file.
+#undef DAREDEVIL_INVARIANTS
+#define DAREDEVIL_INVARIANTS 0
+
+#include "src/core/invariant.h"
+
+#include <gtest/gtest.h>
+
+namespace daredevil {
+namespace {
+
+bool Bump(int* counter) {
+  ++*counter;
+  return false;
+}
+
+TEST(InvariantOffTest, EnabledPredicateReflectsThisTu) {
+  EXPECT_FALSE(DdInvariantsEnabled());
+}
+
+TEST(InvariantOffTest, FailingCheckDoesNotAbort) {
+  DD_CHECK(false) << "never evaluated, never printed";
+  DD_CHECK_LE(2, 1);
+  DD_CHECK_EQ(1, 2);
+  DD_FAIL() << "also compiled out";
+  SUCCEED();
+}
+
+TEST(InvariantOffTest, ConditionIsNotEvaluated) {
+  int calls = 0;
+  DD_CHECK(Bump(&calls)) << "streamed context is dead code too";
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(InvariantOffTest, StreamedContextIsNotEvaluated) {
+  int calls = 0;
+  DD_CHECK(true) << Bump(&calls);
+  DD_CHECK(false) << Bump(&calls);
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(InvariantOffTest, LifecycleCheckerStillWorksStandalone) {
+  // The checker class itself is plain code (tests drive it directly); only
+  // the DD_* wrapping is compiled out.
+  LifecycleChecker checker;
+  Request rq;
+  rq.id = 1;
+  EXPECT_TRUE(checker.OnSubmit(rq, 10));
+  EXPECT_FALSE(checker.OnSubmit(rq, 20));
+  EXPECT_EQ(checker.violations(), 1u);
+}
+
+}  // namespace
+}  // namespace daredevil

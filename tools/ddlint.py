@@ -1,0 +1,345 @@
+#!/usr/bin/env python3
+"""ddlint: simulator-specific static checks for the Daredevil repository.
+
+A discrete-event simulator has correctness rules a generic linter cannot
+know. This pass enforces them over src/, bench/, and tests/:
+
+  wall-clock      No wall-clock time sources in src/ (<chrono>, <ctime>,
+                  system_clock, gettimeofday, ...). All simulated time flows
+                  through the sim Clock (src/sim/clock.h); wall-clock reads
+                  make runs irreproducible.
+  raw-rng         No std::rand / <random> engines / random_device in src/.
+                  All randomness flows through the seeded Rng
+                  (src/sim/rng.h); anything else breaks bit-exact replay.
+  bare-assert     No bare assert() in src/. Use DD_CHECK and friends
+                  (src/core/invariant.h) so violations report request id,
+                  tick, and stage context, and compile in/out as one unit.
+  unordered-iter  No range-for over a std::unordered_map/unordered_set:
+                  iteration order depends on hashing/libstdc++ internals, the
+                  canonical source of seed-independent nondeterminism in a
+                  DES. Use an ordered container, iterate a sorted key copy,
+                  or waive the site.
+  include-guard   Headers carry the canonical DAREDEVIL_<PATH>_H_ guard.
+  page-literal    No raw 4096 page-size arithmetic in src/; derive byte
+                  quantities from kPageBytes (src/stack/request.h) so unit
+                  bugs stay grep-able.
+
+Waivers
+  Inline, on the offending line (preferred for one-off sites):
+      ... // ddlint: ordered-ok(stats dump, order does not reach the sim)
+  The token is <rule-token>-ok where the tokens are: wallclock, rng, assert,
+  ordered, guard, units. A reason inside the parentheses is mandatory.
+
+  File-level, in tools/ddlint-waivers.txt (one per line):
+      <rule> <path> <reason...>
+  Paths are repo-relative; a trailing * makes a prefix match.
+
+Usage
+  tools/ddlint.py [--root DIR] [--json] [--list-waived]
+
+Exit status is 1 when any unwaived finding exists, else 0.
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+
+SCAN_DIRS = ("src", "bench", "tests")
+SOURCE_EXTS = (".h", ".cc")
+WAIVER_FILE = os.path.join("tools", "ddlint-waivers.txt")
+
+# rule name -> inline waiver token (used as "// ddlint: <token>-ok(reason)").
+RULE_TOKENS = {
+    "wall-clock": "wallclock",
+    "raw-rng": "rng",
+    "bare-assert": "assert",
+    "unordered-iter": "ordered",
+    "include-guard": "guard",
+    "page-literal": "units",
+}
+
+WALL_CLOCK_PATTERNS = [
+    (re.compile(r"#\s*include\s*<(chrono|ctime|time\.h|sys/time\.h)>"),
+     "wall-clock header include"),
+    (re.compile(r"\bstd::chrono\b"), "std::chrono"),
+    (re.compile(r"\b(system_clock|steady_clock|high_resolution_clock)\b"),
+     "wall-clock type"),
+    (re.compile(r"\b(gettimeofday|clock_gettime|timespec_get)\s*\("),
+     "wall-clock syscall"),
+    (re.compile(r"\btime\s*\(\s*(NULL|nullptr|0|&)"), "time()"),
+    (re.compile(r"\bclock\s*\(\s*\)"), "clock()"),
+]
+
+RAW_RNG_PATTERNS = [
+    (re.compile(r"#\s*include\s*<random>"), "<random> include"),
+    (re.compile(r"\bstd::rand\b|\brand\s*\(\s*\)|\bsrand\s*\("),
+     "C rand()/srand()"),
+    (re.compile(r"\brandom_device\b"), "std::random_device"),
+    (re.compile(r"\b(mt19937(_64)?|minstd_rand0?|default_random_engine)\b"),
+     "std <random> engine"),
+]
+
+BARE_ASSERT_RE = re.compile(r"(?<![_\w])assert\s*\(")
+STATIC_ASSERT_RE = re.compile(r"\bstatic_assert\s*\(")
+CASSERT_RE = re.compile(r"#\s*include\s*<(cassert|assert\.h)>")
+
+UNORDERED_DECL_RE = re.compile(
+    r"unordered_(?:map|set|multimap|multiset)\s*<.*>\s+(\w+)\s*(?:;|=|\{|\))")
+RANGE_FOR_RE = re.compile(r"\bfor\s*\(([^;]*?):([^;]*)\)")
+
+PAGE_LITERAL_RE = re.compile(r"\b4096\b")
+
+INLINE_WAIVER_RE = re.compile(r"//\s*ddlint:\s*([a-z]+)-ok\(([^)]*)\)")
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+        self.waived = False
+        self.waiver_reason = None
+
+    def as_dict(self):
+        return {
+            "path": self.path,
+            "line": self.line,
+            "rule": self.rule,
+            "message": self.message,
+            "waived": self.waived,
+            "waiver_reason": self.waiver_reason,
+        }
+
+
+def strip_comments_and_strings(lines):
+    """Returns lines with comments, string and char literals blanked out.
+
+    Line structure is preserved so findings keep their line numbers. Inline
+    waivers must be extracted *before* calling this (they live in comments).
+    """
+    out = []
+    in_block = False
+    for line in lines:
+        buf = []
+        i = 0
+        n = len(line)
+        while i < n:
+            c = line[i]
+            if in_block:
+                if line.startswith("*/", i):
+                    in_block = False
+                    i += 2
+                else:
+                    i += 1
+                continue
+            if line.startswith("//", i):
+                break
+            if line.startswith("/*", i):
+                in_block = True
+                i += 2
+                continue
+            if c == '"' or c == "'":
+                quote = c
+                i += 1
+                while i < n:
+                    if line[i] == "\\":
+                        i += 2
+                        continue
+                    if line[i] == quote:
+                        i += 1
+                        break
+                    i += 1
+                buf.append(quote + quote)
+                continue
+            buf.append(c)
+            i += 1
+        out.append("".join(buf))
+    return out
+
+
+def expected_guard(path):
+    stem = re.sub(r"[./-]", "_", path).upper()
+    return "DAREDEVIL_{}_".format(stem)
+
+
+def check_file(path, rel, findings):
+    with open(path, encoding="utf-8") as f:
+        raw_lines = f.read().splitlines()
+
+    # line number -> list of (token, reason) inline waivers.
+    inline_waivers = {}
+    for lineno, line in enumerate(raw_lines, 1):
+        for m in INLINE_WAIVER_RE.finditer(line):
+            inline_waivers.setdefault(lineno, []).append((m.group(1), m.group(2)))
+
+    lines = strip_comments_and_strings(raw_lines)
+    in_src = rel.startswith("src/")
+    is_header = rel.endswith(".h")
+
+    def emit(lineno, rule, message):
+        finding = Finding(rel, lineno, rule, message)
+        token = RULE_TOKENS[rule]
+        for wtoken, reason in inline_waivers.get(lineno, []):
+            if wtoken == token:
+                finding.waived = True
+                finding.waiver_reason = reason or "(no reason given)"
+        findings.append(finding)
+
+    # --- rules scoped to src/ (the simulation model itself) ---------------
+    if in_src:
+        for lineno, line in enumerate(lines, 1):
+            for pattern, what in WALL_CLOCK_PATTERNS:
+                if pattern.search(line):
+                    emit(lineno, "wall-clock",
+                         "{}: simulated time must flow through the sim Clock "
+                         "(src/sim/clock.h)".format(what))
+            for pattern, what in RAW_RNG_PATTERNS:
+                if pattern.search(line):
+                    emit(lineno, "raw-rng",
+                         "{}: randomness must flow through the seeded Rng "
+                         "(src/sim/rng.h)".format(what))
+            no_static = STATIC_ASSERT_RE.sub("", line)
+            if BARE_ASSERT_RE.search(no_static) or CASSERT_RE.search(line):
+                emit(lineno, "bare-assert",
+                     "bare assert(): use DD_CHECK/DD_CHECK_LE/DD_FAIL "
+                     "(src/core/invariant.h) so the failure carries request "
+                     "id, tick, and stage context")
+            if PAGE_LITERAL_RE.search(line):
+                emit(lineno, "page-literal",
+                     "raw 4096 literal: derive byte quantities from "
+                     "kPageBytes (src/stack/request.h), or waive if this is "
+                     "not a page-size quantity")
+
+    # --- unordered-iter: everywhere (tests copying the idiom spread it) ---
+    unordered_names = set()
+    for line in lines:
+        for m in UNORDERED_DECL_RE.finditer(line):
+            unordered_names.add(m.group(1))
+    if unordered_names:
+        name_res = {
+            name: re.compile(r"\b{}\b".format(re.escape(name)))
+            for name in unordered_names
+        }
+        for lineno, line in enumerate(lines, 1):
+            m = RANGE_FOR_RE.search(line)
+            if not m:
+                continue
+            range_expr = m.group(2)
+            for name, name_re in name_res.items():
+                if name_re.search(range_expr):
+                    emit(lineno, "unordered-iter",
+                         "range-for over unordered container '{}': iteration "
+                         "order is hash-dependent nondeterminism; use an "
+                         "ordered container or a sorted copy".format(name))
+
+    # --- include guards ---------------------------------------------------
+    if is_header:
+        guard = expected_guard(rel)
+        text = "\n".join(lines)
+        ifndef_re = re.compile(r"#\s*ifndef\s+(\w+)")
+        m = ifndef_re.search(text)
+        guard_line = 1
+        for lineno, line in enumerate(lines, 1):
+            if ifndef_re.search(line):
+                guard_line = lineno
+                break
+        if m is None or m.group(1) != guard or \
+                "#define {}".format(guard) not in text.replace("# define", "#define"):
+            found = m.group(1) if m else "none"
+            emit(guard_line, "include-guard",
+                 "include guard must be {} (found {})".format(guard, found))
+
+
+def load_waiver_file(root):
+    """Returns a list of (rule, path_pattern, reason)."""
+    waivers = []
+    path = os.path.join(root, WAIVER_FILE)
+    if not os.path.exists(path):
+        return waivers
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split(None, 2)
+            if len(parts) < 3:
+                print("{}:{}: malformed waiver (want: <rule> <path> <reason>)"
+                      .format(WAIVER_FILE, lineno), file=sys.stderr)
+                sys.exit(2)
+            rule, pattern, reason = parts
+            if rule not in RULE_TOKENS:
+                print("{}:{}: unknown rule '{}'".format(WAIVER_FILE, lineno,
+                                                        rule), file=sys.stderr)
+                sys.exit(2)
+            waivers.append((rule, pattern, reason))
+    return waivers
+
+
+def apply_file_waivers(findings, waivers):
+    for finding in findings:
+        if finding.waived:
+            continue
+        for rule, pattern, reason in waivers:
+            if rule != finding.rule:
+                continue
+            if pattern.endswith("*"):
+                if not finding.path.startswith(pattern[:-1]):
+                    continue
+            elif finding.path != pattern:
+                continue
+            finding.waived = True
+            finding.waiver_reason = reason
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=None,
+                        help="repository root (default: parent of this script)")
+    parser.add_argument("--json", action="store_true",
+                        help="machine-readable output")
+    parser.add_argument("--list-waived", action="store_true",
+                        help="also print waived findings in human output")
+    args = parser.parse_args()
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+
+    findings = []
+    for scan_dir in SCAN_DIRS:
+        top = os.path.join(root, scan_dir)
+        for dirpath, _, filenames in os.walk(top):
+            for filename in sorted(filenames):
+                if not filename.endswith(SOURCE_EXTS):
+                    continue
+                path = os.path.join(dirpath, filename)
+                rel = os.path.relpath(path, root).replace(os.sep, "/")
+                check_file(path, rel, findings)
+
+    apply_file_waivers(findings, load_waiver_file(root))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    active = [f for f in findings if not f.waived]
+    waived = [f for f in findings if f.waived]
+
+    if args.json:
+        print(json.dumps({
+            "findings": [f.as_dict() for f in findings],
+            "active": len(active),
+            "waived": len(waived),
+        }, indent=2))
+    else:
+        for f in active:
+            print("{}:{}: [{}] {}".format(f.path, f.line, f.rule, f.message))
+        if args.list_waived:
+            for f in waived:
+                print("{}:{}: [{}] waived: {}".format(f.path, f.line, f.rule,
+                                                      f.waiver_reason))
+        print("ddlint: {} finding(s), {} waived".format(len(active),
+                                                        len(waived)))
+    return 1 if active else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
