@@ -37,6 +37,49 @@ inline void PrintHeader(const char* experiment, const char* paper_ref,
   std::printf("Setup: %s\n\n", setup);
 }
 
+// DD_TRACE_JSON=<path>: benches that support timeline tracing export a
+// Chrome-trace/Perfetto JSON of their tracing-enabled scenario to this path
+// (load it at ui.perfetto.dev; see EXPERIMENTS.md "Capturing and viewing
+// traces"). Empty when unset.
+inline std::string TraceJsonPath() {
+  const char* env = std::getenv("DD_TRACE_JSON");
+  return env != nullptr ? std::string(env) : std::string();
+}
+
+// DD_TRACE_CAPACITY overrides the TraceLog event-ring capacity for traced
+// bench runs (falls back to `fallback` when unset/invalid).
+inline size_t TraceCapacityOr(size_t fallback) {
+  const char* env = std::getenv("DD_TRACE_CAPACITY");
+  if (env == nullptr) {
+    return fallback;
+  }
+  const long long v = std::atoll(env);
+  return v > 0 ? static_cast<size_t>(v) : fallback;
+}
+
+// Rings are bounded: a full TraceLog / timeline ring silently truncates the
+// oldest events, which skews exported timelines and HOL attribution. Surface
+// that loudly in bench output.
+inline void WarnOnTraceDrops(const std::string& label,
+                             const ScenarioResult& result) {
+  if (result.trace_dropped > 0) {
+    std::fprintf(stderr,
+                 "WARNING: %s: TraceLog dropped %llu of %llu events - raise "
+                 "trace_capacity (DD_TRACE_CAPACITY)\n",
+                 label.c_str(),
+                 static_cast<unsigned long long>(result.trace_dropped),
+                 static_cast<unsigned long long>(result.trace_total));
+  }
+  if (result.timeline_dropped > 0) {
+    std::fprintf(stderr,
+                 "WARNING: %s: timeline ring dropped %llu of %llu request "
+                 "records - raise timeline_capacity\n",
+                 label.c_str(),
+                 static_cast<unsigned long long>(result.timeline_dropped),
+                 static_cast<unsigned long long>(result.timeline_total));
+  }
+}
+
 // Machine-readable bench results. When DD_BENCH_JSON=<path> is set, every
 // result added here is serialized (per-group percentiles + stage breakdowns
 // + the metrics snapshot) and the file is written when the sink goes out of

@@ -35,6 +35,10 @@ class BlkMqStack : public StorageStack {
   // The static binding: which NSQ a core submits through.
   int NsqOfCore(int core) const { return core % nr_hw_; }
 
+  std::string NsqTrackLabel(int nsq) const override {
+    return "NSQ " + std::to_string(nsq) + " (per-core, shared L+T)";
+  }
+
  protected:
   int RouteRequest(Request* rq) override;
 
@@ -62,6 +66,11 @@ class StaticSplitStack : public StorageStack {
 
   int nr_hw_queues() const { return nr_hw_; }
   int half() const { return nr_hw_ / 2; }
+
+  std::string NsqTrackLabel(int nsq) const override {
+    return "NSQ " + std::to_string(nsq) +
+           (nsq < half() ? " (static L half)" : " (static T half)");
+  }
 
  protected:
   int RouteRequest(Request* rq) override;

@@ -60,6 +60,11 @@ class BlkSwitchStack : public StorageStack {
   void RegisterMetrics(MetricsRegistry* registry) const override;
 
   int nr_hw_queues() const { return nr_hw_; }
+
+  std::string NsqTrackLabel(int nsq) const override {
+    return "NSQ " + std::to_string(nsq) + " (per-core, L/T steered)";
+  }
+
   uint64_t migrations() const { return migrations_; }
   uint64_t steered_requests() const { return steered_; }
   uint64_t spilled_requests() const { return spilled_; }

@@ -33,6 +33,12 @@ class DaredevilStack : public StorageStack {
   void OnTenantMigrated(Tenant* tenant, int old_core) override;
   void RegisterMetrics(MetricsRegistry* registry) const override;
 
+  std::string NsqTrackLabel(int nsq) const override {
+    return "NSQ " + std::to_string(nsq) +
+           (nqreg_->GroupOfNsq(nsq) == NqPrio::kHigh ? " (high-prio group)"
+                                                     : " (low-prio group)");
+  }
+
   const DaredevilConfig& dd_config() const { return config_; }
   Blex& blex() { return *blex_; }
   NqReg& nqreg() { return *nqreg_; }

@@ -85,6 +85,22 @@ void Device::RegisterMetrics(MetricsRegistry* registry) const {
   }
 }
 
+int Device::TotalNsqOccupancy() const {
+  int total = 0;
+  for (const auto& sq : nsqs_) {
+    total += static_cast<int>(sq->size());
+  }
+  return total;
+}
+
+int Device::TotalNcqPending() const {
+  int total = 0;
+  for (const auto& cq : ncqs_) {
+    total += static_cast<int>(cq->pending());
+  }
+  return total;
+}
+
 std::vector<int> Device::NsqsOfNcq(int ncq_id) const {
   std::vector<int> out;
   for (int i = ncq_id; i < nr_nsq(); i += nr_ncq()) {

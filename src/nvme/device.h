@@ -143,6 +143,10 @@ class Device {
   // ("device.*"). The registry must not outlive the device.
   void RegisterMetrics(MetricsRegistry* registry) const;
 
+  // Queue-depth probes for the StateSampler (pure reads of current state).
+  int TotalNsqOccupancy() const;
+  int TotalNcqPending() const;
+
   // Device-wide stats.
   uint64_t commands_fetched() const { return commands_fetched_; }
   uint64_t commands_completed() const { return commands_completed_; }

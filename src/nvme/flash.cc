@@ -37,6 +37,16 @@ Tick FlashBackend::ChipFreeAt(uint64_t global_page) const {
   return chip_free_[static_cast<size_t>(ChipOf(global_page))];
 }
 
+int FlashBackend::BusyChips(Tick now) const {
+  int busy = 0;
+  for (Tick free_at : chip_free_) {
+    if (free_at > now) {
+      ++busy;
+    }
+  }
+  return busy;
+}
+
 Tick FlashBackend::SchedulePage(Tick at, uint64_t global_page, bool is_write,
                                 Tick* start) {
   const auto channel = static_cast<size_t>(ChannelOf(global_page));

@@ -47,6 +47,8 @@ class FlashBackend {
   Tick chip_busy_ns() const { return chip_busy_ns_; }
   // Earliest time the chip owning global_page becomes free (load probe).
   Tick ChipFreeAt(uint64_t global_page) const;
+  // Chips still busy at `now` (StateSampler occupancy probe; pure read).
+  int BusyChips(Tick now) const;
 
  private:
   FlashConfig config_;

@@ -5,35 +5,11 @@
 namespace daredevil {
 
 const char* TraceCategoryName(TraceCategory c) {
-  switch (c) {
-    case TraceCategory::kSubmit:
-      return "submit";
-    case TraceCategory::kRoute:
-      return "route";
-    case TraceCategory::kDoorbell:
-      return "doorbell";
-    case TraceCategory::kFetchStart:
-      return "fetch-start";
-    case TraceCategory::kFetch:
-      return "fetch";
-    case TraceCategory::kFlashStart:
-      return "flash-start";
-    case TraceCategory::kFlashEnd:
-      return "flash-end";
-    case TraceCategory::kComplete:
-      return "complete";
-    case TraceCategory::kIrq:
-      return "irq";
-    case TraceCategory::kDeliver:
-      return "deliver";
-    case TraceCategory::kSchedule:
-      return "schedule";
-    case TraceCategory::kMigrate:
-      return "migrate";
-    case TraceCategory::kOther:
-      return "other";
+  const int i = static_cast<int>(c);
+  if (i < 0 || i >= kNumTraceCategories) {
+    return "?";
   }
-  return "?";
+  return kTraceCategoryNames[static_cast<size_t>(i)];
 }
 
 TraceLog::TraceLog(size_t capacity) : capacity_(capacity > 0 ? capacity : 1) {

@@ -5,6 +5,7 @@
 #ifndef DAREDEVIL_SRC_SIM_TRACE_H_
 #define DAREDEVIL_SRC_SIM_TRACE_H_
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -13,6 +14,10 @@
 
 namespace daredevil {
 
+// When adding a category: append it before kOther (kOther stays last so the
+// static_asserts below pin the enum size), add its name to
+// kTraceCategoryNames at the same index, and keep kNumTraceCategories in
+// sync. ddlint's trace-categories rule cross-checks all three.
 enum class TraceCategory : int {
   kSubmit = 0,   // request entered the block layer
   kRoute,        // routing decision (request -> NSQ)
@@ -29,6 +34,37 @@ enum class TraceCategory : int {
   kOther,
 };
 inline constexpr int kNumTraceCategories = 13;
+
+// One name per category, indexed by the enum value. A missing trailing entry
+// would be a null pointer, which the static_assert below rejects at compile
+// time (the per-category count array in TraceLog indexes by enum value, so a
+// name/enum mismatch would silently misreport counts).
+inline constexpr std::array<const char*, kNumTraceCategories>
+    kTraceCategoryNames = {
+        "submit",     "route",     "doorbell", "fetch-start", "fetch",
+        "flash-start", "flash-end", "complete", "irq",         "deliver",
+        "schedule",   "migrate",   "other",
+};
+
+static_assert(static_cast<int>(TraceCategory::kOther) + 1 ==
+                  kNumTraceCategories,
+              "kNumTraceCategories out of sync with the TraceCategory enum "
+              "(kOther must stay the last enumerator)");
+
+namespace trace_internal {
+constexpr bool AllCategoryNamesPresent() {
+  for (const char* name : kTraceCategoryNames) {
+    if (name == nullptr || name[0] == '\0') {
+      return false;
+    }
+  }
+  return true;
+}
+}  // namespace trace_internal
+
+static_assert(trace_internal::AllCategoryNamesPresent(),
+              "every TraceCategory needs a non-empty kTraceCategoryNames "
+              "entry at its enum index");
 
 const char* TraceCategoryName(TraceCategory c);
 

@@ -1,6 +1,20 @@
 #include "src/stack/storage_stack.h"
 
+#include "src/stats/trace_export.h"
+
 namespace daredevil {
+
+std::string StorageStack::NsqTrackLabel(int nsq) const {
+  return "NSQ " + std::to_string(nsq);
+}
+
+int StorageStack::PendingDoorbells() const {
+  int pending = 0;
+  for (const DoorbellState& db : doorbells_) {
+    pending += db.pending;
+  }
+  return pending;
+}
 
 StorageStack::StorageStack(Machine* machine, Device* device, const StackCosts& costs)
     : machine_(machine), device_(device), costs_(costs) {
@@ -44,6 +58,15 @@ void StorageStack::RegisterMetrics(MetricsRegistry* registry) const {
   });
   registry->RegisterGauge("stack.scheduler_queued", [s]() {
     return static_cast<double>(s->scheduler_queued());
+  });
+  registry->RegisterGauge("stack.doorbells_rung", [s]() {
+    return static_cast<double>(s->doorbells_rung());
+  });
+  registry->RegisterGauge("stack.doorbell_batch_mean", [s]() {
+    return s->doorbells_rung() > 0
+               ? static_cast<double>(s->doorbell_rqs_rung()) /
+                     static_cast<double>(s->doorbells_rung())
+               : 0.0;
   });
 }
 
@@ -237,6 +260,8 @@ void StorageStack::RingOrBatchDoorbell(int nsq) {
     if (trace_ != nullptr) {
       trace_->Record(machine_->now(), TraceCategory::kDoorbell, 0, nsq, 1);
     }
+    ++doorbells_rung_;
+    ++doorbell_rqs_rung_;
     device_->RingDoorbell(nsq);
     return;
   }
@@ -248,6 +273,8 @@ void StorageStack::RingOrBatchDoorbell(int nsq) {
       trace_->Record(machine_->now(), TraceCategory::kDoorbell, 0, nsq,
                      db.pending);
     }
+    ++doorbells_rung_;
+    doorbell_rqs_rung_ += static_cast<uint64_t>(db.pending);
     db.pending = 0;
     device_->RingDoorbell(nsq);
     return;
@@ -258,6 +285,12 @@ void StorageStack::RingOrBatchDoorbell(int nsq) {
       DoorbellState& state = doorbells_[static_cast<size_t>(nsq)];
       state.timer_armed = false;
       if (state.pending > 0) {
+        if (trace_ != nullptr) {
+          trace_->Record(machine_->now(), TraceCategory::kDoorbell, 0, nsq,
+                         state.pending);
+        }
+        ++doorbells_rung_;
+        doorbell_rqs_rung_ += static_cast<uint64_t>(state.pending);
         state.pending = 0;
         device_->RingDoorbell(nsq);
       }
@@ -354,8 +387,13 @@ void StorageStack::DeliverCompletion(const NvmeCompletion& cqe, int ncq_id,
   const uint64_t tid = rq->tenant != nullptr ? rq->tenant->id : 0;
   machine_->Post(
       tenant_core, WorkLevel::kUser, costs_.complete_delivery,
-      [this, rq]() {
+      [this, rq, ncq_id, irq_core]() {
         rq->complete_time = machine_->now();
+        if (timeline_ != nullptr) {
+          // Last chance to copy the stage stamps: the workload layer recycles
+          // the request object inside on_complete.
+          timeline_->Append(*rq, irq_core, ncq_id);
+        }
         if (rq->on_complete) {
           rq->on_complete(rq);
         }

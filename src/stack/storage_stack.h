@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -18,6 +19,8 @@
 #include "src/stats/metrics.h"
 
 namespace daredevil {
+
+class RequestTimelineLog;  // src/stats/trace_export.h
 
 // Table 1's comparison factors, exposed as queryable capabilities.
 struct StackCapabilities {
@@ -51,6 +54,11 @@ class StorageStack {
 
   virtual std::string_view name() const = 0;
   virtual StackCapabilities capabilities() const = 0;
+
+  // Display label for an NSQ's trace track. Stacks that give queues a role
+  // (blk-mq's per-core queues, Daredevil's priority groups) override this so
+  // the exported timeline reads in the stack's own vocabulary.
+  virtual std::string NsqTrackLabel(int nsq) const;
 
   // Lifecycle notifications from the workload layer.
   virtual void OnTenantStart(Tenant* tenant);
@@ -98,6 +106,13 @@ class StorageStack {
   uint64_t requeues() const { return requeues_; }
   uint64_t cross_core_completions() const { return cross_core_completions_; }
   Tick submission_lock_wait_ns() const { return submission_lock_wait_ns_; }
+  // Doorbell accounting: rings issued and requests made visible per ring
+  // (rqs/rings = mean batch size; > 1 only with batched doorbell policies).
+  uint64_t doorbells_rung() const { return doorbells_rung_; }
+  uint64_t doorbell_rqs_rung() const { return doorbell_rqs_rung_; }
+  // Requests sitting enqueued-but-unrung under batched doorbell policies
+  // right now (StateSampler probe).
+  int PendingDoorbells() const;
 
   Machine& machine() { return *machine_; }
   Device& device() { return *device_; }
@@ -107,6 +122,13 @@ class StorageStack {
   // device). May be null.
   void SetTraceLog(TraceLog* trace);
   TraceLog* trace() { return trace_; }
+
+  // Attaches the per-request timeline capture: every completed request's
+  // stage chain is copied into the log at delivery (requests are pooled and
+  // reused, so delivery is the last moment the stamps are alive). May be
+  // null. Read-only observability - never affects simulated time.
+  void SetTimelineLog(RequestTimelineLog* log) { timeline_ = log; }
+  RequestTimelineLog* timeline() { return timeline_; }
 
   // The lifecycle verifier fed by the submission/doorbell/completion paths.
   // Only populated when DAREDEVIL_INVARIANTS is compiled in (the feeding
@@ -163,6 +185,7 @@ class StorageStack {
   Device* device_;
   StackCosts costs_;
   TraceLog* trace_ = nullptr;
+  RequestTimelineLog* timeline_ = nullptr;
 
   struct DoorbellState {
     DoorbellPolicy policy;
@@ -198,6 +221,8 @@ class StorageStack {
   uint64_t requeues_ = 0;
   uint64_t cross_core_completions_ = 0;
   Tick submission_lock_wait_ns_ = 0;
+  uint64_t doorbells_rung_ = 0;
+  uint64_t doorbell_rqs_rung_ = 0;
 };
 
 }  // namespace daredevil

@@ -1,0 +1,280 @@
+#include "src/stats/holb.h"
+
+#include <algorithm>
+
+#include "src/stats/metrics.h"
+#include "src/stats/table.h"
+
+namespace daredevil {
+
+namespace {
+
+// A head-occupancy or fetch-engine interval with its owning record.
+struct OwnedInterval {
+  Tick begin = 0;
+  Tick end = 0;
+  const RequestRecord* owner = nullptr;
+};
+
+Tick Overlap(Tick a_begin, Tick a_end, Tick b_begin, Tick b_end) {
+  const Tick begin = a_begin > b_begin ? a_begin : b_begin;
+  const Tick end = a_end < b_end ? a_end : b_end;
+  return end > begin ? end - begin : 0;
+}
+
+std::string TenantKey(const HolbOptions& opts, uint64_t tenant_id) {
+  auto it = opts.tenant_names.find(tenant_id);
+  if (it != opts.tenant_names.end()) {
+    return it->second;
+  }
+  return "tenant" + std::to_string(tenant_id);
+}
+
+std::string SizeKey(const HolbOptions& opts, uint32_t pages) {
+  const std::string threshold = std::to_string(opts.bulk_threshold_pages);
+  return pages >= opts.bulk_threshold_pages ? "bulk(>=" + threshold + "p)"
+                                            : "small(<" + threshold + "p)";
+}
+
+void Charge(std::map<std::string, HolbRow>& rows, const std::string& key,
+            Tick head_ns, Tick fetch_ns) {
+  HolbRow& row = rows[key];
+  row.key = key;
+  ++row.blocking_events;
+  row.head_block_ns += head_ns;
+  row.fetch_slot_ns += fetch_ns;
+}
+
+std::vector<HolbRow> RankRows(std::map<std::string, HolbRow>& rows,
+                              size_t top_n) {
+  std::vector<HolbRow> out;
+  out.reserve(rows.size());
+  for (auto& [key, row] : rows) {
+    out.push_back(row);
+  }
+  std::sort(out.begin(), out.end(), [](const HolbRow& a, const HolbRow& b) {
+    if (a.total_ns() != b.total_ns()) {
+      return a.total_ns() > b.total_ns();
+    }
+    return a.key < b.key;
+  });
+  if (out.size() > top_n) {
+    out.resize(top_n);
+  }
+  return out;
+}
+
+// First interval whose end is past `at` (intervals are disjoint + sorted).
+size_t LowerBoundByEnd(const std::vector<OwnedInterval>& v, Tick at) {
+  size_t lo = 0;
+  size_t hi = v.size();
+  while (lo < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (v[mid].end <= at) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace
+
+Tick HolbReport::BulkHeadBlockNs() const {
+  for (const HolbRow& row : by_size) {
+    if (row.key.rfind("bulk", 0) == 0) {
+      return row.head_block_ns;
+    }
+  }
+  return 0;
+}
+
+Tick HolbReport::SmallHeadBlockNs() const {
+  for (const HolbRow& row : by_size) {
+    if (row.key.rfind("small", 0) == 0) {
+      return row.head_block_ns;
+    }
+  }
+  return 0;
+}
+
+void HolbReport::AppendJson(JsonWriter& w) const {
+  w.BeginObject();
+  w.Key("victims").UInt(victims);
+  w.Key("total_wait_ns").Int(total_wait_ns);
+  w.Key("attributed_head_ns").Int(attributed_head_ns);
+  w.Key("attributed_fetch_ns").Int(attributed_fetch_ns);
+  w.Key("residual_ns").Int(residual_ns);
+  auto rows = [&w](const char* key, const std::vector<HolbRow>& list) {
+    w.Key(key).BeginArray();
+    for (const HolbRow& row : list) {
+      w.BeginObject();
+      w.Key("key").String(row.key);
+      w.Key("blocking_events").UInt(row.blocking_events);
+      w.Key("head_block_ns").Int(row.head_block_ns);
+      w.Key("fetch_slot_ns").Int(row.fetch_slot_ns);
+      w.EndObject();
+    }
+    w.EndArray();
+  };
+  rows("by_tenant", by_tenant);
+  rows("by_size", by_size);
+  w.EndObject();
+}
+
+std::string HolbReport::ToTable() const {
+  std::string out;
+  out += "HOL-blocking attribution: " + std::to_string(victims) +
+         " victims, total NSQ wait " + FormatUs(static_cast<double>(total_wait_ns)) +
+         " (head " + FormatUs(static_cast<double>(attributed_head_ns)) +
+         ", fetch-slot " + FormatUs(static_cast<double>(attributed_fetch_ns)) +
+         ", residual " + FormatUs(static_cast<double>(residual_ns)) + ")\n";
+  auto render = [&out](const char* title, const std::vector<HolbRow>& list) {
+    if (list.empty()) {
+      return;
+    }
+    out += title;
+    out += '\n';
+    TablePrinter table({"blocker", "events", "head-block", "fetch-slot",
+                        "total"});
+    for (const HolbRow& row : list) {
+      table.AddRow({row.key, FormatCount(static_cast<double>(row.blocking_events)),
+                    FormatUs(static_cast<double>(row.head_block_ns)),
+                    FormatUs(static_cast<double>(row.fetch_slot_ns)),
+                    FormatUs(static_cast<double>(row.total_ns()))});
+    }
+    out += table.Render();
+  };
+  render("blockers by tenant:", by_tenant);
+  render("blockers by size class:", by_size);
+  return out;
+}
+
+HolbReport AnalyzeHolBlocking(const std::vector<RequestRecord>& records,
+                              const HolbOptions& opts) {
+  HolbReport report;
+  if (records.empty()) {
+    return report;
+  }
+
+  // Reconstruct the per-NSQ head-occupancy intervals (same derivation as the
+  // trace export's NSQ tracks) and the serialized fetch-engine intervals.
+  std::map<int, std::vector<OwnedInterval>> heads_by_nsq;
+  // The victim's own head interval, keyed by record index.
+  std::map<const RequestRecord*, Tick> own_head_start;
+  {
+    std::map<int, std::vector<const RequestRecord*>> by_nsq;
+    for (const RequestRecord& r : records) {
+      by_nsq[r.nsq].push_back(&r);
+    }
+    for (auto& [nsq, rqs] : by_nsq) {
+      std::sort(rqs.begin(), rqs.end(),
+                [](const RequestRecord* a, const RequestRecord* b) {
+                  if (a->fetch_start != b->fetch_start) {
+                    return a->fetch_start < b->fetch_start;
+                  }
+                  return a->id < b->id;
+                });
+      Tick prev_departure = 0;
+      auto& intervals = heads_by_nsq[nsq];
+      intervals.reserve(rqs.size());
+      for (const RequestRecord* r : rqs) {
+        const Tick visible = r->doorbell > 0 ? r->doorbell : r->nsq_enqueue;
+        const Tick head_start = std::max(visible, prev_departure);
+        intervals.push_back({head_start, r->fetch_start, r});
+        own_head_start[r] = head_start;
+        prev_departure = r->fetch_start;
+      }
+    }
+  }
+  std::vector<OwnedInterval> fetches;
+  fetches.reserve(records.size());
+  for (const RequestRecord& r : records) {
+    fetches.push_back({r.fetch_start, r.fetch, &r});
+  }
+  std::sort(fetches.begin(), fetches.end(),
+            [](const OwnedInterval& a, const OwnedInterval& b) {
+              if (a.begin != b.begin) {
+                return a.begin < b.begin;
+              }
+              return a.owner->id < b.owner->id;
+            });
+
+  std::map<std::string, HolbRow> by_tenant;
+  std::map<std::string, HolbRow> by_size;
+
+  for (const RequestRecord& victim : records) {
+    if (opts.victims_latency_sensitive_only && !victim.latency_sensitive) {
+      continue;
+    }
+    const Tick wait_begin = victim.nsq_enqueue;
+    const Tick wait_end = victim.fetch_start;
+    ++report.victims;
+    if (wait_end <= wait_begin) {
+      continue;
+    }
+    report.total_wait_ns += wait_end - wait_begin;
+
+    // Same-NSQ head blocking: other requests occupying the head while the
+    // victim waited. Head intervals are disjoint within an NSQ, so overlaps
+    // never double-count.
+    const auto heads_it = heads_by_nsq.find(victim.nsq);
+    if (heads_it != heads_by_nsq.end()) {
+      const auto& heads = heads_it->second;
+      for (size_t i = LowerBoundByEnd(heads, wait_begin); i < heads.size();
+           ++i) {
+        const OwnedInterval& iv = heads[i];
+        if (iv.begin >= wait_end) {
+          break;
+        }
+        if (iv.owner == &victim) {
+          continue;
+        }
+        const Tick ns = Overlap(wait_begin, wait_end, iv.begin, iv.end);
+        if (ns <= 0) {
+          continue;
+        }
+        report.attributed_head_ns += ns;
+        Charge(by_tenant, TenantKey(opts, iv.owner->tenant_id), ns, 0);
+        Charge(by_size, SizeKey(opts, iv.owner->pages), ns, 0);
+      }
+    }
+
+    // Fetch-slot blocking: once at its own head, the victim waits for the
+    // serialized fetch engine to clear other queues' commands. Fetch
+    // intervals are globally disjoint (one engine), so again no
+    // double-counting, and the head/fetch windows partition the wait.
+    const auto own_it = own_head_start.find(&victim);
+    const Tick head_begin =
+        own_it != own_head_start.end() ? own_it->second : wait_end;
+    if (head_begin < wait_end) {
+      for (size_t i = LowerBoundByEnd(fetches, head_begin); i < fetches.size();
+           ++i) {
+        const OwnedInterval& iv = fetches[i];
+        if (iv.begin >= wait_end) {
+          break;
+        }
+        if (iv.owner == &victim) {
+          continue;
+        }
+        const Tick ns = Overlap(head_begin, wait_end, iv.begin, iv.end);
+        if (ns <= 0) {
+          continue;
+        }
+        report.attributed_fetch_ns += ns;
+        Charge(by_tenant, TenantKey(opts, iv.owner->tenant_id), 0, ns);
+        Charge(by_size, SizeKey(opts, iv.owner->pages), 0, ns);
+      }
+    }
+  }
+
+  const Tick attributed = report.attributed_head_ns + report.attributed_fetch_ns;
+  report.residual_ns =
+      report.total_wait_ns > attributed ? report.total_wait_ns - attributed : 0;
+  report.by_tenant = RankRows(by_tenant, opts.top_n);
+  report.by_size = RankRows(by_size, opts.top_n);
+  return report;
+}
+
+}  // namespace daredevil

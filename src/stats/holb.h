@@ -1,0 +1,83 @@
+// Head-of-line blocking attribution (the quantitative half of §3.1).
+//
+// For every latency-sensitive victim request, its NSQ wait
+// [nsq_enqueue, fetch_start] is attributed to the concrete requests that
+// delayed it:
+//
+//   * head blocking - requests of the same NSQ that occupied the queue head
+//     (their head-occupancy interval, see trace_export.h) while the victim
+//     was waiting behind them;
+//   * fetch-slot blocking - the controller's fetch/decompose engine is
+//     serialized across NSQs, so once the victim reaches its own NSQ head it
+//     can still wait for other queues' commands to clear the engine;
+//   * residual - whatever remains (doorbell batching before the command is
+//     visible, capacity stalls, ...).
+//
+// Rankings by tenant and by size class show *who* blocks L-requests - on
+// blk-mq the bulk 128KB commands dominate; on Daredevil's split NSQ groups
+// they cannot, because they never share a queue with the victims.
+#ifndef DAREDEVIL_SRC_STATS_HOLB_H_
+#define DAREDEVIL_SRC_STATS_HOLB_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/sim/clock.h"
+#include "src/stats/trace_export.h"
+
+namespace daredevil {
+
+class JsonWriter;  // src/stats/metrics.h
+
+struct HolbOptions {
+  // Attribute blocking only for latency-sensitive victims (the paper's
+  // L-apps). When false every request is a victim.
+  bool victims_latency_sensitive_only = true;
+  // Blockers with >= this many pages count as "bulk" in the size-class
+  // rollup (128KB = 32 pages by default).
+  uint32_t bulk_threshold_pages = 32;
+  // Rows kept in the ranked blocker tables.
+  size_t top_n = 10;
+  // Optional tenant display names ("L0", "T1", ...); ids otherwise.
+  std::map<uint64_t, std::string> tenant_names;
+};
+
+// One row of a blocker ranking (key = tenant name or size class).
+struct HolbRow {
+  std::string key;
+  uint64_t blocking_events = 0;  // victim/blocker pairs with overlap > 0
+  Tick head_block_ns = 0;        // same-NSQ head-occupancy overlap
+  Tick fetch_slot_ns = 0;        // cross-NSQ fetch-engine overlap
+  Tick total_ns() const { return head_block_ns + fetch_slot_ns; }
+};
+
+struct HolbReport {
+  uint64_t victims = 0;            // requests whose wait was attributed
+  Tick total_wait_ns = 0;          // sum of victim [nsq_enqueue, fetch_start]
+  Tick attributed_head_ns = 0;     // portion blamed on same-NSQ heads
+  Tick attributed_fetch_ns = 0;    // portion blamed on the fetch engine
+  Tick residual_ns = 0;            // unattributed remainder
+  std::vector<HolbRow> by_tenant;  // descending by total_ns
+  std::vector<HolbRow> by_size;    // "bulk(>=Np)" / "small(<Np)"
+
+  bool empty() const { return victims == 0; }
+  // Head-blocking nanoseconds charged to bulk-sized blockers; the fig02
+  // acceptance check compares this share across stacks.
+  Tick BulkHeadBlockNs() const;
+  Tick SmallHeadBlockNs() const;
+
+  void AppendJson(JsonWriter& w) const;
+  // Human-readable ranking table for bench output.
+  std::string ToTable() const;
+};
+
+// Runs the attribution pass over completed-request records. Pure function of
+// the records: deterministic, no simulation access.
+HolbReport AnalyzeHolBlocking(const std::vector<RequestRecord>& records,
+                              const HolbOptions& opts = HolbOptions());
+
+}  // namespace daredevil
+
+#endif  // DAREDEVIL_SRC_STATS_HOLB_H_

@@ -1,0 +1,111 @@
+#include "src/stats/state_sampler.h"
+
+#include <utility>
+
+#include "src/core/invariant.h"
+#include "src/stats/metrics.h"
+
+namespace daredevil {
+
+void SamplerSnapshot::AppendJson(JsonWriter& w) const {
+  w.BeginObject();
+  w.Key("interval_ns").Int(interval);
+  w.Key("samples").UInt(times.size());
+  w.Key("times_ns").BeginArray();
+  for (Tick t : times) {
+    w.Int(t);
+  }
+  w.EndArray();
+  w.Key("series").BeginObject();
+  for (const auto& [name, values] : series) {
+    bool all_zero = true;
+    for (double v : values) {
+      if (v != 0.0) {
+        all_zero = false;
+        break;
+      }
+    }
+    if (all_zero) {
+      continue;
+    }
+    w.Key(name).BeginArray();
+    for (double v : values) {
+      w.Double(v);
+    }
+    w.EndArray();
+  }
+  w.EndObject();
+  w.EndObject();
+}
+
+StateSampler::StateSampler(Tick interval)
+    : interval_(interval > 0 ? interval : kMillisecond) {}
+
+void StateSampler::AddProbe(const std::string& name,
+                            std::function<double()> fn) {
+  DD_CHECK(!attached_) << "StateSampler probes must be added before Attach()";
+  probes_.emplace_back(name, std::move(fn));
+  series_[name];  // reserve the slot so series() is stable from the start
+}
+
+void StateSampler::Attach(Simulator* sim, Tick start, Tick end) {
+  DD_CHECK(!attached_) << "StateSampler attached twice";
+  attached_ = true;
+  if (end < start) {
+    return;
+  }
+  sim->At(start, [this, sim, end]() { SampleOnce(sim, end); });
+}
+
+void StateSampler::SampleOnce(Simulator* sim, Tick end) {
+  const Tick now = sim->now();
+  times_.push_back(now);
+  for (const auto& [name, fn] : probes_) {
+    series_[name].push_back(fn());
+  }
+  if (now >= end) {
+    return;
+  }
+  // Close the series exactly at `end` so the last window is not lost.
+  const Tick next = now + interval_ < end ? now + interval_ : end;
+  sim->At(next, [this, sim, end]() { SampleOnce(sim, end); });
+}
+
+SamplerSnapshot StateSampler::Snapshot() const {
+  SamplerSnapshot snap;
+  snap.interval = interval_;
+  snap.times = times_;
+  snap.series = series_;
+  return snap;
+}
+
+void StateSampler::RegisterMetrics(MetricsRegistry* registry) const {
+  const StateSampler* s = this;
+  for (const auto& [name, fn] : probes_) {
+    (void)fn;
+    const std::string probe = name;
+    registry->RegisterGauge("sampler." + probe + ".mean", [s, probe]() {
+      const auto it = s->series_.find(probe);
+      if (it == s->series_.end() || it->second.empty()) {
+        return 0.0;
+      }
+      double sum = 0.0;
+      for (double v : it->second) {
+        sum += v;
+      }
+      return sum / static_cast<double>(it->second.size());
+    });
+    registry->RegisterGauge("sampler." + probe + ".max", [s, probe]() {
+      const auto it = s->series_.find(probe);
+      double max = 0.0;
+      if (it != s->series_.end()) {
+        for (double v : it->second) {
+          max = v > max ? v : max;
+        }
+      }
+      return max;
+    });
+  }
+}
+
+}  // namespace daredevil

@@ -1,0 +1,156 @@
+// Timeline observability: per-request lifecycle capture and a Chrome Trace
+// Event Format / Perfetto-compatible JSON exporter.
+//
+// The paper's argument is about *where* time hides inside the stack (a 4KB
+// L-request stuck behind a 128KB bulk command at an NSQ head, fetch/decompose
+// serialization, completion batching). Aggregate histograms cannot show that
+// per-request; a timeline can. This module turns the TraceLog event stream
+// plus per-request stage timelines into a trace that loads directly in
+// ui.perfetto.dev / chrome://tracing:
+//
+//   * per-NSQ tracks with non-overlapping head-occupancy slices (who sat at
+//     the queue head, for how long - HOL blocking made visible),
+//   * a device fetch-engine track (fetch/decompose serialization),
+//   * per-request nested async slices covering the full lifecycle
+//     (submit / nsq-wait / fetch / flash / completion-wait / delivery),
+//   * flow arrows across the cross-core IRQ hop,
+//   * counter tracks from the periodic StateSampler (queue depths, chip
+//     occupancy, run-queue lengths),
+//   * instant events for doorbells, IRQs, NQ-scheduling and migrations.
+//
+// Everything here is post-processing: building and serializing the trace
+// reads simulation state but never schedules events or mutates it, so an
+// export-enabled run is simulated-time identical to a disabled one.
+#ifndef DAREDEVIL_SRC_STATS_TRACE_EXPORT_H_
+#define DAREDEVIL_SRC_STATS_TRACE_EXPORT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/sim/trace.h"
+#include "src/stack/request.h"
+
+namespace daredevil {
+
+class StateSampler;  // src/stats/state_sampler.h
+
+// --- Per-request lifecycle capture ---------------------------------------
+
+// Compact snapshot of one completed request's stage timeline, captured on
+// delivery (requests are pooled and reused by the workload layer, so the
+// stamps must be copied out before recycling). This is the exporter's and
+// the HOL-blocking analyzer's ground truth.
+struct RequestRecord {
+  uint64_t id = 0;
+  uint64_t tenant_id = 0;
+  uint32_t pages = 1;
+  bool is_write = false;
+  bool latency_sensitive = false;  // realtime ionice (L-tenant) at delivery
+  int nsq = -1;                    // NSQ the request was routed to
+  int ncq = -1;                    // NCQ the completion came back on
+  int submit_core = 0;
+  int irq_core = 0;       // core that drained the CQE
+  int complete_core = 0;  // tenant core the completion was delivered on
+
+  // The monotonic stage chain (see Request in src/stack/request.h).
+  Tick issue = 0;
+  Tick submit = 0;
+  Tick nsq_enqueue = 0;
+  Tick doorbell = 0;
+  Tick fetch_start = 0;
+  Tick fetch = 0;
+  Tick flash_start = 0;
+  Tick flash_end = 0;
+  Tick cqe_post = 0;
+  Tick drain = 0;
+  Tick complete = 0;
+};
+
+// Bounded append-only log of completed-request records (oldest dropped once
+// full, like TraceLog). Fed by the storage stack's completion delivery path.
+class RequestTimelineLog {
+ public:
+  explicit RequestTimelineLog(size_t capacity = 1 << 20);
+
+  // Copies the request's timeline. Requests without a full device timeline
+  // (split parents, which complete via their children) are skipped.
+  void Append(const Request& rq, int irq_core, int ncq);
+
+  // Records in completion order (chronological by `complete`).
+  std::vector<RequestRecord> Records() const;
+  size_t size() const { return records_.size(); }
+  uint64_t total_recorded() const { return total_; }
+  uint64_t dropped() const { return dropped_; }
+  void Clear();
+
+ private:
+  size_t capacity_;
+  std::vector<RequestRecord> records_;  // ring
+  size_t head_ = 0;
+  bool full_ = false;
+  uint64_t total_ = 0;
+  uint64_t dropped_ = 0;
+};
+
+// --- Chrome Trace Event Format export -------------------------------------
+
+// Synthetic process ids grouping the tracks.
+inline constexpr int kTracePidHost = 1;      // per-core tracks
+inline constexpr int kTracePidNsq = 2;       // per-NSQ head-occupancy tracks
+inline constexpr int kTracePidDevice = 3;    // fetch engine + flash service
+inline constexpr int kTracePidNcq = 4;       // completion-queue residency
+inline constexpr int kTracePidRequests = 5;  // per-request nested lifecycles
+inline constexpr int kTracePidCounters = 6;  // StateSampler counter tracks
+inline constexpr int kTracePidControl = 7;   // scheduling / migration events
+
+// One Chrome trace event before serialization (exposed so tests can verify
+// well-formedness - slice nesting, non-overlap - without a JSON parser).
+struct ChromeEvent {
+  char ph = 'X';  // B/E/X/b/e/i/C/s/f/M
+  Tick ts = 0;    // nanoseconds (serialized as microseconds)
+  Tick dur = 0;   // X events only
+  int pid = 0;
+  int tid = 0;
+  bool has_id = false;
+  uint64_t id = 0;  // async/flow id
+  std::string name;
+  std::string cat;
+  // Pre-rendered JSON values, e.g. {"pages", "32"} or {"tenant", "\"L0\""}.
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+struct TraceExportInput {
+  std::string stack_name;
+  int num_cores = 0;
+  int nr_nsq = 0;
+  int nr_ncq = 0;
+  std::vector<TraceEvent> events;  // TraceLog::Events(), may be empty
+  // Completed-request records (RequestTimelineLog::Records()); may be empty.
+  std::vector<RequestRecord> requests;
+  const StateSampler* sampler = nullptr;      // optional counter tracks
+  std::map<uint64_t, std::string> tenant_names;  // id -> display name
+  std::map<int, std::string> nsq_labels;      // per-stack track naming
+};
+
+// Builds the event list (metadata events first, then data events in
+// timestamp order; equal timestamps keep emission order, which preserves
+// correct begin/end nesting).
+std::vector<ChromeEvent> BuildChromeEvents(const TraceExportInput& input);
+
+// Full JSON document: {"traceEvents":[...],"displayTimeUnit":"ns",
+// "otherData":{...},"ddRequests":[...],"ddSampler":{...}}. The ddRequests /
+// ddSampler side-channels carry the raw records for tools/ddtrace.py.
+// Deterministic: identical inputs serialize to identical bytes.
+std::string SerializeChromeTrace(const TraceExportInput& input);
+
+// Minimal recursive-descent JSON validator (no external deps). Used by the
+// export tests and tools to guarantee the emitted trace parses.
+bool JsonLooksValid(std::string_view json, std::string* error = nullptr);
+
+}  // namespace daredevil
+
+#endif  // DAREDEVIL_SRC_STATS_TRACE_EXPORT_H_

@@ -1,5 +1,7 @@
 #include "src/workload/scenario.h"
 
+#include <fstream>
+
 #include "src/blkmq/blkmq_stack.h"
 #include "src/core/daredevil_stack.h"
 
@@ -99,11 +101,13 @@ uint64_t HashTraceStream(const TraceLog& trace) {
 }  // namespace
 
 uint64_t ScenarioResult::SimulationFingerprint() const {
-  uint64_t h = FnvString(kFnvOffset, ToJson());
-  return FnvMix(h, trace_hash);
+  // Digest the observability-free projection only: attaching a TraceLog,
+  // timeline capture or StateSampler must not move the fingerprint (they are
+  // read-only observers), so their outputs cannot participate in it.
+  return FnvString(kFnvOffset, ToJson(/*include_observability=*/false));
 }
 
-std::string ScenarioResult::ToJson() const {
+std::string ScenarioResult::ToJson(bool include_observability) const {
   JsonWriter w;
   w.BeginObject();
   w.Key("measure_duration_ns").Int(measure_duration);
@@ -129,9 +133,32 @@ std::string ScenarioResult::ToJson() const {
   w.EndObject();
   w.Key("metrics").BeginObject();
   for (const auto& [name, value] : metrics) {
+    // "sampler.*" gauges exist only because a StateSampler was attached;
+    // keep them out of the fingerprinted projection.
+    if (!include_observability && name.rfind("sampler.", 0) == 0) {
+      continue;
+    }
     w.Key(name).Double(value);
   }
   w.EndObject();
+  if (include_observability &&
+      (trace_total > 0 || timeline_total > 0 || !sampler.empty() ||
+       !holb.empty())) {
+    w.Key("observability").BeginObject();
+    w.Key("trace_total").UInt(trace_total);
+    w.Key("trace_dropped").UInt(trace_dropped);
+    w.Key("timeline_total").UInt(timeline_total);
+    w.Key("timeline_dropped").UInt(timeline_dropped);
+    if (!sampler.empty()) {
+      w.Key("sampler");
+      sampler.AppendJson(w);
+    }
+    if (!holb.empty()) {
+      w.Key("holb");
+      holb.AppendJson(w);
+    }
+    w.EndObject();
+  }
   w.EndObject();
   return w.str();
 }
@@ -187,6 +214,45 @@ ScenarioEnv::ScenarioEnv(const ScenarioConfig& config)
   if (config.io_scheduler != IoSchedulerKind::kNone) {
     stack_->EnableIoScheduler(config.io_scheduler, config.io_scheduler_window);
   }
+  if (config.export_trace || config.analyze_holb) {
+    timeline_ = std::make_unique<RequestTimelineLog>(config.timeline_capacity);
+    stack_->SetTimelineLog(timeline_.get());
+  }
+  if (config.sample_interval > 0) {
+    sampler_ = std::make_unique<StateSampler>(config.sample_interval);
+    // Standard probe set: queue depths, chip occupancy, per-core run-queue
+    // lengths, pending doorbell batches. All pure reads (DESIGN.md §6).
+    Device* dev = &device_;
+    Simulator* sim = &sim_;
+    Machine* mach = &machine_;
+    StorageStack* stack = stack_.get();
+    sampler_->AddProbe("nsq.occupancy", [dev]() {
+      return static_cast<double>(dev->TotalNsqOccupancy());
+    });
+    sampler_->AddProbe("ncq.pending", [dev]() {
+      return static_cast<double>(dev->TotalNcqPending());
+    });
+    sampler_->AddProbe("device.inflight_pages", [dev]() {
+      return static_cast<double>(dev->inflight_pages());
+    });
+    sampler_->AddProbe("flash.busy_chips", [dev, sim]() {
+      return static_cast<double>(dev->flash().BusyChips(sim->now()));
+    });
+    sampler_->AddProbe("doorbell.pending", [stack]() {
+      return static_cast<double>(stack->PendingDoorbells());
+    });
+    for (int c = 0; c < machine_.num_cores(); ++c) {
+      sampler_->AddProbe("core" + std::to_string(c) + ".runq", [mach, c]() {
+        return static_cast<double>(mach->core(c).TotalQueueDepth());
+      });
+    }
+  }
+}
+
+void ScenarioEnv::AttachSampler() {
+  if (sampler_ != nullptr) {
+    sampler_->Attach(&sim_, measure_start(), measure_end());
+  }
 }
 
 ScenarioResult RunScenario(const ScenarioConfig& config) {
@@ -216,6 +282,10 @@ ScenarioResult RunScenario(const ScenarioConfig& config) {
   RegisterMachineMetrics(machine, &registry);
   device.RegisterMetrics(&registry);
   stack->RegisterMetrics(&registry);
+  if (env.sampler() != nullptr) {
+    env.sampler()->RegisterMetrics(&registry);
+    env.AttachSampler();
+  }
 
   Rng master(config.seed);
   std::vector<std::unique_ptr<FioJob>> jobs;
@@ -275,6 +345,48 @@ ScenarioResult RunScenario(const ScenarioConfig& config) {
   result.migrations = metric_u64("blkswitch.migrations");
   if (env.trace_log() != nullptr) {
     result.trace_hash = HashTraceStream(*env.trace_log());
+    result.trace_total = env.trace_log()->total_recorded();
+    result.trace_dropped = env.trace_log()->dropped();
+  }
+  if (env.sampler() != nullptr) {
+    result.sampler = env.sampler()->Snapshot();
+  }
+  if (env.timeline_log() != nullptr) {
+    result.timeline_total = env.timeline_log()->total_recorded();
+    result.timeline_dropped = env.timeline_log()->dropped();
+
+    std::map<uint64_t, std::string> tenant_names;
+    for (const auto& job : jobs) {
+      tenant_names[job->tenant().id] = job->tenant().name;
+    }
+    const std::vector<RequestRecord> records = env.timeline_log()->Records();
+
+    HolbOptions holb_opts;
+    holb_opts.tenant_names = tenant_names;
+    result.holb = AnalyzeHolBlocking(records, holb_opts);
+
+    if (config.export_trace) {
+      TraceExportInput input;
+      input.stack_name = std::string(stack->name());
+      input.num_cores = machine.num_cores();
+      input.nr_nsq = device.nr_nsq();
+      input.nr_ncq = device.nr_ncq();
+      if (env.trace_log() != nullptr) {
+        input.events = env.trace_log()->Events();
+      }
+      input.requests = records;
+      input.sampler = env.sampler();
+      input.tenant_names = std::move(tenant_names);
+      for (int i = 0; i < device.nr_nsq(); ++i) {
+        input.nsq_labels[i] = stack->NsqTrackLabel(i);
+      }
+      result.trace_json = SerializeChromeTrace(input);
+      if (!config.trace_json_path.empty()) {
+        std::ofstream out(config.trace_json_path,
+                          std::ios::binary | std::ios::trunc);
+        out << result.trace_json;
+      }
+    }
   }
   return result;
 }

@@ -16,7 +16,10 @@
 #include "src/sim/cpu.h"
 #include "src/sim/simulator.h"
 #include "src/stack/storage_stack.h"
+#include "src/stats/holb.h"
+#include "src/stats/state_sampler.h"
 #include "src/stats/time_series.h"
+#include "src/stats/trace_export.h"
 #include "src/workload/fio_job.h"
 
 namespace daredevil {
@@ -44,6 +47,21 @@ struct ScenarioConfig {
   size_t trace_capacity = 0;  // >0: attach a TraceLog ring of this many events
   IoSchedulerKind io_scheduler = IoSchedulerKind::kNone;
   int io_scheduler_window = 32;
+
+  // --- Observability (read-only: none of these change simulated time) ----
+  // >0: attach a StateSampler recording queue depths / chip occupancy /
+  // run-queue lengths / pending doorbell batches at this period.
+  Tick sample_interval = 0;
+  // Capture per-request stage timelines and build the Chrome-trace JSON into
+  // ScenarioResult::trace_json (and trace_json_path, if set).
+  bool export_trace = false;
+  std::string trace_json_path;  // non-empty: write the exported JSON here
+  // Run the HOL-blocking attribution pass over the captured timelines into
+  // ScenarioResult::holb (implied by export_trace).
+  bool analyze_holb = false;
+  // Ring capacity (records) for the per-request timeline capture used by the
+  // exporter and the HOL analyzer.
+  size_t timeline_capacity = 1 << 20;
 
   std::vector<FioJobSpec> jobs;
 
@@ -86,8 +104,21 @@ struct ScenarioResult {
   std::map<std::string, TimeSeries> bytes_series;
 
   // FNV-1a over the trace event stream (0 when the scenario ran without a
-  // TraceLog attached). Folded into SimulationFingerprint().
+  // TraceLog attached). Deliberately NOT part of SimulationFingerprint():
+  // the fingerprint must be identical with tracing on and off.
   uint64_t trace_hash = 0;
+  // TraceLog ring accounting (0 when no TraceLog was attached). Benches warn
+  // when trace_dropped > 0 - a partial ring silently truncates timelines.
+  uint64_t trace_total = 0;
+  uint64_t trace_dropped = 0;
+  // RequestTimelineLog ring accounting (export_trace / analyze_holb runs).
+  uint64_t timeline_total = 0;
+  uint64_t timeline_dropped = 0;
+
+  SamplerSnapshot sampler;  // empty unless sample_interval > 0
+  HolbReport holb;          // empty unless export_trace / analyze_holb
+  // The exported Chrome-trace JSON (empty unless export_trace).
+  std::string trace_json;
 
   const GroupStats* Find(const std::string& group) const;
   double AvgLatencyNs(const std::string& group) const;
@@ -100,12 +131,18 @@ struct ScenarioResult {
 
   // Machine-readable serialization: per-group end-to-end percentiles and
   // stage breakdowns plus the metrics snapshot (schema in EXPERIMENTS.md).
-  std::string ToJson() const;
+  // include_observability=false omits everything that only exists because an
+  // observer was attached (trace/timeline ring stats, the sampler series and
+  // its "sampler." summary gauges, the HOL report) - that projection is what
+  // the determinism fingerprint digests.
+  std::string ToJson(bool include_observability = true) const;
 
-  // Determinism gate: a stable 64-bit digest of the whole run - the JSON
-  // serialization above (std::map keys make it order-stable) folded with the
-  // trace-stream hash. Two runs of the same scenario with the same seed must
-  // produce identical fingerprints; see tests/determinism_test.cc.
+  // Determinism gate: a stable 64-bit digest of the simulated outcome - the
+  // observability-free JSON projection above (std::map keys make it
+  // order-stable). Two runs of the same scenario with the same seed must
+  // produce identical fingerprints, and a run with tracing/sampling attached
+  // must fingerprint identically to one without (observers are read-only);
+  // see tests/determinism_test.cc.
   uint64_t SimulationFingerprint() const;
 };
 
@@ -131,6 +168,13 @@ class ScenarioEnv {
   Tick measure_end() const { return config_.warmup + config_.duration; }
   // Null unless config.trace_capacity > 0.
   TraceLog* trace_log() { return trace_.get(); }
+  // Null unless config.export_trace / config.analyze_holb.
+  RequestTimelineLog* timeline_log() { return timeline_.get(); }
+  // Null unless config.sample_interval > 0. Probes are wired but the sampler
+  // is not yet scheduled; call AttachSampler() (RunScenario does).
+  StateSampler* sampler() { return sampler_.get(); }
+  // Schedules the sampler over [measure_start, measure_end].
+  void AttachSampler();
 
  private:
   ScenarioConfig config_;
@@ -139,6 +183,8 @@ class ScenarioEnv {
   Device device_;
   std::unique_ptr<StorageStack> stack_;
   std::unique_ptr<TraceLog> trace_;
+  std::unique_ptr<RequestTimelineLog> timeline_;
+  std::unique_ptr<StateSampler> sampler_;
 };
 
 ScenarioResult RunScenario(const ScenarioConfig& config);

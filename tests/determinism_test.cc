@@ -82,6 +82,37 @@ INSTANTIATE_TEST_SUITE_P(Stacks, DeterminismGate,
                                            StackKind::kDareFull),
                          GateName);
 
+TEST(DeterminismGate, ObservabilityDoesNotPerturbSimulatedTime) {
+  // The exporter, sampler and HOL analyzer are pure observers: turning them
+  // all on must not move a single simulated event. The fingerprint digests
+  // the observability-free projection of the result, so it must match
+  // between a plain run and a fully instrumented one.
+  const ScenarioConfig plain = GateConfig(StackKind::kVanilla, /*seed=*/42);
+  ScenarioConfig traced = plain;
+  traced.export_trace = true;
+  traced.analyze_holb = true;
+  traced.sample_interval = kMillisecond;
+  const ScenarioResult a = RunScenario(plain);
+  const ScenarioResult b = RunScenario(traced);
+  EXPECT_FALSE(b.trace_json.empty());
+  EXPECT_FALSE(b.holb.empty());
+  EXPECT_FALSE(b.sampler.empty());
+  EXPECT_EQ(a.SimulationFingerprint(), b.SimulationFingerprint())
+      << "enabling trace export / sampling / HOL analysis changed the "
+         "simulation";
+}
+
+TEST(DeterminismGate, TraceExportIsByteIdentical) {
+  ScenarioConfig cfg = GateConfig(StackKind::kDareFull, /*seed=*/42);
+  cfg.export_trace = true;
+  cfg.sample_interval = kMillisecond;
+  const ScenarioResult a = RunScenario(cfg);
+  const ScenarioResult b = RunScenario(cfg);
+  ASSERT_FALSE(a.trace_json.empty());
+  EXPECT_EQ(a.trace_json, b.trace_json)
+      << "same-seed runs must export byte-identical traces";
+}
+
 TEST(DeterminismGate, FingerprintWithoutTraceStillStable) {
   ScenarioConfig cfg = GateConfig(StackKind::kDareFull, 7);
   cfg.trace_capacity = 0;

@@ -1,0 +1,256 @@
+// Trace export: the Chrome-trace builder must emit structurally well-formed
+// event streams (balanced async begin/end per track, non-overlapping X
+// slices, flow arrows across the IRQ hop) and byte-deterministic JSON that
+// actually parses.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "src/stats/trace_export.h"
+#include "src/workload/scenario.h"
+
+namespace daredevil {
+namespace {
+
+// A completed request with a monotone stage chain, fully parameterized by the
+// few fields the exporter branches on. Stage gaps are synthetic but ordered.
+RequestRecord MakeRecord(uint64_t id, int nsq, Tick enqueue, Tick fetch_start,
+                         Tick fetch, uint32_t pages = 1,
+                         bool latency_sensitive = true) {
+  RequestRecord r;
+  r.id = id;
+  r.tenant_id = id % 3;
+  r.pages = pages;
+  r.latency_sensitive = latency_sensitive;
+  r.nsq = nsq;
+  r.ncq = nsq;
+  r.submit_core = nsq;
+  r.irq_core = nsq;
+  r.complete_core = nsq;
+  r.issue = enqueue > 10 ? enqueue - 10 : 0;
+  r.submit = enqueue > 5 ? enqueue - 5 : 0;
+  r.nsq_enqueue = enqueue;
+  r.doorbell = enqueue;
+  r.fetch_start = fetch_start;
+  r.fetch = fetch;
+  r.flash_start = fetch;
+  r.flash_end = fetch + 100;
+  r.cqe_post = fetch + 110;
+  r.drain = fetch + 130;
+  r.complete = fetch + 150;
+  return r;
+}
+
+TraceExportInput MakeInput(std::vector<RequestRecord> records) {
+  TraceExportInput input;
+  input.stack_name = "test-stack";
+  input.num_cores = 4;
+  input.nr_nsq = 4;
+  input.nr_ncq = 4;
+  input.requests = std::move(records);
+  input.tenant_names[0] = "L0";
+  input.tenant_names[1] = "T0";
+  input.tenant_names[2] = "T1";
+  return input;
+}
+
+TEST(JsonLooksValidTest, AcceptsWellFormedDocuments) {
+  std::string err;
+  EXPECT_TRUE(JsonLooksValid("{}", &err)) << err;
+  EXPECT_TRUE(JsonLooksValid("[]", &err)) << err;
+  EXPECT_TRUE(JsonLooksValid("[1, -2.5, 1e9, true, false, null]", &err)) << err;
+  EXPECT_TRUE(JsonLooksValid(
+      R"({"a": {"b": [1, "two", {"c": null}]}, "d": "\"\\\n\u0041"})", &err))
+      << err;
+  EXPECT_TRUE(JsonLooksValid("  {\"k\"\t:\n[ ]}  ", &err)) << err;
+}
+
+TEST(JsonLooksValidTest, RejectsMalformedDocuments) {
+  EXPECT_FALSE(JsonLooksValid(""));
+  EXPECT_FALSE(JsonLooksValid("{"));
+  EXPECT_FALSE(JsonLooksValid("{} trailing"));
+  EXPECT_FALSE(JsonLooksValid("{\"a\": }"));
+  EXPECT_FALSE(JsonLooksValid("{\"a\" 1}"));
+  EXPECT_FALSE(JsonLooksValid("[1, 2,]"));
+  EXPECT_FALSE(JsonLooksValid("{'single': 1}"));
+  EXPECT_FALSE(JsonLooksValid("[nan]"));
+  EXPECT_FALSE(JsonLooksValid("\"bad escape \\x\""));
+  EXPECT_FALSE(JsonLooksValid("\"unterminated"));
+  std::string err;
+  EXPECT_FALSE(JsonLooksValid("[1, 2", &err));
+  EXPECT_FALSE(err.empty());
+}
+
+TEST(TraceExportTest, MetadataEventsComeFirstThenTimestampOrder) {
+  const auto events = BuildChromeEvents(MakeInput({
+      MakeRecord(1, 0, 100, 200, 400),
+      MakeRecord(2, 1, 150, 400, 500),
+  }));
+  ASSERT_FALSE(events.empty());
+  bool seen_data = false;
+  Tick last_ts = 0;
+  for (const ChromeEvent& e : events) {
+    if (e.ph == 'M') {
+      EXPECT_FALSE(seen_data) << "metadata event after data events";
+      continue;
+    }
+    if (seen_data) {
+      EXPECT_GE(e.ts, last_ts) << "data events out of timestamp order";
+    }
+    seen_data = true;
+    last_ts = e.ts;
+  }
+  EXPECT_TRUE(seen_data);
+}
+
+TEST(TraceExportTest, AsyncBeginEndBalancedPerTrack) {
+  const auto events = BuildChromeEvents(MakeInput({
+      MakeRecord(1, 0, 100, 200, 400, /*pages=*/32),
+      MakeRecord(2, 0, 150, 400, 500),
+      MakeRecord(3, 1, 120, 130, 140),
+  }));
+  // Async slices pair by (pid, cat, id, name); every 'b' needs its 'e' and
+  // the end must not precede the begin.
+  std::map<std::tuple<int, std::string, uint64_t, std::string>, int> balance;
+  std::map<std::tuple<int, std::string, uint64_t, std::string>, Tick> begin_ts;
+  int async_begins = 0;
+  for (const ChromeEvent& e : events) {
+    if (e.ph != 'b' && e.ph != 'e') {
+      continue;
+    }
+    EXPECT_TRUE(e.has_id) << "async event without id: " << e.name;
+    const auto key = std::make_tuple(e.pid, e.cat, e.id, e.name);
+    if (e.ph == 'b') {
+      ++async_begins;
+      balance[key] += 1;
+      begin_ts[key] = e.ts;
+    } else {
+      balance[key] -= 1;
+      EXPECT_GE(e.ts, begin_ts[key]) << "async end before begin: " << e.name;
+    }
+  }
+  EXPECT_GT(async_begins, 0);
+  for (const auto& [key, count] : balance) {
+    EXPECT_EQ(count, 0) << "unbalanced async pair: pid=" << std::get<0>(key)
+                        << " cat=" << std::get<1>(key)
+                        << " name=" << std::get<3>(key);
+  }
+}
+
+TEST(TraceExportTest, CompleteSlicesNeverOverlapWithinATrack) {
+  // Three same-NSQ requests with overlapping lifecycles: the head-occupancy
+  // and fetch-engine X slices must still be disjoint per (pid, tid) track.
+  const auto events = BuildChromeEvents(MakeInput({
+      MakeRecord(1, 0, 100, 200, 400, /*pages=*/32),
+      MakeRecord(2, 0, 110, 400, 450),
+      MakeRecord(3, 0, 120, 450, 460),
+      MakeRecord(4, 1, 105, 460, 470),
+  }));
+  std::map<std::pair<int, int>, std::vector<std::pair<Tick, Tick>>> tracks;
+  for (const ChromeEvent& e : events) {
+    if (e.ph == 'X') {
+      EXPECT_GE(e.dur, 0) << e.name;
+      tracks[{e.pid, e.tid}].emplace_back(e.ts, e.ts + e.dur);
+    }
+  }
+  EXPECT_FALSE(tracks.empty());
+  for (auto& [track, slices] : tracks) {
+    std::sort(slices.begin(), slices.end());
+    for (size_t i = 1; i < slices.size(); ++i) {
+      EXPECT_GE(slices[i].first, slices[i - 1].second)
+          << "overlapping X slices on pid=" << track.first
+          << " tid=" << track.second;
+    }
+  }
+}
+
+TEST(TraceExportTest, IrqHopEmitsFlowArrows) {
+  // Completion drained on core 1 but delivered on core 3: the cross-core hop
+  // must be drawn as a flow (s on the IRQ core, f on the delivery core).
+  RequestRecord hop = MakeRecord(7, 0, 100, 200, 300);
+  hop.irq_core = 1;
+  hop.complete_core = 3;
+  RequestRecord local = MakeRecord(8, 1, 100, 300, 350);  // irq == complete
+
+  const auto events = BuildChromeEvents(MakeInput({hop, local}));
+  std::vector<const ChromeEvent*> starts;
+  std::vector<const ChromeEvent*> finishes;
+  for (const ChromeEvent& e : events) {
+    if (e.ph == 's') starts.push_back(&e);
+    if (e.ph == 'f') finishes.push_back(&e);
+  }
+  ASSERT_EQ(starts.size(), 1u);
+  ASSERT_EQ(finishes.size(), 1u);
+  EXPECT_EQ(starts[0]->id, finishes[0]->id);
+  EXPECT_EQ(starts[0]->cat, finishes[0]->cat);
+  EXPECT_EQ(starts[0]->tid, 1);    // drained on the IRQ core
+  EXPECT_EQ(finishes[0]->tid, 3);  // delivered on the tenant core
+  EXPECT_LE(starts[0]->ts, finishes[0]->ts);
+}
+
+TEST(TraceExportTest, SerializationIsDeterministicAndParses) {
+  const TraceExportInput input = MakeInput({
+      MakeRecord(1, 0, 100, 200, 400, /*pages=*/32),
+      MakeRecord(2, 0, 150, 400, 500),
+  });
+  const std::string a = SerializeChromeTrace(input);
+  const std::string b = SerializeChromeTrace(input);
+  EXPECT_EQ(a, b) << "same input must serialize to identical bytes";
+  std::string err;
+  EXPECT_TRUE(JsonLooksValid(a, &err)) << err;
+  EXPECT_NE(a.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(a.find("\"ddRequests\""), std::string::npos);
+  EXPECT_NE(a.find("\"displayTimeUnit\""), std::string::npos);
+}
+
+TEST(TraceExportTest, TimelineLogDropsOldestWhenFull) {
+  RequestTimelineLog log(/*capacity=*/2);
+  Request rq;
+  Tenant tenant;
+  tenant.id = 1;
+  rq.tenant = &tenant;
+  for (uint64_t i = 1; i <= 3; ++i) {
+    rq.id = i;
+    rq.routed_nsq = 0;
+    rq.nsq_enqueue_time = 10 * i;
+    rq.fetch_start_time = 10 * i + 1;
+    rq.fetch_time = 10 * i + 2;
+    rq.flash_start_time = 10 * i + 3;
+    rq.flash_end_time = 10 * i + 4;
+    rq.cqe_post_time = 10 * i + 5;
+    rq.drain_time = 10 * i + 6;
+    rq.complete_time = 10 * i + 7;
+    log.Append(rq, /*irq_core=*/0, /*ncq=*/0);
+  }
+  EXPECT_EQ(log.total_recorded(), 3u);
+  EXPECT_EQ(log.dropped(), 1u);
+  const auto records = log.Records();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].id, 2u);  // oldest (id 1) was evicted
+  EXPECT_EQ(records[1].id, 3u);
+}
+
+TEST(TraceExportTest, ScenarioExportIsPerfettoShaped) {
+  ScenarioConfig cfg = MakeSvmConfig(4);
+  cfg.stack = StackKind::kVanilla;
+  cfg.warmup = kMillisecond;
+  cfg.duration = 10 * kMillisecond;
+  cfg.export_trace = true;
+  cfg.sample_interval = kMillisecond;
+  AddLTenants(cfg, 2);
+  AddTTenants(cfg, 2);
+  const ScenarioResult r = RunScenario(cfg);
+  ASSERT_FALSE(r.trace_json.empty());
+  std::string err;
+  EXPECT_TRUE(JsonLooksValid(r.trace_json, &err)) << err;
+  EXPECT_GT(r.timeline_total, 0u);
+  EXPECT_NE(r.trace_json.find("\"ddSampler\""), std::string::npos);
+  EXPECT_NE(r.trace_json.find("\"process_name\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace daredevil

@@ -23,6 +23,14 @@ know. This pass enforces them over src/, bench/, and tests/:
   page-literal    No raw 4096 page-size arithmetic in src/; derive byte
                   quantities from kPageBytes (src/stack/request.h) so unit
                   bugs stay grep-able.
+  trace-categories
+                  src/sim/trace.h keeps its three category definitions in
+                  sync: the TraceCategory enumerator count, the
+                  kNumTraceCategories constant, and the kTraceCategoryNames
+                  entries must all agree (and kOther must stay last). The
+                  compile-time static_asserts catch most skews; this rule
+                  also runs where nothing compiles (doc-only CI jobs) and
+                  rejects duplicate names.
 
 Waivers
   Inline, on the offending line (preferred for one-off sites):
@@ -58,7 +66,10 @@ RULE_TOKENS = {
     "unordered-iter": "ordered",
     "include-guard": "guard",
     "page-literal": "units",
+    "trace-categories": "tracecat",
 }
+
+TRACE_HEADER = "src/sim/trace.h"
 
 WALL_CLOCK_PATTERNS = [
     (re.compile(r"#\s*include\s*<(chrono|ctime|time\.h|sys/time\.h)>"),
@@ -253,6 +264,62 @@ def check_file(path, rel, findings):
                  "include guard must be {} (found {})".format(guard, found))
 
 
+def check_trace_categories(root, findings):
+    """Cross-checks the enum / count constant / names array in trace.h."""
+    path = os.path.join(root, TRACE_HEADER)
+    if not os.path.exists(path):
+        return
+    with open(path, encoding="utf-8") as f:
+        raw = f.read()
+    rel = TRACE_HEADER
+
+    def emit(lineno, message):
+        findings.append(Finding(rel, lineno, "trace-categories", message))
+
+    enum_m = re.search(r"enum\s+class\s+TraceCategory[^{]*\{(.*?)\};", raw,
+                       re.DOTALL)
+    count_m = re.search(
+        r"inline\s+constexpr\s+int\s+kNumTraceCategories\s*=\s*(\d+)\s*;", raw)
+    names_m = re.search(
+        r"kTraceCategoryNames\s*=\s*\{(.*?)\};", raw, re.DOTALL)
+    if not enum_m or not count_m or not names_m:
+        emit(1, "could not locate TraceCategory enum, kNumTraceCategories, "
+                "and kTraceCategoryNames (parser out of date?)")
+        return
+
+    enum_body = re.sub(r"//[^\n]*", "", enum_m.group(1))
+    enumerators = [tok.split("=")[0].strip()
+                   for tok in enum_body.split(",") if tok.split("=")[0].strip()]
+    count = int(count_m.group(1))
+    names = re.findall(r'"([^"]*)"', names_m.group(1))
+
+    enum_line = raw[:enum_m.start()].count("\n") + 1
+    count_line = raw[:count_m.start()].count("\n") + 1
+    names_line = raw[:names_m.start()].count("\n") + 1
+
+    if len(enumerators) != count:
+        emit(count_line,
+             "kNumTraceCategories is {} but the TraceCategory enum has {} "
+             "enumerators".format(count, len(enumerators)))
+    if enumerators and enumerators[-1] != "kOther":
+        emit(enum_line,
+             "kOther must stay the last TraceCategory enumerator (found "
+             "'{}')".format(enumerators[-1]))
+    if len(names) != count:
+        emit(names_line,
+             "kTraceCategoryNames has {} entries but kNumTraceCategories is "
+             "{}".format(len(names), count))
+    empty = [i for i, name in enumerate(names) if not name]
+    if empty:
+        emit(names_line,
+             "kTraceCategoryNames entries at index {} are empty".format(empty))
+    dupes = sorted({name for name in names if names.count(name) > 1})
+    if dupes:
+        emit(names_line,
+             "duplicate kTraceCategoryNames entries: {} (every category "
+             "needs a distinguishable name)".format(", ".join(dupes)))
+
+
 def load_waiver_file(root):
     """Returns a list of (rule, path_pattern, reason)."""
     waivers = []
@@ -317,6 +384,7 @@ def main():
                 path = os.path.join(dirpath, filename)
                 rel = os.path.relpath(path, root).replace(os.sep, "/")
                 check_file(path, rel, findings)
+    check_trace_categories(root, findings)
 
     apply_file_waivers(findings, load_waiver_file(root))
     findings.sort(key=lambda f: (f.path, f.line, f.rule))

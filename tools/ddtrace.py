@@ -1,0 +1,246 @@
+#!/usr/bin/env python3
+"""ddtrace: validate and summarize Daredevil Chrome-trace exports.
+
+The simulator's trace exporter (src/stats/trace_export.cc, enabled via
+ScenarioConfig::export_trace or DD_TRACE_JSON on supporting benches) writes a
+Chrome Trace Event Format JSON that loads in ui.perfetto.dev. This tool works
+on that file without a browser:
+
+  --check    Structural validation: JSON parses, required top-level keys
+             exist, every async 'b' has a matching 'e' (per pid/cat/id/name),
+             'X' slices never overlap within a (pid, tid) track, timestamps
+             are non-negative and durations monotone. Exit 1 on any failure.
+  --summary  Event/track counts and the simulated time span.
+  --holb     Recompute the head-of-line blocking attribution from the
+             ddRequests side-channel (same derivation as src/stats/holb.cc)
+             and print blocker rankings by tenant and size class.
+
+Usage
+  tools/ddtrace.py --check trace.json
+  tools/ddtrace.py --summary --holb trace.json
+"""
+
+import argparse
+import json
+import sys
+from collections import Counter, defaultdict
+
+BULK_THRESHOLD_PAGES = 32  # 128KB in 4KB pages
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def check(doc):
+    """Returns a list of problem strings (empty = valid)."""
+    problems = []
+    for key in ("traceEvents", "displayTimeUnit", "otherData"):
+        if key not in doc:
+            problems.append(f"missing top-level key: {key}")
+    events = doc.get("traceEvents", [])
+    if not isinstance(events, list):
+        return problems + ["traceEvents is not a list"]
+
+    async_balance = Counter()
+    x_tracks = defaultdict(list)
+    for i, e in enumerate(events):
+        ph = e.get("ph")
+        if ph is None or "pid" not in e or "name" not in e:
+            problems.append(f"event {i}: missing ph/pid/name")
+            continue
+        ts = e.get("ts")
+        if ph != "M":
+            if ts is None or ts < 0:
+                problems.append(f"event {i}: bad ts {ts!r}")
+                continue
+        if ph == "b":
+            async_balance[(e["pid"], e.get("cat"), e.get("id"), e["name"])] += 1
+        elif ph == "e":
+            async_balance[(e["pid"], e.get("cat"), e.get("id"), e["name"])] -= 1
+        elif ph == "X":
+            dur = e.get("dur", 0)
+            if dur < 0:
+                problems.append(f"event {i}: negative dur {dur}")
+            x_tracks[(e["pid"], e.get("tid", 0))].append((ts, ts + dur, i))
+
+    unbalanced = [k for k, v in async_balance.items() if v != 0]
+    for key in unbalanced[:10]:
+        problems.append(f"unbalanced async b/e: pid={key[0]} cat={key[1]} "
+                        f"id={key[2]} name={key[3]}")
+    if len(unbalanced) > 10:
+        problems.append(f"... and {len(unbalanced) - 10} more unbalanced pairs")
+
+    for (pid, tid), slices in x_tracks.items():
+        slices.sort()
+        for (a_begin, a_end, a_i), (b_begin, _b_end, b_i) in zip(
+                slices, slices[1:]):
+            # Allow exact adjacency; reject real overlap (float-safe slack of
+            # half the 1ns resolution the exporter serializes at).
+            if b_begin < a_end - 0.0005:
+                problems.append(
+                    f"overlapping X slices on pid={pid} tid={tid}: "
+                    f"events {a_i} and {b_i} "
+                    f"([{a_begin}, {a_end}) vs start {b_begin})")
+    return problems
+
+
+def summary(doc):
+    events = doc.get("traceEvents", [])
+    other = doc.get("otherData", {})
+    phases = Counter(e.get("ph") for e in events)
+    tracks = {(e.get("pid"), e.get("tid", 0))
+              for e in events if e.get("ph") != "M"}
+    ts = [e["ts"] for e in events if e.get("ph") != "M" and "ts" in e]
+    print(f"stack: {other.get('stack', '?')}  cores: {other.get('num_cores')}"
+          f"  nr_nsq: {other.get('nr_nsq')}  nr_ncq: {other.get('nr_ncq')}")
+    print(f"events: {len(events)}  tracks: {len(tracks)}")
+    print("phases:", dict(sorted(phases.items())))
+    if ts:
+        print(f"time span: {min(ts):.3f}us .. {max(ts):.3f}us "
+              f"({(max(ts) - min(ts)) / 1000.0:.3f}ms)")
+    reqs = doc.get("ddRequests", [])
+    print(f"request records: {len(reqs)}")
+    sampler = doc.get("ddSampler")
+    if sampler:
+        print(f"sampler: {sampler.get('samples', 0)} samples x "
+              f"{len(sampler.get('series', {}))} series @ "
+              f"{sampler.get('interval_ns', 0)}ns")
+
+
+def holb(doc, top_n=10):
+    """Recomputes the attribution pass from the ddRequests side-channel."""
+    records = doc.get("ddRequests", [])
+    if not records:
+        print("no ddRequests side-channel in this trace "
+              "(was export_trace enabled?)")
+        return
+
+    # Head-occupancy intervals per NSQ (FIFO fetch: head_start is the later
+    # of the command's visibility and the previous head's departure).
+    heads_by_nsq = defaultdict(list)
+    own_head_start = {}
+    by_nsq = defaultdict(list)
+    for r in records:
+        by_nsq[r["nsq"]].append(r)
+    for nsq, rqs in by_nsq.items():
+        rqs.sort(key=lambda r: (r["fetch_start"], r["id"]))
+        prev_departure = 0
+        for r in rqs:
+            visible = r["doorbell"] if r["doorbell"] > 0 else r["nsq_enqueue"]
+            head_start = max(visible, prev_departure)
+            heads_by_nsq[nsq].append((head_start, r["fetch_start"], r))
+            own_head_start[id(r)] = head_start
+            prev_departure = r["fetch_start"]
+    fetches = sorted(((r["fetch_start"], r["fetch"], r) for r in records),
+                     key=lambda iv: (iv[0], iv[2]["id"]))
+
+    def overlap(a0, a1, b0, b1):
+        lo, hi = max(a0, b0), min(a1, b1)
+        return hi - lo if hi > lo else 0
+
+    by_tenant = defaultdict(lambda: [0, 0, 0])  # events, head_ns, fetch_ns
+    by_size = defaultdict(lambda: [0, 0, 0])
+    victims = 0
+    total_wait = head_total = fetch_total = 0
+
+    def size_key(pages):
+        return (f"bulk(>={BULK_THRESHOLD_PAGES}p)"
+                if pages >= BULK_THRESHOLD_PAGES
+                else f"small(<{BULK_THRESHOLD_PAGES}p)")
+
+    for victim in records:
+        if not victim.get("ls"):
+            continue
+        victims += 1
+        w0, w1 = victim["nsq_enqueue"], victim["fetch_start"]
+        if w1 <= w0:
+            continue
+        total_wait += w1 - w0
+        for h0, h1, blocker in heads_by_nsq[victim["nsq"]]:
+            if blocker is victim:
+                continue
+            ns = overlap(w0, w1, h0, h1)
+            if ns <= 0:
+                continue
+            head_total += ns
+            for table, key in ((by_tenant, f"tenant{blocker['tenant']}"),
+                               (by_size, size_key(blocker["pages"]))):
+                table[key][0] += 1
+                table[key][1] += ns
+        h0 = own_head_start.get(id(victim), w1)
+        if h0 < w1:
+            for f0, f1, blocker in fetches:
+                if blocker is victim:
+                    continue
+                if f0 >= w1:
+                    break
+                ns = overlap(h0, w1, f0, f1)
+                if ns <= 0:
+                    continue
+                fetch_total += ns
+                for table, key in ((by_tenant, f"tenant{blocker['tenant']}"),
+                                   (by_size, size_key(blocker["pages"]))):
+                    table[key][0] += 1
+                    table[key][2] += ns
+
+    residual = max(0, total_wait - head_total - fetch_total)
+    print(f"HOL-blocking attribution: {victims} victims, "
+          f"total NSQ wait {total_wait / 1000.0:.1f}us "
+          f"(head {head_total / 1000.0:.1f}us, "
+          f"fetch-slot {fetch_total / 1000.0:.1f}us, "
+          f"residual {residual / 1000.0:.1f}us)")
+    for title, table in (("by tenant", by_tenant), ("by size class", by_size)):
+        rows = sorted(table.items(), key=lambda kv: -(kv[1][1] + kv[1][2]))
+        print(f"blockers {title}:")
+        print(f"  {'blocker':<16} {'events':>8} {'head-us':>12} "
+              f"{'fetch-us':>12} {'total-us':>12}")
+        for key, (events, head_ns, fetch_ns) in rows[:top_n]:
+            print(f"  {key:<16} {events:>8} {head_ns / 1000.0:>12.1f} "
+                  f"{fetch_ns / 1000.0:>12.1f} "
+                  f"{(head_ns + fetch_ns) / 1000.0:>12.1f}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", help="exported Chrome-trace JSON file")
+    parser.add_argument("--check", action="store_true",
+                        help="validate structure; exit 1 on problems")
+    parser.add_argument("--summary", action="store_true",
+                        help="print event/track counts and the time span")
+    parser.add_argument("--holb", action="store_true",
+                        help="recompute HOL-blocking attribution")
+    parser.add_argument("--top", type=int, default=10,
+                        help="rows per blocker ranking (default 10)")
+    args = parser.parse_args()
+    if not (args.check or args.summary or args.holb):
+        args.check = True
+
+    try:
+        doc = load(args.trace)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"FAIL: {args.trace}: {e}", file=sys.stderr)
+        return 1
+
+    status = 0
+    if args.check:
+        problems = check(doc)
+        if problems:
+            print(f"FAIL: {args.trace}: {len(problems)} problem(s)",
+                  file=sys.stderr)
+            for p in problems[:40]:
+                print(f"  {p}", file=sys.stderr)
+            status = 1
+        else:
+            print(f"OK: {args.trace}: "
+                  f"{len(doc.get('traceEvents', []))} events valid")
+    if args.summary:
+        summary(doc)
+    if args.holb:
+        holb(doc, args.top)
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())
