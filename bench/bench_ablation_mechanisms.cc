@@ -92,7 +92,7 @@ int main() {
   }
   for (Tick interval : {5 * kMicrosecond, 20 * kMicrosecond, 100 * kMicrosecond}) {
     ScenarioConfig cfg = Cell(StackKind::kDareFull);
-    cfg.dd.poll_interval = interval;
+    cfg.dd.poll_interval = TickDuration{interval};
     const ScenarioResult r = RunScenario(cfg);
     json.Add("poll/" + std::to_string(interval / kMicrosecond) + "us", r);
     poll_table.AddRow(

@@ -26,7 +26,7 @@ ScenarioResult RunWith(const DaredevilConfig& dd) {
     if (job.group == "T") {
       job.sync_prob = 0.05;
       if (t_index++ % 2 == 0) {
-        job.ionice_update_interval = 2 * kMillisecond;
+        job.ionice_update_interval = TickDuration{2 * kMillisecond};
       }
     }
   }

@@ -38,7 +38,7 @@ int main() {
     std::vector<std::unique_ptr<User>> users;
     for (int i = 0; i < kUsers; ++i) {
       auto user = std::make_unique<User>();
-      user->tenant.id = static_cast<uint64_t>(1 + i);
+      user->tenant.id = TenantId{static_cast<uint64_t>(1 + i)};
       user->tenant.name = "mail" + std::to_string(i);
       user->tenant.group = "APP";
       user->tenant.ionice = IoniceClass::kRealtime;

@@ -41,7 +41,7 @@ CellResult RunCell(char workload, StackKind kind) {
   KvStoreConfig kv_cfg;
   for (int i = 0; i < kClientThreads; ++i) {
     auto client = std::make_unique<Client>();
-    client->tenant.id = static_cast<uint64_t>(1 + i);
+    client->tenant.id = TenantId{static_cast<uint64_t>(1 + i)};
     client->tenant.name = "rocksdb" + std::to_string(i);
     client->tenant.group = "APP";
     client->tenant.ionice = IoniceClass::kRealtime;

@@ -36,12 +36,12 @@ Cell RunCell(StackKind kind, int n_l, int n_tl, BenchJsonSink* json) {
   cfg.duration = ScaledMs(120);
   for (int i = 0; i < n_l; ++i) {
     FioJobSpec l = LTenantSpec(i);
-    l.migrate_interval = kMillisecond;  // interleave NQ accesses
+    l.migrate_interval = TickDuration{kMillisecond};  // interleave NQ accesses
     cfg.jobs.push_back(l);
   }
   for (int i = 0; i < n_tl; ++i) {
     FioJobSpec tl = TlTenantSpec(i);
-    tl.migrate_interval = kMillisecond;
+    tl.migrate_interval = TickDuration{kMillisecond};
     cfg.jobs.push_back(tl);
   }
   const ScenarioResult r = RunScenario(cfg);

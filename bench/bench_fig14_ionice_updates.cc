@@ -11,7 +11,7 @@ using namespace daredevil;
 
 namespace {
 
-ScenarioResult RunCell(Tick update_interval) {
+ScenarioResult RunCell(TickDuration update_interval) {
   ScenarioConfig cfg = MakeSvmConfig(/*cores=*/4);
   cfg.stack = StackKind::kDareFull;
   cfg.warmup = ScaledMs(30);
@@ -33,7 +33,7 @@ int main() {
               "at decreasing intervals (0 = never, the baseline)");
 
   BenchJsonSink json("fig14_ionice_updates");
-  const ScenarioResult base = RunCell(0);
+  const ScenarioResult base = RunCell(kZeroDuration);
   json.Add("interval=baseline", base);
   const double base_iops = base.Iops("L");
   const double base_tput = base.ThroughputBps("T");
@@ -48,7 +48,7 @@ int main() {
       {"10ms", 10 * kMillisecond}, {"1ms", kMillisecond},
       {"100us", 100 * kMicrosecond}, {"10us", 10 * kMicrosecond}};
   for (const auto& [label, interval] : intervals) {
-    const ScenarioResult r = RunCell(interval);
+    const ScenarioResult r = RunCell(TickDuration{interval});
     json.Add(std::string("interval=") + label, r);
     table.AddRow({label, FormatPercent(r.Iops("L") / base_iops),
                   FormatPercent(r.ThroughputBps("T") / base_tput),

@@ -84,7 +84,7 @@ BENCHMARK(BM_NqSchedulePerRequestContext)->Arg(8)->Arg(64)->Arg(256);
 void BM_TrouteRouting(benchmark::State& state) {
   DdEnv env;
   Tenant tenant;
-  tenant.id = 42;
+  tenant.id = TenantId{42};
   tenant.ionice = IoniceClass::kRealtime;
   env.stack.troute().OnTenantStart(&tenant);
   Request rq;
@@ -122,7 +122,8 @@ void BM_EventQueuePushPop(benchmark::State& state) {
   Rng rng(2);
   int fired = 0;
   for (auto _ : state) {
-    sim.After(static_cast<Tick>(rng.NextBelow(1000)), [&fired]() { ++fired; });
+    sim.After(TickDuration{static_cast<Tick>(rng.NextBelow(1000))},
+              [&fired]() { ++fired; });
     sim.Step();
   }
   benchmark::DoNotOptimize(fired);

@@ -34,7 +34,7 @@ int main() {
     // The database runs with realtime ionice: its point operations are
     // latency-sensitive. Put WAL writes are synchronous (outlier L-requests).
     Tenant db;
-    db.id = 1;
+    db.id = TenantId{1};
     db.name = "rocksdb";
     db.group = "APP";
     db.ionice = IoniceClass::kRealtime;

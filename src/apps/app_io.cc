@@ -10,7 +10,7 @@ AppIoContext::AppIoContext(Machine* machine, StorageStack* stack, Tenant* tenant
       stack_(stack),
       tenant_(tenant),
       nsid_(nsid),
-      next_id_(tenant->id << 32) {}
+      next_id_(tenant->id.value() << 32) {}
 
 AppIoContext::Op* AppIoContext::AllocOp() {
   if (!free_list_.empty()) {
@@ -47,7 +47,7 @@ void AppIoContext::Issue(uint64_t lba, uint32_t pages, bool is_write, bool sync,
   Request& rq = op->rq;
   rq.id = ++next_id_;
   rq.nsid = nsid_;
-  rq.lba = lba;
+  rq.lba = Lba{lba};
   rq.pages = pages;
   rq.is_write = is_write;
   rq.is_sync = sync;
@@ -62,8 +62,9 @@ void AppIoContext::Issue(uint64_t lba, uint32_t pages, bool is_write, bool sync,
   (is_write ? writes_ : reads_) += 1;
   pages_ += pages;
 
-  const Tick issue_cost = stack_->costs().syscall +
-                          static_cast<Tick>(pages) * stack_->costs().per_page_user;
+  const TickDuration issue_cost =
+      stack_->costs().syscall +
+      static_cast<Tick>(pages) * stack_->costs().per_page_user;
   machine_->Post(tenant_->core, WorkLevel::kUser, issue_cost,
                  [this, op]() {
                    op->rq.submit_core = tenant_->core;
@@ -82,7 +83,7 @@ void AppIoContext::Write(uint64_t lba, uint32_t pages, bool sync, bool meta,
   Issue(lba, pages, /*is_write=*/true, sync, meta, std::move(done));
 }
 
-void AppIoContext::Compute(Tick duration, Callback done) {
+void AppIoContext::Compute(TickDuration duration, Callback done) {
   machine_->Post(tenant_->core, WorkLevel::kUser, duration,
                  [done = std::move(done)]() {
                    if (done) {

@@ -27,7 +27,7 @@ class AppIoContext {
   // Issues a write; sync/meta map to REQ_SYNC / REQ_META.
   void Write(uint64_t lba, uint32_t pages, bool sync, bool meta, Callback done);
   // Pure CPU work in user context on the tenant's current core.
-  void Compute(Tick duration, Callback done);
+  void Compute(TickDuration duration, Callback done);
 
   Tenant& tenant() { return *tenant_; }
   Machine& machine() { return *machine_; }
@@ -57,6 +57,9 @@ class AppIoContext {
   Tenant* tenant_;
   uint32_t nsid_;
   uint64_t next_id_;
+  // Ops embed a pooled Request; keep it compact (see the workload pools).
+  static_assert(sizeof(Request) <= 256,
+                "Request outgrew its pooled-allocation budget");
   std::vector<std::unique_ptr<Op>> pool_;
   std::vector<Op*> free_list_;
   uint64_t reads_ = 0;

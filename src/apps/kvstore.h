@@ -17,7 +17,6 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "src/apps/app_io.h"
@@ -35,8 +34,8 @@ struct KvStoreConfig {
   int flush_iodepth = 4;             // background-job queue depth
   uint32_t flush_chunk_pages = 32;   // background I/O size (128KB)
   double bloom_fp = 0.01;            // filter false-positive rate
-  Tick cpu_per_op = 2 * kMicrosecond;      // hashing/memtable work
-  Tick cpu_per_block = 1 * kMicrosecond;   // block decode
+  TickDuration cpu_per_op{2 * kMicrosecond};     // hashing/memtable work
+  TickDuration cpu_per_block{1 * kMicrosecond};  // block decode
 };
 
 class KvStore {
@@ -100,8 +99,8 @@ class KvStore {
   LruCache cache_;
 
   std::map<uint64_t, uint32_t> memtable_;
-  std::unordered_map<uint64_t, uint64_t> location_;  // key -> sstable id
-  std::unordered_map<uint64_t, SsTable> sstables_;
+  std::map<uint64_t, uint64_t> location_;  // key -> sstable id
+  std::map<uint64_t, SsTable> sstables_;
   std::vector<uint64_t> l0_order_;  // oldest first
   uint64_t next_sstable_id_ = 1;
 

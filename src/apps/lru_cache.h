@@ -5,7 +5,7 @@
 
 #include <cstdint>
 #include <list>
-#include <unordered_map>
+#include <map>
 
 namespace daredevil {
 
@@ -59,7 +59,9 @@ class LruCache {
  private:
   size_t capacity_;
   std::list<uint64_t> order_;
-  std::unordered_map<uint64_t, std::list<uint64_t>::iterator> index_;
+  // Ordered: hash-map iteration order is seed-dependent DES poison, and an
+  // ordered index keeps any future "dump cache contents" path deterministic.
+  std::map<uint64_t, std::list<uint64_t>::iterator> index_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
 };

@@ -27,7 +27,7 @@ struct MailServerConfig {
   double p_read = 0.50;
   double p_compose = 0.25;
   double p_delete = 0.125;  // remainder is stat
-  Tick think_time = 0;
+  TickDuration think_time{0};
 };
 
 class MailServer {

@@ -12,7 +12,7 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "src/apps/app_io.h"
@@ -23,7 +23,7 @@ namespace daredevil {
 struct SimpleFsConfig {
   uint64_t inode_region_pages = 1024;
   uint64_t page_cache_pages = 16384;  // 64MB
-  Tick cpu_per_op = 1500;             // path lookup / metadata update
+  TickDuration cpu_per_op{1500};      // path lookup / metadata update
 };
 
 class SimpleFs {
@@ -73,7 +73,7 @@ class SimpleFs {
   AppIoContext* io_;
   SimpleFsConfig config_;
   LruCache cache_;
-  std::unordered_map<FileId, Inode> files_;
+  std::map<FileId, Inode> files_;
   FileId next_id_ = 1;
   uint64_t data_alloc_;
   uint64_t meta_writes_ = 0;

@@ -59,7 +59,7 @@ void YcsbWorkload::Finish(YcsbOp op, Tick started) {
     ++counts_[static_cast<int>(op)];
   }
   ++total_ops_;
-  if (config_.think_time > 0) {
+  if (config_.think_time > kZeroDuration) {
     sim_->After(config_.think_time, [this]() { RunOne(); });
   } else {
     RunOne();

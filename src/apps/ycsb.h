@@ -25,7 +25,7 @@ struct YcsbConfig {
   uint64_t record_count = 200000;
   double zipf_theta = 0.99;
   int max_scan_len = 100;
-  Tick think_time = 0;      // delay between ops (closed loop when 0)
+  TickDuration think_time{0};  // delay between ops (closed loop when 0)
 };
 
 // One YCSB client thread driving a KvStore in closed loop.

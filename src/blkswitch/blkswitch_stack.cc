@@ -140,8 +140,8 @@ int BlkSwitchStack::RouteRequest(Request* rq) {
   return target;
 }
 
-Tick BlkSwitchStack::RoutingCost(const Request& rq) const {
-  return IsLatencyClass(rq) ? 0 : config_.steering_cost;
+TickDuration BlkSwitchStack::RoutingCost(const Request& rq) const {
+  return IsLatencyClass(rq) ? kZeroDuration : config_.steering_cost;
 }
 
 void BlkSwitchStack::OnRequestCompleted(Request* rq) {
@@ -225,7 +225,8 @@ void BlkSwitchStack::ReschedNamespace(PerNamespace& ns, int* budget) {
     tenant->core = desired;
     ++migrations_;
     if (trace() != nullptr) {
-      trace()->Record(machine().now(), TraceCategory::kMigrate, tenant->id,
+      trace()->Record(machine().now(), TraceCategory::kMigrate,
+                      tenant->id.value(),
                       old_core, desired);
     }
     // Migration overhead lands on both cores (runqueue + cache refill costs).

@@ -31,9 +31,9 @@
 namespace daredevil {
 
 struct BlkSwitchConfig {
-  Tick resched_interval = 2 * kMillisecond;  // application-steering period
-  Tick migration_cost = 20 * kMicrosecond;   // charged on source + target cores
-  Tick steering_cost = 500;                  // per-T-request target computation
+  TickDuration resched_interval{2 * kMillisecond};  // application-steering period
+  TickDuration migration_cost{20 * kMicrosecond};   // source + target cores
+  TickDuration steering_cost{500};  // per-T-request target computation
   int max_t_apps_per_core = 6;               // T scheduling slots per core
   int max_migrations_per_tick = 4;
   // Per-NQ outstanding T-bytes above which request steering spills beyond the
@@ -84,7 +84,7 @@ class BlkSwitchStack : public StorageStack {
 
  protected:
   int RouteRequest(Request* rq) override;
-  Tick RoutingCost(const Request& rq) const override;
+  TickDuration RoutingCost(const Request& rq) const override;
   void OnRequestCompleted(Request* rq) override;
 
  private:

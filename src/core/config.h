@@ -3,6 +3,7 @@
 #ifndef DAREDEVIL_SRC_CORE_CONFIG_H_
 #define DAREDEVIL_SRC_CORE_CONFIG_H_
 
+#include "src/core/types.h"
 #include "src/sim/clock.h"
 
 namespace daredevil {
@@ -23,7 +24,7 @@ struct DaredevilConfig {
   // SLA-aware submission dispatching: low-priority NSQs postpone the doorbell
   // until a batch accumulates (§5.3).
   int doorbell_batch = 8;
-  Tick doorbell_timeout = 100 * kMicrosecond;
+  TickDuration doorbell_timeout{100 * kMicrosecond};
 
   // Outlier profiling: re-evaluate a T-tenant's outlier tendency every this
   // many requests; tagged when outlier requests are within one order of
@@ -37,12 +38,12 @@ struct DaredevilConfig {
   bool use_wrr_weights = false;
   int wrr_high_weight = 4;
   // Poll high-priority NCQs at this interval instead of taking IRQs (0 = IRQ).
-  Tick poll_interval = 0;
+  TickDuration poll_interval{0};
 
   // CPU cost model of the Daredevil-specific kernel work.
-  Tick routing_cost = 400;          // Algorithm 1 per request
-  Tick schedule_query_cost = 600;   // extra nqreg query (request-specific ctx)
-  Tick ionice_update_cost = 10 * kMicrosecond;  // ionice path + RCU sync + re-scheduling
+  TickDuration routing_cost{400};         // Algorithm 1 per request
+  TickDuration schedule_query_cost{600};  // extra nqreg query (request-specific ctx)
+  TickDuration ionice_update_cost{10 * kMicrosecond};  // ionice path + RCU sync + re-scheduling
 };
 
 inline DaredevilConfig DareBaseConfig() {

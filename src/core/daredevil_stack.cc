@@ -49,7 +49,7 @@ void DaredevilStack::ApplyDispatchPolicies() {
       }
     }
   }
-  if (config_.poll_interval > 0) {
+  if (config_.poll_interval > kZeroDuration) {
     for (int ncq = 0; ncq < device().nr_ncq(); ++ncq) {
       if (nqreg_->GroupOfNcq(ncq) == NqPrio::kHigh) {
         EnablePolledCompletion(ncq, config_.poll_interval);
@@ -93,8 +93,8 @@ void DaredevilStack::OnTenantMigrated(Tenant* tenant, int old_core) {
 
 int DaredevilStack::RouteRequest(Request* rq) { return troute_->Route(rq); }
 
-Tick DaredevilStack::RoutingCost(const Request& rq) const {
-  Tick cost = config_.routing_cost;
+TickDuration DaredevilStack::RoutingCost(const Request& rq) const {
+  TickDuration cost = config_.routing_cost;
   if (troute_->NeedsPerRequestQuery(rq)) {
     cost += config_.schedule_query_cost;
   }

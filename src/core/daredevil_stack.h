@@ -46,7 +46,7 @@ class DaredevilStack : public StorageStack {
 
  protected:
   int RouteRequest(Request* rq) override;
-  Tick RoutingCost(const Request& rq) const override;
+  TickDuration RoutingCost(const Request& rq) const override;
 
  private:
   void ApplyDispatchPolicies();

@@ -91,7 +91,8 @@ void NqReg::RecalcNsqMerit(NsqEntry& entry) {
   const double submitted_delta =
       static_cast<double>(sq.submitted_rqs() - entry.last_submitted);
   const double contention_us_delta =
-      static_cast<double>(sq.in_contention_ns() - entry.last_contention_ns) / 1000.0;
+      static_cast<double>((sq.in_contention_ns() - entry.last_contention_ns).ticks()) /
+      1000.0;
   entry.last_submitted = sq.submitted_rqs();
   entry.last_contention_ns = sq.in_contention_ns();
   const double merit_k =

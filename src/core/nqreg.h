@@ -76,7 +76,7 @@ class NqReg {
     double merit = 0.0;
     uint64_t selections = 0;  // tie-breaker: distributes equal-merit NQs
     uint64_t last_submitted = 0;
-    Tick last_contention_ns = 0;
+    TickDuration last_contention_ns;
   };
   struct NcqNode {
     int id = -1;

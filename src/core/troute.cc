@@ -15,7 +15,7 @@ TRoute::TenantState& TRoute::StateOf(Tenant* tenant) {
   return it->second;
 }
 
-const TRoute::TenantState* TRoute::GetState(uint64_t tenant_id) const {
+const TRoute::TenantState* TRoute::GetState(TenantId tenant_id) const {
   auto it = tenants_.find(tenant_id);
   return it == tenants_.end() ? nullptr : &it->second;
 }

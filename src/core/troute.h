@@ -50,7 +50,7 @@ class TRoute {
   // request-specific context of an untagged T-tenant) - costs extra CPU.
   bool NeedsPerRequestQuery(const Request& rq) const;
 
-  const TenantState* GetState(uint64_t tenant_id) const;
+  const TenantState* GetState(TenantId tenant_id) const;
   uint64_t priority_updates() const { return priority_updates_; }
   uint64_t per_request_queries() const { return per_request_queries_; }
 
@@ -69,7 +69,7 @@ class TRoute {
   DaredevilConfig config_;
   // Ordered by tenant id: any future iteration (bulk re-assessment, stats
   // dumps) must be deterministic, not hash-order.
-  std::map<uint64_t, TenantState> tenants_;
+  std::map<TenantId, TenantState> tenants_;
   uint64_t priority_updates_ = 0;
   uint64_t per_request_queries_ = 0;
 };

@@ -1,0 +1,140 @@
+// Strong vocabulary types for the simulator's hot-path signatures.
+//
+// The simulation moves four kinds of small integers around: times, logical
+// block addresses, queue ids, and actor ids (cores, tenants). All of them
+// are "just integers" to the compiler, which is exactly how unit bugs rot a
+// simulator silently: a Tick time-point lands in a duration parameter, an
+// NSQ id is used where an NCQ id was meant, a namespace-relative LBA is
+// mixed with a global page number - and the fingerprint drifts with nothing
+// to bisect. The wrappers below make those mix-ups compile errors on the
+// signatures that have been migrated; tools/ddanalyze counts the raw-integer
+// sites that remain (per layer) and CI fails if the count ever grows
+// (tools/ddanalyze-baseline.txt, DESIGN.md section 7).
+//
+// Conventions:
+//   * Tick (src/sim/clock.h) stays the *time-point* type.
+//   * TickDuration is a *span* of simulated time. Construction from a raw
+//     Tick is explicit; time-point arithmetic (`Tick + TickDuration`) is
+//     provided, so deadlines read naturally while a bare `now` can no longer
+//     be passed where a duration is expected.
+//   * StrongId wrappers (Lba, QueueId, CoreId, TenantId) are explicit to
+//     construct, ordered (usable as std::map keys - the repo bans unordered
+//     containers on simulation state), and streamable for DD_CHECK context.
+#ifndef DAREDEVIL_SRC_CORE_TYPES_H_
+#define DAREDEVIL_SRC_CORE_TYPES_H_
+
+#include <compare>
+#include <cstdint>
+#include <ostream>
+
+#include "src/sim/clock.h"
+
+namespace daredevil {
+
+// A span of simulated time, in ticks (nanoseconds).
+class TickDuration {
+ public:
+  constexpr TickDuration() = default;
+  explicit constexpr TickDuration(Tick ticks) : ticks_(ticks) {}
+
+  constexpr Tick ticks() const { return ticks_; }
+
+  constexpr TickDuration& operator+=(TickDuration d) {
+    ticks_ += d.ticks_;
+    return *this;
+  }
+  constexpr TickDuration& operator-=(TickDuration d) {
+    ticks_ -= d.ticks_;
+    return *this;
+  }
+  friend constexpr TickDuration operator+(TickDuration a, TickDuration b) {
+    return TickDuration(a.ticks_ + b.ticks_);
+  }
+  friend constexpr TickDuration operator-(TickDuration a, TickDuration b) {
+    return TickDuration(a.ticks_ - b.ticks_);
+  }
+  template <typename N>
+  friend constexpr TickDuration operator*(TickDuration d, N n) {
+    return TickDuration(d.ticks_ * static_cast<Tick>(n));
+  }
+  template <typename N>
+  friend constexpr TickDuration operator*(N n, TickDuration d) {
+    return TickDuration(static_cast<Tick>(n) * d.ticks_);
+  }
+  friend constexpr auto operator<=>(TickDuration, TickDuration) = default;
+
+  // Time-point arithmetic: deadlines are `now + duration`.
+  friend constexpr Tick operator+(Tick t, TickDuration d) {
+    return t + d.ticks_;
+  }
+  friend constexpr Tick operator-(Tick t, TickDuration d) {
+    return t - d.ticks_;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, TickDuration d) {
+    return os << d.ticks_;
+  }
+
+ private:
+  Tick ticks_ = 0;
+};
+
+inline constexpr TickDuration kZeroDuration{};
+
+// The span between two time-points (what remains of an interval).
+constexpr TickDuration DurationBetween(Tick from, Tick to) {
+  return TickDuration(to - from);
+}
+
+constexpr double ToUs(TickDuration d) { return ToUs(d.ticks()); }
+constexpr double ToMs(TickDuration d) { return ToMs(d.ticks()); }
+constexpr double ToSec(TickDuration d) { return ToSec(d.ticks()); }
+
+// An ordered, streamable, explicitly-constructed integer wrapper. Tag makes
+// each instantiation a distinct type; Rep is the underlying representation.
+template <typename Tag, typename Rep>
+class StrongId {
+ public:
+  using rep = Rep;
+
+  constexpr StrongId() = default;
+  explicit constexpr StrongId(Rep v) : v_(v) {}
+
+  constexpr Rep value() const { return v_; }
+
+  friend constexpr auto operator<=>(StrongId, StrongId) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, StrongId id) {
+    return os << id.v_;
+  }
+
+ private:
+  Rep v_ = Rep{};
+};
+
+// A namespace-relative logical block address, in 4KB pages. Distinct from
+// the device-global page number (uint64_t, derived via Device::GlobalPage).
+using Lba = StrongId<struct LbaTag, uint64_t>;
+
+// Advancing an LBA by a page count yields an LBA (request splitting).
+constexpr Lba operator+(Lba lba, uint64_t pages) {
+  return Lba(lba.value() + pages);
+}
+
+// An NVMe queue id (NSQ or NCQ index on the device).
+using QueueId = StrongId<struct QueueIdTag, int>;
+
+// A CPU core index on the simulated machine.
+using CoreId = StrongId<struct CoreIdTag, int>;
+
+// "No core": cross-core penalties are skipped for anonymous accesses.
+inline constexpr CoreId kNoCore{-1};
+
+// A tenant (process) id. Zero means "no tenant" in CPU accounting.
+using TenantId = StrongId<struct TenantIdTag, uint64_t>;
+
+inline constexpr TenantId kNoTenant{0};
+
+}  // namespace daredevil
+
+#endif  // DAREDEVIL_SRC_CORE_TYPES_H_

@@ -5,6 +5,7 @@
 
 #include <cstdint>
 
+#include "src/core/types.h"
 #include "src/sim/clock.h"
 
 namespace daredevil {
@@ -15,7 +16,7 @@ struct NvmeCommand {
   uint64_t cid = 0;        // command id, unique per device lifetime
   int sqid = -1;           // submission queue the host placed it on
   uint32_t nsid = 0;       // 0-based namespace index
-  uint64_t lba = 0;        // namespace-relative, in pages
+  Lba lba;                 // namespace-relative, in pages
   uint32_t pages = 1;      // transfer size in 4KB pages
   bool is_write = false;
   // ZNS mode: resets the zone containing `lba` (an erase-cost management op).

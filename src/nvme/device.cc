@@ -15,13 +15,15 @@ Device::Device(Simulator* sim, const DeviceConfig& config)
       << "NVMe exposes at least as many NSQs as NCQs";
   nsqs_.reserve(static_cast<size_t>(config_.nr_nsq));
   for (int i = 0; i < config_.nr_nsq; ++i) {
-    nsqs_.push_back(std::make_unique<SubmissionQueue>(i, config_.queue_depth));
+    nsqs_.push_back(
+        std::make_unique<SubmissionQueue>(QueueId{i}, config_.queue_depth));
   }
   ncqs_.reserve(static_cast<size_t>(config_.nr_ncq));
   for (int i = 0; i < config_.nr_ncq; ++i) {
     // IRQ cores are assigned by the driver (storage stack) at attach time;
     // default to a spread the stacks overwrite.
-    ncqs_.push_back(std::make_unique<CompletionQueue>(i, config_.queue_depth, i));
+    ncqs_.push_back(std::make_unique<CompletionQueue>(
+        QueueId{i}, config_.queue_depth, CoreId{i}));
   }
   uint64_t base = 0;
   ns_base_.reserve(config_.namespace_pages.size());
@@ -50,11 +52,11 @@ void Device::RegisterMetrics(MetricsRegistry* registry) const {
     return static_cast<double>(total);
   });
   registry->RegisterGauge("device.nsq_contention_ns", [d]() {
-    Tick total = 0;
+    TickDuration total;
     for (int i = 0; i < d->nr_nsq(); ++i) {
       total += d->nsq(i).in_contention_ns();
     }
-    return static_cast<double>(total);
+    return static_cast<double>(total.ticks());
   });
   registry->RegisterGauge("device.nsq_full_rejections", [d]() {
     uint64_t total = 0;
@@ -232,7 +234,7 @@ void Device::FetchFrom(int sqid) {
   }
   ++burst_used_;
   fetch_busy_ = true;
-  const Tick cost =
+  const TickDuration cost =
       config_.cmd_fetch + static_cast<Tick>(cmd.pages) * config_.per_page_decompose;
   sim_->After(cost, [this, cmd]() mutable {
     fetch_busy_ = false;
@@ -345,7 +347,8 @@ void Device::RaiseIrq(int ncq_id) {
   CompletionQueue& cq = *ncqs_[ncq_id];
   cq.CountIrq();
   if (trace_ != nullptr) {
-    trace_->Record(sim_->now(), TraceCategory::kIrq, 0, ncq_id, cq.irq_core());
+    trace_->Record(sim_->now(), TraceCategory::kIrq, 0, ncq_id,
+                   cq.irq_core().value());
   }
   cq.set_irq_masked(true);
   if (irq_handler_) {

@@ -25,6 +25,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/core/types.h"
 #include "src/nvme/command.h"
 #include "src/nvme/flash.h"
 #include "src/nvme/queues.h"
@@ -52,9 +53,9 @@ struct DeviceConfig {
   FlashConfig flash;
 
   // Controller costs.
-  Tick cmd_fetch = 600;            // fixed fetch cost per command
-  Tick per_page_decompose = 100;   // per-4KB decompose cost
-  Tick completion_post = 200;      // cost to build + post a CQE
+  TickDuration cmd_fetch{600};           // fixed fetch cost per command
+  TickDuration per_page_decompose{100};  // per-4KB decompose cost
+  TickDuration completion_post{200};     // cost to build + post a CQE
   int arb_burst = 4;               // commands fetched per NSQ per RR visit
   int max_inflight_pages = 256;    // device-internal buffer (pages)
 
@@ -64,9 +65,9 @@ struct DeviceConfig {
   // (Daredevil's low-priority NCQs) use `coalesce_*`; the per-request path is
   // count == 1.
   int driver_coalesce_count = 4;
-  Tick driver_coalesce_timeout = 4 * kMicrosecond;
+  TickDuration driver_coalesce_timeout{4 * kMicrosecond};
   int coalesce_count = 16;
-  Tick coalesce_timeout = 100 * kMicrosecond;
+  TickDuration coalesce_timeout{100 * kMicrosecond};
 
   // Namespace sizes in 4KB pages. Namespaces share the same NQs (NVMe spec).
   std::vector<uint64_t> namespace_pages = {1ULL << 22};  // one 16GiB namespace
@@ -116,8 +117,9 @@ class Device {
   // --- Host-side submission path --------------------------------------
   // Returns the contention wait incurred serializing on the NSQ lock
   // (including the remote cacheline penalty for cross-core access).
-  Tick AcquireSubmitLock(int sqid, Tick hold, int core = -1,
-                         Tick remote_penalty = 0) {
+  TickDuration AcquireSubmitLock(int sqid, TickDuration hold,
+                                 CoreId core = kNoCore,
+                                 TickDuration remote_penalty = kZeroDuration) {
     return nsqs_[sqid]->AcquireSubmitLock(sim_->now(), hold, core, remote_penalty);
   }
   // Enqueues a command (host memory write). Returns false if the ring is
@@ -155,7 +157,7 @@ class Device {
 
   // --- ZNS mode ---------------------------------------------------------
   bool zns_enabled() const { return config_.zns_zone_pages > 0; }
-  uint64_t ZoneOf(uint32_t nsid, uint64_t lba) const {
+  uint64_t ZoneOf(uint32_t nsid, Lba lba) const {
     return (GlobalPage(nsid, lba)) / config_.zns_zone_pages;
   }
   // Current write pointer of a zone (pages written since zone start).
@@ -170,8 +172,11 @@ class Device {
     Tick last_page_done = 0;
   };
 
-  uint64_t GlobalPage(uint32_t nsid, uint64_t lba) const {
-    return ns_base_[nsid] + lba;
+  // Collapses a namespace-relative LBA to the device-global page index the
+  // flash backend addresses (a deliberately different type: mixing the two
+  // address spaces is the unit bug this signature now rejects).
+  uint64_t GlobalPage(uint32_t nsid, Lba lba) const {
+    return ns_base_[nsid] + lba.value();
   }
   void ZnsCheckWrite(const NvmeCommand& cmd);
 

@@ -11,6 +11,7 @@
 #include <deque>
 
 #include "src/core/invariant.h"
+#include "src/core/types.h"
 #include "src/nvme/command.h"
 #include "src/sim/clock.h"
 
@@ -18,9 +19,9 @@ namespace daredevil {
 
 class SubmissionQueue {
  public:
-  SubmissionQueue(int id, int depth) : id_(id), depth_(depth) {}
+  SubmissionQueue(QueueId id, int depth) : id_(id), depth_(depth) {}
 
-  int id() const { return id_; }
+  QueueId id() const { return id_; }
   int depth() const { return depth_; }
   // Weighted-round-robin arbitration weight (>=1). Under WRR the controller
   // fetches weight x arb_burst commands per visit.
@@ -75,14 +76,16 @@ class SubmissionQueue {
   // (lock wait plus, when a different core touched the queue last, the
   // cacheline-transfer penalty of the remote doorbell access) and accounts it
   // as contention time - the signal nqreg's NSQ merit consumes (§5.2/§5.3).
-  Tick AcquireSubmitLock(Tick now, Tick hold, int core = -1,
-                         Tick remote_penalty = 0) {
-    Tick wait = lock_free_at_ > now ? lock_free_at_ - now : 0;
-    if (core >= 0 && last_core_ >= 0 && core != last_core_) {
+  TickDuration AcquireSubmitLock(Tick now, TickDuration hold,
+                                 CoreId core = kNoCore,
+                                 TickDuration remote_penalty = kZeroDuration) {
+    TickDuration wait = lock_free_at_ > now ? DurationBetween(now, lock_free_at_)
+                                            : kZeroDuration;
+    if (core != kNoCore && last_core_ != kNoCore && core != last_core_) {
       wait += remote_penalty;
       ++remote_acquires_;
     }
-    if (core >= 0) {
+    if (core != kNoCore) {
       last_core_ = core;
     }
     lock_free_at_ = now + wait + hold;
@@ -91,43 +94,43 @@ class SubmissionQueue {
   }
 
   uint64_t submitted_rqs() const { return submitted_rqs_; }
-  Tick in_contention_ns() const { return in_contention_ns_; }
+  TickDuration in_contention_ns() const { return in_contention_ns_; }
   uint64_t remote_acquires() const { return remote_acquires_; }
   uint64_t full_rejections() const { return full_rejections_; }
   size_t max_occupancy() const { return max_occupancy_; }
 
  private:
-  int id_;
+  QueueId id_;
   int depth_;
   int weight_ = 1;
   std::deque<NvmeCommand> entries_;
   size_t visible_ = 0;
   Tick lock_free_at_ = 0;
-  int last_core_ = -1;
+  CoreId last_core_ = kNoCore;
   uint64_t remote_acquires_ = 0;
   uint64_t submitted_rqs_ = 0;
-  Tick in_contention_ns_ = 0;
+  TickDuration in_contention_ns_;
   uint64_t full_rejections_ = 0;
   size_t max_occupancy_ = 0;
 };
 
 class CompletionQueue {
  public:
-  CompletionQueue(int id, int depth, int irq_core)
+  CompletionQueue(QueueId id, int depth, CoreId irq_core)
       : id_(id), depth_(depth), irq_core_(irq_core) {}
 
-  int id() const { return id_; }
+  QueueId id() const { return id_; }
   int depth() const { return depth_; }
-  int irq_core() const { return irq_core_; }
-  void set_irq_core(int core) { irq_core_ = core; }
+  CoreId irq_core() const { return irq_core_; }
+  void set_irq_core(CoreId core) { irq_core_ = core; }
 
   // Completion dispatch selected by the storage stack (nqreg's third
   // attribute): coalesce_count == 1 is the per-request path (IRQ per CQE,
   // the kernel default); > 1 coalesces until the count or timeout hits
   // (Daredevil's batched path for low-priority NCQs).
   int coalesce_count() const { return coalesce_count_; }
-  Tick coalesce_timeout() const { return coalesce_timeout_; }
-  void SetCoalescing(int count, Tick timeout) {
+  TickDuration coalesce_timeout() const { return coalesce_timeout_; }
+  void SetCoalescing(int count, TickDuration timeout) {
     coalesce_count_ = count > 1 ? count : 1;
     coalesce_timeout_ = timeout;
   }
@@ -166,11 +169,11 @@ class CompletionQueue {
   uint64_t irqs() const { return irqs_; }
 
  private:
-  int id_;
+  QueueId id_;
   int depth_;
-  int irq_core_;
+  CoreId irq_core_;
   int coalesce_count_ = 1;
-  Tick coalesce_timeout_ = 100 * kMicrosecond;
+  TickDuration coalesce_timeout_{100 * kMicrosecond};
   bool polled_ = false;
   bool irq_masked_ = false;
   bool timer_armed_ = false;

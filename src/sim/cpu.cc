@@ -4,16 +4,16 @@
 
 namespace daredevil {
 
-CpuCore::CpuCore(Simulator* sim, int id, Tick dispatch_overhead)
+CpuCore::CpuCore(Simulator* sim, CoreId id, TickDuration dispatch_overhead)
     : sim_(sim), id_(id), dispatch_overhead_(dispatch_overhead) {}
 
-void CpuCore::Post(WorkLevel level, Tick duration, std::function<void()> fn,
-                   uint64_t tenant_id) {
-  if (duration < 0) {
-    duration = 0;
+void CpuCore::Post(WorkLevel level, TickDuration duration,
+                   std::function<void()> fn, TenantId tenant) {
+  if (duration < kZeroDuration) {
+    duration = kZeroDuration;
   }
   queues_[static_cast<int>(level)].push_back(
-      Work{level, duration, std::move(fn), tenant_id});
+      Work{level, duration, std::move(fn), tenant});
   MaybeRun();
 }
 
@@ -25,13 +25,13 @@ size_t CpuCore::TotalQueueDepth() const {
   return n;
 }
 
-Tick CpuCore::total_busy_ns() const {
+TickDuration CpuCore::total_busy_ns() const {
   return busy_ns_[0] + busy_ns_[1] + busy_ns_[2];
 }
 
-Tick CpuCore::TenantBusyNs(uint64_t tenant_id) const {
-  auto it = tenant_busy_ns_.find(tenant_id);
-  return it == tenant_busy_ns_.end() ? 0 : it->second;
+TickDuration CpuCore::TenantBusyNs(TenantId tenant) const {
+  auto it = tenant_busy_ns_.find(tenant);
+  return it == tenant_busy_ns_.end() ? TickDuration{} : it->second;
 }
 
 void CpuCore::MaybeRun() {
@@ -51,11 +51,11 @@ void CpuCore::MaybeRun() {
   Work work = std::move(queues_[level].front());
   queues_[level].pop_front();
   running_ = true;
-  const Tick cost = dispatch_overhead_ + work.duration;
+  const TickDuration cost = dispatch_overhead_ + work.duration;
   sim_->After(cost, [this, work = std::move(work), cost]() mutable {
     busy_ns_[static_cast<int>(work.level)] += cost;
-    if (work.tenant_id != 0) {
-      tenant_busy_ns_[work.tenant_id] += cost;
+    if (work.tenant != kNoTenant) {
+      tenant_busy_ns_[work.tenant] += cost;
     }
     ++items_executed_;
     running_ = false;
@@ -69,38 +69,39 @@ void CpuCore::MaybeRun() {
 Machine::Machine(Simulator* sim, const Config& config) : sim_(sim), config_(config) {
   cores_.reserve(static_cast<size_t>(config.num_cores));
   for (int i = 0; i < config.num_cores; ++i) {
-    cores_.push_back(std::make_unique<CpuCore>(sim, i, config.dispatch_overhead));
+    cores_.push_back(
+        std::make_unique<CpuCore>(sim, CoreId{i}, config.dispatch_overhead));
   }
 }
 
-void Machine::Post(int core, WorkLevel level, Tick duration, std::function<void()> fn,
-                   uint64_t tenant_id, int from_core) {
+void Machine::Post(int core, WorkLevel level, TickDuration duration,
+                   std::function<void()> fn, TenantId tenant, int from_core) {
   if (from_core >= 0 && from_core != core) {
     ++cross_core_posts_;
     sim_->After(config_.cross_core_wakeup,
-                [this, core, level, duration, fn = std::move(fn), tenant_id]() mutable {
-                  cores_[core]->Post(level, duration, std::move(fn), tenant_id);
+                [this, core, level, duration, fn = std::move(fn), tenant]() mutable {
+                  cores_[core]->Post(level, duration, std::move(fn), tenant);
                 });
     return;
   }
-  cores_[core]->Post(level, duration, std::move(fn), tenant_id);
+  cores_[core]->Post(level, duration, std::move(fn), tenant);
 }
 
-Tick Machine::total_busy_ns() const {
-  Tick total = 0;
+TickDuration Machine::total_busy_ns() const {
+  TickDuration total;
   for (const auto& c : cores_) {
     total += c->total_busy_ns();
   }
   return total;
 }
 
-double Machine::Utilization(Tick busy_at_from, Tick from, Tick to) const {
+double Machine::Utilization(TickDuration busy_at_from, Tick from, Tick to) const {
   if (to <= from || cores_.empty()) {
     return 0.0;
   }
-  const Tick busy = total_busy_ns() - busy_at_from;
+  const TickDuration busy = total_busy_ns() - busy_at_from;
   const Tick wall = (to - from) * static_cast<Tick>(cores_.size());
-  return static_cast<double>(busy) / static_cast<double>(wall);
+  return static_cast<double>(busy.ticks()) / static_cast<double>(wall);
 }
 
 }  // namespace daredevil

@@ -16,6 +16,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/core/types.h"
 #include "src/sim/clock.h"
 #include "src/sim/simulator.h"
 
@@ -32,46 +33,49 @@ class CpuCore {
  public:
   // dispatch_overhead models the fixed cost of switching to a new work item
   // (context switch / mode switch), charged once per item.
-  CpuCore(Simulator* sim, int id, Tick dispatch_overhead);
+  CpuCore(Simulator* sim, CoreId id, TickDuration dispatch_overhead);
   CpuCore(const CpuCore&) = delete;
   CpuCore& operator=(const CpuCore&) = delete;
 
   // Enqueues a work item. fn runs when the item's computation finishes.
-  // tenant_id (0 = none) attributes the CPU time for accounting.
-  void Post(WorkLevel level, Tick duration, std::function<void()> fn, uint64_t tenant_id = 0);
+  // tenant (kNoTenant = none) attributes the CPU time for accounting.
+  void Post(WorkLevel level, TickDuration duration, std::function<void()> fn,
+            TenantId tenant = kNoTenant);
 
-  int id() const { return id_; }
+  CoreId id() const { return id_; }
   bool busy() const { return running_; }
   size_t QueueDepth(WorkLevel level) const {
     return queues_[static_cast<int>(level)].size();
   }
   size_t TotalQueueDepth() const;
 
-  Tick busy_ns(WorkLevel level) const { return busy_ns_[static_cast<int>(level)]; }
-  Tick total_busy_ns() const;
-  Tick TenantBusyNs(uint64_t tenant_id) const;
+  TickDuration busy_ns(WorkLevel level) const {
+    return busy_ns_[static_cast<int>(level)];
+  }
+  TickDuration total_busy_ns() const;
+  TickDuration TenantBusyNs(TenantId tenant) const;
   uint64_t items_executed() const { return items_executed_; }
 
  private:
   struct Work {
     WorkLevel level;
-    Tick duration;
+    TickDuration duration;
     std::function<void()> fn;
-    uint64_t tenant_id;
+    TenantId tenant;
   };
 
   void MaybeRun();
 
   Simulator* sim_;
-  int id_;
-  Tick dispatch_overhead_;
+  CoreId id_;
+  TickDuration dispatch_overhead_;
   std::deque<Work> queues_[kNumWorkLevels];
   bool running_ = false;
-  Tick busy_ns_[kNumWorkLevels] = {0, 0, 0};
+  TickDuration busy_ns_[kNumWorkLevels];
   uint64_t items_executed_ = 0;
   // Ordered so any future iteration (per-tenant accounting dumps) is
   // deterministic; unordered iteration here is seed-dependent DES poison.
-  std::map<uint64_t, Tick> tenant_busy_ns_;
+  std::map<TenantId, TickDuration> tenant_busy_ns_;
 };
 
 // A set of cores sharing one simulator, plus cross-core signalling costs.
@@ -79,8 +83,10 @@ class Machine {
  public:
   struct Config {
     int num_cores = 4;
-    Tick dispatch_overhead = 300;     // per-work-item switch cost (0.3us)
-    Tick cross_core_wakeup = 5 * kMicrosecond;  // IPI + wakeup + cache effects
+    // Per-work-item switch cost (0.3us).
+    TickDuration dispatch_overhead{300};
+    // IPI + wakeup + cache effects.
+    TickDuration cross_core_wakeup{5 * kMicrosecond};
   };
 
   Machine(Simulator* sim, const Config& config);
@@ -93,14 +99,15 @@ class Machine {
 
   // Posts work to a core. If from_core differs from core (a cross-core wakeup
   // or IPI), the item is delayed by the cross-core cost and the event counted.
-  void Post(int core, WorkLevel level, Tick duration, std::function<void()> fn,
-            uint64_t tenant_id = 0, int from_core = -1);
+  void Post(int core, WorkLevel level, TickDuration duration,
+            std::function<void()> fn, TenantId tenant = kNoTenant,
+            int from_core = -1);
 
   uint64_t cross_core_posts() const { return cross_core_posts_; }
-  Tick total_busy_ns() const;
+  TickDuration total_busy_ns() const;
   // Fraction of [from, to) during which cores were busy, averaged over cores.
   // Callers snapshot total_busy_ns() at `from` themselves for windowed stats.
-  double Utilization(Tick busy_at_from, Tick from, Tick to) const;
+  double Utilization(TickDuration busy_at_from, Tick from, Tick to) const;
 
  private:
   Simulator* sim_;

@@ -13,9 +13,9 @@ void Simulator::At(Tick t, std::function<void()> fn) {
   queue_.Push(t, std::move(fn));
 }
 
-void Simulator::After(Tick delay, std::function<void()> fn) {
-  if (delay < 0) {
-    delay = 0;
+void Simulator::After(TickDuration delay, std::function<void()> fn) {
+  if (delay < kZeroDuration) {
+    delay = kZeroDuration;
   }
   At(now_ + delay, std::move(fn));
 }

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "src/core/types.h"
 #include "src/sim/clock.h"
 #include "src/sim/event_queue.h"
 
@@ -25,8 +26,8 @@ class Simulator {
   // Schedules fn at absolute time t (clamped to now if t is in the past).
   void At(Tick t, std::function<void()> fn);
 
-  // Schedules fn after the given delay (delay < 0 is treated as 0).
-  void After(Tick delay, std::function<void()> fn);
+  // Schedules fn after the given delay (a negative delay is treated as 0).
+  void After(TickDuration delay, std::function<void()> fn);
 
   // Processes the next event if any; returns false when the queue is empty.
   bool Step();

@@ -7,6 +7,7 @@
 #include <functional>
 #include <string>
 
+#include "src/core/types.h"
 #include "src/sim/clock.h"
 
 namespace daredevil {
@@ -39,7 +40,7 @@ inline const char* IoniceName(IoniceClass c) {
 // A process (or thread) demanding I/O service. Tenants are owned by the
 // workload layer; stacks receive stable pointers.
 struct Tenant {
-  uint64_t id = 0;  // nonzero; 0 means "no tenant" in CPU accounting
+  TenantId id;  // nonzero; kNoTenant means "no tenant" in CPU accounting
   std::string name;
   std::string group;  // stats label: "L", "T", "TL", ...
   IoniceClass ionice = IoniceClass::kBestEffort;
@@ -55,7 +56,7 @@ struct Request {
   uint64_t id = 0;
   Tenant* tenant = nullptr;
   uint32_t nsid = 0;
-  uint64_t lba = 0;      // namespace-relative, in 4KB pages
+  Lba lba;               // namespace-relative, in 4KB pages
   uint32_t pages = 1;
   bool is_write = false;
   bool is_sync = false;  // REQ_SYNC analogue

@@ -51,7 +51,7 @@ void StorageStack::RegisterMetrics(MetricsRegistry* registry) const {
     return static_cast<double>(s->cross_core_completions());
   });
   registry->RegisterGauge("stack.lock_wait_ns", [s]() {
-    return static_cast<double>(s->submission_lock_wait_ns());
+    return static_cast<double>(s->submission_lock_wait_ns().ticks());
   });
   registry->RegisterGauge("stack.requests_split", [s]() {
     return static_cast<double>(s->requests_split());
@@ -72,7 +72,7 @@ void StorageStack::RegisterMetrics(MetricsRegistry* registry) const {
 
 void StorageStack::AssignIrqCoresRoundRobin() {
   for (int i = 0; i < device_->nr_ncq(); ++i) {
-    device_->ncq(i).set_irq_core(i % machine_->num_cores());
+    device_->ncq(i).set_irq_core(CoreId{i % machine_->num_cores()});
   }
 }
 
@@ -116,9 +116,9 @@ void StorageStack::SubmitAsync(Request* rq) {
   // (split parents never reach the device and are tracked via children).
   DD_CHECK(lifecycle_.OnSubmit(*rq, machine_->now()))
       << lifecycle_.last_violation();
-  const Tick work = costs_.submit_kernel +
-                    static_cast<Tick>(rq->pages) * costs_.per_page_kernel +
-                    RoutingCost(*rq);
+  const TickDuration work = costs_.submit_kernel +
+                            static_cast<Tick>(rq->pages) * costs_.per_page_kernel +
+                            RoutingCost(*rq);
   machine_->Post(rq->submit_core, WorkLevel::kKernel, work, [this, rq]() {
     rq->submit_time = machine_->now();
     if (trace_ != nullptr) {
@@ -141,10 +141,11 @@ void StorageStack::SubmitAsync(Request* rq) {
       DispatchOrSchedule(rq, nsq);
       return;
     }
-    const Tick wait = device_->AcquireSubmitLock(
-        nsq, costs_.nsq_lock_hold, rq->submit_core, costs_.nsq_remote_access);
+    const TickDuration wait = device_->AcquireSubmitLock(
+        nsq, costs_.nsq_lock_hold, CoreId{rq->submit_core},
+        costs_.nsq_remote_access);
     submission_lock_wait_ns_ += wait;
-    if (wait > 0) {
+    if (wait > kZeroDuration) {
       // Spin for our turn at the NSQ tail (cross-core contention, §5.1).
       machine_->Post(rq->submit_core, WorkLevel::kKernel, wait,
                      [this, rq, nsq]() { EnqueueLocked(rq, nsq); });
@@ -169,8 +170,9 @@ void StorageStack::PumpScheduler(int nsq) {
       return;
     }
     ++state.outstanding;
-    const Tick wait = device_->AcquireSubmitLock(
-        nsq, costs_.nsq_lock_hold, rq->submit_core, costs_.nsq_remote_access);
+    const TickDuration wait = device_->AcquireSubmitLock(
+        nsq, costs_.nsq_lock_hold, CoreId{rq->submit_core},
+        costs_.nsq_remote_access);
     submission_lock_wait_ns_ += wait;
     EnqueueLocked(rq, nsq);
   }
@@ -208,7 +210,8 @@ void StorageStack::SubmitSplit(Request* rq) {
         // the job's children, so destroying the job here would destroy the
         // currently-executing function object.
         const uint64_t parent_id = parent->id;
-        machine_->sim().After(0, [this, parent_id]() { splits_.erase(parent_id); });
+        machine_->sim().After(kZeroDuration,
+                              [this, parent_id]() { splits_.erase(parent_id); });
         if (parent->on_complete) {
           parent->on_complete(parent);
         }
@@ -240,7 +243,7 @@ void StorageStack::EnqueueLocked(Request* rq, int nsq) {
     ++requeues_;
     machine_->sim().After(costs_.requeue_backoff, [this, rq, nsq]() {
       machine_->Post(rq->submit_core, WorkLevel::kKernel,
-                     costs_.submit_kernel / 2,
+                     TickDuration{costs_.submit_kernel.ticks() / 2},
                      [this, rq, nsq]() { EnqueueLocked(rq, nsq); });
     });
     return;
@@ -298,19 +301,20 @@ void StorageStack::RingOrBatchDoorbell(int nsq) {
   }
 }
 
-void StorageStack::EnablePolledCompletion(int ncq, Tick interval) {
+void StorageStack::EnablePolledCompletion(int ncq, TickDuration interval) {
   device_->ncq(ncq).set_polled(true);
   machine_->sim().After(interval, [this, ncq, interval]() { PollBody(ncq, interval); });
 }
 
-void StorageStack::PollBody(int ncq_id, Tick interval) {
-  const int core = device_->ncq(ncq_id).irq_core();
+void StorageStack::PollBody(int ncq_id, TickDuration interval) {
+  const int core = device_->ncq(ncq_id).irq_core().value();
   machine_->Post(core, WorkLevel::kKernel, costs_.poll_base, [this, ncq_id, interval]() {
     auto cqes = device_->DrainCompletions(
         ncq_id, static_cast<size_t>(device_->config().queue_depth));
-    const int poll_core = device_->ncq(ncq_id).irq_core();
+    const int poll_core = device_->ncq(ncq_id).irq_core().value();
     if (!cqes.empty()) {
-      const Tick work = static_cast<Tick>(cqes.size()) * costs_.isr_per_cqe;
+      const TickDuration work =
+          static_cast<Tick>(cqes.size()) * costs_.isr_per_cqe;
       machine_->Post(poll_core, WorkLevel::kKernel, work,
                      [this, ncq_id, poll_core, cqes = std::move(cqes)]() {
                        for (const auto& cqe : cqes) {
@@ -324,7 +328,7 @@ void StorageStack::PollBody(int ncq_id, Tick interval) {
 }
 
 void StorageStack::OnDeviceIrq(int ncq_id) {
-  const int core = device_->ncq(ncq_id).irq_core();
+  const int core = device_->ncq(ncq_id).irq_core().value();
   machine_->Post(core, WorkLevel::kIrq, costs_.isr_base,
                  [this, ncq_id]() { IsrBody(ncq_id); });
 }
@@ -332,13 +336,13 @@ void StorageStack::OnDeviceIrq(int ncq_id) {
 void StorageStack::IsrBody(int ncq_id) {
   auto cqes = device_->DrainCompletions(
       ncq_id, static_cast<size_t>(device_->config().queue_depth));
-  const int irq_core = device_->ncq(ncq_id).irq_core();
+  const int irq_core = device_->ncq(ncq_id).irq_core().value();
   if (cqes.empty()) {
     device_->IrqDone(ncq_id);
     return;
   }
   // Charge per-CQE processing, then deliver and unmask.
-  const Tick work = static_cast<Tick>(cqes.size()) * costs_.isr_per_cqe;
+  const TickDuration work = static_cast<Tick>(cqes.size()) * costs_.isr_per_cqe;
   machine_->Post(irq_core, WorkLevel::kIrq, work,
                  [this, ncq_id, irq_core, cqes = std::move(cqes)]() {
                    for (const auto& cqe : cqes) {
@@ -384,7 +388,7 @@ void StorageStack::DeliverCompletion(const NvmeCompletion& cqe, int ncq_id,
                    tenant_core);
   }
   OnRequestCompleted(rq);
-  const uint64_t tid = rq->tenant != nullptr ? rq->tenant->id : 0;
+  const TenantId tid = rq->tenant != nullptr ? rq->tenant->id : kNoTenant;
   machine_->Post(
       tenant_core, WorkLevel::kUser, costs_.complete_delivery,
       [this, rq, ncq_id, irq_core]() {

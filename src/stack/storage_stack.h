@@ -30,19 +30,21 @@ struct StackCapabilities {
   bool multi_namespace_support = false;  // Factor 4
 };
 
-// CPU cost model of the kernel I/O path.
+// CPU cost model of the kernel I/O path. Every field is a span of simulated
+// time, so the catalog is TickDuration-typed: a time-point can no longer be
+// charged as work by accident.
 struct StackCosts {
-  Tick syscall = 1 * kMicrosecond;       // user->kernel crossing (workload side)
-  Tick per_page_user = 800;              // userspace buffer prep per 4KB page
-  Tick submit_kernel = 1200;             // block layer submit work per request
-  Tick per_page_kernel = 400;            // pinning/DMA mapping per 4KB page
-  Tick nsq_lock_hold = 150;              // tail-doorbell critical section
-  Tick nsq_remote_access = 400;          // doorbell cacheline bounce, cross-core
-  Tick isr_base = 1500;                  // fixed ISR entry cost
-  Tick isr_per_cqe = 400;                // per completion processed in the ISR
-  Tick complete_delivery = 700;          // completion delivery to userspace
-  Tick poll_base = 400;                  // cost of one (possibly empty) NCQ poll
-  Tick requeue_backoff = 50 * kMicrosecond;  // retry delay on a full NSQ
+  TickDuration syscall{1 * kMicrosecond};  // user->kernel crossing (workload side)
+  TickDuration per_page_user{800};         // userspace buffer prep per 4KB page
+  TickDuration submit_kernel{1200};        // block layer submit work per request
+  TickDuration per_page_kernel{400};       // pinning/DMA mapping per 4KB page
+  TickDuration nsq_lock_hold{150};         // tail-doorbell critical section
+  TickDuration nsq_remote_access{400};     // doorbell cacheline bounce, cross-core
+  TickDuration isr_base{1500};             // fixed ISR entry cost
+  TickDuration isr_per_cqe{400};           // per completion processed in the ISR
+  TickDuration complete_delivery{700};     // completion delivery to userspace
+  TickDuration poll_base{400};             // cost of one (possibly empty) NCQ poll
+  TickDuration requeue_backoff{50 * kMicrosecond};  // retry delay on a full NSQ
 };
 
 class StorageStack {
@@ -85,7 +87,7 @@ class StorageStack {
 
   // Switches an NCQ to polled completion: the driver drains it every
   // `interval` on its (former IRQ) core instead of taking interrupts.
-  void EnablePolledCompletion(int ncq, Tick interval);
+  void EnablePolledCompletion(int ncq, TickDuration interval);
 
   // Installs a per-NSQ block-layer I/O scheduler with a bounded device
   // dispatch window (outstanding commands per NSQ); excess requests queue in
@@ -105,7 +107,9 @@ class StorageStack {
   uint64_t requests_completed() const { return requests_completed_; }
   uint64_t requeues() const { return requeues_; }
   uint64_t cross_core_completions() const { return cross_core_completions_; }
-  Tick submission_lock_wait_ns() const { return submission_lock_wait_ns_; }
+  TickDuration submission_lock_wait_ns() const {
+    return submission_lock_wait_ns_;
+  }
   // Doorbell accounting: rings issued and requests made visible per ring
   // (rqs/rings = mean batch size; > 1 only with batched doorbell policies).
   uint64_t doorbells_rung() const { return doorbells_rung_; }
@@ -140,7 +144,7 @@ class StorageStack {
   struct DoorbellPolicy {
     bool batched = false;
     int batch = 8;
-    Tick timeout = 100 * kMicrosecond;
+    TickDuration timeout{100 * kMicrosecond};
   };
 
  protected:
@@ -149,9 +153,9 @@ class StorageStack {
   // on rq->submit_core.
   virtual int RouteRequest(Request* rq) = 0;
   // Extra CPU the routing decision costs (charged with the submit work).
-  virtual Tick RoutingCost(const Request& rq) const {
+  virtual TickDuration RoutingCost(const Request& rq) const {
     (void)rq;
-    return 0;
+    return kZeroDuration;
   }
   // Hook after a request reaches its NSQ (before the doorbell decision).
   virtual void AfterEnqueue(int nsq, Request* rq) {
@@ -178,7 +182,7 @@ class StorageStack {
   void RingOrBatchDoorbell(int nsq);
   void OnDeviceIrq(int ncq_id);
   void IsrBody(int ncq_id);
-  void PollBody(int ncq_id, Tick interval);
+  void PollBody(int ncq_id, TickDuration interval);
   void DeliverCompletion(const NvmeCompletion& cqe, int ncq_id, int irq_core);
 
   Machine* machine_;
@@ -220,7 +224,7 @@ class StorageStack {
   uint64_t requests_completed_ = 0;
   uint64_t requeues_ = 0;
   uint64_t cross_core_completions_ = 0;
-  Tick submission_lock_wait_ns_ = 0;
+  TickDuration submission_lock_wait_ns_;
   uint64_t doorbells_rung_ = 0;
   uint64_t doorbell_rqs_rung_ = 0;
 };

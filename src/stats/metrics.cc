@@ -289,7 +289,7 @@ void RegisterMachineMetrics(const Machine& machine, MetricsRegistry* registry) {
     return static_cast<double>(m->cross_core_posts());
   });
   registry->RegisterGauge("machine.total_busy_ns", [m]() {
-    return static_cast<double>(m->total_busy_ns());
+    return static_cast<double>(m->total_busy_ns().ticks());
   });
   static constexpr struct {
     WorkLevel level;
@@ -300,11 +300,11 @@ void RegisterMachineMetrics(const Machine& machine, MetricsRegistry* registry) {
   for (const auto& entry : kLevels) {
     const WorkLevel level = entry.level;
     registry->RegisterGauge(entry.name, [m, level]() {
-      Tick total = 0;
+      TickDuration total;
       for (int i = 0; i < m->num_cores(); ++i) {
         total += m->core(i).busy_ns(level);
       }
-      return static_cast<double>(total);
+      return static_cast<double>(total.ticks());
     });
   }
 }

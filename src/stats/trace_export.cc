@@ -21,7 +21,7 @@ void RequestTimelineLog::Append(const Request& rq, int irq_core, int ncq) {
   }
   RequestRecord rec;
   rec.id = rq.id;
-  rec.tenant_id = rq.tenant != nullptr ? rq.tenant->id : 0;
+  rec.tenant_id = rq.tenant != nullptr ? rq.tenant->id.value() : 0;
   rec.pages = rq.pages;
   rec.is_write = rq.is_write;
   rec.latency_sensitive =

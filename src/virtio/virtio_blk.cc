@@ -21,13 +21,13 @@ GuestVm::GuestVm(Machine* machine, StorageStack* stack, std::string name,
       << "guest " << name_ << " (id=" << guest_id_ << ") has no vCPUs";
   // Register one host tenant per VQ; its ionice encodes the VQ's SLA so the
   // host stack keeps the VQ-NQ mapping SLA-consistent (§8.1).
-  high_vq_.tenant_.id = (guest_id << 8) | 1;
+  high_vq_.tenant_.id = TenantId{(guest_id << 8) | 1};
   high_vq_.tenant_.name = name_ + "-vq-hi";
   high_vq_.tenant_.group = "VM-L";
   high_vq_.tenant_.ionice = IoniceClass::kRealtime;
   high_vq_.tenant_.core = vcpu_to_core_[0];
   high_vq_.tenant_.primary_nsid = nsid_;
-  low_vq_.tenant_.id = (guest_id << 8) | 2;
+  low_vq_.tenant_.id = TenantId{(guest_id << 8) | 2};
   low_vq_.tenant_.name = name_ + "-vq-lo";
   low_vq_.tenant_.group = "VM-T";
   low_vq_.tenant_.ionice = IoniceClass::kBestEffort;
@@ -75,7 +75,7 @@ void GuestVm::ForwardToHost(GuestRequest* rq) {
   host.id = ++next_host_id_;
   host.tenant = &vq.tenant_;
   host.nsid = nsid_;
-  host.lba = rq->lba;
+  host.lba = Lba{rq->lba};
   host.pages = rq->pages;
   host.is_write = rq->is_write;
   host.is_sync = false;

@@ -47,8 +47,8 @@ struct GuestRequest {
 };
 
 struct VirtioCosts {
-  Tick vq_kick = 2 * kMicrosecond;        // guest driver enqueue + VM exit
-  Tick completion_inject = 2 * kMicrosecond;  // host -> guest IRQ injection
+  TickDuration vq_kick{2 * kMicrosecond};  // guest driver enqueue + VM exit
+  TickDuration completion_inject{2 * kMicrosecond};  // host -> guest IRQ
 };
 
 class GuestVm;

@@ -14,7 +14,7 @@ FioJob::FioJob(Machine* machine, StorageStack* stack, const FioJobSpec& spec,
       measure_start_(measure_start),
       measure_end_(measure_end),
       next_rq_id_(tenant_id << 32) {
-  tenant_.id = tenant_id;
+  tenant_.id = TenantId{tenant_id};
   tenant_.name = spec.name;
   tenant_.group = spec.group;
   tenant_.ionice = spec.ionice;
@@ -55,10 +55,10 @@ void FioJob::Start() {
       IssueOne();
     }
   });
-  if (spec_.ionice_update_interval > 0) {
+  if (spec_.ionice_update_interval > kZeroDuration) {
     ArmIoniceUpdate();
   }
-  if (spec_.migrate_interval > 0) {
+  if (spec_.migrate_interval > kZeroDuration) {
     ArmMigration();
   }
 }
@@ -83,9 +83,9 @@ void FioJob::IssueOne() {
   rq->is_meta = spec_.meta_prob > 0.0 && rng_.NextBool(spec_.meta_prob);
   const uint64_t ns_pages = stack_->device().NamespacePages(spec_.nsid);
   if (spec_.random) {
-    rq->lba = rng_.NextBelow(ns_pages - spec_.pages + 1);
+    rq->lba = Lba{rng_.NextBelow(ns_pages - spec_.pages + 1)};
   } else {
-    rq->lba = seq_lba_;
+    rq->lba = Lba{seq_lba_};
     seq_lba_ += spec_.pages;
     if (seq_lba_ + spec_.pages > ns_pages) {
       seq_lba_ = 0;
@@ -98,7 +98,7 @@ void FioJob::IssueOne() {
   // The syscall runs in user context on the tenant's current core, then the
   // stack takes over in kernel context.
   rq->submit_core = tenant_.core;
-  const Tick issue_cost =
+  const TickDuration issue_cost =
       stack_->costs().syscall +
       static_cast<Tick>(spec_.pages) * stack_->costs().per_page_user;
   machine_->Post(tenant_.core, WorkLevel::kUser, issue_cost,
@@ -137,7 +137,7 @@ void FioJob::ScheduleNextIssue() {
   if (Stopped()) {
     return;
   }
-  if (spec_.think_time > 0) {
+  if (spec_.think_time > kZeroDuration) {
     machine_->sim().After(spec_.think_time, [this]() { IssueOne(); });
   } else {
     IssueOne();

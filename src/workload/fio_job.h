@@ -27,7 +27,7 @@ struct FioJobSpec {
   bool random = true;
   double sync_prob = 0.0;  // probability a request carries REQ_SYNC
   double meta_prob = 0.0;  // probability a request carries REQ_META
-  Tick think_time = 0;     // delay between completion and next issue
+  TickDuration think_time{0};  // delay between completion and next issue
   Tick start_time = 0;
   Tick stop_time = -1;     // -1 => run until the scenario ends
   int core = -1;           // -1 => assigned round-robin by the scenario
@@ -35,8 +35,8 @@ struct FioJobSpec {
   // Fault/behaviour injection used by the overhead experiments:
   // >0: re-apply the tenant's ionice value periodically, triggering the
   // kernel update path and Daredevil's default-NSQ re-scheduling (Fig 14).
-  Tick ionice_update_interval = 0;
-  Tick migrate_interval = 0;  // >0: hop to a random core periodically (Fig 13)
+  TickDuration ionice_update_interval{0};
+  TickDuration migrate_interval{0};  // >0: hop cores periodically (Fig 13)
 };
 
 inline FioJobSpec LTenantSpec(int index, uint32_t nsid = 0) {
@@ -118,6 +118,10 @@ class FioJob {
   Tick measure_start_;
   Tick measure_end_;
 
+  // Pooled and recycled across the whole run: keep the request compact so a
+  // deep pool stays cache-resident (growth here is a hot-path regression).
+  static_assert(sizeof(Request) <= 256,
+                "Request outgrew its pooled-allocation budget");
   std::vector<std::unique_ptr<Request>> pool_;
   std::vector<Request*> free_list_;
   uint64_t next_rq_id_;

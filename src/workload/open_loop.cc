@@ -14,7 +14,7 @@ OpenLoopJob::OpenLoopJob(Machine* machine, StorageStack* stack,
       measure_start_(measure_start),
       measure_end_(measure_end),
       next_rq_id_(tenant_id << 32) {
-  tenant_.id = tenant_id;
+  tenant_.id = TenantId{tenant_id};
   tenant_.name = spec.name;
   tenant_.group = spec.group;
   tenant_.ionice = spec.ionice;
@@ -38,7 +38,7 @@ void OpenLoopJob::ScheduleNextArrival() {
   // Poisson arrivals: exponential inter-arrival gap for the mean rate. When
   // bursting, the whole burst shares one arrival slot.
   const double mean_gap_ns = 1e9 / spec_.iops;
-  const auto gap = static_cast<Tick>(rng_.NextExponential(mean_gap_ns));
+  const TickDuration gap{static_cast<Tick>(rng_.NextExponential(mean_gap_ns))};
   machine_->sim().After(gap, [this]() {
     const bool burst = spec_.burst_prob > 0 && rng_.NextBool(spec_.burst_prob);
     Arrive(burst ? spec_.burst_len : 1);
@@ -81,9 +81,9 @@ void OpenLoopJob::IssueOne() {
   rq->is_meta = false;
   const uint64_t ns_pages = stack_->device().NamespacePages(spec_.nsid);
   if (spec_.random) {
-    rq->lba = rng_.NextBelow(ns_pages - spec_.pages + 1);
+    rq->lba = Lba{rng_.NextBelow(ns_pages - spec_.pages + 1)};
   } else {
-    rq->lba = seq_lba_;
+    rq->lba = Lba{seq_lba_};
     seq_lba_ += spec_.pages;
     if (seq_lba_ + spec_.pages > ns_pages) {
       seq_lba_ = 0;
@@ -93,7 +93,7 @@ void OpenLoopJob::IssueOne() {
   rq->issue_time = machine_->now();
   rq->routed_nsq = -1;
   rq->submit_core = tenant_.core;
-  const Tick issue_cost =
+  const TickDuration issue_cost =
       stack_->costs().syscall +
       static_cast<Tick>(spec_.pages) * stack_->costs().per_page_user;
   machine_->Post(tenant_.core, WorkLevel::kUser, issue_cost,

@@ -72,6 +72,10 @@ class OpenLoopJob {
   Tick measure_start_;
   Tick measure_end_;
 
+  // Pooled and recycled across the whole run: keep the request compact so a
+  // deep pool stays cache-resident (growth here is a hot-path regression).
+  static_assert(sizeof(Request) <= 256,
+                "Request outgrew its pooled-allocation budget");
   std::vector<std::unique_ptr<Request>> pool_;
   std::vector<Request*> free_list_;
   uint64_t next_rq_id_;

@@ -313,7 +313,7 @@ ScenarioResult RunScenario(const ScenarioConfig& config) {
   }
 
   // Snapshot CPU busy time at the start of the measurement window.
-  Tick busy_at_warmup = 0;
+  TickDuration busy_at_warmup;
   sim.At(measure_start, [&]() { busy_at_warmup = machine.total_busy_ns(); });
 
   sim.RunUntil(measure_end);
@@ -357,7 +357,7 @@ ScenarioResult RunScenario(const ScenarioConfig& config) {
 
     std::map<uint64_t, std::string> tenant_names;
     for (const auto& job : jobs) {
-      tenant_names[job->tenant().id] = job->tenant().name;
+      tenant_names[job->tenant().id.value()] = job->tenant().name;
     }
     const std::vector<RequestRecord> records = env.timeline_log()->Records();
 

@@ -77,7 +77,7 @@ class AppsTest : public ::testing::Test {
     device_ = std::make_unique<Device>(&sim_, device_config);
     stack_ = std::make_unique<BlkMqStack>(machine_.get(), device_.get(),
                                           StackCosts{});
-    tenant_.id = 1;
+    tenant_.id = TenantId{1};
     tenant_.core = 0;
     stack_->OnTenantStart(&tenant_);
     io_ = std::make_unique<AppIoContext>(machine_.get(), stack_.get(), &tenant_,
@@ -106,11 +106,11 @@ TEST_F(AppsTest, AppIoReadWriteRoundTrip) {
 
 TEST_F(AppsTest, AppIoComputeCostsCpuOnly) {
   bool done = false;
-  io_->Compute(10 * kMicrosecond, [&]() { done = true; });
+  io_->Compute(TickDuration{10 * kMicrosecond}, [&]() { done = true; });
   sim_.RunUntilIdle();
   EXPECT_TRUE(done);
   EXPECT_EQ(device_->commands_completed(), 0u);
-  EXPECT_GT(machine_->core(0).busy_ns(WorkLevel::kUser), 0);
+  EXPECT_GT(machine_->core(0).busy_ns(WorkLevel::kUser), kZeroDuration);
 }
 
 TEST_F(AppsTest, AppIoPoolReusesOps) {

@@ -76,7 +76,7 @@ TEST_F(BlkMqTest, ExplicitUsedNqsRespected) {
 TEST_F(BlkMqTest, StaticCoreBinding) {
   Build(4, 64);
   Tenant t;
-  t.id = 1;
+  t.id = TenantId{1};
   for (int core = 0; core < 4; ++core) {
     t.core = core;
     EXPECT_EQ(stack_->NsqOfCore(core), core);
@@ -88,11 +88,11 @@ TEST_F(BlkMqTest, StaticCoreBinding) {
 TEST_F(BlkMqTest, IoniceIgnoredByVanilla) {
   Build(4, 64);
   Tenant l;
-  l.id = 1;
+  l.id = TenantId{1};
   l.core = 2;
   l.ionice = IoniceClass::kRealtime;
   Tenant t;
-  t.id = 2;
+  t.id = TenantId{2};
   t.core = 2;
   t.ionice = IoniceClass::kBestEffort;
   Request rq1 = MakeRequest(&l, 2);
@@ -106,7 +106,7 @@ TEST_F(BlkMqTest, IoniceIgnoredByVanilla) {
 TEST_F(BlkMqTest, NamespacesShareTheSameNqs) {
   Build(4, 64);
   Tenant t;
-  t.id = 1;
+  t.id = TenantId{1};
   t.core = 1;
   Request ns0 = MakeRequest(&t, 1, 0);
   Request ns1 = MakeRequest(&t, 1, 1);
@@ -126,10 +126,10 @@ TEST_F(BlkMqTest, CapabilitiesMatchTable1) {
 TEST_F(BlkMqTest, StaticSplitSeparatesClasses) {
   Build(4, 64, /*used=*/4);
   Tenant l;
-  l.id = 1;
+  l.id = TenantId{1};
   l.ionice = IoniceClass::kRealtime;
   Tenant t;
-  t.id = 2;
+  t.id = TenantId{2};
   t.ionice = IoniceClass::kBestEffort;
   const int half = split_->half();
   ASSERT_EQ(half, 2);
@@ -149,7 +149,7 @@ TEST_F(BlkMqTest, StaticSplitCannotBorrowOtherHalf) {
   Build(4, 64, /*used=*/4);
   // Even with zero L traffic, T-requests stay confined to the second half.
   Tenant t;
-  t.id = 2;
+  t.id = TenantId{2};
   t.ionice = IoniceClass::kBestEffort;
   std::set<int> used;
   for (int core = 0; core < 4; ++core) {

@@ -28,7 +28,7 @@ class BlkSwitchTest : public ::testing::Test {
 
   Tenant* AddTenant(IoniceClass ionice, int core) {
     auto tenant = std::make_unique<Tenant>();
-    tenant->id = next_id_++;
+    tenant->id = TenantId{next_id_++};
     tenant->ionice = ionice;
     tenant->core = core;
     tenants_.push_back(std::move(tenant));

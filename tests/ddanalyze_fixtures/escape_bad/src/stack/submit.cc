@@ -1,0 +1,11 @@
+// BAD: both lambdas keep a path to the pooled Request alive after recycle.
+struct Request;
+void Use(Request* rq);
+void Defer(void (*fn)());
+
+void Submit(Request* rq) {
+  auto by_ref = [&rq] { Use(rq); };
+  auto implicit = [&] { Use(rq); };
+  by_ref();
+  implicit();
+}

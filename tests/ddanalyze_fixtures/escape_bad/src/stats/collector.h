@@ -1,0 +1,12 @@
+// BAD: stats storing Request pointers dereferences recycled pool slots.
+#pragma once
+#include <vector>
+
+struct Request;
+
+struct Collector {
+  void Observe(Request* rq);
+
+  Request* last_rq_ = nullptr;
+  std::vector<Request*> inflight_;
+};

@@ -1,0 +1,10 @@
+// GOOD: pooled Request pointers are captured by value only.
+struct Request;
+void Use(Request* rq);
+
+void Submit(Request* rq) {
+  auto by_value = [rq] { Use(rq); };
+  auto listed = [rq, extra = 1] { Use(rq); (void)extra; };
+  by_value();
+  listed();
+}

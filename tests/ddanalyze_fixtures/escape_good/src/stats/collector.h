@@ -1,0 +1,16 @@
+// GOOD: the record copies fields; the one raw pointer is waived with a reason.
+#pragma once
+#include <cstdint>
+
+struct Request;
+
+struct SampleRecord {
+  uint64_t request_id = 0;
+  int64_t submit_tick = 0;
+};
+
+struct Collector {
+  void Observe(const SampleRecord& rec);
+
+  Request* scratch_ = nullptr;  // ddanalyze: escape-ok(cleared before pool recycle)
+};

@@ -1,0 +1,6 @@
+// BAD: src/mystery/ is not a declared layer.
+#pragma once
+
+struct Widget {
+  int w = 0;
+};

@@ -1,0 +1,7 @@
+// BAD: nvme may depend on time/vocab/sim/stats only; apps sits far above it.
+#pragma once
+#include "src/apps/lru.h"
+
+struct NvmeThing {
+  int x = 0;
+};

@@ -1,0 +1,7 @@
+// BAD: a.h -> b.h -> a.h is an include cycle.
+#pragma once
+#include "src/sim/b.h"
+
+struct A {
+  int a = 0;
+};

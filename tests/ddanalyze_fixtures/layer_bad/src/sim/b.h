@@ -1,0 +1,6 @@
+#pragma once
+#include "src/sim/a.h"
+
+struct B {
+  int b = 0;
+};

@@ -1,0 +1,8 @@
+// GOOD: nvme -> stats is a declared edge; the core edge is explicitly waived.
+#pragma once
+#include "src/stats/metrics.h"
+#include "src/core/nqreg.h"  // ddanalyze: layer-ok(transitional shim, tracked in ROADMAP)
+
+struct NvmeGood {
+  int x = 0;
+};

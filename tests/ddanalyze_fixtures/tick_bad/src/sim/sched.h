@@ -1,0 +1,10 @@
+#pragma once
+
+using Tick = long long;
+struct TickDuration {
+  long long ns = 0;
+};
+
+struct Scheduler {
+  void After(TickDuration delay, int tag);
+};

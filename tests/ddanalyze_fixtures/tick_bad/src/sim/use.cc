@@ -1,0 +1,8 @@
+// BAD: raw integers flow into the tick-typed first parameter of After().
+#include "src/sim/sched.h"
+
+void Drive(Scheduler& s) {
+  int64_t gap = 500;
+  s.After(1000, 1);
+  s.After(gap, 2);
+}

@@ -1,0 +1,8 @@
+// GOOD: durations are wrapped at the call site; the legacy site is waived.
+#include "src/sim/sched.h"
+
+void Drive(Scheduler& s) {
+  s.After(TickDuration{1000}, 1);
+  int64_t legacy_gap = 500;
+  s.After(legacy_gap, 2);  // ddanalyze: tick-ok(legacy knob, migrating next PR)
+}

@@ -1,0 +1,152 @@
+// Tests for tools/ddanalyze: the layer table itself, and the fixture corpus
+// under tests/ddanalyze_fixtures/. Every *_bad tree must produce its known
+// findings; every *_good tree must come back clean (waivers included).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "tools/ddanalyze/analyzer.h"
+#include "tools/ddanalyze/layers.h"
+#include "tools/ddanalyze/lexer.h"
+
+namespace {
+
+using ddanalyze::AnalysisResult;
+using ddanalyze::Analyze;
+using ddanalyze::Finding;
+
+std::string FixtureRoot(const std::string& name) {
+  return std::string(DDANALYZE_FIXTURE_DIR) + "/" + name;
+}
+
+bool HasFinding(const std::vector<Finding>& findings, const std::string& rule,
+                const std::string& file_substr, const std::string& msg_substr) {
+  return std::any_of(findings.begin(), findings.end(), [&](const Finding& f) {
+    return f.rule == rule && f.file.find(file_substr) != std::string::npos &&
+           f.message.find(msg_substr) != std::string::npos;
+  });
+}
+
+TEST(LayerTable, IsAValidDag) {
+  EXPECT_TRUE(ddanalyze::ValidateLayerTable().empty());
+}
+
+TEST(LayerTable, EdgesFollowTheDeclaredDeps) {
+  EXPECT_TRUE(ddanalyze::LayerEdgeAllowed("nvme", "nvme"));
+  EXPECT_TRUE(ddanalyze::LayerEdgeAllowed("nvme", "stats"));
+  EXPECT_TRUE(ddanalyze::LayerEdgeAllowed("workload", "core"));
+  // Skips and reversals are rejected even when a transitive path exists.
+  EXPECT_FALSE(ddanalyze::LayerEdgeAllowed("nvme", "core"));
+  EXPECT_FALSE(ddanalyze::LayerEdgeAllowed("stats", "nvme"));
+  EXPECT_FALSE(ddanalyze::LayerEdgeAllowed("time", "sim"));
+}
+
+TEST(LayerTable, OverridesPinTheVocabularyFiles) {
+  EXPECT_EQ(ddanalyze::LayerOf("src/core/types.h"), "vocab");
+  EXPECT_EQ(ddanalyze::LayerOf("src/stack/request.h"), "vocab");
+  EXPECT_EQ(ddanalyze::LayerOf("src/sim/clock.h"), "time");
+  EXPECT_EQ(ddanalyze::LayerOf("src/core/nqreg.h"), "core");
+  EXPECT_EQ(ddanalyze::LayerOf("src/nonsense/x.h"), "");
+}
+
+TEST(LayerDag, BadFixtureFlagsSkipCycleAndUnknownLayer) {
+  const AnalysisResult r = Analyze(FixtureRoot("layer_bad"));
+  EXPECT_EQ(r.errors.size(), 3u);
+  EXPECT_TRUE(HasFinding(r.errors, "layer-dag", "bad_include.h",
+                         "must not include layer 'apps'"));
+  EXPECT_TRUE(HasFinding(r.errors, "layer-dag", "widget.h", "maps to no layer"));
+  EXPECT_TRUE(HasFinding(r.errors, "layer-dag", "src/sim/", "include cycle"));
+}
+
+TEST(LayerDag, GoodFixtureIsCleanIncludingWaivedEdge) {
+  const AnalysisResult r = Analyze(FixtureRoot("layer_good"));
+  EXPECT_TRUE(r.errors.empty()) << r.errors.size() << " unexpected finding(s), "
+                                << "first: "
+                                << (r.errors.empty() ? "" : r.errors[0].message);
+}
+
+TEST(PooledEscape, BadFixtureFlagsEveryEscape) {
+  const AnalysisResult r = Analyze(FixtureRoot("escape_bad"));
+  EXPECT_EQ(r.errors.size(), 4u);
+  EXPECT_TRUE(HasFinding(r.errors, "pooled-escape", "collector.h",
+                         "field 'last_rq_'"));
+  EXPECT_TRUE(HasFinding(r.errors, "pooled-escape", "collector.h",
+                         "must not store Request pointers"));
+  EXPECT_TRUE(HasFinding(r.errors, "pooled-escape", "submit.cc",
+                         "capture of Request pointer 'rq' by reference"));
+  EXPECT_TRUE(
+      HasFinding(r.errors, "pooled-escape", "submit.cc", "default capture [&]"));
+}
+
+TEST(PooledEscape, GoodFixtureIsCleanIncludingWaivedStore) {
+  const AnalysisResult r = Analyze(FixtureRoot("escape_good"));
+  EXPECT_TRUE(r.errors.empty()) << r.errors.size() << " unexpected finding(s), "
+                                << "first: "
+                                << (r.errors.empty() ? "" : r.errors[0].message);
+}
+
+TEST(TickUnits, BadFixtureCountsBothRawSites) {
+  const AnalysisResult r = Analyze(FixtureRoot("tick_bad"));
+  EXPECT_TRUE(r.errors.empty());
+  ASSERT_EQ(r.ratchet.size(), 2u);
+  EXPECT_TRUE(HasFinding(r.ratchet, "tick-units", "use.cc",
+                         "raw integer literal 1000"));
+  EXPECT_TRUE(HasFinding(r.ratchet, "tick-units", "use.cc", "raw integer 'gap'"));
+  ASSERT_EQ(r.ratchet_counts.count("tick-units.sim"), 1u);
+  EXPECT_EQ(r.ratchet_counts.at("tick-units.sim"), 2);
+}
+
+TEST(TickUnits, GoodFixtureIsCleanIncludingWaivedSite) {
+  const AnalysisResult r = Analyze(FixtureRoot("tick_good"));
+  EXPECT_TRUE(r.errors.empty());
+  EXPECT_TRUE(r.ratchet.empty())
+      << "first: " << (r.ratchet.empty() ? "" : r.ratchet[0].message);
+  EXPECT_TRUE(r.ratchet_counts.empty());
+}
+
+TEST(Ratchet, BaselineRoundTripsAndComparesDirectionally) {
+  const std::map<std::string, int> counts = {{"tick-units.sim", 2},
+                                             {"tick-units.stack", 0}};
+  const std::string text = ddanalyze::FormatBaseline(counts);
+  EXPECT_NE(text.find("tick-units.sim 2"), std::string::npos);
+
+  // Equal or lower counts pass; any increase (or a brand-new key) fails.
+  EXPECT_TRUE(ddanalyze::CompareToBaseline(counts, counts).empty());
+  EXPECT_TRUE(
+      ddanalyze::CompareToBaseline({{"tick-units.sim", 1}}, counts).empty());
+  EXPECT_EQ(
+      ddanalyze::CompareToBaseline({{"tick-units.sim", 3}}, counts).size(), 1u);
+  EXPECT_EQ(
+      ddanalyze::CompareToBaseline({{"tick-units.apps", 1}}, counts).size(),
+      1u);
+}
+
+TEST(Lexer, WaiversAttachToTheirLineAndRule) {
+  const ddanalyze::LexedFile lex = ddanalyze::Lex(
+      "int a = 1;  // ddanalyze: tick-ok(reason)\n"
+      "int b = 2;\n"
+      "int c = 3;  // ddanalyze: escape-ok(reason)\n");
+  EXPECT_TRUE(lex.HasWaiver(1, "tick"));
+  EXPECT_FALSE(lex.HasWaiver(1, "escape"));
+  EXPECT_FALSE(lex.HasWaiver(2, "tick"));
+  EXPECT_TRUE(lex.HasWaiver(3, "escape"));
+}
+
+TEST(Lexer, CommentsStringsAndIncludesAreSeparated) {
+  const ddanalyze::LexedFile lex = ddanalyze::Lex(
+      "#include \"src/sim/clock.h\"\n"
+      "#include <vector>\n"
+      "// Request* in a comment is not a token\n"
+      "const char* s = \"Request* in a string\";\n");
+  ASSERT_EQ(lex.includes.size(), 2u);
+  EXPECT_EQ(lex.includes[0].path, "src/sim/clock.h");
+  EXPECT_FALSE(lex.includes[0].angled);
+  EXPECT_TRUE(lex.includes[1].angled);
+  for (const ddanalyze::Token& t : lex.tokens) {
+    EXPECT_NE(t.text, "Request");
+  }
+}
+
+}  // namespace

@@ -5,6 +5,8 @@
 // shows up here as a flaky mismatch.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <cstdlib>
 #include <string>
 
 #include "src/workload/scenario.h"
@@ -111,6 +113,32 @@ TEST(DeterminismGate, TraceExportIsByteIdentical) {
   ASSERT_FALSE(a.trace_json.empty());
   EXPECT_EQ(a.trace_json, b.trace_json)
       << "same-seed runs must export byte-identical traces";
+}
+
+TEST(DeterminismGate, FingerprintManifest) {
+  // Emits the per-stack fingerprints so different build configurations can be
+  // diffed against each other. CI builds the tree twice - Debug with
+  // DAREDEVIL_INVARIANTS=ON and Release with OFF - runs this test in both
+  // with DD_FINGERPRINT_OUT set, and diffs the two files: DD_CHECK must have
+  // no fingerprint-visible side effects, and neither may the optimizer.
+  const StackKind kinds[] = {StackKind::kVanilla, StackKind::kStaticSplit,
+                             StackKind::kBlkSwitch, StackKind::kDareBase,
+                             StackKind::kDareFull};
+  std::string manifest;
+  for (StackKind kind : kinds) {
+    const ScenarioResult r = RunScenario(GateConfig(kind, /*seed=*/42));
+    EXPECT_GT(r.total_completed, 0u) << StackKindName(kind);
+    manifest += std::string(StackKindName(kind)) + " " +
+                std::to_string(r.SimulationFingerprint()) + " " +
+                std::to_string(r.trace_hash) + "\n";
+  }
+  printf("fingerprint manifest:\n%s", manifest.c_str());
+  if (const char* out = std::getenv("DD_FINGERPRINT_OUT")) {
+    FILE* f = fopen(out, "w");
+    ASSERT_NE(f, nullptr) << "cannot open DD_FINGERPRINT_OUT=" << out;
+    fputs(manifest.c_str(), f);
+    fclose(f);
+  }
 }
 
 TEST(DeterminismGate, FingerprintWithoutTraceStillStable) {

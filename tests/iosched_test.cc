@@ -121,7 +121,7 @@ TEST(IoSchedulerWiringTest, WindowBoundsOutstandingPerNsq) {
   ScenarioEnv env(cfg);
   // Submit 10 requests back to back: at most 2 may sit in the NSQ at once.
   Tenant tenant;
-  tenant.id = 1;
+  tenant.id = TenantId{1};
   tenant.core = 0;
   std::vector<std::unique_ptr<Request>> requests;
   int done = 0;
@@ -153,7 +153,7 @@ TEST(IoSchedulerWiringTest, DeadlineLiftsReadsOverQueuedWrites) {
   cfg.io_scheduler_window = 1;
   ScenarioEnv env(cfg);
   Tenant tenant;
-  tenant.id = 1;
+  tenant.id = TenantId{1};
   tenant.core = 0;
   std::vector<std::unique_ptr<Request>> requests;
   std::vector<uint64_t> completion_order;
@@ -162,7 +162,7 @@ TEST(IoSchedulerWiringTest, DeadlineLiftsReadsOverQueuedWrites) {
     rq->id = id;
     rq->tenant = &tenant;
     rq->pages = pages;
-    rq->lba = id * 64;
+    rq->lba = Lba{id * 64};
     rq->is_write = write;
     rq->submit_core = 0;
     rq->on_complete = [&completion_order](Request* r) {

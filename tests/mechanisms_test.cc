@@ -28,7 +28,7 @@ class MechanismsTest : public ::testing::Test {
     device_ = std::make_unique<Device>(&sim_, device_config);
     stack_ = std::make_unique<BlkMqStack>(machine_.get(), device_.get(),
                                           StackCosts{});
-    tenant_.id = 1;
+    tenant_.id = TenantId{1};
     tenant_.core = 0;
   }
 
@@ -37,7 +37,7 @@ class MechanismsTest : public ::testing::Test {
     rq->id = next_id_++;
     rq->tenant = &tenant_;
     rq->pages = pages;
-    rq->lba = lba;
+    rq->lba = Lba{lba};
     rq->submit_core = 0;
     rq->on_complete = [this](Request* r) { completed_.push_back(r); };
     requests_.push_back(std::move(rq));
@@ -138,7 +138,7 @@ TEST_F(MechanismsTest, WrrWeightsControlFetchShare) {
   for (uint64_t i = 0; i < 6; ++i) {
     NvmeCommand cmd;
     cmd.cid = 100 + i;
-    cmd.lba = i;
+    cmd.lba = Lba{i};
     ASSERT_TRUE(device.Enqueue(0, cmd));
     cmd.cid = 200 + i;
     ASSERT_TRUE(device.Enqueue(1, cmd));
@@ -176,7 +176,7 @@ TEST_F(MechanismsTest, RoundRobinIgnoresWeights) {
   for (uint64_t i = 0; i < 4; ++i) {
     NvmeCommand cmd;
     cmd.cid = 100 + i;
-    cmd.lba = i;
+    cmd.lba = Lba{i};
     ASSERT_TRUE(device.Enqueue(0, cmd));
     cmd.cid = 200 + i;
     ASSERT_TRUE(device.Enqueue(1, cmd));
@@ -226,7 +226,7 @@ TEST_F(MechanismsTest, PolledNcqNeverRaisesIrq) {
 }
 
 TEST_F(MechanismsTest, PolledCompletionDeliversWithinInterval) {
-  const Tick interval = 20 * kMicrosecond;
+  const TickDuration interval{20 * kMicrosecond};
   stack_->EnablePolledCompletion(0, interval);
   Request* rq = NewRequest(1);
   stack_->SubmitAsync(rq);
@@ -237,27 +237,33 @@ TEST_F(MechanismsTest, PolledCompletionDeliversWithinInterval) {
 }
 
 TEST_F(MechanismsTest, PollingBurnsCpuWhenIdle) {
-  stack_->EnablePolledCompletion(0, 10 * kMicrosecond);
+  stack_->EnablePolledCompletion(0, TickDuration{10 * kMicrosecond});
   sim_.RunUntil(10 * kMillisecond);
   // ~1000 polls of poll_base each, charged as kernel work on the NCQ's core.
   EXPECT_GT(machine_->core(0).busy_ns(WorkLevel::kKernel),
-            500 * StackCosts{}.poll_base);
+            StackCosts{}.poll_base * 500);
 }
 
 // --- Remote-doorbell contention accounting -----------------------------------
 
 TEST_F(MechanismsTest, RemoteNsqAccessAccountsContention) {
-  SubmissionQueue sq(0, 16);
+  SubmissionQueue sq(QueueId{0}, 16);
   // Same core twice: only the second overlapping acquire would wait; here no
   // overlap and no remote penalty.
-  EXPECT_EQ(sq.AcquireSubmitLock(0, 100, /*core=*/0, /*remote=*/500), 0);
+  EXPECT_EQ(sq.AcquireSubmitLock(0, TickDuration{100}, CoreId{0},
+                                 TickDuration{500}),
+            kZeroDuration);
   EXPECT_EQ(sq.remote_acquires(), 0u);
   // A different core pays the cacheline penalty.
-  EXPECT_EQ(sq.AcquireSubmitLock(1000, 100, /*core=*/1, /*remote=*/500), 500);
+  EXPECT_EQ(sq.AcquireSubmitLock(1000, TickDuration{100}, CoreId{1},
+                                 TickDuration{500}),
+            TickDuration{500});
   EXPECT_EQ(sq.remote_acquires(), 1u);
-  EXPECT_EQ(sq.in_contention_ns(), 500);
+  EXPECT_EQ(sq.in_contention_ns(), TickDuration{500});
   // Back on the same core: no penalty.
-  EXPECT_EQ(sq.AcquireSubmitLock(5000, 100, /*core=*/1, /*remote=*/500), 0);
+  EXPECT_EQ(sq.AcquireSubmitLock(5000, TickDuration{100}, CoreId{1},
+                                 TickDuration{500}),
+            kZeroDuration);
 }
 
 TEST_F(MechanismsTest, ContentionFeedsNsqMerit) {

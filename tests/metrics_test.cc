@@ -435,7 +435,7 @@ TEST_P(ScenarioTelemetry, TimelineIsMonotonicPerRequest) {
   ScenarioEnv env(cfg);
 
   Tenant tenant;
-  tenant.id = 1;
+  tenant.id = TenantId{1};
   tenant.name = "probe";
   tenant.group = "P";
   tenant.ionice = IoniceClass::kRealtime;
@@ -451,7 +451,7 @@ TEST_P(ScenarioTelemetry, TimelineIsMonotonicPerRequest) {
     rq->id = static_cast<uint64_t>(i + 1);
     rq->tenant = &tenant;
     rq->nsid = 0;
-    rq->lba = rng.NextBelow(1 << 16);
+    rq->lba = Lba{rng.NextBelow(1 << 16)};
     rq->pages = 1 + static_cast<uint32_t>(rng.NextBelow(32));
     rq->is_write = rng.NextBelow(2) == 0;
     rq->submit_core = 0;

@@ -35,7 +35,7 @@ TEST(ArbiterBurst, ConsecutiveFetchesFromSameQueue) {
   for (uint64_t i = 0; i < 6; ++i) {
     NvmeCommand cmd;
     cmd.cid = 100 + i;
-    cmd.lba = i;
+    cmd.lba = Lba{i};
     ASSERT_TRUE(device.Enqueue(0, cmd));
     cmd.cid = 200 + i;
     ASSERT_TRUE(device.Enqueue(1, cmd));
@@ -52,7 +52,7 @@ TEST(ArbiterBurst, ConsecutiveFetchesFromSameQueue) {
 }
 
 TEST(SubmissionQueueWeight, ClampsToAtLeastOne) {
-  SubmissionQueue sq(0, 8);
+  SubmissionQueue sq(QueueId{0}, 8);
   EXPECT_EQ(sq.weight(), 1);
   sq.set_weight(0);
   EXPECT_EQ(sq.weight(), 1);
@@ -64,10 +64,11 @@ TEST(SubmissionQueueWeight, ClampsToAtLeastOne) {
 
 TEST(CpuCoreQueues, TotalQueueDepthCounts) {
   Simulator sim;
-  CpuCore core(&sim, 0, 0);
-  core.Post(WorkLevel::kUser, 1000, nullptr);   // starts running immediately
-  core.Post(WorkLevel::kUser, 10, nullptr);     // queued
-  core.Post(WorkLevel::kIrq, 10, nullptr);      // queued
+  CpuCore core(&sim, CoreId{0}, kZeroDuration);
+  core.Post(WorkLevel::kUser, TickDuration{1000},
+            nullptr);  // starts running immediately
+  core.Post(WorkLevel::kUser, TickDuration{10}, nullptr);   // queued
+  core.Post(WorkLevel::kIrq, TickDuration{10}, nullptr);    // queued
   EXPECT_EQ(core.TotalQueueDepth(), 2u);
   EXPECT_EQ(core.QueueDepth(WorkLevel::kIrq), 1u);
   EXPECT_TRUE(core.busy());
@@ -102,7 +103,7 @@ TEST(KvStoreWarmCache, HotKeysServedWithoutIo) {
   Device device(&sim, device_config);
   BlkMqStack stack(&machine, &device, StackCosts{});
   Tenant tenant;
-  tenant.id = 1;
+  tenant.id = TenantId{1};
   stack.OnTenantStart(&tenant);
   AppIoContext io(&machine, &stack, &tenant, 0);
   KvStoreConfig config;
@@ -186,7 +187,7 @@ TEST(StaticSplitEdge, TwoQueueMinimum) {
 
 TEST(BlkSwitchConfigDefaults, MatchDocumentedValues) {
   const BlkSwitchConfig config;
-  EXPECT_EQ(config.resched_interval, 2 * kMillisecond);
+  EXPECT_EQ(config.resched_interval, TickDuration{2 * kMillisecond});
   EXPECT_EQ(config.max_t_apps_per_core, 6);
   EXPECT_EQ(config.spill_bytes, 16ULL << 20);
 }
@@ -205,8 +206,8 @@ TEST(DaredevilConfigPresets, AblationFlags) {
 TEST(MachineEdge, ZeroDurationWindowUtilization) {
   Simulator sim;
   Machine machine(&sim, Machine::Config{.num_cores = 2});
-  EXPECT_DOUBLE_EQ(machine.Utilization(0, 100, 100), 0.0);
-  EXPECT_DOUBLE_EQ(machine.Utilization(0, 200, 100), 0.0);
+  EXPECT_DOUBLE_EQ(machine.Utilization(kZeroDuration, 100, 100), 0.0);
+  EXPECT_DOUBLE_EQ(machine.Utilization(kZeroDuration, 200, 100), 0.0);
 }
 
 TEST(HistogramEdge, RepeatedIdenticalValues) {

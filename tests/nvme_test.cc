@@ -26,14 +26,14 @@ NvmeCommand MakeCmd(uint64_t cid, uint32_t nsid = 0, uint64_t lba = 0,
   NvmeCommand cmd;
   cmd.cid = cid;
   cmd.nsid = nsid;
-  cmd.lba = lba;
+  cmd.lba = Lba{lba};
   cmd.pages = pages;
   cmd.is_write = write;
   return cmd;
 }
 
 TEST(SubmissionQueueTest, FifoOrderAndDoorbellVisibility) {
-  SubmissionQueue sq(0, 4);
+  SubmissionQueue sq(QueueId{0}, 4);
   EXPECT_TRUE(sq.Enqueue(MakeCmd(1)));
   EXPECT_TRUE(sq.Enqueue(MakeCmd(2)));
   EXPECT_EQ(sq.size(), 2u);
@@ -47,7 +47,7 @@ TEST(SubmissionQueueTest, FifoOrderAndDoorbellVisibility) {
 }
 
 TEST(SubmissionQueueTest, RejectsWhenFull) {
-  SubmissionQueue sq(0, 2);
+  SubmissionQueue sq(QueueId{0}, 2);
   EXPECT_TRUE(sq.Enqueue(MakeCmd(1)));
   EXPECT_TRUE(sq.Enqueue(MakeCmd(2)));
   EXPECT_FALSE(sq.Enqueue(MakeCmd(3)));
@@ -56,19 +56,19 @@ TEST(SubmissionQueueTest, RejectsWhenFull) {
 }
 
 TEST(SubmissionQueueTest, LockContentionAccounting) {
-  SubmissionQueue sq(0, 16);
+  SubmissionQueue sq(QueueId{0}, 16);
   // First acquire at t=100, hold 50: no wait.
-  EXPECT_EQ(sq.AcquireSubmitLock(100, 50), 0);
+  EXPECT_EQ(sq.AcquireSubmitLock(100, TickDuration{50}), kZeroDuration);
   // Second at t=120: waits until 150.
-  EXPECT_EQ(sq.AcquireSubmitLock(120, 50), 30);
-  EXPECT_EQ(sq.in_contention_ns(), 30);
+  EXPECT_EQ(sq.AcquireSubmitLock(120, TickDuration{50}), TickDuration{30});
+  EXPECT_EQ(sq.in_contention_ns(), TickDuration{30});
   // Third at t=500: lock free.
-  EXPECT_EQ(sq.AcquireSubmitLock(500, 50), 0);
-  EXPECT_EQ(sq.in_contention_ns(), 30);
+  EXPECT_EQ(sq.AcquireSubmitLock(500, TickDuration{50}), kZeroDuration);
+  EXPECT_EQ(sq.in_contention_ns(), TickDuration{30});
 }
 
 TEST(SubmissionQueueTest, MaxOccupancyTracked) {
-  SubmissionQueue sq(0, 8);
+  SubmissionQueue sq(QueueId{0}, 8);
   sq.Enqueue(MakeCmd(1));
   sq.Enqueue(MakeCmd(2));
   sq.Enqueue(MakeCmd(3));
@@ -78,17 +78,17 @@ TEST(SubmissionQueueTest, MaxOccupancyTracked) {
 }
 
 TEST(CompletionQueueTest, CoalescingConfig) {
-  CompletionQueue cq(0, 16, 2);
+  CompletionQueue cq(QueueId{0}, 16, CoreId{2});
   EXPECT_TRUE(cq.per_request_irq());
-  cq.SetCoalescing(8, 50 * kMicrosecond);
+  cq.SetCoalescing(8, TickDuration{50 * kMicrosecond});
   EXPECT_FALSE(cq.per_request_irq());
   EXPECT_EQ(cq.coalesce_count(), 8);
-  cq.SetCoalescing(0, 0);  // clamps to 1
+  cq.SetCoalescing(0, kZeroDuration);  // clamps to 1
   EXPECT_TRUE(cq.per_request_irq());
 }
 
 TEST(CompletionQueueTest, InFlightAccounting) {
-  CompletionQueue cq(0, 16, 0);
+  CompletionQueue cq(QueueId{0}, 16, CoreId{0});
   cq.AddInFlight(3);
   cq.AddInFlight(-1);
   EXPECT_EQ(cq.in_flight_rqs(), 2);
@@ -294,7 +294,7 @@ TEST_F(DeviceTest, BulkyCommandFetchesWhenCapacityFrees) {
 }
 
 TEST_F(DeviceTest, CoalescedIrqWaitsForCountOrTimeout) {
-  device_.ncq(0).SetCoalescing(4, 50 * kMicrosecond);
+  device_.ncq(0).SetCoalescing(4, TickDuration{50 * kMicrosecond});
   ASSERT_TRUE(device_.Enqueue(0, MakeCmd(1)));
   device_.RingDoorbell(0);
   sim_.RunUntilIdle();
@@ -304,7 +304,7 @@ TEST_F(DeviceTest, CoalescedIrqWaitsForCountOrTimeout) {
 }
 
 TEST_F(DeviceTest, CoalescedIrqFiresAtCount) {
-  device_.ncq(0).SetCoalescing(2, kSecond);  // effectively no timeout
+  device_.ncq(0).SetCoalescing(2, TickDuration{kSecond});  // effectively no timeout
   for (uint64_t i = 0; i < 2; ++i) {
     ASSERT_TRUE(device_.Enqueue(0, MakeCmd(1 + i, 0, i * 64)));
   }

@@ -53,7 +53,8 @@ TEST(SimulatorTest, PastEventsClampToNow) {
 TEST(SimulatorTest, AfterSchedulesRelative) {
   Simulator sim;
   Tick fired_at = -1;
-  sim.At(40, [&]() { sim.After(25, [&]() { fired_at = sim.now(); }); });
+  sim.At(40,
+         [&]() { sim.After(TickDuration{25}, [&]() { fired_at = sim.now(); }); });
   sim.RunUntilIdle();
   EXPECT_EQ(fired_at, 65);
 }
@@ -76,10 +77,10 @@ TEST(SimulatorTest, NestedSchedulingWithinRunUntil) {
   std::function<void()> chain = [&]() {
     ++count;
     if (count < 5) {
-      sim.After(10, chain);
+      sim.After(TickDuration{10}, chain);
     }
   };
-  sim.After(10, chain);
+  sim.After(TickDuration{10}, chain);
   sim.RunUntil(100);
   EXPECT_EQ(count, 5);
 }
@@ -193,35 +194,36 @@ TEST(ZipfianTest, SkewFavorsSmallKeys) {
 
 TEST(CpuCoreTest, ExecutesWorkAndAccountsTime) {
   Simulator sim;
-  CpuCore core(&sim, 0, /*dispatch_overhead=*/0);
+  CpuCore core(&sim, CoreId{0}, /*dispatch_overhead=*/kZeroDuration);
   bool done = false;
-  core.Post(WorkLevel::kUser, 1000, [&]() { done = true; });
+  core.Post(WorkLevel::kUser, TickDuration{1000}, [&]() { done = true; });
   sim.RunUntilIdle();
   EXPECT_TRUE(done);
-  EXPECT_EQ(core.busy_ns(WorkLevel::kUser), 1000);
-  EXPECT_EQ(core.total_busy_ns(), 1000);
+  EXPECT_EQ(core.busy_ns(WorkLevel::kUser), TickDuration{1000});
+  EXPECT_EQ(core.total_busy_ns(), TickDuration{1000});
   EXPECT_EQ(sim.now(), 1000);
 }
 
 TEST(CpuCoreTest, PriorityOrderIrqBeforeKernelBeforeUser) {
   Simulator sim;
-  CpuCore core(&sim, 0, 0);
+  CpuCore core(&sim, CoreId{0}, kZeroDuration);
   std::vector<int> order;
   // Occupy the core so all three wait in queues.
-  core.Post(WorkLevel::kUser, 100, [&]() { order.push_back(0); });
-  core.Post(WorkLevel::kUser, 10, [&]() { order.push_back(3); });
-  core.Post(WorkLevel::kKernel, 10, [&]() { order.push_back(2); });
-  core.Post(WorkLevel::kIrq, 10, [&]() { order.push_back(1); });
+  core.Post(WorkLevel::kUser, TickDuration{100}, [&]() { order.push_back(0); });
+  core.Post(WorkLevel::kUser, TickDuration{10}, [&]() { order.push_back(3); });
+  core.Post(WorkLevel::kKernel, TickDuration{10}, [&]() { order.push_back(2); });
+  core.Post(WorkLevel::kIrq, TickDuration{10}, [&]() { order.push_back(1); });
   sim.RunUntilIdle();
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
 }
 
 TEST(CpuCoreTest, FifoWithinLevel) {
   Simulator sim;
-  CpuCore core(&sim, 0, 0);
+  CpuCore core(&sim, CoreId{0}, kZeroDuration);
   std::vector<int> order;
   for (int i = 0; i < 5; ++i) {
-    core.Post(WorkLevel::kUser, 10, [&order, i]() { order.push_back(i); });
+    core.Post(WorkLevel::kUser, TickDuration{10},
+              [&order, i]() { order.push_back(i); });
   }
   sim.RunUntilIdle();
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
@@ -229,40 +231,40 @@ TEST(CpuCoreTest, FifoWithinLevel) {
 
 TEST(CpuCoreTest, DispatchOverheadCharged) {
   Simulator sim;
-  CpuCore core(&sim, 0, /*dispatch_overhead=*/50);
-  core.Post(WorkLevel::kUser, 100, nullptr);
-  core.Post(WorkLevel::kUser, 100, nullptr);
+  CpuCore core(&sim, CoreId{0}, /*dispatch_overhead=*/TickDuration{50});
+  core.Post(WorkLevel::kUser, TickDuration{100}, nullptr);
+  core.Post(WorkLevel::kUser, TickDuration{100}, nullptr);
   sim.RunUntilIdle();
   EXPECT_EQ(sim.now(), 300);
-  EXPECT_EQ(core.total_busy_ns(), 300);
+  EXPECT_EQ(core.total_busy_ns(), TickDuration{300});
 }
 
 TEST(CpuCoreTest, TenantAccounting) {
   Simulator sim;
-  CpuCore core(&sim, 0, 0);
-  core.Post(WorkLevel::kUser, 100, nullptr, /*tenant_id=*/7);
-  core.Post(WorkLevel::kUser, 200, nullptr, /*tenant_id=*/8);
-  core.Post(WorkLevel::kUser, 300, nullptr, /*tenant_id=*/7);
+  CpuCore core(&sim, CoreId{0}, kZeroDuration);
+  core.Post(WorkLevel::kUser, TickDuration{100}, nullptr, TenantId{7});
+  core.Post(WorkLevel::kUser, TickDuration{200}, nullptr, TenantId{8});
+  core.Post(WorkLevel::kUser, TickDuration{300}, nullptr, TenantId{7});
   sim.RunUntilIdle();
-  EXPECT_EQ(core.TenantBusyNs(7), 400);
-  EXPECT_EQ(core.TenantBusyNs(8), 200);
-  EXPECT_EQ(core.TenantBusyNs(99), 0);
+  EXPECT_EQ(core.TenantBusyNs(TenantId{7}), TickDuration{400});
+  EXPECT_EQ(core.TenantBusyNs(TenantId{8}), TickDuration{200});
+  EXPECT_EQ(core.TenantBusyNs(TenantId{99}), TickDuration{0});
 }
 
 TEST(MachineTest, CrossCorePostDelaysAndCounts) {
   Simulator sim;
   Machine::Config config;
   config.num_cores = 2;
-  config.dispatch_overhead = 0;
-  config.cross_core_wakeup = 500;
+  config.dispatch_overhead = kZeroDuration;
+  config.cross_core_wakeup = TickDuration{500};
   Machine machine(&sim, config);
 
   Tick local_done = -1;
   Tick remote_done = -1;
-  machine.Post(0, WorkLevel::kUser, 100, [&]() { local_done = sim.now(); },
-               0, /*from_core=*/0);
-  machine.Post(1, WorkLevel::kUser, 100, [&]() { remote_done = sim.now(); },
-               0, /*from_core=*/0);
+  machine.Post(0, WorkLevel::kUser, TickDuration{100},
+               [&]() { local_done = sim.now(); }, kNoTenant, /*from_core=*/0);
+  machine.Post(1, WorkLevel::kUser, TickDuration{100},
+               [&]() { remote_done = sim.now(); }, kNoTenant, /*from_core=*/0);
   sim.RunUntilIdle();
   EXPECT_EQ(local_done, 100);
   EXPECT_EQ(remote_done, 600);  // 500 wakeup + 100 work
@@ -273,29 +275,30 @@ TEST(MachineTest, UtilizationComputation) {
   Simulator sim;
   Machine::Config config;
   config.num_cores = 2;
-  config.dispatch_overhead = 0;
+  config.dispatch_overhead = kZeroDuration;
   Machine machine(&sim, config);
-  machine.Post(0, WorkLevel::kUser, 1000, nullptr);
+  machine.Post(0, WorkLevel::kUser, TickDuration{1000}, nullptr);
   sim.RunUntil(1000);
   // 1000ns busy out of 2 cores x 1000ns.
-  EXPECT_DOUBLE_EQ(machine.Utilization(0, 0, 1000), 0.5);
+  EXPECT_DOUBLE_EQ(machine.Utilization(kZeroDuration, 0, 1000), 0.5);
 }
 
 // Property: interleaved workloads on a core never lose work items and busy
 // time equals the sum of posted durations (dispatch overhead zero).
 TEST(CpuCoreTest, ConservationUnderRandomLoad) {
   Simulator sim;
-  CpuCore core(&sim, 0, 0);
+  CpuCore core(&sim, CoreId{0}, kZeroDuration);
   Rng rng(99);
-  Tick total = 0;
+  TickDuration total;
   int executed = 0;
   const int n = 500;
   for (int i = 0; i < n; ++i) {
-    const Tick d = rng.NextInt(1, 1000);
+    const TickDuration d{rng.NextInt(1, 1000)};
     total += d;
     const auto level = static_cast<WorkLevel>(rng.NextBelow(3));
-    sim.At(rng.NextInt(0, 10000),
-           [&core, &executed, level, d]() { core.Post(level, d, [&executed]() { ++executed; }); });
+    sim.At(rng.NextInt(0, 10000), [&core, &executed, level, d]() {
+      core.Post(level, d, [&executed]() { ++executed; });
+    });
   }
   sim.RunUntilIdle();
   EXPECT_EQ(executed, n);

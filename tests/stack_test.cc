@@ -50,7 +50,7 @@ class StackTest : public ::testing::Test {
     device_ = std::make_unique<Device>(&sim_, device_config);
     stack_ = std::make_unique<FixedStack>(machine_.get(), device_.get(),
                                           StackCosts{}, 0);
-    tenant_.id = 1;
+    tenant_.id = TenantId{1};
     tenant_.core = 0;
   }
 
@@ -101,19 +101,20 @@ TEST_F(StackTest, KernelWorkChargedOnSubmitCore) {
   Request* rq = NewRequest();
   stack_->SubmitAsync(rq);
   sim_.RunUntilIdle();
-  EXPECT_GT(machine_->core(0).busy_ns(WorkLevel::kKernel), 0);
+  EXPECT_GT(machine_->core(0).busy_ns(WorkLevel::kKernel), kZeroDuration);
 }
 
 TEST_F(StackTest, LargeRequestCostsMoreKernelTime) {
   Request* small = NewRequest(1);
   stack_->SubmitAsync(small);
   sim_.RunUntilIdle();
-  const Tick small_kernel = machine_->core(0).busy_ns(WorkLevel::kKernel);
+  const TickDuration small_kernel = machine_->core(0).busy_ns(WorkLevel::kKernel);
 
   Request* big = NewRequest(32);
   stack_->SubmitAsync(big);
   sim_.RunUntilIdle();
-  const Tick big_kernel = machine_->core(0).busy_ns(WorkLevel::kKernel) - small_kernel;
+  const TickDuration big_kernel =
+      machine_->core(0).busy_ns(WorkLevel::kKernel) - small_kernel;
   EXPECT_GT(big_kernel, small_kernel);
 }
 
@@ -168,7 +169,7 @@ TEST_F(StackTest, BatchedDoorbellDefersUntilBatch) {
   StorageStack::DoorbellPolicy policy;
   policy.batched = true;
   policy.batch = 3;
-  policy.timeout = kSecond;  // effectively no timeout
+  policy.timeout = TickDuration{kSecond};  // effectively no timeout
   stack_->SetDoorbellPolicy(0, policy);
 
   stack_->SubmitAsync(NewRequest());
@@ -185,7 +186,7 @@ TEST_F(StackTest, BatchedDoorbellTimeoutFlushes) {
   StorageStack::DoorbellPolicy policy;
   policy.batched = true;
   policy.batch = 8;
-  policy.timeout = 200 * kMicrosecond;
+  policy.timeout = TickDuration{200 * kMicrosecond};
   stack_->SetDoorbellPolicy(0, policy);
 
   stack_->SubmitAsync(NewRequest());
@@ -210,17 +211,17 @@ TEST_F(StackTest, DriverDefaultCoalescingAppliedAtAttach) {
 }
 
 TEST_F(StackTest, IrqCoresSpreadRoundRobin) {
-  EXPECT_EQ(device_->ncq(0).irq_core(), 0);
-  EXPECT_EQ(device_->ncq(1).irq_core(), 1);
-  EXPECT_EQ(device_->ncq(2).irq_core(), 0);
-  EXPECT_EQ(device_->ncq(3).irq_core(), 1);
+  EXPECT_EQ(device_->ncq(0).irq_core(), CoreId{0});
+  EXPECT_EQ(device_->ncq(1).irq_core(), CoreId{1});
+  EXPECT_EQ(device_->ncq(2).irq_core(), CoreId{0});
+  EXPECT_EQ(device_->ncq(3).irq_core(), CoreId{1});
 }
 
 TEST_F(StackTest, LockContentionAccumulates) {
   // Two tenants on different cores submitting to the same NSQ at the same
   // instant: the second waits for the first's doorbell critical section.
   Tenant other;
-  other.id = 2;
+  other.id = TenantId{2};
   other.core = 1;
   auto rq1 = std::make_unique<Request>();
   rq1->id = 100;
@@ -241,8 +242,8 @@ TEST_F(StackTest, LockContentionAccumulates) {
   EXPECT_EQ(done, 2);
   // Both kernel work items finish at the same tick on two cores, so the
   // second locker waits.
-  EXPECT_GT(stack_->submission_lock_wait_ns(), 0);
-  EXPECT_GT(device_->nsq(0).in_contention_ns(), 0);
+  EXPECT_GT(stack_->submission_lock_wait_ns(), kZeroDuration);
+  EXPECT_GT(device_->nsq(0).in_contention_ns(), kZeroDuration);
 }
 
 TEST_F(StackTest, ManyRequestsConservation) {

@@ -211,7 +211,7 @@ TEST(TraceExportTest, TimelineLogDropsOldestWhenFull) {
   RequestTimelineLog log(/*capacity=*/2);
   Request rq;
   Tenant tenant;
-  tenant.id = 1;
+  tenant.id = TenantId{1};
   rq.tenant = &tenant;
   for (uint64_t i = 1; i <= 3; ++i) {
     rq.id = i;

@@ -22,7 +22,7 @@ class ZnsTest : public ::testing::Test {
     cfg.device.zns_zone_pages = 256;  // 1MB zones
     cfg.device.flash.erase_after_programs = 0;
     env_ = std::make_unique<ScenarioEnv>(cfg);
-    tenant_.id = 1;
+    tenant_.id = TenantId{1};
     tenant_.core = 0;
     env_->stack().OnTenantStart(&tenant_);
   }
@@ -32,7 +32,7 @@ class ZnsTest : public ::testing::Test {
     auto rq = std::make_unique<Request>();
     rq->id = next_id_++;
     rq->tenant = &tenant_;
-    rq->lba = lba;
+    rq->lba = Lba{lba};
     rq->pages = pages;
     rq->is_write = write;
     rq->is_zone_reset = reset;
@@ -109,7 +109,7 @@ TEST_F(ZnsTest, DaredevilSeparationHoldsOnZnsDevice) {
   auto* dd = dynamic_cast<DaredevilStack*>(&env_->stack());
   ASSERT_NE(dd, nullptr);
   Tenant t_tenant;
-  t_tenant.id = 2;
+  t_tenant.id = TenantId{2};
   t_tenant.core = 1;
   env_->stack().OnTenantStart(&t_tenant);
 
@@ -119,7 +119,7 @@ TEST_F(ZnsTest, DaredevilSeparationHoldsOnZnsDevice) {
     auto wrq = std::make_unique<Request>();
     wrq->id = next_id_++;
     wrq->tenant = &t_tenant;
-    wrq->lba = 3 * 256 + wp;
+    wrq->lba = Lba{3 * 256 + wp};
     wrq->pages = 16;
     wp += 16;
     wrq->is_write = true;
@@ -130,7 +130,7 @@ TEST_F(ZnsTest, DaredevilSeparationHoldsOnZnsDevice) {
     auto rrq = std::make_unique<Request>();
     rrq->id = next_id_++;
     rrq->tenant = &tenant_;
-    rrq->lba = static_cast<uint64_t>(i) * 97;
+    rrq->lba = Lba{static_cast<uint64_t>(i) * 97};
     rrq->pages = 1;
     rrq->submit_core = 0;
     env_->stack().SubmitAsync(rrq.get());
@@ -146,7 +146,7 @@ TEST_F(ZnsTest, DaredevilSeparationHoldsOnZnsDevice) {
   auto rrq = std::make_unique<Request>();
   rrq->id = next_id_++;
   rrq->tenant = &tenant_;
-  rrq->lba = 5;
+  rrq->lba = Lba{5};
   rrq->pages = 1;
   rrq->submit_core = 0;
   bool done = false;

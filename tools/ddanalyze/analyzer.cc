@@ -1,0 +1,199 @@
+#include "tools/ddanalyze/analyzer.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "tools/ddanalyze/layers.h"
+
+namespace ddanalyze {
+namespace {
+
+namespace fs = std::filesystem;
+
+bool IsSourcePath(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cc" || ext == ".cpp" || ext == ".hpp";
+}
+
+}  // namespace
+
+void CheckLayers(const std::vector<SourceFile>& files,
+                 std::vector<Finding>* out) {
+  // The table itself must be a DAG before any edge check means anything.
+  for (const std::string& problem : ValidateLayerTable()) {
+    out->push_back({"layer-dag", "(layer table)", 0, problem});
+    return;
+  }
+
+  std::map<std::string, const SourceFile*> by_path;
+  for (const SourceFile& f : files) {
+    by_path[f.rel_path] = &f;
+  }
+
+  for (const SourceFile& f : files) {
+    const std::string from_layer = LayerOf(f.rel_path);
+    if (from_layer.empty()) {
+      out->push_back({"layer-dag", f.rel_path, 0,
+                      "file is under src/ but maps to no layer; add its "
+                      "directory to the layer table"});
+      continue;
+    }
+    for (const IncludeDirective& inc : f.lex.includes) {
+      if (inc.angled || inc.path.compare(0, 4, "src/") != 0) {
+        continue;  // system / third-party headers are out of scope
+      }
+      const std::string to_layer = LayerOf(inc.path);
+      if (to_layer.empty()) {
+        out->push_back({"layer-dag", f.rel_path, inc.line,
+                        "include of '" + inc.path +
+                            "' which maps to no declared layer"});
+        continue;
+      }
+      if (f.lex.HasWaiver(inc.line, "layer")) {
+        continue;
+      }
+      if (!LayerEdgeAllowed(from_layer, to_layer)) {
+        out->push_back({"layer-dag", f.rel_path, inc.line,
+                        "layer '" + from_layer + "' must not include layer '" +
+                            to_layer + "' ('" + inc.path +
+                            "'); edge not in the DESIGN.md §7.1 table"});
+      }
+    }
+  }
+
+  // Include cycles in the file graph (independent of the layer table).
+  std::map<std::string, int> color;  // 0 white, 1 grey, 2 black
+  for (const SourceFile& root : files) {
+    if (color[root.rel_path] != 0) {
+      continue;
+    }
+    std::vector<std::pair<std::string, std::size_t>> dfs{{root.rel_path, 0}};
+    color[root.rel_path] = 1;
+    while (!dfs.empty()) {
+      auto& [path, next] = dfs.back();
+      const SourceFile* file = by_path.count(path) ? by_path[path] : nullptr;
+      const std::size_t n_edges =
+          file != nullptr ? file->lex.includes.size() : 0;
+      if (next >= n_edges) {
+        color[path] = 2;
+        dfs.pop_back();
+        continue;
+      }
+      const IncludeDirective& inc = file->lex.includes[next++];
+      if (inc.angled || by_path.count(inc.path) == 0) {
+        continue;
+      }
+      if (color[inc.path] == 1) {
+        out->push_back({"layer-dag", path, inc.line,
+                        "include cycle: '" + path + "' -> '" + inc.path +
+                            "' closes a loop"});
+        continue;
+      }
+      if (color[inc.path] == 0) {
+        color[inc.path] = 1;
+        dfs.emplace_back(inc.path, 0);
+      }
+    }
+  }
+}
+
+AnalysisResult Analyze(const std::string& root) {
+  AnalysisResult result;
+  std::vector<SourceFile> files;
+  const fs::path src = fs::path(root) / "src";
+  if (fs::exists(src)) {
+    for (const auto& entry : fs::recursive_directory_iterator(src)) {
+      if (!entry.is_regular_file() || !IsSourcePath(entry.path())) {
+        continue;
+      }
+      std::ifstream in(entry.path());
+      std::stringstream buf;
+      buf << in.rdbuf();
+      SourceFile f;
+      f.rel_path = fs::relative(entry.path(), root).generic_string();
+      f.lex = Lex(buf.str());
+      files.push_back(std::move(f));
+    }
+  }
+  std::sort(files.begin(), files.end(),
+            [](const SourceFile& a, const SourceFile& b) {
+              return a.rel_path < b.rel_path;
+            });
+
+  CheckLayers(files, &result.errors);
+  for (const SourceFile& f : files) {
+    const bool in_stats = f.rel_path.compare(0, 10, "src/stats/") == 0;
+    CheckPooledEscapes(f, in_stats, &result.errors);
+  }
+  const TickSymbolTable symbols = BuildTickSymbols(files);
+  for (const SourceFile& f : files) {
+    CheckTickUnits(f, symbols, &result.ratchet);
+  }
+  for (const Finding& f : result.ratchet) {
+    std::string layer = LayerOf(f.file);
+    if (layer.empty()) {
+      layer = "other";
+    }
+    ++result.ratchet_counts["tick-units." + layer];
+  }
+  return result;
+}
+
+std::map<std::string, int> ReadBaseline(const std::string& path,
+                                        std::string* err) {
+  std::map<std::string, int> counts;
+  std::ifstream in(path);
+  if (!in) {
+    if (err != nullptr) {
+      *err = "cannot read baseline file '" + path + "'";
+    }
+    return counts;
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) {
+      line = line.substr(0, hash);
+    }
+    std::istringstream ls(line);
+    std::string key;
+    int count = 0;
+    if (ls >> key >> count) {
+      counts[key] = count;
+    }
+  }
+  return counts;
+}
+
+std::string FormatBaseline(const std::map<std::string, int>& counts) {
+  std::ostringstream out;
+  out << "# ddanalyze ratchet baseline: raw-integer sites flowing into\n"
+         "# tick-typed parameters, per layer. Counts may only decrease;\n"
+         "# regenerate with `ddanalyze --root . --write-baseline` after\n"
+         "# migrating call sites to Tick/TickDuration.\n";
+  for (const auto& [key, count] : counts) {
+    out << key << " " << count << "\n";
+  }
+  return out.str();
+}
+
+std::vector<std::string> CompareToBaseline(
+    const std::map<std::string, int>& current,
+    const std::map<std::string, int>& baseline) {
+  std::vector<std::string> violations;
+  for (const auto& [key, count] : current) {
+    auto it = baseline.find(key);
+    const int allowed = it == baseline.end() ? 0 : it->second;
+    if (count > allowed) {
+      std::ostringstream msg;
+      msg << key << ": " << count << " sites, baseline allows " << allowed
+          << " (migrate the new call sites to Tick/TickDuration)";
+      violations.push_back(msg.str());
+    }
+  }
+  return violations;
+}
+
+}  // namespace ddanalyze

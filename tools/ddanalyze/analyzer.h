@@ -1,0 +1,88 @@
+// ddanalyze: token-level architecture checks for the simulator tree
+// (DESIGN.md §7). Three rule families:
+//
+//   layer-dag     — includes must follow the layer table in layers.cc;
+//                   cycles and undeclared (skip) edges are errors, as are
+//                   include cycles in the file graph itself.
+//   pooled-escape — pooled Request pointers must not outlive delivery:
+//                   no Request*/& members in stats (observability copies),
+//                   no by-reference lambda captures of Request pointers, no
+//                   default captures in scopes holding live Request pointers.
+//                   Waive with `// ddanalyze: escape-ok(reason)`.
+//   tick-units    — raw integer literals / raw-int locals flowing into
+//                   Tick/TickDuration-typed parameters. Not an error: counted
+//                   per layer and ratcheted against tools/ddanalyze-baseline.txt
+//                   (the count may fall, never rise). Waive a single site with
+//                   `// ddanalyze: tick-ok(reason)`.
+#ifndef DAREDEVIL_TOOLS_DDANALYZE_ANALYZER_H_
+#define DAREDEVIL_TOOLS_DDANALYZE_ANALYZER_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/ddanalyze/lexer.h"
+
+namespace ddanalyze {
+
+struct Finding {
+  std::string rule;  // "layer-dag", "pooled-escape", "tick-units"
+  std::string file;  // repo-relative path
+  int line = 0;
+  std::string message;
+};
+
+struct SourceFile {
+  std::string rel_path;  // e.g. "src/nvme/device.h"
+  LexedFile lex;
+};
+
+// --- Individual rules (exposed for unit tests) ----------------------------
+
+// Layer-DAG rule over the whole file set: validates the table, maps files to
+// layers, checks every quoted include edge, and reports file-graph cycles.
+void CheckLayers(const std::vector<SourceFile>& files,
+                 std::vector<Finding>* out);
+
+// Pooled-escape rule for one file. `in_stats` marks src/stats/** files where
+// Request*/& member declarations are additionally banned.
+void CheckPooledEscapes(const SourceFile& file, bool in_stats,
+                        std::vector<Finding>* out);
+
+// Function name -> zero-based indices of Tick/TickDuration parameters,
+// harvested from declarations in the scanned headers.
+using TickSymbolTable = std::map<std::string, std::set<int>>;
+
+TickSymbolTable BuildTickSymbols(const std::vector<SourceFile>& files);
+
+void CheckTickUnits(const SourceFile& file, const TickSymbolTable& symbols,
+                    std::vector<Finding>* out);
+
+// --- Driver ---------------------------------------------------------------
+
+struct AnalysisResult {
+  std::vector<Finding> errors;   // layer-dag + pooled-escape: must be empty
+  std::vector<Finding> ratchet;  // tick-units sites (informational)
+  // "tick-units.<layer>" -> count; layers with zero sites are omitted.
+  std::map<std::string, int> ratchet_counts;
+};
+
+// Scans <root>/src/**/*.{h,cc} and runs all rules.
+AnalysisResult Analyze(const std::string& root);
+
+// Baseline files share ddlint's format: '#' comments and "<key> <count>"
+// lines. Returns empty map and sets *err when the file cannot be read.
+std::map<std::string, int> ReadBaseline(const std::string& path,
+                                        std::string* err);
+std::string FormatBaseline(const std::map<std::string, int>& counts);
+
+// Ratchet comparison: every current count must be <= the baseline count
+// (missing baseline key = 0). Returns violation messages (empty = pass).
+std::vector<std::string> CompareToBaseline(
+    const std::map<std::string, int>& current,
+    const std::map<std::string, int>& baseline);
+
+}  // namespace ddanalyze
+
+#endif  // DAREDEVIL_TOOLS_DDANALYZE_ANALYZER_H_

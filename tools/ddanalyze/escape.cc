@@ -1,0 +1,195 @@
+// pooled-escape rule: pooled Request objects are owned by the workload layer
+// and recycled after delivery, so any stored pointer/reference that survives
+// the completion callback dereferences recycled state. The rule bans the
+// constructs that caused (or nearly caused) that bug class:
+//   * Request*/Request& member or local stores in src/stats/** (observability
+//     must copy what it needs into its own records);
+//   * lambda captures taking a Request-typed pointer by reference;
+//   * default captures ([&]/[=]) in scopes holding a live Request-typed
+//     pointer (they capture it invisibly).
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "tools/ddanalyze/analyzer.h"
+
+namespace ddanalyze {
+namespace {
+
+struct Var {
+  std::string name;
+  int depth;  // brace depth the variable lives at
+};
+
+bool IsLambdaIntro(const std::vector<Token>& toks, std::size_t i) {
+  if (i == 0) {
+    return true;
+  }
+  const Token& prev = toks[i - 1];
+  if (prev.kind == TokKind::kIdent) {
+    return prev.text == "return";
+  }
+  if (prev.kind == TokKind::kNumber) {
+    return false;
+  }
+  // After an identifier/)/] the bracket is a subscript; after these it can
+  // only open a capture list.
+  static const char* const kIntro[] = {"(", ",", "{", ";", "=",  "&&",
+                                       "||", "!", "?", ":", "<<", ">>"};
+  for (const char* p : kIntro) {
+    if (prev.text == p) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Live(const std::vector<Var>& vars, const std::string& name) {
+  for (const Var& v : vars) {
+    if (v.name == name) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+void CheckPooledEscapes(const SourceFile& file, bool in_stats,
+                        std::vector<Finding>* out) {
+  const std::vector<Token>& toks = file.lex.tokens;
+  std::vector<Var> vars;      // live Request-typed pointers/references
+  std::vector<Var> pending;   // parameters awaiting their function body
+  int depth = 0;
+
+  auto report = [&](int line, const std::string& message) {
+    if (file.lex.HasWaiver(line, "escape")) {
+      return;
+    }
+    out->push_back({"pooled-escape", file.rel_path, line, message});
+  };
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind == TokKind::kPunct && t.text == "{") {
+      ++depth;
+      for (Var& v : pending) {
+        v.depth = depth;
+        vars.push_back(v);
+      }
+      pending.clear();
+      continue;
+    }
+    if (t.kind == TokKind::kPunct && t.text == "}") {
+      while (!vars.empty() && vars.back().depth >= depth) {
+        vars.pop_back();
+      }
+      depth = depth > 0 ? depth - 1 : 0;
+      continue;
+    }
+    if (t.kind == TokKind::kPunct && t.text == ";") {
+      // A prototype's parameters never get a body scope.
+      pending.clear();
+      continue;
+    }
+
+    // Request-typed declarations: `Request* name` / `Request& name`.
+    if (t.kind == TokKind::kIdent && t.text == "Request" &&
+        i + 2 < toks.size() && toks[i + 1].kind == TokKind::kPunct &&
+        (toks[i + 1].text == "*" || toks[i + 1].text == "&")) {
+      const Token& after = toks[i + 2];
+      if (after.kind == TokKind::kPunct && after.text == ">" && in_stats) {
+        // Container of request pointers (std::vector<Request*> member).
+        report(t.line,
+               "stats must not store Request pointers; copy the fields the "
+               "record needs");
+        continue;
+      }
+      if (after.kind != TokKind::kIdent) {
+        continue;
+      }
+      const std::string name = after.text;
+      const Token* next = i + 3 < toks.size() ? &toks[i + 3] : nullptr;
+      const bool is_param =
+          next != nullptr && next->kind == TokKind::kPunct &&
+          (next->text == "," || next->text == ")");
+      if (is_param) {
+        pending.push_back({name, 0});
+      } else {
+        // Member or local store: `Request* rq_;`, `Request* rq = ...`.
+        if (in_stats) {
+          report(t.line,
+                 "stats must not store Request pointers; copy the fields the "
+                 "record needs (field '" + name + "')");
+        }
+        vars.push_back({name, depth});
+      }
+      continue;
+    }
+
+    // Lambda capture lists.
+    if (t.kind == TokKind::kPunct && t.text == "[" && IsLambdaIntro(toks, i)) {
+      // Scan to the matching ']' at this nesting level.
+      int bracket = 1;
+      int paren = 0;
+      std::size_t j = i + 1;
+      std::size_t seg_start = j;
+      bool reported = false;
+      auto check_segment = [&](std::size_t from, std::size_t to) {
+        if (reported || to <= from) {
+          return;
+        }
+        const Token& first = toks[from];
+        const std::size_t len = to - from;
+        if (len == 1 && first.kind == TokKind::kPunct &&
+            (first.text == "&" || first.text == "=")) {
+          if (!vars.empty() || !pending.empty()) {
+            report(first.line,
+                   "default capture [" + first.text +
+                       "] in a scope holding a live Request pointer; capture "
+                       "explicitly by value");
+            reported = true;
+          }
+          return;
+        }
+        for (std::size_t k = from; k + 1 < to; ++k) {
+          if (toks[k].kind == TokKind::kPunct && toks[k].text == "&" &&
+              toks[k + 1].kind == TokKind::kIdent &&
+              (Live(vars, toks[k + 1].text) ||
+               Live(pending, toks[k + 1].text))) {
+            report(toks[k].line,
+                   "capture of Request pointer '" + toks[k + 1].text +
+                       "' by reference outlives the submit path; capture by "
+                       "value");
+            reported = true;
+            return;
+          }
+        }
+      };
+      while (j < toks.size() && bracket > 0) {
+        const Token& c = toks[j];
+        if (c.kind == TokKind::kPunct) {
+          if (c.text == "[") ++bracket;
+          if (c.text == "]") {
+            --bracket;
+            if (bracket == 0) {
+              break;
+            }
+          }
+          if (c.text == "(") ++paren;
+          if (c.text == ")") --paren;
+          if (c.text == "," && bracket == 1 && paren == 0) {
+            check_segment(seg_start, j);
+            seg_start = j + 1;
+          }
+        }
+        ++j;
+      }
+      check_segment(seg_start, j);
+      i = j;  // resume after the capture list
+      continue;
+    }
+  }
+}
+
+}  // namespace ddanalyze

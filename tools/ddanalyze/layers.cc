@@ -1,0 +1,138 @@
+#include "tools/ddanalyze/layers.h"
+
+#include <set>
+
+namespace ddanalyze {
+
+const std::vector<LayerSpec>& LayerTable() {
+  // Keep in sync with the diagram in DESIGN.md §7.1.
+  static const std::vector<LayerSpec> kTable = {
+      {"time", {}},
+      {"vocab", {"time"}},
+      {"sim", {"time", "vocab"}},
+      {"stats", {"time", "vocab", "sim"}},
+      {"nvme", {"time", "vocab", "sim", "stats"}},
+      {"stack", {"time", "vocab", "sim", "stats", "nvme"}},
+      {"blkmq", {"time", "vocab", "sim", "stats", "nvme", "stack"}},
+      {"blkswitch", {"time", "vocab", "sim", "stats", "nvme", "stack"}},
+      {"virtio", {"time", "vocab", "sim", "stats", "nvme", "stack"}},
+      {"core", {"time", "vocab", "sim", "stats", "nvme", "stack"}},
+      {"workload",
+       {"time", "vocab", "sim", "stats", "nvme", "stack", "blkmq", "blkswitch",
+        "virtio", "core"}},
+      // Apps are stack-implementation agnostic: they may see the abstract
+      // stack interface but never a concrete stack or the NVMe layer.
+      {"apps", {"time", "vocab", "sim", "stats", "stack"}},
+  };
+  return kTable;
+}
+
+const std::map<std::string, std::string>& LayerOverrides() {
+  static const std::map<std::string, std::string> kOverrides = {
+      {"src/sim/clock.h", "time"},
+      {"src/core/types.h", "vocab"},
+      {"src/core/invariant.h", "vocab"},
+      {"src/core/invariant.cc", "vocab"},
+      {"src/stack/request.h", "vocab"},
+  };
+  return kOverrides;
+}
+
+std::string LayerOf(const std::string& rel_path) {
+  auto it = LayerOverrides().find(rel_path);
+  if (it != LayerOverrides().end()) {
+    return it->second;
+  }
+  const std::string prefix = "src/";
+  if (rel_path.compare(0, prefix.size(), prefix) != 0) {
+    return "";
+  }
+  const std::size_t slash = rel_path.find('/', prefix.size());
+  if (slash == std::string::npos) {
+    return "";
+  }
+  const std::string dir = rel_path.substr(prefix.size(), slash - prefix.size());
+  for (const LayerSpec& layer : LayerTable()) {
+    if (layer.name == dir) {
+      return dir;
+    }
+  }
+  return "";
+}
+
+std::vector<std::string> ValidateLayerTable() {
+  std::vector<std::string> problems;
+  const auto& table = LayerTable();
+  std::map<std::string, std::size_t> index;
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    if (!index.emplace(table[i].name, i).second) {
+      problems.push_back("duplicate layer '" + table[i].name + "'");
+    }
+  }
+  for (const LayerSpec& layer : table) {
+    for (const std::string& dep : layer.deps) {
+      if (index.find(dep) == index.end()) {
+        problems.push_back("layer '" + layer.name + "' depends on unknown '" +
+                           dep + "'");
+      }
+      if (dep == layer.name) {
+        problems.push_back("layer '" + layer.name + "' lists itself as a dep");
+      }
+    }
+  }
+  if (!problems.empty()) {
+    return problems;
+  }
+  // Cycle detection over the declared edges (DFS, three colors).
+  std::map<std::string, int> color;  // 0 white, 1 grey, 2 black
+  std::vector<std::string> stack;
+  // Iterative DFS with an explicit stack of (node, next-dep-index).
+  for (const LayerSpec& root : table) {
+    if (color[root.name] != 0) {
+      continue;
+    }
+    std::vector<std::pair<std::string, std::size_t>> dfs{{root.name, 0}};
+    color[root.name] = 1;
+    while (!dfs.empty()) {
+      auto& [name, next] = dfs.back();
+      const LayerSpec& spec = table[index[name]];
+      if (next >= spec.deps.size()) {
+        color[name] = 2;
+        dfs.pop_back();
+        continue;
+      }
+      const std::string dep = spec.deps[next++];
+      if (color[dep] == 1) {
+        problems.push_back("layer table cycle through '" + name + "' -> '" +
+                           dep + "'");
+        color[name] = 2;
+        dfs.pop_back();
+        continue;
+      }
+      if (color[dep] == 0) {
+        color[dep] = 1;
+        dfs.emplace_back(dep, 0);
+      }
+    }
+  }
+  return problems;
+}
+
+bool LayerEdgeAllowed(const std::string& from, const std::string& to) {
+  if (from == to) {
+    return true;
+  }
+  for (const LayerSpec& layer : LayerTable()) {
+    if (layer.name == from) {
+      for (const std::string& dep : layer.deps) {
+        if (dep == to) {
+          return true;
+        }
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+}  // namespace ddanalyze

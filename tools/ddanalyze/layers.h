@@ -1,0 +1,44 @@
+// The layer dependency DAG (DESIGN.md §7.1). One table pins which layer each
+// source file belongs to and which layers each layer may include. ddanalyze
+// rejects includes whose edge is not declared here ("skips"), validates that
+// the table itself is acyclic ("cycles"), and reports include cycles in the
+// file graph.
+#ifndef DAREDEVIL_TOOLS_DDANALYZE_LAYERS_H_
+#define DAREDEVIL_TOOLS_DDANALYZE_LAYERS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ddanalyze {
+
+struct LayerSpec {
+  std::string name;
+  // Layers this one may include, besides itself. Transitive permissions are
+  // spelled out explicitly: an edge absent from this list is a skip.
+  std::vector<std::string> deps;
+};
+
+// The allowed-dependency table, bottom tier first. Edit DESIGN.md §7.1 when
+// editing this.
+const std::vector<LayerSpec>& LayerTable();
+
+// Files whose layer differs from their directory's default. The three shared
+// vocabulary headers (types/invariant/request) sit below the subsystems that
+// host them, and clock.h is the bottom tier everything may name times with.
+const std::map<std::string, std::string>& LayerOverrides();
+
+// Maps a repo-relative path ("src/nvme/device.h") to its layer name.
+// Returns "" for files outside src/ or in an unknown directory.
+std::string LayerOf(const std::string& rel_path);
+
+// Validates the table itself: unique names, declared deps, acyclicity.
+// Returns human-readable problems (empty = valid).
+std::vector<std::string> ValidateLayerTable();
+
+// True when layer `from` may include layer `to`.
+bool LayerEdgeAllowed(const std::string& from, const std::string& to);
+
+}  // namespace ddanalyze
+
+#endif  // DAREDEVIL_TOOLS_DDANALYZE_LAYERS_H_

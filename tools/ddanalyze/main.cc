@@ -1,0 +1,137 @@
+// ddanalyze CLI. Typical runs:
+//   ddanalyze --root .                      # architecture check + ratchet
+//   ddanalyze --root . --write-baseline     # refresh the ratchet baseline
+//   ddanalyze --root tests/ddanalyze_fixtures/layer_bad   # fixture corpus
+// Exit code 0 = clean, 1 = findings or ratchet regression, 2 = usage error.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "tools/ddanalyze/analyzer.h"
+
+namespace {
+
+void PrintJsonString(std::ostream& out, const std::string& s) {
+  out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      default:
+        out << c;
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string baseline_path;
+  bool write_baseline = false;
+  bool json = false;
+  bool no_ratchet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--baseline" && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (arg == "--write-baseline") {
+      write_baseline = true;
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--no-ratchet") {
+      no_ratchet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::puts(
+          "usage: ddanalyze [--root DIR] [--baseline FILE] "
+          "[--write-baseline] [--json] [--no-ratchet]");
+      return 0;
+    } else {
+      std::fprintf(stderr, "ddanalyze: unknown argument '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (baseline_path.empty()) {
+    baseline_path = root + "/tools/ddanalyze-baseline.txt";
+  }
+
+  const ddanalyze::AnalysisResult result = ddanalyze::Analyze(root);
+
+  if (write_baseline) {
+    std::ofstream out(baseline_path);
+    if (!out) {
+      std::fprintf(stderr, "ddanalyze: cannot write '%s'\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+    out << ddanalyze::FormatBaseline(result.ratchet_counts);
+    std::printf("ddanalyze: wrote %zu ratchet counters to %s\n",
+                result.ratchet_counts.size(), baseline_path.c_str());
+  }
+
+  std::vector<std::string> ratchet_violations;
+  if (!no_ratchet && !write_baseline) {
+    std::string err;
+    const auto baseline = ddanalyze::ReadBaseline(baseline_path, &err);
+    if (err.empty()) {
+      ratchet_violations =
+          ddanalyze::CompareToBaseline(result.ratchet_counts, baseline);
+    }
+    // A missing baseline (fixture corpora, fresh checkouts) skips the
+    // ratchet rather than failing: the counts are still reported below.
+  }
+
+  if (json) {
+    std::ostream& out = std::cout;
+    out << "{\"findings\":[";
+    bool first = true;
+    for (const auto& f : result.errors) {
+      if (!first) out << ",";
+      first = false;
+      out << "{\"rule\":";
+      PrintJsonString(out, f.rule);
+      out << ",\"file\":";
+      PrintJsonString(out, f.file);
+      out << ",\"line\":" << f.line << ",\"message\":";
+      PrintJsonString(out, f.message);
+      out << "}";
+    }
+    out << "],\"ratchet\":{";
+    first = true;
+    for (const auto& [key, count] : result.ratchet_counts) {
+      if (!first) out << ",";
+      first = false;
+      PrintJsonString(out, key);
+      out << ":" << count;
+    }
+    out << "},\"ratchet_violations\":" << ratchet_violations.size() << "}\n";
+  } else {
+    for (const auto& f : result.errors) {
+      std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
+                  f.message.c_str());
+    }
+    for (const auto& v : ratchet_violations) {
+      std::printf("ratchet regression: %s\n", v.c_str());
+    }
+    std::printf(
+        "ddanalyze: %zu finding(s), %zu ratchet counter(s), %zu ratchet "
+        "regression(s)\n",
+        result.errors.size(), result.ratchet_counts.size(),
+        ratchet_violations.size());
+  }
+
+  return result.errors.empty() && ratchet_violations.empty() ? 0 : 1;
+}

@@ -1,0 +1,206 @@
+// tick-units rule: finds raw integers flowing into Tick/TickDuration-typed
+// parameters. Two passes: harvest function declarations with tick-typed
+// parameters from headers, then flag call sites passing a bare integer
+// literal (other than 0) or a local declared with a raw integer type. Sites
+// are counted per layer and ratcheted, not hard errors, so the strong-type
+// migration can proceed incrementally without ever regressing.
+#include <cstddef>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "tools/ddanalyze/analyzer.h"
+#include "tools/ddanalyze/layers.h"
+
+namespace ddanalyze {
+namespace {
+
+bool IsTickType(const std::string& s) {
+  return s == "Tick" || s == "TickDuration";
+}
+
+bool IsRawIntType(const std::string& s) {
+  return s == "int" || s == "long" || s == "unsigned" || s == "int64_t" ||
+         s == "uint64_t" || s == "int32_t" || s == "uint32_t" ||
+         s == "size_t" || s == "Rep";
+}
+
+// Splits the token range of a parenthesized list (first points at the token
+// after '(') into top-level comma-separated segments. Returns the index of
+// the closing ')' or toks.size().
+std::size_t SplitArgs(const std::vector<Token>& toks, std::size_t first,
+                      std::vector<std::pair<std::size_t, std::size_t>>* segs) {
+  int paren = 1;
+  int angle_or_brace = 0;  // '{' '}' '[' ']' nesting (commas inside don't split)
+  std::size_t start = first;
+  std::size_t j = first;
+  for (; j < toks.size() && paren > 0; ++j) {
+    const Token& t = toks[j];
+    if (t.kind != TokKind::kPunct) {
+      continue;
+    }
+    if (t.text == "(") ++paren;
+    if (t.text == ")") {
+      --paren;
+      if (paren == 0) {
+        break;
+      }
+    }
+    if (t.text == "{" || t.text == "[") ++angle_or_brace;
+    if (t.text == "}" || t.text == "]") --angle_or_brace;
+    if (t.text == "," && paren == 1 && angle_or_brace == 0) {
+      segs->emplace_back(start, j);
+      start = j + 1;
+    }
+  }
+  if (j > start || j < toks.size()) {
+    segs->emplace_back(start, j);
+  }
+  return j;
+}
+
+}  // namespace
+
+TickSymbolTable BuildTickSymbols(const std::vector<SourceFile>& files) {
+  TickSymbolTable table;
+  std::set<std::string> seen;  // names with at least one harvested decl
+  for (const SourceFile& file : files) {
+    // Declarations live in headers; scanning only them avoids misreading
+    // call arguments as parameter lists.
+    if (file.rel_path.size() < 2 ||
+        file.rel_path.compare(file.rel_path.size() - 2, 2, ".h") != 0) {
+      continue;
+    }
+    const std::vector<Token>& toks = file.lex.tokens;
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+      if (toks[i].kind != TokKind::kIdent || toks[i + 1].kind != TokKind::kPunct ||
+          toks[i + 1].text != "(") {
+        continue;
+      }
+      std::vector<std::pair<std::size_t, std::size_t>> segs;
+      std::size_t close = SplitArgs(toks, i + 2, &segs);
+      // Only harvest paren groups that look like parameter lists: at least
+      // one segment with two adjacent identifiers ("Tick now", "int sqid").
+      // Call expressions (inline header code) almost never have that shape.
+      bool looks_like_decl = false;
+      for (const auto& [a, b] : segs) {
+        for (std::size_t k = a; k + 1 < b && k + 1 <= close; ++k) {
+          if (toks[k].kind == TokKind::kIdent &&
+              toks[k + 1].kind == TokKind::kIdent &&
+              toks[k].text != "return") {
+            looks_like_decl = true;
+          }
+        }
+      }
+      if (!looks_like_decl) {
+        continue;
+      }
+      std::set<int> tick_params;
+      for (std::size_t p = 0; p < segs.size(); ++p) {
+        std::size_t a = segs[p].first;
+        const std::size_t b = segs[p].second;
+        if (a < b && toks[a].kind == TokKind::kIdent && toks[a].text == "const") {
+          ++a;
+        }
+        if (a >= b || toks[a].kind != TokKind::kIdent ||
+            !IsTickType(toks[a].text)) {
+          continue;
+        }
+        // Parameter, not an argument expression: `Tick name`, `Tick` alone,
+        // or `Tick name = default` — never `Tick{...}` / `Tick(...)`.
+        if (a + 1 < b && toks[a + 1].kind == TokKind::kPunct &&
+            (toks[a + 1].text == "{" || toks[a + 1].text == "(")) {
+          continue;
+        }
+        tick_params.insert(static_cast<int>(p));
+      }
+      // Same-name declarations merge by intersection: an index is checked
+      // only if every overload agrees it is tick-typed, so a Device
+      // RingDoorbell(int sqid) neutralizes SubmissionQueue's
+      // RingDoorbell(Tick now) instead of poisoning its call sites.
+      const std::string& name = toks[i].text;
+      if (seen.insert(name).second) {
+        table[name] = tick_params;
+      } else {
+        std::set<int> merged;
+        for (int p : table[name]) {
+          if (tick_params.count(p) > 0) {
+            merged.insert(p);
+          }
+        }
+        table[name] = merged;
+      }
+    }
+  }
+  // Drop names whose intersection came out empty.
+  for (auto it = table.begin(); it != table.end();) {
+    it = it->second.empty() ? table.erase(it) : std::next(it);
+  }
+  return table;
+}
+
+void CheckTickUnits(const SourceFile& file, const TickSymbolTable& symbols,
+                    std::vector<Finding>* out) {
+  const std::vector<Token>& toks = file.lex.tokens;
+
+  // Locals (and members) declared with raw integer types in this file.
+  std::set<std::string> raw_ints;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind == TokKind::kIdent && IsRawIntType(toks[i].text) &&
+        toks[i + 1].kind == TokKind::kIdent) {
+      const Token* next = i + 2 < toks.size() ? &toks[i + 2] : nullptr;
+      if (next != nullptr && next->kind == TokKind::kPunct &&
+          (next->text == "=" || next->text == ";" || next->text == "{")) {
+        raw_ints.insert(toks[i + 1].text);
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent || toks[i + 1].kind != TokKind::kPunct ||
+        toks[i + 1].text != "(") {
+      continue;
+    }
+    auto sym = symbols.find(toks[i].text);
+    if (sym == symbols.end()) {
+      continue;
+    }
+    // Calls, not declarations: a declaration's name is preceded by its return
+    // type (an identifier or template '>'), a call by punctuation like
+    // '.', '->', ';', '(' or '='.
+    if (i > 0 && (toks[i - 1].kind == TokKind::kIdent ||
+                  (toks[i - 1].kind == TokKind::kPunct &&
+                   (toks[i - 1].text == ">" || toks[i - 1].text == "*" ||
+                    toks[i - 1].text == "&" || toks[i - 1].text == "~")))) {
+      continue;
+    }
+    std::vector<std::pair<std::size_t, std::size_t>> segs;
+    SplitArgs(toks, i + 2, &segs);
+    for (int p : sym->second) {
+      if (p < 0 || static_cast<std::size_t>(p) >= segs.size()) {
+        continue;
+      }
+      const auto [a, b] = segs[static_cast<std::size_t>(p)];
+      if (b != a + 1) {
+        continue;  // only bare single-token args are confidently raw
+      }
+      const Token& arg = toks[a];
+      if (file.lex.HasWaiver(arg.line, "tick")) {
+        continue;
+      }
+      if (arg.kind == TokKind::kNumber && arg.text != "0") {
+        out->push_back({"tick-units", file.rel_path, arg.line,
+                        "raw integer literal " + arg.text +
+                            " passed to tick-typed parameter of '" +
+                            toks[i].text + "'; use Tick/TickDuration"});
+      } else if (arg.kind == TokKind::kIdent && raw_ints.count(arg.text) > 0) {
+        out->push_back({"tick-units", file.rel_path, arg.line,
+                        "raw integer '" + arg.text +
+                            "' passed to tick-typed parameter of '" +
+                            toks[i].text + "'; declare it Tick/TickDuration"});
+      }
+    }
+  }
+}
+
+}  // namespace ddanalyze

@@ -44,8 +44,16 @@ Waivers
 
 Usage
   tools/ddlint.py [--root DIR] [--json] [--list-waived]
+                  [--baseline FILE] [--write-baseline] [--no-ratchet]
 
-Exit status is 1 when any unwaived finding exists, else 0.
+Ratchet
+  Waivers are debt. The baseline file (tools/ddlint-baseline.txt, same
+  "<key> <count>" format as tools/ddanalyze-baseline.txt) records how many
+  waived findings each rule is allowed; the count may only decrease. Use
+  --write-baseline after burning down waivers to lock in the lower number.
+
+Exit status is 1 when any unwaived finding exists or the ratchet regressed,
+else 0.
 """
 
 import argparse
@@ -55,8 +63,12 @@ import re
 import sys
 
 SCAN_DIRS = ("src", "bench", "tests")
+# ddanalyze's fixture corpus is deliberately rule-breaking analyzer *input*,
+# not simulator code; linting it would just accumulate waiver debt.
+SKIP_DIRS = ("tests/ddanalyze_fixtures",)
 SOURCE_EXTS = (".h", ".cc")
 WAIVER_FILE = os.path.join("tools", "ddlint-waivers.txt")
+BASELINE_FILE = os.path.join("tools", "ddlint-baseline.txt")
 
 # rule name -> inline waiver token (used as "// ddlint: <token>-ok(reason)").
 RULE_TOKENS = {
@@ -361,6 +373,60 @@ def apply_file_waivers(findings, waivers):
             finding.waiver_reason = reason
 
 
+def waived_counts(findings):
+    """Ratchet counters: number of waived findings per rule."""
+    counts = {}
+    for finding in findings:
+        if finding.waived:
+            key = "waived.{}".format(finding.rule)
+            counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def read_baseline(path):
+    """Parses the shared baseline format: '#' comments, '<key> <count>' lines.
+
+    Returns None when the file does not exist (ratchet silently skipped, so
+    fresh checkouts and fixture trees work without one).
+    """
+    if not os.path.exists(path):
+        return None
+    counts = {}
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            line = line.split("#", 1)[0].strip()
+            if not line:
+                continue
+            parts = line.split()
+            if len(parts) == 2:
+                counts[parts[0]] = int(parts[1])
+    return counts
+
+
+def format_baseline(counts):
+    lines = [
+        "# ddlint ratchet baseline: waived findings per rule. Counts may",
+        "# only decrease; regenerate with `ddlint.py --write-baseline`",
+        "# after burning down waivers.",
+    ]
+    for key in sorted(counts):
+        lines.append("{} {}".format(key, counts[key]))
+    return "\n".join(lines) + "\n"
+
+
+def compare_to_baseline(current, baseline):
+    """Returns violation messages; a missing baseline key allows zero."""
+    violations = []
+    for key in sorted(current):
+        allowed = baseline.get(key, 0)
+        if current[key] > allowed:
+            violations.append(
+                "{}: {} waived site(s), baseline allows {} (burn down "
+                "waivers instead of adding them)".format(
+                    key, current[key], allowed))
+    return violations
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--root", default=None,
@@ -369,10 +435,18 @@ def main():
                         help="machine-readable output")
     parser.add_argument("--list-waived", action="store_true",
                         help="also print waived findings in human output")
+    parser.add_argument("--baseline", default=None,
+                        help="ratchet baseline file (default: {})".format(
+                            BASELINE_FILE))
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="rewrite the baseline from the current counts")
+    parser.add_argument("--no-ratchet", action="store_true",
+                        help="skip the waiver-count ratchet")
     args = parser.parse_args()
 
     root = args.root or os.path.dirname(
         os.path.dirname(os.path.abspath(__file__)))
+    baseline_path = args.baseline or os.path.join(root, BASELINE_FILE)
 
     findings = []
     for scan_dir in SCAN_DIRS:
@@ -383,6 +457,8 @@ def main():
                     continue
                 path = os.path.join(dirpath, filename)
                 rel = os.path.relpath(path, root).replace(os.sep, "/")
+                if any(rel.startswith(skip + "/") for skip in SKIP_DIRS):
+                    continue
                 check_file(path, rel, findings)
     check_trace_categories(root, findings)
 
@@ -391,11 +467,25 @@ def main():
     active = [f for f in findings if not f.waived]
     waived = [f for f in findings if f.waived]
 
+    counts = waived_counts(findings)
+    if args.write_baseline:
+        with open(baseline_path, "w", encoding="utf-8") as f:
+            f.write(format_baseline(counts))
+        print("ddlint: wrote {} ratchet counter(s) to {}".format(
+            len(counts), baseline_path))
+    violations = []
+    if not args.no_ratchet and not args.write_baseline:
+        baseline = read_baseline(baseline_path)
+        if baseline is not None:
+            violations = compare_to_baseline(counts, baseline)
+
     if args.json:
         print(json.dumps({
             "findings": [f.as_dict() for f in findings],
             "active": len(active),
             "waived": len(waived),
+            "ratchet": counts,
+            "ratchet_violations": violations,
         }, indent=2))
     else:
         for f in active:
@@ -404,9 +494,11 @@ def main():
             for f in waived:
                 print("{}:{}: [{}] waived: {}".format(f.path, f.line, f.rule,
                                                       f.waiver_reason))
-        print("ddlint: {} finding(s), {} waived".format(len(active),
-                                                        len(waived)))
-    return 1 if active else 0
+        for v in violations:
+            print("ratchet regression: {}".format(v))
+        print("ddlint: {} finding(s), {} waived, {} ratchet regression(s)"
+              .format(len(active), len(waived), len(violations)))
+    return 1 if active or violations else 0
 
 
 if __name__ == "__main__":
