@@ -3,6 +3,7 @@
 // FIO jobs) self-throttle when the stack slows down; an open-loop source
 // keeps the arrival pressure on, exposing the latency collapse that real
 // interactive services experience.
+#include <cstdlib>
 #include <memory>
 #include <vector>
 
@@ -17,6 +18,17 @@ int main() {
               "4 open-loop L sources (4KB reads, 5K IOPS each, 10% bursts of "
               "8) + N closed-loop T-tenants, 4 cores");
 
+  // CI fault-soak mode: DD_FAULT_RATE > 0 runs the same sweep with a dense
+  // fault schedule (every fault kind at that rate) and a 5ms watchdog, so
+  // the error path gets exercised under open-loop pressure with sanitizers
+  // and invariants on (EXPERIMENTS.md, "Error injection").
+  const char* rate_env = std::getenv("DD_FAULT_RATE");
+  const double fault_rate = rate_env != nullptr ? std::atof(rate_env) : 0.0;
+  if (fault_rate > 0) {
+    std::printf("fault-soak: DD_FAULT_RATE=%.4f (dense plan, 5ms watchdog)\n\n",
+                fault_rate);
+  }
+
   BenchJsonSink json("openloop_saturation");
   TablePrinter table({"T-tenants", "stack", "L avg", "L p99", "L p99.9",
                       "achieved IOPS", "dropped"});
@@ -28,6 +40,11 @@ int main() {
       cfg.warmup = ScaledMs(30);
       cfg.duration = ScaledMs(150);
       AddTTenants(cfg, n_t);
+      if (fault_rate > 0) {
+        cfg.faults = MakeDenseFaultPlan(fault_rate);
+        cfg.fault_recovery.timeout = TickDuration{5 * kMillisecond};
+        cfg.fault_recovery.backoff = TickDuration{100 * kMicrosecond};
+      }
       ScenarioEnv env(cfg);
 
       Rng master(cfg.seed);
@@ -68,11 +85,39 @@ int main() {
         ios += src->measured_ios();
         dropped += src->dropped_arrivals();
       }
+      uint64_t errored = 0;
+      for (const auto& src : sources) {
+        errored += src->total_errored();
+      }
+      for (const auto& job : t_jobs) {
+        errored += job->total_errored();
+      }
+      if (fault_rate > 0) {
+        const StorageStack& stack = env.stack();
+        std::printf(
+            "  faults[%s nt=%d]: injected=%llu retries=%llu aborts=%llu "
+            "timeouts=%llu failed=%llu errored=%llu\n",
+            std::string(StackKindName(kind)).c_str(), n_t,
+            static_cast<unsigned long long>(env.fault_plan()->total_injections()),
+            static_cast<unsigned long long>(stack.fault_retries()),
+            static_cast<unsigned long long>(stack.aborts()),
+            static_cast<unsigned long long>(stack.timeouts()),
+            static_cast<unsigned long long>(stack.failed_requests()),
+            static_cast<unsigned long long>(errored));
+      }
       if (json.enabled()) {
         JsonWriter w;
         w.BeginObject();
         w.Key("ios").UInt(ios);
         w.Key("dropped").UInt(dropped);
+        if (fault_rate > 0) {
+          w.Key("fault_injections").UInt(env.fault_plan()->total_injections());
+          w.Key("fault_retries").UInt(env.stack().fault_retries());
+          w.Key("fault_aborts").UInt(env.stack().aborts());
+          w.Key("fault_timeouts").UInt(env.stack().timeouts());
+          w.Key("failed_requests").UInt(env.stack().failed_requests());
+          w.Key("errored").UInt(errored);
+        }
         w.Key("latency_ns");
         AppendHistogramJson(w, latency);
         w.Key("stages_ns");

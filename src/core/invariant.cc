@@ -124,6 +124,18 @@ bool LifecycleChecker::OnComplete(const Request& rq, Tick now, int cqe_sqid,
   return CheckStageChain(rq, now);
 }
 
+bool LifecycleChecker::OnAbort(const Request& rq, Tick now) {
+  auto it = in_flight_.find(rq.id);
+  if (it == in_flight_.end()) {
+    std::ostringstream os;
+    os << "abort of request id=" << rq.id << " at tick " << now
+       << " that is not in flight (double abort or raced a completion)";
+    return Violation(os.str());
+  }
+  in_flight_.erase(it);
+  return true;
+}
+
 bool LifecycleChecker::OnDoorbell(int nsq, uint64_t tail) {
   uint64_t& last = doorbell_tails_[nsq];
   if (tail < last) {

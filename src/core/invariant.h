@@ -122,6 +122,11 @@ class LifecycleChecker {
   bool OnSubmit(const Request& rq, Tick now);
   bool OnComplete(const Request& rq, Tick now, int cqe_sqid, int drained_ncq,
                   int bound_ncq);
+  // Host watchdog aborted the request's outstanding attempt: the id leaves
+  // the in-flight set (a retry re-enters via OnSubmit). Aborting an id that
+  // is not in flight is a violation — the watchdog double-fired or raced a
+  // delivered completion.
+  bool OnAbort(const Request& rq, Tick now);
   bool OnDoorbell(int nsq, uint64_t tail);
 
   // Validates only the monotone stage chain of rq (also used by OnComplete).

@@ -135,6 +135,36 @@ using TenantId = StrongId<struct TenantIdTag, uint64_t>;
 
 inline constexpr TenantId kNoTenant{0};
 
+// Completion status of an I/O, modeled on the NVMe status-field families the
+// fault layer injects (src/fault/fault_plan.h). Lives in the vocabulary layer
+// because both the device (CQE status) and the block layer (Request status,
+// retry policy) speak it. kOk must stay 0: a zero-initialized command or
+// request is a successful one, which is what keeps the empty-FaultPlan
+// fingerprints byte-identical to the pre-fault simulator.
+enum class IoStatus : uint8_t {
+  kOk = 0,
+  kMediaError,          // unrecovered flash read/program error
+  kNamespaceNotReady,   // controller-side namespace fault
+  kAborted,             // host abort reclaimed the command
+  kTimedOut,            // watchdog expired with retries exhausted
+};
+
+inline const char* IoStatusName(IoStatus s) {
+  switch (s) {
+    case IoStatus::kOk:
+      return "ok";
+    case IoStatus::kMediaError:
+      return "media-error";
+    case IoStatus::kNamespaceNotReady:
+      return "ns-not-ready";
+    case IoStatus::kAborted:
+      return "aborted";
+    case IoStatus::kTimedOut:
+      return "timed-out";
+  }
+  return "?";
+}
+
 }  // namespace daredevil
 
 #endif  // DAREDEVIL_SRC_CORE_TYPES_H_

@@ -1,0 +1,202 @@
+#include "src/fault/fault_plan.h"
+
+namespace daredevil {
+
+const char* FaultKindName(FaultKind k) {
+  switch (k) {
+    case FaultKind::kFlashReadError:
+      return "flash-read-error";
+    case FaultKind::kFlashProgramError:
+      return "flash-program-error";
+    case FaultKind::kFetchStall:
+      return "fetch-stall";
+    case FaultKind::kCqeMediaError:
+      return "cqe-media-error";
+    case FaultKind::kCqeNamespaceNotReady:
+      return "cqe-ns-not-ready";
+    case FaultKind::kIrqDrop:
+      return "irq-drop";
+    case FaultKind::kIrqDelay:
+      return "irq-delay";
+    case FaultKind::kCommandDrop:
+      return "command-drop";
+  }
+  return "?";
+}
+
+namespace {
+
+// -1 filters match anything.
+bool Match(int filter, int value) { return filter < 0 || filter == value; }
+
+}  // namespace
+
+bool FaultPlan::Fires(SpecState& s, Tick now) {
+  const FaultSpec& spec = s.spec;
+  if (now < spec.window_start) {
+    return false;
+  }
+  if (spec.window_end >= 0 && now >= spec.window_end) {
+    return false;
+  }
+  if (spec.max_injections > 0 && s.injected >= spec.max_injections) {
+    return false;
+  }
+  bool fire;
+  if (spec.sticky && s.triggered) {
+    fire = true;
+  } else if (spec.probability >= 1.0) {
+    fire = true;
+  } else if (spec.probability <= 0.0) {
+    fire = false;
+  } else {
+    fire = rng_.NextBool(spec.probability);
+  }
+  if (fire) {
+    s.triggered = true;
+    ++s.injected;
+    ++counts_[static_cast<int>(spec.kind)];
+  }
+  return fire;
+}
+
+bool FaultPlan::FlashPageFails(Tick now, int channel, int chip, bool is_write) {
+  const FaultKind kind =
+      is_write ? FaultKind::kFlashProgramError : FaultKind::kFlashReadError;
+  bool fails = false;
+  for (SpecState& s : specs_) {
+    if (s.spec.kind != kind) {
+      continue;
+    }
+    if (!(is_write ? s.spec.writes : s.spec.reads)) {
+      continue;
+    }
+    if (!Match(s.spec.channel, channel) || !Match(s.spec.chip, chip)) {
+      continue;
+    }
+    // Consult every matching spec (each advances its own sticky/budget state)
+    // rather than short-circuiting, so the Rng draw sequence — and therefore
+    // determinism — does not depend on spec order.
+    fails = Fires(s, now) || fails;
+  }
+  return fails;
+}
+
+TickDuration FaultPlan::FetchStall(Tick now, int nsq) {
+  TickDuration stall;
+  for (SpecState& s : specs_) {
+    if (s.spec.kind != FaultKind::kFetchStall || !Match(s.spec.nsq, nsq)) {
+      continue;
+    }
+    if (Fires(s, now)) {
+      stall += s.spec.delay;
+    }
+  }
+  return stall;
+}
+
+bool FaultPlan::DropCommand(Tick now, int nsq) {
+  bool drop = false;
+  for (SpecState& s : specs_) {
+    if (s.spec.kind != FaultKind::kCommandDrop || !Match(s.spec.nsq, nsq)) {
+      continue;
+    }
+    drop = Fires(s, now) || drop;
+  }
+  return drop;
+}
+
+IoStatus FaultPlan::CqeStatus(Tick now, int nsq, int nsid) {
+  IoStatus status = IoStatus::kOk;
+  for (SpecState& s : specs_) {
+    IoStatus injected;
+    if (s.spec.kind == FaultKind::kCqeMediaError) {
+      injected = IoStatus::kMediaError;
+    } else if (s.spec.kind == FaultKind::kCqeNamespaceNotReady) {
+      injected = IoStatus::kNamespaceNotReady;
+    } else {
+      continue;
+    }
+    if (!Match(s.spec.nsq, nsq) || !Match(s.spec.nsid, nsid)) {
+      continue;
+    }
+    if (Fires(s, now) && status == IoStatus::kOk) {
+      status = injected;  // first firing spec wins; later ones still consult
+    }
+  }
+  return status;
+}
+
+IrqFault FaultPlan::OnIrq(Tick now, int ncq) {
+  IrqFault out;
+  for (SpecState& s : specs_) {
+    const bool is_drop = s.spec.kind == FaultKind::kIrqDrop;
+    const bool is_delay = s.spec.kind == FaultKind::kIrqDelay;
+    if ((!is_drop && !is_delay) || !Match(s.spec.ncq, ncq)) {
+      continue;
+    }
+    if (Fires(s, now)) {
+      if (is_drop) {
+        out.drop = true;
+      } else {
+        out.delay += s.spec.delay;
+      }
+    }
+  }
+  return out;
+}
+
+uint64_t FaultPlan::total_injections() const {
+  uint64_t total = 0;
+  for (uint64_t c : counts_) {
+    total += c;
+  }
+  return total;
+}
+
+FaultPlan MakeDenseFaultPlan(double rate) {
+  FaultPlan plan;
+  if (rate <= 0.0) {
+    return plan;
+  }
+  FaultSpec flash_read;
+  flash_read.kind = FaultKind::kFlashReadError;
+  flash_read.probability = rate;
+  plan.Add(flash_read);
+
+  FaultSpec flash_program;
+  flash_program.kind = FaultKind::kFlashProgramError;
+  flash_program.probability = rate;
+  plan.Add(flash_program);
+
+  FaultSpec stall;
+  stall.kind = FaultKind::kFetchStall;
+  stall.probability = rate;
+  stall.delay = TickDuration{20 * kMicrosecond};
+  plan.Add(stall);
+
+  FaultSpec cqe;
+  cqe.kind = FaultKind::kCqeMediaError;
+  cqe.probability = rate;
+  plan.Add(cqe);
+
+  FaultSpec irq_drop;
+  irq_drop.kind = FaultKind::kIrqDrop;
+  irq_drop.probability = rate / 2.0;
+  plan.Add(irq_drop);
+
+  FaultSpec irq_delay;
+  irq_delay.kind = FaultKind::kIrqDelay;
+  irq_delay.probability = rate / 2.0;
+  irq_delay.delay = TickDuration{50 * kMicrosecond};
+  plan.Add(irq_delay);
+
+  // Every drop costs the host a full watchdog timeout, so keep these rarer.
+  FaultSpec drop;
+  drop.kind = FaultKind::kCommandDrop;
+  drop.probability = rate / 4.0;
+  plan.Add(drop);
+  return plan;
+}
+
+}  // namespace daredevil

@@ -1,0 +1,139 @@
+// Deterministic fault injection for the simulated NVMe stack.
+//
+// A FaultPlan is a seeded, per-scenario schedule of injectable faults: flash
+// read/program failures (per chip or channel, transient or sticky),
+// controller fetch stalls, error CQE status codes, dropped or delayed IRQ
+// vectors, and silently discarded commands (the raw material of command
+// timeouts). The device consults the plan at each hazard point; the plan
+// decides — from its own seeded Rng and per-spec state — whether the fault
+// fires. Because the DES is single-threaded and the consultation order is a
+// pure function of the event order, two same-seed runs inject byte-identical
+// fault sequences (tests/determinism_test.cc gates this).
+//
+// Layering: this sits below nvme in the layer DAG (tools/ddanalyze), so the
+// API speaks primitives only — queue indices, channel/chip indices, Tick —
+// never nvme types. IoStatus comes from the vocabulary layer (core/types.h).
+//
+// An *empty* plan is inert by contract: Device/StorageStack refuse to attach
+// one (SetFaultPlan normalizes empty to null), so a scenario without faults
+// takes zero extra branches on consulted state and its fingerprint is
+// byte-identical to a build that never heard of faults.
+#ifndef DAREDEVIL_SRC_FAULT_FAULT_PLAN_H_
+#define DAREDEVIL_SRC_FAULT_FAULT_PLAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/types.h"
+#include "src/sim/clock.h"
+#include "src/sim/rng.h"
+
+namespace daredevil {
+
+// When adding a kind: append before kNumFaultKinds, add its name to
+// FaultKindName, and extend the consultation mapping in fault_plan.cc.
+enum class FaultKind : int {
+  kFlashReadError = 0,    // unrecovered read: command completes kMediaError
+  kFlashProgramError,     // program failure: command completes kMediaError
+  kFetchStall,            // controller fetch engine pauses for `delay`
+  kCqeMediaError,         // CQE posted with kMediaError status
+  kCqeNamespaceNotReady,  // CQE posted with kNamespaceNotReady status
+  kIrqDrop,               // IRQ vector fires into the void (lost interrupt)
+  kIrqDelay,              // IRQ vector delivery delayed by `delay`
+  kCommandDrop,           // fetched command vanishes (firmware hang: the only
+                          // recovery is the host watchdog timeout)
+};
+inline constexpr int kNumFaultKinds = 8;
+
+const char* FaultKindName(FaultKind k);
+
+// One injectable fault. Filters with value -1 match anything; a filter that
+// does not apply to the kind (e.g. `channel` on a kFetchStall) is ignored.
+struct FaultSpec {
+  FaultKind kind = FaultKind::kCqeMediaError;
+
+  // --- Match filters -----------------------------------------------------
+  int nsq = -1;      // submission-queue index (fetch/CQE/command-drop kinds)
+  int ncq = -1;      // completion-queue index (IRQ kinds)
+  int channel = -1;  // flash channel (flash kinds)
+  int chip = -1;     // chip index within the channel (flash kinds)
+  int nsid = -1;     // namespace (CQE kinds)
+  bool reads = true;   // flash kinds: match reads
+  bool writes = true;  // flash kinds: match writes
+
+  // --- Firing policy -----------------------------------------------------
+  double probability = 1.0;  // chance a matching consultation fires
+  Tick window_start = 0;     // active window [window_start, window_end)
+  Tick window_end = -1;      // -1 = no end
+  uint64_t max_injections = 0;  // 0 = unlimited
+  // Sticky faults model permanent failures (a dead chip, a wedged vector):
+  // after the first probabilistic hit the spec fires on every later match
+  // (still bounded by the window and max_injections).
+  bool sticky = false;
+
+  TickDuration delay{0};  // kFetchStall / kIrqDelay: injected latency
+};
+
+// The IRQ hazard has two independent outcomes; returned as a pair so the
+// device consults the plan exactly once per raise.
+struct IrqFault {
+  bool drop = false;
+  TickDuration delay{0};
+};
+
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  void Add(const FaultSpec& spec) { specs_.push_back(SpecState{spec, false, 0}); }
+  bool empty() const { return specs_.empty(); }
+  size_t size() const { return specs_.size(); }
+
+  // Re-seeds the plan's private Rng. ScenarioEnv calls this with a value
+  // derived from ScenarioConfig::seed so a scenario's fault sequence is a
+  // function of the one experiment seed.
+  void Reseed(uint64_t seed) { rng_ = Rng(seed); }
+
+  // --- Device-side consultations (one per hazard point) ------------------
+  // True: the page operation targeting (channel, chip) suffers an unrecovered
+  // error; the owning command must complete with kMediaError.
+  bool FlashPageFails(Tick now, int channel, int chip, bool is_write);
+  // Extra latency the controller's fetch of a command from `nsq` incurs.
+  TickDuration FetchStall(Tick now, int nsq);
+  // True: the fetched command is silently discarded (never completes).
+  bool DropCommand(Tick now, int nsq);
+  // Status to stamp on an otherwise-successful CQE (kOk = no injection).
+  IoStatus CqeStatus(Tick now, int nsq, int nsid);
+  // Drop/delay decision for an IRQ raise on `ncq`.
+  IrqFault OnIrq(Tick now, int ncq);
+
+  // --- Accounting ---------------------------------------------------------
+  uint64_t injections(FaultKind k) const {
+    return counts_[static_cast<int>(k)];
+  }
+  uint64_t total_injections() const;
+
+ private:
+  struct SpecState {
+    FaultSpec spec;
+    bool triggered = false;   // sticky: first hit recorded
+    uint64_t injected = 0;
+  };
+
+  // Window/budget/probability gate shared by every consultation.
+  bool Fires(SpecState& s, Tick now);
+
+  std::vector<SpecState> specs_;
+  Rng rng_{0x66617573};  // overwritten by Reseed before any consultation
+  uint64_t counts_[kNumFaultKinds] = {0};
+};
+
+// A plan that exercises every fault kind at `rate` (used by the CI fault-soak
+// bench and stress tests): transient flash errors on all chips, periodic
+// fetch stalls, error CQEs, dropped/delayed IRQs, and command drops at a
+// quarter of the rate (each drop costs a full watchdog timeout).
+FaultPlan MakeDenseFaultPlan(double rate);
+
+}  // namespace daredevil
+
+#endif  // DAREDEVIL_SRC_FAULT_FAULT_PLAN_H_

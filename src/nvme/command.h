@@ -21,6 +21,9 @@ struct NvmeCommand {
   bool is_write = false;
   // ZNS mode: resets the zone containing `lba` (an erase-cost management op).
   bool is_zone_reset = false;
+  // Accumulated while the command is serviced (flash errors set it); copied
+  // onto the CQE. kOk unless a FaultPlan is attached and fired.
+  IoStatus status = IoStatus::kOk;
   void* cookie = nullptr;  // host-side request pointer, returned on completion
 
   // Stage timeline accumulated as the command moves through the device; the
@@ -39,6 +42,7 @@ struct NvmeCommand {
 struct NvmeCompletion {
   uint64_t cid = 0;
   int sqid = -1;
+  IoStatus status = IoStatus::kOk;  // NVMe CQE status field
   void* cookie = nullptr;
   Tick enqueue_time = 0;
   Tick doorbell_time = 0;

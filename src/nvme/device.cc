@@ -85,6 +85,32 @@ void Device::RegisterMetrics(MetricsRegistry* registry) const {
       return static_cast<double>(d->zns_resets());
     });
   }
+  if (faults_ != nullptr) {
+    // Registered only when a FaultPlan is attached: the metrics snapshot is
+    // part of the fingerprint, so fault-free runs must not see these keys.
+    registry->RegisterGauge("device.faults.commands_errored", [d]() {
+      return static_cast<double>(d->commands_errored());
+    });
+    registry->RegisterGauge("device.faults.commands_dropped", [d]() {
+      return static_cast<double>(d->commands_dropped());
+    });
+    registry->RegisterGauge("device.faults.commands_aborted", [d]() {
+      return static_cast<double>(d->commands_aborted());
+    });
+    registry->RegisterGauge("device.faults.irqs_dropped", [d]() {
+      return static_cast<double>(d->irqs_dropped());
+    });
+    registry->RegisterGauge("device.faults.irqs_delayed", [d]() {
+      return static_cast<double>(d->irqs_delayed());
+    });
+    registry->RegisterGauge("device.faults.injected_stall_ns", [d]() {
+      return static_cast<double>(d->injected_stall_ns().ticks());
+    });
+    const FaultPlan* plan = faults_;
+    registry->RegisterGauge("device.faults.injections", [plan]() {
+      return static_cast<double>(plan->total_injections());
+    });
+  }
 }
 
 int Device::TotalNsqOccupancy() const {
@@ -234,8 +260,21 @@ void Device::FetchFrom(int sqid) {
   }
   ++burst_used_;
   fetch_busy_ = true;
-  const TickDuration cost =
+  TickDuration cost =
       config_.cmd_fetch + static_cast<Tick>(cmd.pages) * config_.per_page_decompose;
+  if (faults_ != nullptr) {
+    // Injected fetch stall: the fetch engine simply takes longer, which backs
+    // pressure up into every NSQ (the controller is a single fetch pipe).
+    const TickDuration stall = faults_->FetchStall(sim_->now(), sqid);
+    if (stall > kZeroDuration) {
+      injected_stall_ns_ += stall;
+      cost += stall;
+      if (trace_ != nullptr) {
+        trace_->Record(sim_->now(), TraceCategory::kFaultInject, cmd.cid, sqid,
+                       static_cast<int64_t>(FaultKind::kFetchStall));
+      }
+    }
+  }
   sim_->After(cost, [this, cmd]() mutable {
     fetch_busy_ = false;
     ++commands_fetched_;
@@ -243,6 +282,20 @@ void Device::FetchFrom(int sqid) {
     if (trace_ != nullptr) {
       trace_->Record(sim_->now(), TraceCategory::kFetch, cmd.cid, cmd.sqid,
                      cmd.pages);
+    }
+    if (faults_ != nullptr && faults_->DropCommand(sim_->now(), cmd.sqid)) {
+      // Firmware-hang model: the fetched command vanishes without a trace —
+      // no flash service, no CQE, no IRQ. The host's only recovery is its
+      // watchdog; AbortCommand finds the cid here and reclaims the NCQ
+      // in-flight slot then.
+      ++commands_dropped_;
+      dropped_cids_.insert(cmd.cid);
+      if (trace_ != nullptr) {
+        trace_->Record(sim_->now(), TraceCategory::kFaultInject, cmd.cid,
+                       cmd.sqid, static_cast<int64_t>(FaultKind::kCommandDrop));
+      }
+      ControllerStep();
+      return;
     }
     inflight_pages_ += static_cast<int>(cmd.pages);
 
@@ -261,6 +314,23 @@ void Device::FetchFrom(int sqid) {
         page_done.push_back(
             flash_.SchedulePage(sim_->now(), base + p, cmd.is_write, &start));
         flash_start = p == 0 ? start : std::min(flash_start, start);
+        if (faults_ != nullptr &&
+            faults_->FlashPageFails(sim_->now(), flash_.ChannelOf(base + p),
+                                    flash_.ChipOf(base + p), cmd.is_write)) {
+          // Unrecovered read/program error. The chip occupancy is unchanged
+          // (the controller's retry/ECC work occupies the die either way);
+          // the command completes with a media-error CQE.
+          if (cmd.status == IoStatus::kOk) {
+            cmd.status = IoStatus::kMediaError;
+          }
+          if (trace_ != nullptr) {
+            trace_->Record(sim_->now(), TraceCategory::kFaultInject, cmd.cid,
+                           flash_.ChannelOf(base + p),
+                           static_cast<int64_t>(
+                               cmd.is_write ? FaultKind::kFlashProgramError
+                                            : FaultKind::kFlashReadError));
+          }
+        }
       }
     }
     cmd.flash_start_time = flash_start;
@@ -300,6 +370,15 @@ void Device::OnPageDone(uint64_t cid) {
   if (ic.pages_remaining == 0) {
     InflightCommand done = ic;
     inflight_.erase(it);
+    if (done.aborted) {
+      // Host-aborted while in flash service: the pages ran to completion
+      // (they cannot be recalled from the chips) but no CQE is posted. The
+      // NCQ in-flight slot is reclaimed here — the one place this command
+      // leaves the device.
+      ncqs_[NcqOfNsq(done.cmd.sqid)]->AddInFlight(-1);
+      KickController();
+      return;
+    }
     if (trace_ != nullptr) {
       trace_->Record(sim_->now(), TraceCategory::kFlashEnd, done.cmd.cid,
                      done.cmd.sqid, done.cmd.pages);
@@ -311,12 +390,35 @@ void Device::OnPageDone(uint64_t cid) {
 }
 
 void Device::PostCompletion(const InflightCommand& ic) {
-  ++commands_completed_;
   const int ncq_id = NcqOfNsq(ic.cmd.sqid);
   CompletionQueue& cq = *ncqs_[ncq_id];
+  if (!aborted_cids_.empty() && aborted_cids_.erase(ic.cmd.cid) > 0) {
+    // Aborted in the completion-post gap: suppress the CQE and reclaim the
+    // in-flight slot (the abort path could not — the command was neither in
+    // the NSQ, nor in flash service, nor dropped).
+    cq.AddInFlight(-1);
+    return;
+  }
+  ++commands_completed_;
   NvmeCompletion cqe;
   cqe.cid = ic.cmd.cid;
   cqe.sqid = ic.cmd.sqid;
+  cqe.status = ic.cmd.status;
+  if (faults_ != nullptr && cqe.status == IoStatus::kOk) {
+    cqe.status = faults_->CqeStatus(sim_->now(), ic.cmd.sqid,
+                                    static_cast<int>(ic.cmd.nsid));
+    if (cqe.status != IoStatus::kOk && trace_ != nullptr) {
+      trace_->Record(sim_->now(), TraceCategory::kFaultInject, cqe.cid,
+                     ic.cmd.sqid,
+                     static_cast<int64_t>(
+                         cqe.status == IoStatus::kMediaError
+                             ? FaultKind::kCqeMediaError
+                             : FaultKind::kCqeNamespaceNotReady));
+    }
+  }
+  if (cqe.status != IoStatus::kOk) {
+    ++commands_errored_;
+  }
   cqe.cookie = ic.cmd.cookie;
   cqe.enqueue_time = ic.cmd.enqueue_time;
   cqe.doorbell_time = ic.cmd.doorbell_time;
@@ -345,6 +447,38 @@ void Device::PostCompletion(const InflightCommand& ic) {
 
 void Device::RaiseIrq(int ncq_id) {
   CompletionQueue& cq = *ncqs_[ncq_id];
+  if (faults_ != nullptr) {
+    const IrqFault f = faults_->OnIrq(sim_->now(), ncq_id);
+    if (f.drop) {
+      // Lost interrupt: the vector fires into the void. The NCQ is left
+      // unmasked with its entries pending, so the next completion (or the
+      // host watchdog's recovery poll) picks them up — exactly the hang a
+      // real lost MSI produces.
+      ++irqs_dropped_;
+      if (trace_ != nullptr) {
+        trace_->Record(sim_->now(), TraceCategory::kFaultInject, 0, ncq_id,
+                       static_cast<int64_t>(FaultKind::kIrqDrop));
+      }
+      return;
+    }
+    if (f.delay > kZeroDuration) {
+      // Delayed delivery: mask now (the vector is in flight) and hand it to
+      // the driver after the injected latency.
+      ++irqs_delayed_;
+      if (trace_ != nullptr) {
+        trace_->Record(sim_->now(), TraceCategory::kFaultInject, 0, ncq_id,
+                       static_cast<int64_t>(FaultKind::kIrqDelay));
+      }
+      cq.CountIrq();
+      cq.set_irq_masked(true);
+      sim_->After(f.delay, [this, ncq_id]() {
+        if (irq_handler_) {
+          irq_handler_(ncq_id);
+        }
+      });
+      return;
+    }
+  }
   cq.CountIrq();
   if (trace_ != nullptr) {
     trace_->Record(sim_->now(), TraceCategory::kIrq, 0, ncq_id,
@@ -354,6 +488,37 @@ void Device::RaiseIrq(int ncq_id) {
   if (irq_handler_) {
     irq_handler_(ncq_id);
   }
+}
+
+Device::AbortOutcome Device::AbortCommand(int sqid, uint64_t cid) {
+  ++commands_aborted_;
+  CompletionQueue& cq = *ncqs_[NcqOfNsq(sqid)];
+  if (trace_ != nullptr) {
+    trace_->Record(sim_->now(), TraceCategory::kAbort, cid, sqid, 0);
+  }
+  // (1) Still sitting in the NSQ ring (never fetched): remove the entry and
+  // reclaim both the ring slot and the NCQ in-flight count.
+  if (nsqs_[sqid]->RemoveById(cid)) {
+    cq.AddInFlight(-1);
+    return AbortOutcome::kRemovedFromQueue;
+  }
+  // (2) In flash service: mark it; the final OnPageDone reclaims and
+  // suppresses the CQE (in-flight page events cannot be cancelled).
+  auto it = inflight_.find(cid);
+  if (it != inflight_.end()) {
+    it->second.aborted = true;
+    return AbortOutcome::kAbortedInFlight;
+  }
+  // (3) Fault-dropped at fetch: the command is already gone; reclaim now.
+  if (!dropped_cids_.empty() && dropped_cids_.erase(cid) > 0) {
+    cq.AddInFlight(-1);
+    return AbortOutcome::kReclaimedDropped;
+  }
+  // (4) Completion-post gap (last flash page done, PostCompletion event
+  // pending with its own copy of the command): leave a tombstone that
+  // PostCompletion consumes.
+  aborted_cids_.insert(cid);
+  return AbortOutcome::kAbortedAtCompletion;
 }
 
 void Device::ArmCoalesceTimer(int ncq_id) {

@@ -23,9 +23,11 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <vector>
 
 #include "src/core/types.h"
+#include "src/fault/fault_plan.h"
 #include "src/nvme/command.h"
 #include "src/nvme/flash.h"
 #include "src/nvme/queues.h"
@@ -114,6 +116,14 @@ class Device {
   // Attaches a tracepoint sink (fetch/complete/irq events). May be null.
   void SetTraceLog(TraceLog* trace) { trace_ = trace; }
 
+  // Attaches the fault-injection plan. Null or *empty* plans detach: an empty
+  // plan must be indistinguishable from no plan (the fingerprint contract in
+  // ISSUE 5), so the hot paths only ever test `faults_ != nullptr`.
+  void SetFaultPlan(FaultPlan* plan) {
+    faults_ = (plan != nullptr && !plan->empty()) ? plan : nullptr;
+  }
+  FaultPlan* fault_plan() { return faults_; }
+
   // --- Host-side submission path --------------------------------------
   // Returns the contention wait incurred serializing on the NSQ lock
   // (including the remote cacheline penalty for cross-core access).
@@ -133,6 +143,20 @@ class Device {
   std::vector<NvmeCompletion> DrainCompletions(int ncq_id, size_t max);
   // Unmasks the NCQ vector; re-raises immediately if entries are pending.
   void IrqDone(int ncq_id);
+
+  // --- Host abort path (NVMe Abort: the watchdog's reclaim primitive) ----
+  // Where the aborted command was found — callers only need the fact that
+  // the command will never complete, but tests assert the mechanism.
+  enum class AbortOutcome {
+    kRemovedFromQueue,      // still sitting in the NSQ ring; slot reclaimed
+    kAbortedInFlight,       // being serviced; completion suppressed
+    kReclaimedDropped,      // had been fault-dropped at fetch; now accounted
+    kAbortedAtCompletion,   // between last flash page and CQE post
+  };
+  // Aborts command `cid` submitted on `sqid`. Wherever the command currently
+  // is — NSQ ring, flash service, or the completion-post gap — its CQE is
+  // suppressed and the bound NCQ's in-flight count is reclaimed exactly once.
+  AbortOutcome AbortCommand(int sqid, uint64_t cid);
 
   SubmissionQueue& nsq(int i) { return *nsqs_[i]; }
   const SubmissionQueue& nsq(int i) const { return *nsqs_[i]; }
@@ -155,6 +179,14 @@ class Device {
   Tick fetch_stall_ns() const { return fetch_stall_ns_; }
   int inflight_pages() const { return inflight_pages_; }
 
+  // Fault/error-path stats (all zero without an attached FaultPlan).
+  uint64_t commands_errored() const { return commands_errored_; }
+  uint64_t commands_dropped() const { return commands_dropped_; }
+  uint64_t commands_aborted() const { return commands_aborted_; }
+  uint64_t irqs_dropped() const { return irqs_dropped_; }
+  uint64_t irqs_delayed() const { return irqs_delayed_; }
+  TickDuration injected_stall_ns() const { return injected_stall_ns_; }
+
   // --- ZNS mode ---------------------------------------------------------
   bool zns_enabled() const { return config_.zns_zone_pages > 0; }
   uint64_t ZoneOf(uint32_t nsid, Lba lba) const {
@@ -170,6 +202,9 @@ class Device {
     NvmeCommand cmd;
     uint32_t pages_remaining = 0;
     Tick last_page_done = 0;
+    // Host aborted the command mid-service. Its pages keep occupying the
+    // flash pipeline (page events cannot be cancelled) but no CQE is posted.
+    bool aborted = false;
   };
 
   // Collapses a namespace-relative LBA to the device-global page index the
@@ -200,6 +235,7 @@ class Device {
   std::vector<uint64_t> ns_base_;
   IrqHandler irq_handler_;
   TraceLog* trace_ = nullptr;
+  FaultPlan* faults_ = nullptr;  // null = fault-free (the common case)
 
   // Controller state.
   bool fetch_busy_ = false;
@@ -216,6 +252,22 @@ class Device {
   uint64_t commands_fetched_ = 0;
   uint64_t commands_completed_ = 0;
   Tick fetch_stall_ns_ = 0;
+
+  // --- Fault/error-path state (untouched when faults_ == nullptr) -------
+  // Commands the fault layer discarded at fetch, by cid: the host abort must
+  // find them to reclaim the NCQ in-flight slot exactly once. Ordered set —
+  // this is simulation state on the abort path.
+  std::set<uint64_t> dropped_cids_;
+  // Commands aborted in the completion-post gap (after the last flash page
+  // retired the inflight_ entry, before PostCompletion ran): PostCompletion
+  // consumes the cid and suppresses the CQE.
+  std::set<uint64_t> aborted_cids_;
+  uint64_t commands_errored_ = 0;
+  uint64_t commands_dropped_ = 0;
+  uint64_t commands_aborted_ = 0;
+  uint64_t irqs_dropped_ = 0;
+  uint64_t irqs_delayed_ = 0;
+  TickDuration injected_stall_ns_;
 
   // ZNS state: zone -> write pointer (pages written within the zone).
   std::map<uint64_t, uint64_t> zone_wp_;

@@ -7,6 +7,7 @@
 #ifndef DAREDEVIL_SRC_NVME_QUEUES_H_
 #define DAREDEVIL_SRC_NVME_QUEUES_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <deque>
 
@@ -71,6 +72,24 @@ class SubmissionQueue {
     return cmd;
   }
   const NvmeCommand& PeekVisible() const { return entries_.front(); }
+
+  // Host abort path: removes the entry with command id `cid` wherever it sits
+  // in the ring (visible or not — NVMe's Abort admin command can reach both).
+  // Returns true when an entry was removed; the doorbell tail bookkeeping is
+  // adjusted so the visible prefix keeps covering the same commands.
+  bool RemoveById(uint64_t cid) {
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      if (entries_[i].cid != cid) {
+        continue;
+      }
+      entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(i));
+      if (i < visible_) {
+        --visible_;
+      }
+      return true;
+    }
+    return false;
+  }
 
   // Serializes concurrent host submitters; returns the extra time incurred
   // (lock wait plus, when a different core touched the queue last, the

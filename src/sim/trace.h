@@ -31,9 +31,13 @@ enum class TraceCategory : int {
   kDeliver,      // completion delivered to the tenant
   kSchedule,     // nqreg NQ-scheduling decision
   kMigrate,      // tenant moved cores
+  kFaultInject,  // fault layer fired (a = hazard site, b = FaultKind)
+  kTimeout,      // host watchdog expired for a request
+  kRetry,        // stack re-submitted a request after abort/error
+  kAbort,        // host aborted an outstanding command
   kOther,
 };
-inline constexpr int kNumTraceCategories = 13;
+inline constexpr int kNumTraceCategories = 17;
 
 // One name per category, indexed by the enum value. A missing trailing entry
 // would be a null pointer, which the static_assert below rejects at compile
@@ -43,7 +47,8 @@ inline constexpr std::array<const char*, kNumTraceCategories>
     kTraceCategoryNames = {
         "submit",     "route",     "doorbell", "fetch-start", "fetch",
         "flash-start", "flash-end", "complete", "irq",         "deliver",
-        "schedule",   "migrate",   "other",
+        "schedule",   "migrate",   "fault",    "timeout",     "retry",
+        "abort",      "other",
 };
 
 static_assert(static_cast<int>(TraceCategory::kOther) + 1 ==

@@ -86,6 +86,16 @@ struct Request {
 
   int routed_nsq = -1;     // recorded for invariant checks
 
+  // Completion status delivered to the tenant. kOk unless the fault layer
+  // failed the command and the stack exhausted its retries.
+  IoStatus status = IoStatus::kOk;
+  // Retries consumed by the stack's timeout/error recovery for this I/O.
+  uint16_t fault_retries = 0;
+  // Command id of the current attempt. 0 = first attempt (cid == id); retried
+  // attempts get a fresh cid because the device may still hold the aborted
+  // attempt's cid in its in-flight table.
+  uint64_t attempt_cid = 0;
+
   // Invoked in user context on the tenant's core when the I/O completes.
   std::function<void(Request*)> on_complete;
 
@@ -104,6 +114,23 @@ struct Request {
     issue_time = submit_time = nsq_enqueue_time = doorbell_time = 0;
     fetch_start_time = fetch_time = flash_start_time = flash_end_time = 0;
     cqe_post_time = drain_time = complete_time = 0;
+    status = IoStatus::kOk;
+    fault_retries = 0;
+    attempt_cid = 0;
+  }
+
+  // Re-arms the request for a retry attempt after a timeout abort or an error
+  // CQE: the previous attempt's stage stamps are cleared (the retry traverses
+  // the whole submission path again) but issue_time survives, so end-to-end
+  // latency — and the kSubmit stage, which absorbs the backoff — covers every
+  // attempt. fault_retries carries the attempt count across the reset.
+  void PrepareRetry() {
+    const Tick issue = issue_time;
+    const uint16_t retries = fault_retries;
+    ResetTimeline();
+    issue_time = issue;
+    fault_retries = retries;
+    routed_nsq = -1;
   }
 };
 

@@ -68,6 +68,32 @@ void StorageStack::RegisterMetrics(MetricsRegistry* registry) const {
                      static_cast<double>(s->doorbells_rung())
                : 0.0;
   });
+  // Registered only when a fault plan is armed: the metrics snapshot is part
+  // of the fingerprint, and fault-free runs must hash identically to the
+  // pre-fault simulator.
+  if (watchdog_enabled_) {
+    registry->RegisterGauge("stack.faults.timeouts", [s]() {
+      return static_cast<double>(s->timeouts());
+    });
+    registry->RegisterGauge("stack.faults.retries", [s]() {
+      return static_cast<double>(s->fault_retries());
+    });
+    registry->RegisterGauge("stack.faults.aborts", [s]() {
+      return static_cast<double>(s->aborts());
+    });
+    registry->RegisterGauge("stack.faults.failed_requests", [s]() {
+      return static_cast<double>(s->failed_requests());
+    });
+    registry->RegisterGauge("stack.faults.error_completions", [s]() {
+      return static_cast<double>(s->error_completions());
+    });
+    registry->RegisterGauge("stack.faults.watchdog_recovered", [s]() {
+      return static_cast<double>(s->watchdog_recovered());
+    });
+    registry->RegisterGauge("stack.faults.timeout_latency_ns", [s]() {
+      return static_cast<double>(s->timeout_latency_ns().ticks());
+    });
+  }
 }
 
 void StorageStack::AssignIrqCoresRoundRobin() {
@@ -204,6 +230,12 @@ void StorageStack::SubmitSplit(Request* rq) {
     child->on_complete = [this, job_ptr](Request* done_child) {
       Request* parent = job_ptr->parent;
       parent->routed_nsq = done_child->routed_nsq;
+      if (done_child->status != IoStatus::kOk) {
+        // Any failed chunk fails the parent (first failure wins).
+        if (parent->status == IoStatus::kOk) {
+          parent->status = done_child->status;
+        }
+      }
       if (--job_ptr->remaining == 0) {
         parent->complete_time = machine_->now();
         // Defer the job teardown one event: this closure is owned by one of
@@ -230,7 +262,9 @@ void StorageStack::SubmitSplit(Request* rq) {
 
 void StorageStack::EnqueueLocked(Request* rq, int nsq) {
   NvmeCommand cmd;
-  cmd.cid = rq->id;
+  // Retried attempts carry a fresh cid (bit 63 set): the aborted attempt's
+  // cid may still live in the device as a tombstone awaiting its CQE.
+  cmd.cid = rq->attempt_cid != 0 ? rq->attempt_cid : rq->id;
   cmd.nsid = rq->nsid;
   cmd.lba = rq->lba;
   cmd.pages = rq->pages;
@@ -250,6 +284,9 @@ void StorageStack::EnqueueLocked(Request* rq, int nsq) {
   }
   rq->nsq_enqueue_time = machine_->now();
   ++requests_submitted_;
+  if (watchdog_enabled_) {
+    ArmWatchdog(rq);
+  }
   AfterEnqueue(nsq, rq);
   RingOrBatchDoorbell(nsq);
 }
@@ -356,8 +393,9 @@ void StorageStack::DeliverCompletion(const NvmeCompletion& cqe, int ncq_id,
                                      int irq_core) {
   auto* rq = static_cast<Request*>(cqe.cookie);
   DD_CHECK(rq != nullptr) << "CQE cid=" << cqe.cid << " carries no request";
-  // Copy the device-side stage timeline onto the request (the host-side
-  // stamps were written on the submission path).
+  // Copy the device-side stage timeline and completion status onto the
+  // request (the host-side stamps were written on the submission path).
+  rq->status = cqe.status;
   rq->doorbell_time = cqe.doorbell_time;
   rq->fetch_start_time = cqe.fetch_start_time;
   rq->fetch_time = cqe.fetch_time;
@@ -371,9 +409,10 @@ void StorageStack::DeliverCompletion(const NvmeCompletion& cqe, int ncq_id,
   DD_CHECK(lifecycle_.OnComplete(*rq, machine_->now(), cqe.sqid, ncq_id,
                                  device_->NcqOfNsq(cqe.sqid)))
       << lifecycle_.last_violation();
-  const int tenant_core = rq->tenant != nullptr ? rq->tenant->core : irq_core;
-  if (tenant_core != irq_core) {
-    ++cross_core_completions_;
+  if (watchdog_enabled_) {
+    // The attempt completed: disarm the watchdog (a pending timer for this
+    // attempt goes stale and no-ops).
+    outstanding_.erase(rq->id);
   }
   ++requests_completed_;
   if (sched_kind_ != IoSchedulerKind::kNone && rq->routed_nsq >= 0) {
@@ -382,6 +421,30 @@ void StorageStack::DeliverCompletion(const NvmeCompletion& cqe, int ncq_id,
       --state.outstanding;
     }
     PumpScheduler(rq->routed_nsq);
+  }
+  if (rq->status != IoStatus::kOk) {
+    ++error_completions_;
+    if (watchdog_enabled_ && rq->fault_retries < recovery_.max_retries) {
+      // Failed attempt with retries left: balance the routing hook for this
+      // attempt, then re-drive the request through the full submission path
+      // after a backed-off delay. The tenant never sees this completion.
+      TenantErrorStats& es = ErrorStatsFor(*rq);
+      ++fault_retries_;
+      ++es.retries;
+      if (trace_ != nullptr) {
+        trace_->Record(machine_->now(), TraceCategory::kRetry, rq->id,
+                       rq->routed_nsq, rq->fault_retries + 1);
+      }
+      OnRequestCompleted(rq);
+      ScheduleRetry(rq);
+      return;
+    }
+    // Retries exhausted (or no recovery armed): deliver the error.
+    ++ErrorStatsFor(*rq).errors;
+  }
+  const int tenant_core = rq->tenant != nullptr ? rq->tenant->core : irq_core;
+  if (tenant_core != irq_core) {
+    ++cross_core_completions_;
   }
   if (trace_ != nullptr) {
     trace_->Record(machine_->now(), TraceCategory::kDeliver, rq->id, irq_core,
@@ -403,6 +466,143 @@ void StorageStack::DeliverCompletion(const NvmeCompletion& cqe, int ncq_id,
         }
       },
       tid, irq_core);
+}
+
+void StorageStack::SetFaultPlan(FaultPlan* plan) {
+  device_->SetFaultPlan(plan);
+  // The device normalizes empty plans to null; follow its decision so the
+  // fault-free hot path never arms a watchdog (fingerprint contract).
+  watchdog_enabled_ = device_->fault_plan() != nullptr;
+}
+
+StorageStack::TenantErrorStats& StorageStack::ErrorStatsFor(const Request& rq) {
+  const TenantId tid = rq.tenant != nullptr ? rq.tenant->id : kNoTenant;
+  return tenant_errors_[tid];
+}
+
+TickDuration StorageStack::BackoffFor(uint16_t attempt) const {
+  // backoff * 2^(attempt-1), capped. attempt is 1-based (the first retry).
+  const int shift = attempt > 1 ? attempt - 1 : 0;
+  const Tick base = recovery_.backoff.ticks();
+  const Tick cap = recovery_.backoff_cap.ticks();
+  if (shift >= 62 || base > (cap >> shift)) {
+    return recovery_.backoff_cap;
+  }
+  const Tick ns = base << shift;
+  return ns < cap ? TickDuration{ns} : recovery_.backoff_cap;
+}
+
+void StorageStack::ArmWatchdog(Request* rq) {
+  const uint16_t attempt = rq->fault_retries;
+  outstanding_[rq->id] = Outstanding{rq, attempt, machine_->now()};
+  const uint64_t id = rq->id;
+  machine_->sim().After(recovery_.timeout, [this, id, attempt]() {
+    OnWatchdogFire(id, attempt);
+  });
+}
+
+void StorageStack::OnWatchdogFire(uint64_t id, uint16_t attempt) {
+  auto it = outstanding_.find(id);
+  if (it == outstanding_.end() || it->second.attempt != attempt) {
+    return;  // Stale timer: the attempt completed or was already retried.
+  }
+  Request* rq = it->second.rq;
+  ++timeouts_;
+  ++ErrorStatsFor(*rq).timeouts;
+  timeout_latency_ns_ += DurationBetween(it->second.armed_at, machine_->now());
+  if (trace_ != nullptr) {
+    trace_->Record(machine_->now(), TraceCategory::kTimeout, rq->id,
+                   rq->routed_nsq, rq->fault_retries);
+  }
+  // Before declaring the command stuck, poll its bound NCQ: a dropped IRQ
+  // leaves posted CQEs stranded, and aborting an already-completed command
+  // would be a lifecycle violation (nvme_timeout polls before resetting too).
+  const int nsq = rq->routed_nsq;
+  const int ncq = nsq >= 0 ? device_->NcqOfNsq(nsq) : 0;
+  const int core = device_->ncq(ncq).irq_core().value();
+  machine_->Post(
+      core, WorkLevel::kKernel, costs_.poll_base, [this, id, attempt, ncq, core]() {
+        auto cqes = device_->DrainCompletions(
+            ncq, static_cast<size_t>(device_->config().queue_depth));
+        for (const auto& cqe : cqes) {
+          DeliverCompletion(cqe, ncq, core);
+        }
+        auto it2 = outstanding_.find(id);
+        if (it2 == outstanding_.end() || it2->second.attempt != attempt) {
+          // The recovery poll found the completion (lost IRQ).
+          ++watchdog_recovered_;
+          return;
+        }
+        EscalateTimeout(it2->second.rq);
+      });
+}
+
+void StorageStack::EscalateTimeout(Request* rq) {
+  // Genuinely stuck: abort the outstanding attempt. The device reclaims the
+  // NSQ/NCQ slot whichever stage the command sits in (queued, dropped,
+  // mid-flash, or racing its CQE post).
+  const uint64_t cid = rq->attempt_cid != 0 ? rq->attempt_cid : rq->id;
+  device_->AbortCommand(rq->routed_nsq, cid);
+  DD_CHECK(lifecycle_.OnAbort(*rq, machine_->now()))
+      << lifecycle_.last_violation();
+  outstanding_.erase(rq->id);
+  ++aborts_;
+  TenantErrorStats& es = ErrorStatsFor(*rq);
+  ++es.aborts;
+  if (trace_ != nullptr) {
+    trace_->Record(machine_->now(), TraceCategory::kAbort, rq->id,
+                   rq->routed_nsq, rq->fault_retries);
+  }
+  // The aborted attempt will never see DeliverCompletion: balance the
+  // routing hook and the scheduler dispatch window here.
+  OnRequestCompleted(rq);
+  if (sched_kind_ != IoSchedulerKind::kNone && rq->routed_nsq >= 0) {
+    SchedState& state = sched_[static_cast<size_t>(rq->routed_nsq)];
+    if (state.outstanding > 0) {
+      --state.outstanding;
+    }
+    PumpScheduler(rq->routed_nsq);
+  }
+  if (rq->fault_retries < recovery_.max_retries) {
+    ++fault_retries_;
+    ++es.retries;
+    if (trace_ != nullptr) {
+      trace_->Record(machine_->now(), TraceCategory::kRetry, rq->id,
+                     rq->routed_nsq, rq->fault_retries + 1);
+    }
+    ScheduleRetry(rq);
+  } else {
+    FailRequest(rq, IoStatus::kTimedOut);
+  }
+}
+
+void StorageStack::ScheduleRetry(Request* rq) {
+  ++rq->fault_retries;
+  rq->PrepareRetry();
+  rq->attempt_cid = (1ULL << 63) | ++next_attempt_cid_;
+  const TickDuration delay = BackoffFor(rq->fault_retries);
+  machine_->sim().After(delay, [this, rq]() { SubmitAsync(rq); });
+}
+
+void StorageStack::FailRequest(Request* rq, IoStatus status) {
+  // Retries exhausted with no completion to deliver: fail the request to the
+  // tenant from here. The stage stamps of the aborted attempt are partial,
+  // so the timeline log is skipped - the trace stream already carries the
+  // timeout/abort/retry records for attribution.
+  rq->status = status;
+  ++failed_requests_;
+  ++ErrorStatsFor(*rq).errors;
+  const int tenant_core = rq->tenant != nullptr ? rq->tenant->core : 0;
+  const TenantId tid = rq->tenant != nullptr ? rq->tenant->id : kNoTenant;
+  machine_->Post(
+      tenant_core, WorkLevel::kUser, costs_.complete_delivery,
+      [this, rq]() {
+        rq->complete_time = machine_->now();
+        if (rq->on_complete) {
+          rq->on_complete(rq);
+        }
+      },
+      tid);
 }
 
 }  // namespace daredevil

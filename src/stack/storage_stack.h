@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "src/core/invariant.h"
+#include "src/fault/fault_plan.h"
 #include "src/nvme/device.h"
 #include "src/sim/cpu.h"
 #include "src/stack/io_scheduler.h"
@@ -45,6 +46,22 @@ struct StackCosts {
   TickDuration complete_delivery{700};     // completion delivery to userspace
   TickDuration poll_base{400};             // cost of one (possibly empty) NCQ poll
   TickDuration requeue_backoff{50 * kMicrosecond};  // retry delay on a full NSQ
+};
+
+// Timeout/retry policy of the driver's error recovery (the nvme driver's
+// timeout handler + requeue logic). Only active while a non-empty FaultPlan
+// is attached — the fault-free hot path never arms a watchdog.
+struct FaultRecoveryPolicy {
+  // Per-attempt deadline: when a submitted command has not completed within
+  // this span, the watchdog polls the bound NCQ (lost-IRQ recovery) and, if
+  // the command is genuinely stuck, aborts it.
+  TickDuration timeout{20 * kMillisecond};
+  // Attempts beyond the first (0 = fail on the first timeout/error CQE).
+  int max_retries = 3;
+  // Exponential backoff before re-submitting: backoff * 2^(attempt-1),
+  // capped at backoff_cap.
+  TickDuration backoff{200 * kMicrosecond};
+  TickDuration backoff_cap{10 * kMillisecond};
 };
 
 class StorageStack {
@@ -88,6 +105,29 @@ class StorageStack {
   // Switches an NCQ to polled completion: the driver drains it every
   // `interval` on its (former IRQ) core instead of taking interrupts.
   void EnablePolledCompletion(int ncq, TickDuration interval);
+
+  // --- Fault injection / error recovery ---------------------------------
+  // Attaches the fault plan to the device and arms the host-side timeout
+  // watchdog. Null or empty plans detach both (the fingerprint contract:
+  // an empty plan is indistinguishable from no plan).
+  void SetFaultPlan(FaultPlan* plan);
+  void SetFaultRecovery(const FaultRecoveryPolicy& policy) {
+    recovery_ = policy;
+  }
+  const FaultRecoveryPolicy& fault_recovery() const { return recovery_; }
+  bool watchdog_enabled() const { return watchdog_enabled_; }
+
+  // Per-tenant error accounting (key: tenant id; kNoTenant's value for
+  // tenant-less requests). Empty in fault-free runs.
+  struct TenantErrorStats {
+    uint64_t retries = 0;   // re-submissions (after error CQE or abort)
+    uint64_t aborts = 0;    // watchdog aborts of stuck commands
+    uint64_t timeouts = 0;  // watchdog expirations (incl. recovered ones)
+    uint64_t errors = 0;    // completions delivered with status != kOk
+  };
+  const std::map<TenantId, TenantErrorStats>& tenant_errors() const {
+    return tenant_errors_;
+  }
 
   // Installs a per-NSQ block-layer I/O scheduler with a bounded device
   // dispatch window (outstanding commands per NSQ); excess requests queue in
@@ -174,6 +214,16 @@ class StorageStack {
   // Spreads NCQ IRQ vectors across cores (ncq i -> core i % cores).
   void AssignIrqCoresRoundRobin();
 
+ public:
+  // Fault-path stats (all zero in fault-free runs).
+  uint64_t timeouts() const { return timeouts_; }
+  uint64_t fault_retries() const { return fault_retries_; }
+  uint64_t aborts() const { return aborts_; }
+  uint64_t failed_requests() const { return failed_requests_; }
+  uint64_t error_completions() const { return error_completions_; }
+  uint64_t watchdog_recovered() const { return watchdog_recovered_; }
+  TickDuration timeout_latency_ns() const { return timeout_latency_ns_; }
+
  private:
   void SubmitSplit(Request* rq);
   void DispatchOrSchedule(Request* rq, int nsq);
@@ -184,6 +234,16 @@ class StorageStack {
   void IsrBody(int ncq_id);
   void PollBody(int ncq_id, TickDuration interval);
   void DeliverCompletion(const NvmeCompletion& cqe, int ncq_id, int irq_core);
+
+  // --- Timeout watchdog / retry machinery (fault runs only) --------------
+  void ArmWatchdog(Request* rq);
+  void OnWatchdogFire(uint64_t id, uint16_t attempt);
+  void EscalateTimeout(Request* rq);
+  // Re-submits a failed attempt after backoff under a fresh attempt cid.
+  void ScheduleRetry(Request* rq);
+  void FailRequest(Request* rq, IoStatus status);
+  TickDuration BackoffFor(uint16_t attempt) const;
+  TenantErrorStats& ErrorStatsFor(const Request& rq);
 
   Machine* machine_;
   Device* device_;
@@ -227,6 +287,31 @@ class StorageStack {
   TickDuration submission_lock_wait_ns_;
   uint64_t doorbells_rung_ = 0;
   uint64_t doorbell_rqs_rung_ = 0;
+
+  // --- Fault-recovery state (untouched unless a FaultPlan is attached) ---
+  // Outstanding watchdog entries keyed by request id. `attempt` is an epoch:
+  // a timer scheduled for attempt N is stale (and must no-op) once the
+  // request completed or was retried as attempt N+1.
+  struct Outstanding {
+    Request* rq = nullptr;
+    uint16_t attempt = 0;
+    Tick armed_at = 0;
+  };
+  std::map<uint64_t, Outstanding> outstanding_;
+  FaultRecoveryPolicy recovery_;
+  bool watchdog_enabled_ = false;
+  // Retried attempts need a device cid distinct from every live id (the
+  // aborted attempt's cid may still sit in the device as a tombstone), so
+  // they draw from a counter with bit 63 set - workload ids never do.
+  uint64_t next_attempt_cid_ = 0;
+  std::map<TenantId, TenantErrorStats> tenant_errors_;
+  uint64_t timeouts_ = 0;
+  uint64_t fault_retries_ = 0;
+  uint64_t aborts_ = 0;
+  uint64_t failed_requests_ = 0;
+  uint64_t error_completions_ = 0;
+  uint64_t watchdog_recovered_ = 0;
+  TickDuration timeout_latency_ns_;
 };
 
 }  // namespace daredevil

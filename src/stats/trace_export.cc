@@ -406,6 +406,40 @@ void BuildTraceEventInstants(const TraceExportInput& input,
         e.tid = static_cast<int>(te.a);
         e.name = "deliver rq" + std::to_string(te.id);
         break;
+      // Fault-path events land on the control track: they are rare, global
+      // in scope, and reading them against the NSQ/core tracks is exactly
+      // how an injected fault's blast radius is attributed. The numeric kind
+      // mirrors FaultKind (src/fault/fault_plan.h); stats sits below the
+      // fault layer in the DAG, so the name table is not reachable here.
+      case TraceCategory::kFaultInject:
+        e.pid = kTracePidControl;
+        e.tid = 0;
+        e.name = "fault-inject";
+        e.args.emplace_back("id", std::to_string(te.id));
+        e.args.emplace_back("where", std::to_string(te.a));
+        e.args.emplace_back("kind", std::to_string(te.b));
+        break;
+      case TraceCategory::kTimeout:
+        e.pid = kTracePidControl;
+        e.tid = 0;
+        e.name = "timeout rq" + std::to_string(te.id);
+        e.args.emplace_back("nsq", std::to_string(te.a));
+        e.args.emplace_back("attempt", std::to_string(te.b));
+        break;
+      case TraceCategory::kRetry:
+        e.pid = kTracePidControl;
+        e.tid = 0;
+        e.name = "retry rq" + std::to_string(te.id);
+        e.args.emplace_back("nsq", std::to_string(te.a));
+        e.args.emplace_back("attempt", std::to_string(te.b));
+        break;
+      case TraceCategory::kAbort:
+        e.pid = kTracePidControl;
+        e.tid = 0;
+        e.name = "abort rq" + std::to_string(te.id);
+        e.args.emplace_back("nsq", std::to_string(te.a));
+        e.args.emplace_back("attempt", std::to_string(te.b));
+        break;
       default:
         continue;  // lifecycle categories are covered by record slices
     }

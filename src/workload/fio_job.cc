@@ -112,6 +112,11 @@ void FioJob::IssueOne() {
 void FioJob::OnComplete(Request* rq) {
   --inflight_;
   ++completed_;
+  if (rq->status != IoStatus::kOk) {
+    // Fault runs only: the stack exhausted its retries and delivered the
+    // failure. The request still counts as completed (it left the stack).
+    ++errored_;
+  }
   if (completed_cell_ != nullptr) {
     ++*completed_cell_;
   }

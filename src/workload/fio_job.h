@@ -86,6 +86,8 @@ class FioJob {
   uint64_t measured_bytes() const { return bytes_; }
   uint64_t total_issued() const { return issued_; }
   uint64_t total_completed() const { return completed_; }
+  // Completions delivered with status != kOk (fault-injection runs only).
+  uint64_t total_errored() const { return errored_; }
   int inflight() const { return inflight_; }
 
   // Optional whole-run series (shared per group; owned by the scenario).
@@ -133,6 +135,7 @@ class FioJob {
   uint64_t bytes_ = 0;
   uint64_t issued_ = 0;
   uint64_t completed_ = 0;
+  uint64_t errored_ = 0;
   int inflight_ = 0;
   uint64_t* issued_cell_ = nullptr;
   uint64_t* completed_cell_ = nullptr;

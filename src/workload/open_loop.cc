@@ -106,6 +106,10 @@ void OpenLoopJob::IssueOne() {
 
 void OpenLoopJob::OnComplete(Request* rq) {
   --outstanding_;
+  ++completed_;
+  if (rq->status != IoStatus::kOk) {
+    ++errored_;
+  }
   const Tick now = machine_->now();
   if (now >= measure_start_ && now < measure_end_) {
     latency_.Record(rq->complete_time - rq->issue_time);

@@ -55,6 +55,9 @@ class OpenLoopJob {
   uint64_t measured_ios() const { return ios_; }
   uint64_t total_arrivals() const { return arrivals_; }
   uint64_t dropped_arrivals() const { return dropped_; }
+  uint64_t total_completed() const { return completed_; }
+  // Completions delivered with status != kOk (fault-injection runs only).
+  uint64_t total_errored() const { return errored_; }
   int outstanding() const { return outstanding_; }
 
  private:
@@ -86,6 +89,8 @@ class OpenLoopJob {
   uint64_t ios_ = 0;
   uint64_t arrivals_ = 0;
   uint64_t dropped_ = 0;
+  uint64_t completed_ = 0;
+  uint64_t errored_ = 0;
   int outstanding_ = 0;
 };
 

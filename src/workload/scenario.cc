@@ -141,6 +141,30 @@ std::string ScenarioResult::ToJson(bool include_observability) const {
     w.Key(name).Double(value);
   }
   w.EndObject();
+  if (include_observability && faults_attached) {
+    // Deliberately outside the fingerprinted projection (satellite of the
+    // determinism gate): the stack.faults.* gauges in "metrics" already pin
+    // these values down for same-seed reproducibility, and keeping the
+    // section out of ToJson(false) keeps the fingerprint schema stable.
+    w.Key("errors").BeginObject();
+    w.Key("injections").UInt(fault_injections);
+    w.Key("retries").UInt(fault_retries);
+    w.Key("aborts").UInt(fault_aborts);
+    w.Key("timeouts").UInt(fault_timeouts);
+    w.Key("failed_requests").UInt(failed_requests);
+    w.Key("errored_completions").UInt(total_errored);
+    w.Key("tenants").BeginObject();
+    for (const auto& [name, te] : tenant_errors) {
+      w.Key(name).BeginObject();
+      w.Key("retries").UInt(te.retries);
+      w.Key("aborts").UInt(te.aborts);
+      w.Key("timeouts").UInt(te.timeouts);
+      w.Key("errors").UInt(te.errors);
+      w.EndObject();
+    }
+    w.EndObject();
+    w.EndObject();
+  }
   if (include_observability &&
       (trace_total > 0 || timeline_total > 0 || !sampler.empty() ||
        !holb.empty())) {
@@ -213,6 +237,14 @@ ScenarioEnv::ScenarioEnv(const ScenarioConfig& config)
   }
   if (config.io_scheduler != IoSchedulerKind::kNone) {
     stack_->EnableIoScheduler(config.io_scheduler, config.io_scheduler_window);
+  }
+  if (!config.faults.empty()) {
+    faults_ = config.faults;
+    // The injection draw sequence is a pure function of the scenario seed, so
+    // same-seed fault runs are bit-reproducible end to end.
+    faults_.Reseed(config.seed ^ 0x6661756c74ull);  // "fault"
+    stack_->SetFaultRecovery(config.fault_recovery);
+    stack_->SetFaultPlan(&faults_);
   }
   if (config.export_trace || config.analyze_holb) {
     timeline_ = std::make_unique<RequestTimelineLog>(config.timeline_capacity);
@@ -326,6 +358,30 @@ ScenarioResult RunScenario(const ScenarioConfig& config) {
     g.bytes += job->measured_bytes();
     result.total_issued += job->total_issued();
     result.total_completed += job->total_completed();
+    result.total_errored += job->total_errored();
+  }
+  if (env.fault_plan() != nullptr) {
+    result.faults_attached = true;
+    result.fault_injections = env.fault_plan()->total_injections();
+    result.fault_retries = stack->fault_retries();
+    result.fault_aborts = stack->aborts();
+    result.fault_timeouts = stack->timeouts();
+    result.failed_requests = stack->failed_requests();
+    std::map<TenantId, std::string> names;
+    for (const auto& job : jobs) {
+      names[job->tenant().id] = job->tenant().name;
+    }
+    for (const auto& [tid, stats] : stack->tenant_errors()) {
+      auto it = names.find(tid);
+      const std::string name =
+          it != names.end() ? it->second
+                            : "tenant-" + std::to_string(tid.value());
+      ScenarioResult::TenantErrors& te = result.tenant_errors[name];
+      te.retries = stats.retries;
+      te.aborts = stats.aborts;
+      te.timeouts = stats.timeouts;
+      te.errors = stats.errors;
+    }
   }
   result.cpu_util = machine.Utilization(busy_at_warmup, measure_start, measure_end);
   result.metrics = registry.Snapshot();

@@ -48,6 +48,14 @@ struct ScenarioConfig {
   IoSchedulerKind io_scheduler = IoSchedulerKind::kNone;
   int io_scheduler_window = 32;
 
+  // --- Fault injection (src/fault/fault_plan.h) --------------------------
+  // Deterministic fault schedule, reseeded from `seed` at env construction.
+  // Empty (the default) attaches nothing: the run is byte-identical to a
+  // pre-fault-layer simulation.
+  FaultPlan faults;
+  // Driver timeout/retry policy; consulted only when `faults` is non-empty.
+  FaultRecoveryPolicy fault_recovery;
+
   // --- Observability (read-only: none of these change simulated time) ----
   // >0: attach a StateSampler recording queue depths / chip occupancy /
   // run-queue lengths / pending doorbell batches at this period.
@@ -120,6 +128,26 @@ struct ScenarioResult {
   // The exported Chrome-trace JSON (empty unless export_trace).
   std::string trace_json;
 
+  // --- Error accounting (populated only when config.faults was non-empty) -
+  // Serialized as the "errors" JSON section, which is intentionally OUTSIDE
+  // the fingerprinted projection: the fingerprint already digests the
+  // stack.faults.* / device.faults.* metric gauges, and those gauges exist
+  // only in fault runs, so fault-free fingerprints stay byte-identical.
+  bool faults_attached = false;
+  struct TenantErrors {
+    uint64_t retries = 0;
+    uint64_t aborts = 0;
+    uint64_t timeouts = 0;
+    uint64_t errors = 0;  // completions the tenant saw with status != kOk
+  };
+  std::map<std::string, TenantErrors> tenant_errors;  // keyed by tenant name
+  uint64_t fault_injections = 0;  // FaultPlan firings (all kinds)
+  uint64_t fault_retries = 0;
+  uint64_t fault_aborts = 0;
+  uint64_t fault_timeouts = 0;
+  uint64_t failed_requests = 0;   // retries exhausted, failed to the tenant
+  uint64_t total_errored = 0;     // workload completions with status != kOk
+
   const GroupStats* Find(const std::string& group) const;
   double AvgLatencyNs(const std::string& group) const;
   int64_t P99Ns(const std::string& group) const;
@@ -175,6 +203,8 @@ class ScenarioEnv {
   StateSampler* sampler() { return sampler_.get(); }
   // Schedules the sampler over [measure_start, measure_end].
   void AttachSampler();
+  // Null unless config.faults was non-empty.
+  FaultPlan* fault_plan() { return device_.fault_plan(); }
 
  private:
   ScenarioConfig config_;
@@ -185,6 +215,9 @@ class ScenarioEnv {
   std::unique_ptr<TraceLog> trace_;
   std::unique_ptr<RequestTimelineLog> timeline_;
   std::unique_ptr<StateSampler> sampler_;
+  // The env's own copy of config.faults (reseeded from config.seed); the
+  // device and stack hold raw pointers into it for the run's lifetime.
+  FaultPlan faults_;
 };
 
 ScenarioResult RunScenario(const ScenarioConfig& config);

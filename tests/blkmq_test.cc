@@ -20,10 +20,15 @@ class BlkMqTest : public ::testing::Test {
     device_config.nr_nsq = nsqs;
     device_config.nr_ncq = nsqs;
     device_config.namespace_pages = {1 << 16, 1 << 16};
+    // Each stack needs its own device: a StorageStack installs itself as the
+    // device's IRQ handler, so two stacks sharing one device would deliver
+    // every completion through whichever stack was constructed last.
     device_ = std::make_unique<Device>(&sim_, device_config);
     stack_ = std::make_unique<BlkMqStack>(machine_.get(), device_.get(),
                                           StackCosts{}, used);
-    split_ = std::make_unique<StaticSplitStack>(machine_.get(), device_.get(),
+    split_device_ = std::make_unique<Device>(&sim_, device_config);
+    split_ = std::make_unique<StaticSplitStack>(machine_.get(),
+                                                split_device_.get(),
                                                 StackCosts{}, used);
   }
 
@@ -38,6 +43,7 @@ class BlkMqTest : public ::testing::Test {
   Simulator sim_;
   std::unique_ptr<Machine> machine_;
   std::unique_ptr<Device> device_;
+  std::unique_ptr<Device> split_device_;
   std::unique_ptr<BlkMqStack> stack_;
   std::unique_ptr<StaticSplitStack> split_;
 };

@@ -141,6 +141,87 @@ TEST(DeterminismGate, FingerprintManifest) {
   }
 }
 
+// Golden faults-off fingerprints for the gate scenario (seed 42), recorded
+// when the fault-injection layer landed. CI additionally regenerates these
+// via FingerprintManifest in both build configs (Debug/invariants-ON and
+// Release/OFF) and diffs them, so the constants are config-independent. A
+// mismatch here means a change moved the fault-free simulation - if that was
+// intentional, update this table in the same commit and say so.
+struct GoldenFingerprint {
+  StackKind kind;
+  uint64_t fingerprint;
+  uint64_t trace_hash;
+};
+constexpr GoldenFingerprint kGoldenFingerprints[] = {
+    {StackKind::kVanilla, 16706100600092867395ull, 4580788066272524879ull},
+    {StackKind::kStaticSplit, 16208319676165017738ull, 10078876820672934669ull},
+    {StackKind::kBlkSwitch, 16616661676804479412ull, 13924621214163013484ull},
+    {StackKind::kDareBase, 13404699886219054779ull, 9808033404675582731ull},
+    {StackKind::kDareFull, 2357443079684649269ull, 14135888807379484863ull},
+};
+
+TEST(DeterminismGate, FaultsOffMatchesRecordedFingerprints) {
+  for (const GoldenFingerprint& golden : kGoldenFingerprints) {
+    const ScenarioResult r = RunScenario(GateConfig(golden.kind, /*seed=*/42));
+    EXPECT_EQ(r.SimulationFingerprint(), golden.fingerprint)
+        << StackKindName(golden.kind)
+        << ": fault-free fingerprint drifted from the recorded baseline";
+    EXPECT_EQ(r.trace_hash, golden.trace_hash)
+        << StackKindName(golden.kind) << ": trace stream drifted";
+  }
+}
+
+// The gate scenario with a non-trivial fault schedule: every fault kind at a
+// low rate, with a watchdog timeout short enough that command drops resolve
+// inside the run.
+ScenarioConfig FaultGateConfig(StackKind kind, uint64_t seed) {
+  ScenarioConfig cfg = GateConfig(kind, seed);
+  cfg.faults = MakeDenseFaultPlan(0.02);
+  cfg.fault_recovery.timeout = TickDuration{5 * kMillisecond};
+  cfg.fault_recovery.backoff = TickDuration{100 * kMicrosecond};
+  return cfg;
+}
+
+class FaultDeterminismGate : public ::testing::TestWithParam<StackKind> {};
+
+TEST_P(FaultDeterminismGate, SameSeedSameFingerprintUnderFaults) {
+  // Fault injection must be as deterministic as the healthy path: the plan
+  // consults its own seeded Rng in event order, so two same-seed runs inject
+  // the same faults at the same instants and the full result - fingerprint,
+  // trace stream, and error accounting - is byte-identical.
+  const ScenarioConfig cfg = FaultGateConfig(GetParam(), /*seed=*/42);
+  const ScenarioResult a = RunScenario(cfg);
+  const ScenarioResult b = RunScenario(cfg);
+
+  ASSERT_TRUE(a.faults_attached);
+  EXPECT_GT(a.fault_injections, 0u)
+      << StackKindName(GetParam()) << ": dense plan never fired";
+  EXPECT_EQ(a.SimulationFingerprint(), b.SimulationFingerprint())
+      << "faulted runs diverged for " << StackKindName(GetParam());
+  EXPECT_EQ(a.trace_hash, b.trace_hash);
+  // Full JSON includes the errors section: identical fault/retry/abort
+  // accounting, not just identical aggregate outcomes.
+  EXPECT_EQ(a.ToJson(), b.ToJson());
+}
+
+TEST_P(FaultDeterminismGate, FaultsPerturbTheFingerprint) {
+  // The dense plan must actually change the simulation (otherwise the matrix
+  // above is vacuous) - and a different seed must inject differently.
+  const ScenarioResult clean = RunScenario(GateConfig(GetParam(), /*seed=*/42));
+  const ScenarioResult faulted =
+      RunScenario(FaultGateConfig(GetParam(), /*seed=*/42));
+  EXPECT_NE(clean.SimulationFingerprint(), faulted.SimulationFingerprint())
+      << StackKindName(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Stacks, FaultDeterminismGate,
+                         ::testing::Values(StackKind::kVanilla,
+                                           StackKind::kStaticSplit,
+                                           StackKind::kBlkSwitch,
+                                           StackKind::kDareBase,
+                                           StackKind::kDareFull),
+                         GateName);
+
 TEST(DeterminismGate, FingerprintWithoutTraceStillStable) {
   ScenarioConfig cfg = GateConfig(StackKind::kDareFull, 7);
   cfg.trace_capacity = 0;

@@ -260,5 +260,97 @@ TEST(FailureInjection, ZeroCapacityDeviceBufferStillProgresses) {
   EXPECT_GT(r.Find("L")->ios, 0u);
 }
 
+// ---------------------------------------------------------------------------
+// Randomized fault plans: whatever faults a seeded generator throws at the
+// stack, conservation must hold - per tenant, every issued request is
+// delivered exactly once (ok or errored), and at the attempt level every
+// enqueued command either completed or was watchdog-aborted.
+// ---------------------------------------------------------------------------
+
+TEST(FailureInjection, RandomFaultPlansPreserveConservation) {
+  Rng master(0xfa01);
+  const StackKind stacks[] = {StackKind::kVanilla, StackKind::kBlkSwitch,
+                              StackKind::kDareFull};
+  for (int trial = 0; trial < 9; ++trial) {
+    ScenarioConfig cfg = MakeSvmConfig(2);
+    cfg.stack = stacks[trial % 3];
+    cfg.seed = 100 + trial;
+    cfg.warmup = kMillisecond;
+    cfg.duration = 9 * kMillisecond;
+    cfg.fault_recovery.timeout = TickDuration{5 * kMillisecond};
+    cfg.fault_recovery.backoff = TickDuration{100 * kMicrosecond};
+
+    // Seed-derived plan: 1-4 random specs over random kinds, rates, windows
+    // and stickiness. kFlashProgramError is consulted per page (T-tenants
+    // write 32 pages), so cap its rate to keep some writes succeeding.
+    const int nspecs = 1 + static_cast<int>(master.NextU64() % 4);
+    for (int s = 0; s < nspecs; ++s) {
+      FaultSpec spec;
+      spec.kind = static_cast<FaultKind>(master.NextU64() % kNumFaultKinds);
+      spec.probability = 0.05 + 0.35 * master.NextDouble();
+      if (spec.kind == FaultKind::kFlashProgramError) {
+        spec.probability = 0.01 + 0.02 * master.NextDouble();
+      }
+      spec.sticky = master.NextU64() % 8 == 0;
+      if (master.NextU64() % 2 == 0) {
+        spec.window_start = 2 * kMillisecond;
+        spec.window_end = 7 * kMillisecond;
+      }
+      if (spec.kind == FaultKind::kFetchStall ||
+          spec.kind == FaultKind::kIrqDelay) {
+        spec.delay = TickDuration{static_cast<Tick>(
+            10 * kMicrosecond + master.NextU64() % (100 * kMicrosecond))};
+      }
+      cfg.faults.Add(spec);
+    }
+
+    // Drained run: jobs stop issuing at 10ms; 80ms covers the worst
+    // timeout+retry chain of anything issued before the stop.
+    ScenarioEnv env(cfg);
+    Rng job_rng(cfg.seed);
+    std::vector<std::unique_ptr<FioJob>> jobs;
+    FioJobSpec l = LTenantSpec(0);
+    FioJobSpec t = TTenantSpec(0);
+    uint64_t tid = 1;
+    int core = 0;
+    for (FioJobSpec spec : {l, t}) {
+      spec.stop_time = 10 * kMillisecond;
+      jobs.push_back(std::make_unique<FioJob>(
+          &env.machine(), &env.stack(), spec, tid++, core, job_rng.Fork(),
+          env.measure_start(), env.measure_end()));
+      core = (core + 1) % 2;
+      jobs.back()->Start();
+    }
+    env.sim().RunUntil(80 * kMillisecond);
+
+    // Per-tenant conservation: issued == completed (errored is a subset of
+    // completed: an errored request was still delivered), no pool leaks.
+    for (const auto& job : jobs) {
+      EXPECT_EQ(job->total_issued(), job->total_completed())
+          << "trial " << trial << " tenant " << job->spec().name;
+      EXPECT_LE(job->total_errored(), job->total_completed());
+      EXPECT_EQ(job->inflight(), 0)
+          << "trial " << trial << " tenant " << job->spec().name;
+    }
+    // Attempt-level conservation and a clean lifecycle ledger.
+    StorageStack& stack = env.stack();
+    EXPECT_EQ(stack.requests_submitted(),
+              stack.requests_completed() + stack.aborts())
+        << "trial " << trial;
+    EXPECT_EQ(stack.lifecycle().violations(), 0u) << "trial " << trial;
+    EXPECT_EQ(stack.lifecycle().in_flight(), 0u) << "trial " << trial;
+    // Tenant-visible error accounting matches the workload's view.
+    uint64_t tenant_errors = 0;
+    for (const auto& [id, es] : stack.tenant_errors()) {
+      tenant_errors += es.errors;
+    }
+    uint64_t workload_errors = 0;
+    for (const auto& job : jobs) {
+      workload_errors += job->total_errored();
+    }
+    EXPECT_EQ(tenant_errors, workload_errors) << "trial " << trial;
+  }
+}
+
 }  // namespace
 }  // namespace daredevil

@@ -11,15 +11,19 @@ const std::vector<LayerSpec>& LayerTable() {
       {"vocab", {"time"}},
       {"sim", {"time", "vocab"}},
       {"stats", {"time", "vocab", "sim"}},
-      {"nvme", {"time", "vocab", "sim", "stats"}},
-      {"stack", {"time", "vocab", "sim", "stats", "nvme"}},
-      {"blkmq", {"time", "vocab", "sim", "stats", "nvme", "stack"}},
-      {"blkswitch", {"time", "vocab", "sim", "stats", "nvme", "stack"}},
-      {"virtio", {"time", "vocab", "sim", "stats", "nvme", "stack"}},
-      {"core", {"time", "vocab", "sim", "stats", "nvme", "stack"}},
+      // The fault plan sits below nvme: the device consults it, so it may
+      // never speak nvme types (its API is primitives + vocab only).
+      {"fault", {"time", "vocab", "sim", "stats"}},
+      {"nvme", {"time", "vocab", "sim", "stats", "fault"}},
+      {"stack", {"time", "vocab", "sim", "stats", "fault", "nvme"}},
+      {"blkmq", {"time", "vocab", "sim", "stats", "fault", "nvme", "stack"}},
+      {"blkswitch",
+       {"time", "vocab", "sim", "stats", "fault", "nvme", "stack"}},
+      {"virtio", {"time", "vocab", "sim", "stats", "fault", "nvme", "stack"}},
+      {"core", {"time", "vocab", "sim", "stats", "fault", "nvme", "stack"}},
       {"workload",
-       {"time", "vocab", "sim", "stats", "nvme", "stack", "blkmq", "blkswitch",
-        "virtio", "core"}},
+       {"time", "vocab", "sim", "stats", "fault", "nvme", "stack", "blkmq",
+        "blkswitch", "virtio", "core"}},
       // Apps are stack-implementation agnostic: they may see the abstract
       // stack interface but never a concrete stack or the NVMe layer.
       {"apps", {"time", "vocab", "sim", "stats", "stack"}},
