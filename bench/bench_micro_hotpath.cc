@@ -117,6 +117,8 @@ void BM_HistogramPercentile(benchmark::State& state) {
 }
 BENCHMARK(BM_HistogramPercentile);
 
+// Headline events/sec (ddperf.py extracts items_per_second from this
+// benchmark): one push + one dispatch through the engine per iteration.
 void BM_EventQueuePushPop(benchmark::State& state) {
   Simulator sim;
   Rng rng(2);
@@ -127,8 +129,56 @@ void BM_EventQueuePushPop(benchmark::State& state) {
     sim.Step();
   }
   benchmark::DoNotOptimize(fired);
+  state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_EventQueuePushPop);
+
+// Bursty shape: 64 events pushed at mixed horizons (same-tick, in-window,
+// far-future spill) then drained in one RunUntilIdle. Exercises the ladder
+// queue's bucket chains, window slide, and overflow refill together.
+void BM_EventQueueBurstDrain(benchmark::State& state) {
+  Simulator sim;
+  Rng rng(4);
+  uint64_t fired = 0;
+  constexpr int kBurst = 64;
+  for (auto _ : state) {
+    for (int i = 0; i < kBurst; ++i) {
+      Tick delay = 0;
+      switch (rng.NextBelow(4)) {
+        case 0: delay = 0; break;                          // same tick
+        case 1: delay = rng.NextBelow(1000); break;        // near future
+        case 2: delay = rng.NextBelow(60'000); break;      // in window
+        default: delay = 70'000 + rng.NextBelow(200'000);  // overflow spill
+      }
+      sim.After(TickDuration{delay}, [&fired]() { ++fired; });
+    }
+    sim.RunUntilIdle();
+  }
+  benchmark::DoNotOptimize(fired);
+  state.SetItemsProcessed(state.iterations() * kBurst);
+}
+BENCHMARK(BM_EventQueueBurstDrain);
+
+// Cancellation hot path: arm-then-cancel, the watchdog's common case (the
+// request completes before the deadline, so the timer never fires).
+void BM_TimerArmCancel(benchmark::State& state) {
+  Simulator sim;
+  int fired = 0;
+  uint64_t n = 0;
+  for (auto _ : state) {
+    TimerHandle h =
+        sim.ScheduleAfter(TickDuration{1'000'000}, [&fired]() { ++fired; });
+    sim.Cancel(h);
+    // Tombstones are reclaimed lazily on pop; give the engine a chance to
+    // purge so the bench measures arm/cancel, not unbounded accumulation.
+    if ((++n & 1023u) == 0) {
+      sim.RunUntilIdle();
+    }
+  }
+  benchmark::DoNotOptimize(fired);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TimerArmCancel);
 
 void BM_ZipfianDraw(benchmark::State& state) {
   Rng rng(3);

@@ -1,5 +1,6 @@
 #include "src/nvme/device.h"
 
+#include <bit>
 #include <utility>
 
 #include "src/core/invariant.h"
@@ -25,6 +26,7 @@ Device::Device(Simulator* sim, const DeviceConfig& config)
     ncqs_.push_back(std::make_unique<CompletionQueue>(
         QueueId{i}, config_.queue_depth, CoreId{i}));
   }
+  armed_words_.assign((nsqs_.size() + 63) / 64, 0);
   uint64_t base = 0;
   ns_base_.reserve(config_.namespace_pages.size());
   for (uint64_t pages : config_.namespace_pages) {
@@ -180,6 +182,7 @@ bool Device::Enqueue(int sqid, NvmeCommand cmd) {
 
 void Device::RingDoorbell(int sqid) {
   nsqs_[sqid]->RingDoorbell(sim_->now());
+  SyncArmed(sqid);
   KickController();
 }
 
@@ -209,21 +212,33 @@ int Device::SelectNsq() {
     }
   }
   // Round-robin scan for the next armed NSQ whose head fits the remaining
-  // device capacity (small commands slip past stalled bulky ones).
-  for (int i = 0; i < n; ++i) {
-    const int sqid = (rr_next_ + i) % n;
-    SubmissionQueue& sq = *nsqs_[sqid];
-    if (!sq.armed()) {
-      continue;
+  // device capacity (small commands slip past stalled bulky ones). The armed
+  // bitmap jumps straight between armed queues — same visit order as the
+  // naive (rr_next_ + i) % n walk, without touching unarmed queues.
+  for (int pass = 0; pass < 2; ++pass) {
+    int sqid = pass == 0 ? rr_next_ : 0;
+    const int end = pass == 0 ? n : rr_next_;
+    while (sqid < end) {
+      const uint64_t word =
+          armed_words_[static_cast<size_t>(sqid) >> 6] >> (sqid & 63);
+      if (word == 0) {
+        sqid = ((sqid >> 6) + 1) << 6;  // next bitmap word
+        continue;
+      }
+      sqid += std::countr_zero(word);
+      if (sqid >= end) {
+        break;
+      }
+      SubmissionQueue& sq = *nsqs_[sqid];
+      if (inflight_pages_ + static_cast<int>(sq.PeekVisible().pages) <=
+          config_.max_inflight_pages) {
+        current_sq_ = sqid;
+        burst_used_ = 0;
+        rr_next_ = (sqid + 1) % n;
+        return sqid;
+      }
+      ++sqid;
     }
-    if (inflight_pages_ + static_cast<int>(sq.PeekVisible().pages) >
-        config_.max_inflight_pages) {
-      continue;
-    }
-    current_sq_ = sqid;
-    burst_used_ = 0;
-    rr_next_ = (sqid + 1) % n;
-    return sqid;
   }
   return -1;
 }
@@ -235,14 +250,7 @@ void Device::ControllerStep() {
   const int sqid = SelectNsq();
   if (sqid < 0) {
     // Nothing fetchable. If work is pending we are stalled on capacity.
-    bool any_armed = false;
-    for (const auto& sq : nsqs_) {
-      if (sq->armed()) {
-        any_armed = true;
-        break;
-      }
-    }
-    if (any_armed && !stalled_) {
+    if (AnyArmed() && !stalled_) {
       stalled_ = true;
       stall_since_ = sim_->now();
     }
@@ -253,6 +261,7 @@ void Device::ControllerStep() {
 
 void Device::FetchFrom(int sqid) {
   NvmeCommand cmd = nsqs_[sqid]->PopVisible();
+  SyncArmed(sqid);
   cmd.fetch_start_time = sim_->now();
   if (trace_ != nullptr) {
     trace_->Record(sim_->now(), TraceCategory::kFetchStart, cmd.cid, cmd.sqid,
@@ -275,85 +284,91 @@ void Device::FetchFrom(int sqid) {
       }
     }
   }
-  sim_->After(cost, [this, cmd]() mutable {
-    fetch_busy_ = false;
-    ++commands_fetched_;
-    cmd.fetch_time = sim_->now();
-    if (trace_ != nullptr) {
-      trace_->Record(sim_->now(), TraceCategory::kFetch, cmd.cid, cmd.sqid,
-                     cmd.pages);
-    }
-    if (faults_ != nullptr && faults_->DropCommand(sim_->now(), cmd.sqid)) {
-      // Firmware-hang model: the fetched command vanishes without a trace —
-      // no flash service, no CQE, no IRQ. The host's only recovery is its
-      // watchdog; AbortCommand finds the cid here and reclaims the NCQ
-      // in-flight slot then.
-      ++commands_dropped_;
-      dropped_cids_.insert(cmd.cid);
-      if (trace_ != nullptr) {
-        trace_->Record(sim_->now(), TraceCategory::kFaultInject, cmd.cid,
-                       cmd.sqid, static_cast<int64_t>(FaultKind::kCommandDrop));
-      }
-      ControllerStep();
-      return;
-    }
-    inflight_pages_ += static_cast<int>(cmd.pages);
+  fetching_ = cmd;
+  sim_->After(cost, [this]() { FinishFetch(); });
+}
 
-    const uint64_t base = GlobalPage(cmd.nsid, cmd.lba);
-    Tick flash_start = 0;
-    std::vector<Tick> page_done;
-    page_done.reserve(cmd.pages);
-    if (cmd.is_zone_reset) {
-      // Zone reset: one erase-scale operation on the zone's first chip.
-      flash_start = sim_->now();
-      page_done.push_back(sim_->now() + config_.flash.erase_time);
-      inflight_pages_ -= static_cast<int>(cmd.pages) - 1;
-    } else {
-      for (uint32_t p = 0; p < cmd.pages; ++p) {
-        Tick start = 0;
-        page_done.push_back(
-            flash_.SchedulePage(sim_->now(), base + p, cmd.is_write, &start));
-        flash_start = p == 0 ? start : std::min(flash_start, start);
-        if (faults_ != nullptr &&
-            faults_->FlashPageFails(sim_->now(), flash_.ChannelOf(base + p),
-                                    flash_.ChipOf(base + p), cmd.is_write)) {
-          // Unrecovered read/program error. The chip occupancy is unchanged
-          // (the controller's retry/ECC work occupies the die either way);
-          // the command completes with a media-error CQE.
-          if (cmd.status == IoStatus::kOk) {
-            cmd.status = IoStatus::kMediaError;
-          }
-          if (trace_ != nullptr) {
-            trace_->Record(sim_->now(), TraceCategory::kFaultInject, cmd.cid,
-                           flash_.ChannelOf(base + p),
-                           static_cast<int64_t>(
-                               cmd.is_write ? FaultKind::kFlashProgramError
-                                            : FaultKind::kFlashReadError));
-          }
+void Device::FinishFetch() {
+  // Copy out of the pipe register first: ControllerStep at the end of this
+  // function may start the next fetch and overwrite fetching_.
+  NvmeCommand cmd = fetching_;
+  fetch_busy_ = false;
+  ++commands_fetched_;
+  cmd.fetch_time = sim_->now();
+  if (trace_ != nullptr) {
+    trace_->Record(sim_->now(), TraceCategory::kFetch, cmd.cid, cmd.sqid,
+                   cmd.pages);
+  }
+  if (faults_ != nullptr && faults_->DropCommand(sim_->now(), cmd.sqid)) {
+    // Firmware-hang model: the fetched command vanishes without a trace —
+    // no flash service, no CQE, no IRQ. The host's only recovery is its
+    // watchdog; AbortCommand finds the cid here and reclaims the NCQ
+    // in-flight slot then.
+    ++commands_dropped_;
+    dropped_cids_.insert(cmd.cid);
+    if (trace_ != nullptr) {
+      trace_->Record(sim_->now(), TraceCategory::kFaultInject, cmd.cid,
+                     cmd.sqid, static_cast<int64_t>(FaultKind::kCommandDrop));
+    }
+    ControllerStep();
+    return;
+  }
+  inflight_pages_ += static_cast<int>(cmd.pages);
+
+  const uint64_t base = GlobalPage(cmd.nsid, cmd.lba);
+  Tick flash_start = 0;
+  std::vector<Tick> page_done;
+  page_done.reserve(cmd.pages);
+  if (cmd.is_zone_reset) {
+    // Zone reset: one erase-scale operation on the zone's first chip.
+    flash_start = sim_->now();
+    page_done.push_back(sim_->now() + config_.flash.erase_time);
+    inflight_pages_ -= static_cast<int>(cmd.pages) - 1;
+  } else {
+    for (uint32_t p = 0; p < cmd.pages; ++p) {
+      Tick start = 0;
+      page_done.push_back(
+          flash_.SchedulePage(sim_->now(), base + p, cmd.is_write, &start));
+      flash_start = p == 0 ? start : std::min(flash_start, start);
+      if (faults_ != nullptr &&
+          faults_->FlashPageFails(sim_->now(), flash_.ChannelOf(base + p),
+                                  flash_.ChipOf(base + p), cmd.is_write)) {
+        // Unrecovered read/program error. The chip occupancy is unchanged
+        // (the controller's retry/ECC work occupies the die either way);
+        // the command completes with a media-error CQE.
+        if (cmd.status == IoStatus::kOk) {
+          cmd.status = IoStatus::kMediaError;
+        }
+        if (trace_ != nullptr) {
+          trace_->Record(sim_->now(), TraceCategory::kFaultInject, cmd.cid,
+                         flash_.ChannelOf(base + p),
+                         static_cast<int64_t>(
+                             cmd.is_write ? FaultKind::kFlashProgramError
+                                          : FaultKind::kFlashReadError));
         }
       }
     }
-    cmd.flash_start_time = flash_start;
-    if (trace_ != nullptr) {
-      // The time-advance flash model computes service times up front, so the
-      // event timestamp (the chip-op start) can lie ahead of record order.
-      trace_->Record(flash_start, TraceCategory::kFlashStart, cmd.cid,
-                     cmd.sqid, cmd.pages);
-    }
+  }
+  cmd.flash_start_time = flash_start;
+  if (trace_ != nullptr) {
+    // The time-advance flash model computes service times up front, so the
+    // event timestamp (the chip-op start) can lie ahead of record order.
+    trace_->Record(flash_start, TraceCategory::kFlashStart, cmd.cid,
+                   cmd.sqid, cmd.pages);
+  }
 
-    InflightCommand ic;
-    ic.cmd = cmd;
-    ic.pages_remaining = static_cast<uint32_t>(page_done.size());
-    const uint64_t cid = cmd.cid;
-    const bool inserted = inflight_.emplace(cid, ic).second;
-    DD_CHECK(inserted) << "duplicate command id " << cid
-                       << " in flight (NSQ " << cmd.sqid << ", tick "
-                       << sim_->now() << ")";
-    for (Tick done : page_done) {
-      sim_->At(done, [this, cid]() { OnPageDone(cid); });
-    }
-    ControllerStep();
-  });
+  InflightCommand ic;
+  ic.cmd = cmd;
+  ic.pages_remaining = static_cast<uint32_t>(page_done.size());
+  const uint64_t cid = cmd.cid;
+  const bool inserted = inflight_.emplace(cid, ic).second;
+  DD_CHECK(inserted) << "duplicate command id " << cid
+                     << " in flight (NSQ " << cmd.sqid << ", tick "
+                     << sim_->now() << ")";
+  for (Tick done : page_done) {
+    sim_->At(done, [this, cid]() { OnPageDone(cid); });
+  }
+  ControllerStep();
 }
 
 void Device::OnPageDone(uint64_t cid) {
@@ -383,10 +398,17 @@ void Device::OnPageDone(uint64_t cid) {
       trace_->Record(sim_->now(), TraceCategory::kFlashEnd, done.cmd.cid,
                      done.cmd.sqid, done.cmd.pages);
     }
-    sim_->After(config_.completion_post, [this, done]() { PostCompletion(done); });
+    completion_pending_.push_back(done);
+    sim_->After(config_.completion_post, [this]() { PostPendingCompletion(); });
   }
   // Freed capacity may unblock the fetch engine.
   KickController();
+}
+
+void Device::PostPendingCompletion() {
+  const InflightCommand done = std::move(completion_pending_.front());
+  completion_pending_.pop_front();
+  PostCompletion(done);
 }
 
 void Device::PostCompletion(const InflightCommand& ic) {
@@ -499,6 +521,7 @@ Device::AbortOutcome Device::AbortCommand(int sqid, uint64_t cid) {
   // (1) Still sitting in the NSQ ring (never fetched): remove the entry and
   // reclaim both the ring slot and the NCQ in-flight count.
   if (nsqs_[sqid]->RemoveById(cid)) {
+    SyncArmed(sqid);
     cq.AddInFlight(-1);
     return AbortOutcome::kRemovedFromQueue;
   }

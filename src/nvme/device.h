@@ -20,6 +20,7 @@
 #define DAREDEVIL_SRC_NVME_DEVICE_H_
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -221,9 +222,34 @@ class Device {
   // that exceed remaining device capacity). Returns -1 when nothing is
   // fetchable.
   int SelectNsq();
+  // Mirrors nsqs_[sqid]->armed() into armed_words_ after any operation that
+  // can change doorbell visibility (ring, fetch, abort-removal). SelectNsq
+  // scans this bitmap instead of chasing every queue pointer per step.
+  void SyncArmed(int sqid) {
+    const uint64_t bit = 1ull << (sqid & 63);
+    if (nsqs_[static_cast<size_t>(sqid)]->armed()) {
+      armed_words_[static_cast<size_t>(sqid) >> 6] |= bit;
+    } else {
+      armed_words_[static_cast<size_t>(sqid) >> 6] &= ~bit;
+    }
+  }
+  bool AnyArmed() const {
+    for (const uint64_t w : armed_words_) {
+      if (w != 0) {
+        return true;
+      }
+    }
+    return false;
+  }
   void FetchFrom(int sqid);
+  // Fetch-delay expiry for the command parked in fetching_. The fetch pipe is
+  // single-entry (fetch_busy_), so the scheduled event captures only `this`.
+  void FinishFetch();
   void OnPageDone(uint64_t cid);
   void PostCompletion(const InflightCommand& ic);
+  // Completion-post delay expiry: posts the front of completion_pending_.
+  // The post delay is one constant, so deque FIFO order is event order.
+  void PostPendingCompletion();
   void RaiseIrq(int ncq_id);
   void ArmCoalesceTimer(int ncq_id);
 
@@ -239,8 +265,16 @@ class Device {
 
   // Controller state.
   bool fetch_busy_ = false;
+  // The command occupying the single-entry fetch pipe (valid while
+  // fetch_busy_) and completed commands awaiting the completion-post delay:
+  // parked in members/deques so their events stay within EventFn's inline
+  // capture budget.
+  NvmeCommand fetching_;
+  std::deque<InflightCommand> completion_pending_;
   bool stalled_ = false;
   Tick stall_since_ = 0;
+  // One bit per NSQ, set iff armed() (kept in sync by SyncArmed).
+  std::vector<uint64_t> armed_words_;
   int rr_next_ = 0;      // next NSQ for round-robin scan
   int current_sq_ = -1;  // NSQ currently holding the burst
   int burst_used_ = 0;

@@ -7,8 +7,8 @@ namespace daredevil {
 CpuCore::CpuCore(Simulator* sim, CoreId id, TickDuration dispatch_overhead)
     : sim_(sim), id_(id), dispatch_overhead_(dispatch_overhead) {}
 
-void CpuCore::Post(WorkLevel level, TickDuration duration,
-                   std::function<void()> fn, TenantId tenant) {
+void CpuCore::Post(WorkLevel level, TickDuration duration, EventFn fn,
+                   TenantId tenant) {
   if (duration < kZeroDuration) {
     duration = kZeroDuration;
   }
@@ -48,22 +48,28 @@ void CpuCore::MaybeRun() {
   if (level < 0) {
     return;
   }
-  Work work = std::move(queues_[level].front());
+  current_ = std::move(queues_[level].front());
   queues_[level].pop_front();
   running_ = true;
-  const TickDuration cost = dispatch_overhead_ + work.duration;
-  sim_->After(cost, [this, work = std::move(work), cost]() mutable {
-    busy_ns_[static_cast<int>(work.level)] += cost;
-    if (work.tenant != kNoTenant) {
-      tenant_busy_ns_[work.tenant] += cost;
-    }
-    ++items_executed_;
-    running_ = false;
-    if (work.fn) {
-      work.fn();
-    }
-    MaybeRun();
-  });
+  current_cost_ = dispatch_overhead_ + current_.duration;
+  sim_->After(current_cost_, [this]() { FinishCurrent(); });
+}
+
+void CpuCore::FinishCurrent() {
+  const TickDuration cost = current_cost_;
+  busy_ns_[static_cast<int>(current_.level)] += cost;
+  if (current_.tenant != kNoTenant) {
+    tenant_busy_ns_[current_.tenant] += cost;
+  }
+  ++items_executed_;
+  // Move the callback out before dropping running_: the callback may post
+  // new work, re-entering MaybeRun and overwriting current_.
+  EventFn fn = std::move(current_.fn);
+  running_ = false;
+  if (fn) {
+    fn();
+  }
+  MaybeRun();
 }
 
 Machine::Machine(Simulator* sim, const Config& config) : sim_(sim), config_(config) {
@@ -74,17 +80,22 @@ Machine::Machine(Simulator* sim, const Config& config) : sim_(sim), config_(conf
   }
 }
 
-void Machine::Post(int core, WorkLevel level, TickDuration duration,
-                   std::function<void()> fn, TenantId tenant, int from_core) {
+void Machine::Post(int core, WorkLevel level, TickDuration duration, EventFn fn,
+                   TenantId tenant, int from_core) {
   if (from_core >= 0 && from_core != core) {
     ++cross_core_posts_;
-    sim_->After(config_.cross_core_wakeup,
-                [this, core, level, duration, fn = std::move(fn), tenant]() mutable {
-                  cores_[core]->Post(level, duration, std::move(fn), tenant);
-                });
+    cross_pending_.push_back(
+        CrossPost{core, level, duration, std::move(fn), tenant});
+    sim_->After(config_.cross_core_wakeup, [this]() { DeliverCrossPost(); });
     return;
   }
   cores_[core]->Post(level, duration, std::move(fn), tenant);
+}
+
+void Machine::DeliverCrossPost() {
+  CrossPost p = std::move(cross_pending_.front());
+  cross_pending_.pop_front();
+  cores_[p.core]->Post(p.level, p.duration, std::move(p.fn), p.tenant);
 }
 
 TickDuration Machine::total_busy_ns() const {

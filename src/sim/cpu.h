@@ -11,13 +11,13 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <map>
 #include <memory>
 #include <vector>
 
 #include "src/core/types.h"
 #include "src/sim/clock.h"
+#include "src/sim/engine/event_fn.h"
 #include "src/sim/simulator.h"
 
 namespace daredevil {
@@ -39,7 +39,7 @@ class CpuCore {
 
   // Enqueues a work item. fn runs when the item's computation finishes.
   // tenant (kNoTenant = none) attributes the CPU time for accounting.
-  void Post(WorkLevel level, TickDuration duration, std::function<void()> fn,
+  void Post(WorkLevel level, TickDuration duration, EventFn fn,
             TenantId tenant = kNoTenant);
 
   CoreId id() const { return id_; }
@@ -60,17 +60,23 @@ class CpuCore {
   struct Work {
     WorkLevel level;
     TickDuration duration;
-    std::function<void()> fn;
+    EventFn fn;
     TenantId tenant;
   };
 
   void MaybeRun();
+  // Completion of the item in current_: accounting, then the callback. The
+  // in-flight item lives in a member so the scheduled event captures only
+  // `this` and stays inside EventFn's inline storage.
+  void FinishCurrent();
 
   Simulator* sim_;
   CoreId id_;
   TickDuration dispatch_overhead_;
   std::deque<Work> queues_[kNumWorkLevels];
   bool running_ = false;
+  Work current_{};         // valid only while running_
+  TickDuration current_cost_;  // dispatch overhead + current_.duration
   TickDuration busy_ns_[kNumWorkLevels];
   uint64_t items_executed_ = 0;
   // Ordered so any future iteration (per-tenant accounting dumps) is
@@ -99,9 +105,8 @@ class Machine {
 
   // Posts work to a core. If from_core differs from core (a cross-core wakeup
   // or IPI), the item is delayed by the cross-core cost and the event counted.
-  void Post(int core, WorkLevel level, TickDuration duration,
-            std::function<void()> fn, TenantId tenant = kNoTenant,
-            int from_core = -1);
+  void Post(int core, WorkLevel level, TickDuration duration, EventFn fn,
+            TenantId tenant = kNoTenant, int from_core = -1);
 
   uint64_t cross_core_posts() const { return cross_core_posts_; }
   TickDuration total_busy_ns() const;
@@ -110,9 +115,23 @@ class Machine {
   double Utilization(TickDuration busy_at_from, Tick from, Tick to) const;
 
  private:
+  // Delivery of the front of cross_pending_ after the wakeup delay. The
+  // payload waits in the deque so the scheduled event captures only `this`;
+  // the wakeup delay is one constant, so deque FIFO order is event order.
+  void DeliverCrossPost();
+
+  struct CrossPost {
+    int core;
+    WorkLevel level;
+    TickDuration duration;
+    EventFn fn;
+    TenantId tenant;
+  };
+
   Simulator* sim_;
   Config config_;
   std::vector<std::unique_ptr<CpuCore>> cores_;
+  std::deque<CrossPost> cross_pending_;
   uint64_t cross_core_posts_ = 0;
 };
 

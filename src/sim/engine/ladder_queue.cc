@@ -1,0 +1,34 @@
+#include "src/sim/engine/ladder_queue.h"
+
+namespace daredevil {
+
+// Drops cancelled events off the overflow heap front so PeekNextTick never
+// reports a tombstone's tick.
+void LadderQueue::PurgeOverflowTombstones() {
+  while (!overflow_.empty() && arena_.slot(overflow_.front().slot).cancelled) {
+    std::pop_heap(overflow_.begin(), overflow_.end(), OverflowLater{});
+    arena_.Free(overflow_.back().slot);
+    overflow_.pop_back();
+  }
+}
+
+// Moves every overflow event that fits the just-slid window into its bucket.
+// The heap pops in (tick, seq) ascending order and the target buckets were
+// vacated by the slide, so appends reproduce the exact FIFO a direct push
+// sequence would have built; any later push to those ticks carries a larger
+// seq and lands behind the refilled ones.
+void LadderQueue::Refill() {
+  while (!overflow_.empty() &&
+         overflow_.front().at - window_start_ < static_cast<Tick>(kBucketCount)) {
+    std::pop_heap(overflow_.begin(), overflow_.end(), OverflowLater{});
+    const OverflowEntry entry = overflow_.back();
+    overflow_.pop_back();
+    if (arena_.slot(entry.slot).cancelled) {
+      arena_.Free(entry.slot);
+      continue;
+    }
+    AppendToBucket(BucketOf(entry.at), entry.slot);
+  }
+}
+
+}  // namespace daredevil

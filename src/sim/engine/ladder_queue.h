@@ -1,0 +1,283 @@
+// Two-level bucketed event queue (ladder/calendar queue) for the DES core.
+//
+// Geometry: a sliding window of kBucketCount one-tick buckets covering
+// [window_start_, window_start_ + kBucketCount), indexed modularly
+// (bucket = tick % kBucketCount), plus a binary-heap overflow ladder for
+// events beyond the window. Because every live event is >= the clock, all
+// buckets behind the clock are empty, so the window slides forward with the
+// clock without moving a single chain - the vacated buckets simply start
+// representing ticks one window-length ahead, and overflow events that now
+// fit are refilled in (tick, seq) heap order. In steady state every push
+// with a delay under the window length is an O(1) bucket append and every
+// pop is O(1) off one chain; a three-level occupancy bitmap finds the next
+// non-empty bucket with a handful of count-trailing-zero instructions.
+//
+// Ordering guarantee: events fire in strictly non-decreasing tick order;
+// events at equal ticks fire in schedule (seq) order - the exact total order
+// of the old binary-heap queue. Refills preserve it: a refilled event's seq
+// predates any later push to the same tick, and the heap yields (tick, seq)
+// ascending. Cancelled events leave a tombstone purged lazily when the
+// dispatch cursor reaches it.
+#ifndef DAREDEVIL_SRC_SIM_ENGINE_LADDER_QUEUE_H_
+#define DAREDEVIL_SRC_SIM_ENGINE_LADDER_QUEUE_H_
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/core/invariant.h"
+#include "src/sim/clock.h"
+#include "src/sim/engine/event_arena.h"
+#include "src/sim/engine/event_fn.h"
+#include "src/sim/engine/timer_handle.h"
+
+namespace daredevil {
+
+class LadderQueue {
+ public:
+  // Window width in ticks (= nanoseconds). 64K covers the bulk of the
+  // simulated delays (sub-65us CPU, doorbell and device costs) so almost
+  // every push is an O(1) bucket append; sparse long timers (watchdogs,
+  // coalesce timeouts, far flash completions) take the heap path exactly as
+  // the old engine did for everything.
+  static constexpr uint32_t kBucketCount = 1u << 16;
+
+  LadderQueue()
+      : buckets_(kBucketCount), l0_(kBucketCount / 64, 0), l1_(16, 0) {}
+  LadderQueue(const LadderQueue&) = delete;
+  LadderQueue& operator=(const LadderQueue&) = delete;
+
+  // Schedules fn at absolute tick `at`. The engine owns clamp semantics:
+  // a tick in the past (at < now) is clamped to now and counted, so every
+  // caller shares one past-time policy. Returns a cancellation handle.
+  TimerHandle Push(Tick now, Tick at, EventFn fn) {
+    if (at < now) {
+      at = now;
+      ++clamped_;
+    }
+    DD_CHECK_LE(window_start_, at) << "push behind the ladder window";
+    const uint32_t slot = arena_.Allocate();
+    EventRecord& rec = arena_.slot(slot);
+    rec.at = at;
+    rec.seq = next_seq_++;
+    rec.fn = std::move(fn);
+    if (at - window_start_ < static_cast<Tick>(kBucketCount)) {
+      AppendToBucket(BucketOf(at), slot);
+    } else {
+      overflow_.push_back(OverflowEntry{at, rec.seq, slot});
+      std::push_heap(overflow_.begin(), overflow_.end(), OverflowLater{});
+    }
+    ++live_;
+    return TimerHandle{slot, rec.gen};
+  }
+
+  // Cancels a pending event. Returns false when the handle is empty, stale
+  // (the event already fired or was cancelled and its slot recycled), or
+  // names an already-cancelled event. The callable is destroyed immediately;
+  // the record stays as a tombstone until the dispatch cursor purges it.
+  bool Cancel(TimerHandle h) {
+    if (h.empty() || h.slot >= arena_.capacity()) {
+      return false;
+    }
+    EventRecord& rec = arena_.slot(h.slot);
+    if (rec.gen != h.gen || rec.cancelled) {
+      return false;
+    }
+    rec.cancelled = true;
+    rec.fn.Reset();
+    --live_;
+    ++cancelled_;
+    return true;
+  }
+
+  // Pops the earliest live event whose tick is <= limit, writing its tick to
+  // *at and moving its callable into *out. Returns false (popping nothing)
+  // when the queue is empty or the earliest event lies beyond the limit.
+  // Find and pop are fused: one bitmap scan locates the bucket, tombstones
+  // are skipped inline, and there is no trailing failed probe when a tick's
+  // chain drains - the next call simply scans again. Events at equal ticks
+  // pop in schedule (seq) order; any earlier-bucket event always precedes any
+  // overflow event, because overflow only holds ticks beyond the window.
+  bool PopEarliest(Tick limit, Tick* at, EventFn* out) {
+    for (;;) {
+      Tick tick;
+      int idx = FirstOccupiedCyclic(BucketOf(window_start_));
+      if (idx >= 0) {
+        tick = TickOf(static_cast<uint32_t>(idx));
+        if (tick > limit) {
+          return false;
+        }
+      } else {
+        PurgeOverflowTombstones();
+        if (overflow_.empty() || overflow_.front().at > limit) {
+          return false;
+        }
+        tick = overflow_.front().at;
+      }
+      // The popped tick is the new clock: slide the window so subsequent
+      // pushes stay bucket-eligible (and refill overflow events that fit).
+      Slide(tick);
+      Chain& c = buckets_[BucketOf(tick)];
+      while (c.head != kNilEvent) {
+        const uint32_t slot = c.head;
+        EventRecord& rec = arena_.slot(slot);
+        c.head = rec.next;
+        if (c.head == kNilEvent) {
+          c.tail = kNilEvent;
+          ClearBucket(BucketOf(tick));
+        }
+        if (rec.cancelled) {
+          arena_.Free(slot);
+          continue;
+        }
+        // The callable moves out of a mutable arena record; the old engine's
+        // move-from-const_cast-of-top() has no analogue here.
+        *out = std::move(rec.fn);
+        arena_.Free(slot);
+        --live_;
+        *at = tick;
+        return true;
+      }
+      // The chain held only tombstones; rescan.
+    }
+  }
+
+  bool empty() const { return live_ == 0; }
+  size_t live() const { return live_; }
+  // Past-time pushes clamped to now (unified clamp policy, DESIGN §9).
+  uint64_t clamped() const { return clamped_; }
+  uint64_t cancelled() const { return cancelled_; }
+
+ private:
+  struct Chain {
+    uint32_t head = kNilEvent;
+    uint32_t tail = kNilEvent;
+  };
+  struct OverflowEntry {
+    Tick at;
+    uint64_t seq;
+    uint32_t slot;
+  };
+  // Max-heap comparator inverted on (tick, seq): the heap front is the
+  // earliest event.
+  struct OverflowLater {
+    bool operator()(const OverflowEntry& a, const OverflowEntry& b) const {
+      if (a.at != b.at) {
+        return a.at > b.at;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  static uint32_t BucketOf(Tick at) {
+    return static_cast<uint32_t>(at) & (kBucketCount - 1);
+  }
+
+  // Absolute tick of an occupied bucket under the current window.
+  Tick TickOf(uint32_t idx) const {
+    const uint32_t start = BucketOf(window_start_);
+    const uint32_t delta = (idx - start) & (kBucketCount - 1);
+    return window_start_ + delta;
+  }
+
+  // Slides the window forward so it starts at `now`. All buckets for ticks
+  // in [window_start_, now) are empty (their events fired), so the slide
+  // re-purposes them for [window_start_ + kBucketCount, now + kBucketCount)
+  // without touching any chain; overflow events that now fit move into
+  // their buckets in (tick, seq) heap order.
+  void Slide(Tick now) {
+    if (now <= window_start_) {
+      return;
+    }
+    window_start_ = now;
+    if (!overflow_.empty() &&
+        overflow_.front().at - window_start_ < static_cast<Tick>(kBucketCount)) {
+      Refill();
+    }
+  }
+
+  void AppendToBucket(uint32_t idx, uint32_t slot) {
+    Chain& c = buckets_[idx];
+    if (c.head == kNilEvent) {
+      c.head = slot;
+      c.tail = slot;
+      MarkBucket(idx);
+    } else {
+      arena_.slot(c.tail).next = slot;
+      c.tail = slot;
+    }
+  }
+
+  void MarkBucket(uint32_t idx) {
+    l0_[idx >> 6] |= 1ull << (idx & 63);
+    l1_[idx >> 12] |= 1ull << ((idx >> 6) & 63);
+    l2_ |= 1ull << (idx >> 12);
+  }
+
+  void ClearBucket(uint32_t idx) {
+    if ((l0_[idx >> 6] &= ~(1ull << (idx & 63))) == 0) {
+      if ((l1_[idx >> 12] &= ~(1ull << ((idx >> 6) & 63))) == 0) {
+        l2_ &= ~(1ull << (idx >> 12));
+      }
+    }
+  }
+
+  // First occupied bucket at or after `from` (linear index order), or -1.
+  int FirstOccupiedAtOrAfter(uint32_t from) const {
+    uint32_t w0 = from >> 6;
+    uint64_t word = l0_[w0] & (~0ull << (from & 63));
+    if (word != 0) {
+      return static_cast<int>((w0 << 6) + static_cast<uint32_t>(std::countr_zero(word)));
+    }
+    uint32_t w1 = w0 >> 6;
+    uint64_t word1 = l1_[w1] & ~(~0ull >> (63 - (w0 & 63)));  // bits > w0&63
+    if (word1 != 0) {
+      w0 = (w1 << 6) + static_cast<uint32_t>(std::countr_zero(word1));
+      return static_cast<int>((w0 << 6) +
+                              static_cast<uint32_t>(std::countr_zero(l0_[w0])));
+    }
+    const uint64_t word2 = w1 >= 63 ? 0 : l2_ & (~1ull << w1);  // bits > w1
+    if (word2 != 0) {
+      w1 = static_cast<uint32_t>(std::countr_zero(word2));
+      w0 = (w1 << 6) + static_cast<uint32_t>(std::countr_zero(l1_[w1]));
+      return static_cast<int>((w0 << 6) +
+                              static_cast<uint32_t>(std::countr_zero(l0_[w0])));
+    }
+    return -1;
+  }
+
+  // First occupied bucket in cyclic order starting at `start` (the bucket of
+  // window_start_), or -1 when all buckets are empty. Cyclic order equals
+  // tick order because the window spans exactly kBucketCount ticks.
+  int FirstOccupiedCyclic(uint32_t start) const {
+    if (l2_ == 0) {
+      return -1;
+    }
+    const int hit = FirstOccupiedAtOrAfter(start);
+    if (hit >= 0) {
+      return hit;
+    }
+    return FirstOccupiedAtOrAfter(0);
+  }
+
+  void PurgeOverflowTombstones();
+  void Refill();
+
+  EventArena arena_;
+  std::vector<Chain> buckets_;
+  std::vector<uint64_t> l0_;  // bit per bucket
+  std::vector<uint64_t> l1_;  // bit per l0_ word
+  uint64_t l2_ = 0;           // bit per l1_ word
+  std::vector<OverflowEntry> overflow_;
+  Tick window_start_ = 0;
+  uint64_t next_seq_ = 0;
+  size_t live_ = 0;
+  uint64_t clamped_ = 0;
+  uint64_t cancelled_ = 0;
+};
+
+}  // namespace daredevil
+
+#endif  // DAREDEVIL_SRC_SIM_ENGINE_LADDER_QUEUE_H_

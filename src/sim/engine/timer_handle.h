@@ -1,0 +1,26 @@
+// Cancellable handle to a scheduled event.
+#ifndef DAREDEVIL_SRC_SIM_ENGINE_TIMER_HANDLE_H_
+#define DAREDEVIL_SRC_SIM_ENGINE_TIMER_HANDLE_H_
+
+#include <cstdint>
+
+namespace daredevil {
+
+// Opaque ticket returned by the schedule-with-handle APIs. A handle names one
+// event slot plus the generation the slot had when the event was scheduled:
+// once the event fires (or is cancelled) the slot's generation advances, so a
+// stale handle can never cancel an unrelated later event that reuses the slot.
+// Default-constructed handles are empty and cancel to false.
+struct TimerHandle {
+  static constexpr uint32_t kNilSlot = 0xffffffffu;
+
+  uint32_t slot = kNilSlot;
+  uint32_t gen = 0;
+
+  bool empty() const { return slot == kNilSlot; }
+  void Clear() { slot = kNilSlot; }
+};
+
+}  // namespace daredevil
+
+#endif  // DAREDEVIL_SRC_SIM_ENGINE_TIMER_HANDLE_H_

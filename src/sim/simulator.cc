@@ -1,43 +1,39 @@
 #include "src/sim/simulator.h"
 
+#include <limits>
 #include <utility>
 
 #include "src/core/invariant.h"
 
 namespace daredevil {
 
-void Simulator::At(Tick t, std::function<void()> fn) {
-  if (t < now_) {
-    t = now_;
-  }
-  queue_.Push(t, std::move(fn));
-}
-
-void Simulator::After(TickDuration delay, std::function<void()> fn) {
-  if (delay < kZeroDuration) {
-    delay = kZeroDuration;
-  }
-  At(now_ + delay, std::move(fn));
-}
-
 bool Simulator::Step() {
-  if (queue_.empty()) {
+  Tick at = 0;
+  EventFn fn;
+  if (!engine_.PopEarliest(std::numeric_limits<Tick>::max(), &at, &fn)) {
     return false;
   }
-  Event e = queue_.PopNext();
-  // Pop-time monotonicity: the DES clock must never move backwards. At()
-  // clamps past timestamps, so a regression here means heap-order corruption.
-  DD_CHECK_LE(now_, e.at) << "event-queue pop-time regression (event seq "
-                          << e.seq << ")";
-  now_ = e.at;
+  // Pop-time monotonicity: the DES clock must never move backwards. The
+  // engine clamps past timestamps at push, so a regression here means
+  // ladder-order corruption.
+  DD_CHECK_LE(now_, at) << "event-engine pop-time regression";
+  now_ = at;
   ++events_processed_;
-  e.fn();
+  fn();
   return true;
 }
 
 void Simulator::RunUntil(Tick t) {
-  while (!queue_.empty() && queue_.NextTime() <= t) {
-    Step();
+  Tick at = 0;
+  EventFn fn;
+  // Fused find-and-pop: one engine call per event, same-tick batches drain
+  // off one bucket chain (including events the callbacks schedule at the
+  // current tick, which fire in this same pass).
+  while (engine_.PopEarliest(t, &at, &fn)) {
+    DD_CHECK_LE(now_, at) << "event-engine pop-time regression";
+    now_ = at;
+    ++events_processed_;
+    fn();
   }
   if (now_ < t) {
     now_ = t;
@@ -45,7 +41,13 @@ void Simulator::RunUntil(Tick t) {
 }
 
 void Simulator::RunUntilIdle() {
-  while (Step()) {
+  Tick at = 0;
+  EventFn fn;
+  while (engine_.PopEarliest(std::numeric_limits<Tick>::max(), &at, &fn)) {
+    DD_CHECK_LE(now_, at) << "event-engine pop-time regression";
+    now_ = at;
+    ++events_processed_;
+    fn();
   }
 }
 

@@ -3,16 +3,22 @@
 #define DAREDEVIL_SRC_SIM_SIMULATOR_H_
 
 #include <cstdint>
-#include <functional>
 
 #include "src/core/types.h"
 #include "src/sim/clock.h"
-#include "src/sim/event_queue.h"
+#include "src/sim/engine/event_fn.h"
+#include "src/sim/engine/ladder_queue.h"
+#include "src/sim/engine/timer_handle.h"
 
 namespace daredevil {
 
-// Single-threaded deterministic event loop. Components schedule callbacks at
-// absolute or relative simulated times; RunUntil() advances the clock.
+// Single-threaded deterministic event loop over the zero-allocation engine
+// core (src/sim/engine/): a ladder queue of arena-pooled event records with
+// inline EventFn callbacks. Components schedule callbacks at absolute or
+// relative simulated times; RunUntil() advances the clock, dispatching whole
+// same-tick batches per bucket visit. Timers that may need to be retired
+// early use the ScheduleAt/ScheduleAfter + Cancel handle API instead of
+// epoch-guarded dead callbacks.
 class Simulator {
  public:
   Simulator() = default;
@@ -20,14 +26,42 @@ class Simulator {
   Simulator& operator=(const Simulator&) = delete;
 
   Tick now() const { return now_; }
+  // Events dispatched (cancelled events never dispatch and are not counted).
   uint64_t events_processed() const { return events_processed_; }
-  size_t pending_events() const { return queue_.size(); }
+  // Live (scheduled, not yet fired or cancelled) events.
+  size_t pending_events() const { return engine_.live(); }
+  // Schedules clamped into the past (engine-central policy: a tick before
+  // now fires at now, in schedule order). Exposed for tests and diagnostics;
+  // deliberately not a metrics gauge - the metrics snapshot is fingerprinted.
+  uint64_t clamped_events() const { return engine_.clamped(); }
+  uint64_t cancelled_events() const { return engine_.cancelled(); }
 
   // Schedules fn at absolute time t (clamped to now if t is in the past).
-  void At(Tick t, std::function<void()> fn);
+  void At(Tick t, EventFn fn) { engine_.Push(now_, t, std::move(fn)); }
 
-  // Schedules fn after the given delay (a negative delay is treated as 0).
-  void After(TickDuration delay, std::function<void()> fn);
+  // Schedules fn after the given delay (a negative delay is treated as 0,
+  // via the engine's past-time clamp).
+  void After(TickDuration delay, EventFn fn) {
+    engine_.Push(now_, now_ + delay, std::move(fn));
+  }
+
+  // Handle-returning variants for timers that may be cancelled before they
+  // fire (watchdogs, self-rescheduling samplers).
+  TimerHandle ScheduleAt(Tick t, EventFn fn) {
+    return engine_.Push(now_, t, std::move(fn));
+  }
+  TimerHandle ScheduleAfter(TickDuration delay, EventFn fn) {
+    return engine_.Push(now_, now_ + delay, std::move(fn));
+  }
+
+  // Cancels a pending timer; the callback will never run. Returns false on
+  // an empty/stale handle (already fired or already cancelled) and clears
+  // the handle either way.
+  bool Cancel(TimerHandle& handle) {
+    const bool cancelled = engine_.Cancel(handle);
+    handle.Clear();
+    return cancelled;
+  }
 
   // Processes the next event if any; returns false when the queue is empty.
   bool Step();
@@ -42,7 +76,7 @@ class Simulator {
  private:
   Tick now_ = 0;
   uint64_t events_processed_ = 0;
-  EventQueue queue_;
+  LadderQueue engine_;
 };
 
 }  // namespace daredevil

@@ -410,9 +410,9 @@ void StorageStack::DeliverCompletion(const NvmeCompletion& cqe, int ncq_id,
                                  device_->NcqOfNsq(cqe.sqid)))
       << lifecycle_.last_violation();
   if (watchdog_enabled_) {
-    // The attempt completed: disarm the watchdog (a pending timer for this
-    // attempt goes stale and no-ops).
-    outstanding_.erase(rq->id);
+    // The attempt completed: cancel the armed deadline so no dead watchdog
+    // callback lingers in the event queue.
+    DisarmWatchdog(rq->id);
   }
   ++requests_completed_;
   if (sched_kind_ != IoSchedulerKind::kNone && rq->routed_nsq >= 0) {
@@ -494,11 +494,28 @@ TickDuration StorageStack::BackoffFor(uint16_t attempt) const {
 
 void StorageStack::ArmWatchdog(Request* rq) {
   const uint16_t attempt = rq->fault_retries;
-  outstanding_[rq->id] = Outstanding{rq, attempt, machine_->now()};
   const uint64_t id = rq->id;
-  machine_->sim().After(recovery_.timeout, [this, id, attempt]() {
-    OnWatchdogFire(id, attempt);
-  });
+  Outstanding& out = outstanding_[id];
+  if (!out.timer.empty()) {
+    // A prior attempt's deadline is still armed (defensive: the completion
+    // and abort paths disarm before re-submission).
+    machine_->sim().Cancel(out.timer);
+  }
+  out.rq = rq;
+  out.attempt = attempt;
+  out.armed_at = machine_->now();
+  out.timer = machine_->sim().ScheduleAfter(
+      recovery_.timeout, [this, id, attempt]() { OnWatchdogFire(id, attempt); });
+}
+
+void StorageStack::DisarmWatchdog(uint64_t id) {
+  auto it = outstanding_.find(id);
+  if (it == outstanding_.end()) {
+    return;
+  }
+  // A handle whose timer already fired is stale; Cancel is then a no-op.
+  machine_->sim().Cancel(it->second.timer);
+  outstanding_.erase(it);
 }
 
 void StorageStack::OnWatchdogFire(uint64_t id, uint16_t attempt) {
@@ -545,7 +562,7 @@ void StorageStack::EscalateTimeout(Request* rq) {
   device_->AbortCommand(rq->routed_nsq, cid);
   DD_CHECK(lifecycle_.OnAbort(*rq, machine_->now()))
       << lifecycle_.last_violation();
-  outstanding_.erase(rq->id);
+  DisarmWatchdog(rq->id);
   ++aborts_;
   TenantErrorStats& es = ErrorStatsFor(*rq);
   ++es.aborts;

@@ -15,6 +15,7 @@
 #include "src/fault/fault_plan.h"
 #include "src/nvme/device.h"
 #include "src/sim/cpu.h"
+#include "src/sim/engine/timer_handle.h"
 #include "src/stack/io_scheduler.h"
 #include "src/stack/request.h"
 #include "src/stats/metrics.h"
@@ -237,6 +238,8 @@ class StorageStack {
 
   // --- Timeout watchdog / retry machinery (fault runs only) --------------
   void ArmWatchdog(Request* rq);
+  // Cancels the armed deadline (if any) and drops the outstanding entry.
+  void DisarmWatchdog(uint64_t id);
   void OnWatchdogFire(uint64_t id, uint16_t attempt);
   void EscalateTimeout(Request* rq);
   // Re-submits a failed attempt after backoff under a fresh attempt cid.
@@ -289,13 +292,16 @@ class StorageStack {
   uint64_t doorbell_rqs_rung_ = 0;
 
   // --- Fault-recovery state (untouched unless a FaultPlan is attached) ---
-  // Outstanding watchdog entries keyed by request id. `attempt` is an epoch:
-  // a timer scheduled for attempt N is stale (and must no-op) once the
-  // request completed or was retried as attempt N+1.
+  // Outstanding watchdog entries keyed by request id. `timer` is the armed
+  // deadline, cancelled outright when the attempt completes or is aborted
+  // (no epoch-guarded dead callbacks left in the queue). `attempt` still
+  // guards the fire path: re-arming a retried request replaces the entry,
+  // and a fire racing the recovery poll must see the current attempt.
   struct Outstanding {
     Request* rq = nullptr;
     uint16_t attempt = 0;
     Tick armed_at = 0;
+    TimerHandle timer;
   };
   std::map<uint64_t, Outstanding> outstanding_;
   FaultRecoveryPolicy recovery_;

@@ -54,10 +54,15 @@ void StateSampler::Attach(Simulator* sim, Tick start, Tick end) {
   if (end < start) {
     return;
   }
-  sim->At(start, [this, sim, end]() { SampleOnce(sim, end); });
+  next_sample_ = sim->ScheduleAt(start, [this, sim, end]() { SampleOnce(sim, end); });
+}
+
+void StateSampler::Detach(Simulator* sim) {
+  sim->Cancel(next_sample_);
 }
 
 void StateSampler::SampleOnce(Simulator* sim, Tick end) {
+  next_sample_.Clear();  // this event is firing; the handle is spent
   const Tick now = sim->now();
   times_.push_back(now);
   for (const auto& [name, fn] : probes_) {
@@ -68,7 +73,7 @@ void StateSampler::SampleOnce(Simulator* sim, Tick end) {
   }
   // Close the series exactly at `end` so the last window is not lost.
   const Tick next = now + interval_ < end ? now + interval_ : end;
-  sim->At(next, [this, sim, end]() { SampleOnce(sim, end); });
+  next_sample_ = sim->ScheduleAt(next, [this, sim, end]() { SampleOnce(sim, end); });
 }
 
 SamplerSnapshot StateSampler::Snapshot() const {

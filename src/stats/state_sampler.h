@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "src/sim/clock.h"
+#include "src/sim/engine/timer_handle.h"
 #include "src/sim/simulator.h"
 
 namespace daredevil {
@@ -59,6 +60,11 @@ class StateSampler {
   // is < end (plus one final sample at `end` so the series closes).
   void Attach(Simulator* sim, Tick start, Tick end);
 
+  // Retires the sampler early: cancels the pending sample event outright via
+  // its TimerHandle (nothing dead stays queued; no epoch guard needed).
+  // Samples already taken are kept. Safe to call when nothing is pending.
+  void Detach(Simulator* sim);
+
   Tick interval() const { return interval_; }
   size_t num_samples() const { return times_.size(); }
   const std::vector<Tick>& times() const { return times_; }
@@ -82,6 +88,8 @@ class StateSampler {
   std::vector<Tick> times_;
   std::map<std::string, std::vector<double>> series_;
   bool attached_ = false;
+  // Pending sample event; empty between the final sample and destruction.
+  TimerHandle next_sample_;
 };
 
 }  // namespace daredevil

@@ -37,10 +37,22 @@ TEST(LayerTable, EdgesFollowTheDeclaredDeps) {
   EXPECT_TRUE(ddanalyze::LayerEdgeAllowed("nvme", "nvme"));
   EXPECT_TRUE(ddanalyze::LayerEdgeAllowed("nvme", "stats"));
   EXPECT_TRUE(ddanalyze::LayerEdgeAllowed("workload", "core"));
+  // The engine sits below sim: sim may reach down, never the reverse.
+  EXPECT_TRUE(ddanalyze::LayerEdgeAllowed("sim", "sim.engine"));
+  EXPECT_TRUE(ddanalyze::LayerEdgeAllowed("stack", "sim.engine"));
   // Skips and reversals are rejected even when a transitive path exists.
   EXPECT_FALSE(ddanalyze::LayerEdgeAllowed("nvme", "core"));
   EXPECT_FALSE(ddanalyze::LayerEdgeAllowed("stats", "nvme"));
   EXPECT_FALSE(ddanalyze::LayerEdgeAllowed("time", "sim"));
+  EXPECT_FALSE(ddanalyze::LayerEdgeAllowed("sim.engine", "sim"));
+}
+
+TEST(LayerTable, EngineSubdirectoryIsItsOwnLayer) {
+  EXPECT_EQ(ddanalyze::LayerOf("src/sim/engine/ladder_queue.h"), "sim.engine");
+  EXPECT_EQ(ddanalyze::LayerOf("src/sim/engine/event_fn.h"), "sim.engine");
+  EXPECT_EQ(ddanalyze::LayerOf("src/sim/engine/event_arena.h"), "sim.engine");
+  // Files directly under src/sim/ still map to the simulator layer.
+  EXPECT_EQ(ddanalyze::LayerOf("src/sim/simulator.h"), "sim");
 }
 
 TEST(LayerTable, OverridesPinTheVocabularyFiles) {

@@ -9,24 +9,36 @@ const std::vector<LayerSpec>& LayerTable() {
   static const std::vector<LayerSpec> kTable = {
       {"time", {}},
       {"vocab", {"time"}},
-      {"sim", {"time", "vocab"}},
-      {"stats", {"time", "vocab", "sim"}},
+      // The zero-allocation event core (ladder queue, arena, EventFn): pure
+      // scheduling machinery below the simulator loop, speaking only time
+      // and vocabulary (invariants) types.
+      {"sim.engine", {"time", "vocab"}},
+      {"sim", {"time", "vocab", "sim.engine"}},
+      {"stats", {"time", "vocab", "sim.engine", "sim"}},
       // The fault plan sits below nvme: the device consults it, so it may
       // never speak nvme types (its API is primitives + vocab only).
-      {"fault", {"time", "vocab", "sim", "stats"}},
-      {"nvme", {"time", "vocab", "sim", "stats", "fault"}},
-      {"stack", {"time", "vocab", "sim", "stats", "fault", "nvme"}},
-      {"blkmq", {"time", "vocab", "sim", "stats", "fault", "nvme", "stack"}},
+      {"fault", {"time", "vocab", "sim.engine", "sim", "stats"}},
+      {"nvme", {"time", "vocab", "sim.engine", "sim", "stats", "fault"}},
+      {"stack",
+       {"time", "vocab", "sim.engine", "sim", "stats", "fault", "nvme"}},
+      {"blkmq",
+       {"time", "vocab", "sim.engine", "sim", "stats", "fault", "nvme",
+        "stack"}},
       {"blkswitch",
-       {"time", "vocab", "sim", "stats", "fault", "nvme", "stack"}},
-      {"virtio", {"time", "vocab", "sim", "stats", "fault", "nvme", "stack"}},
-      {"core", {"time", "vocab", "sim", "stats", "fault", "nvme", "stack"}},
+       {"time", "vocab", "sim.engine", "sim", "stats", "fault", "nvme",
+        "stack"}},
+      {"virtio",
+       {"time", "vocab", "sim.engine", "sim", "stats", "fault", "nvme",
+        "stack"}},
+      {"core",
+       {"time", "vocab", "sim.engine", "sim", "stats", "fault", "nvme",
+        "stack"}},
       {"workload",
-       {"time", "vocab", "sim", "stats", "fault", "nvme", "stack", "blkmq",
-        "blkswitch", "virtio", "core"}},
+       {"time", "vocab", "sim.engine", "sim", "stats", "fault", "nvme",
+        "stack", "blkmq", "blkswitch", "virtio", "core"}},
       // Apps are stack-implementation agnostic: they may see the abstract
       // stack interface but never a concrete stack or the NVMe layer.
-      {"apps", {"time", "vocab", "sim", "stats", "stack"}},
+      {"apps", {"time", "vocab", "sim.engine", "sim", "stats", "stack"}},
   };
   return kTable;
 }
@@ -46,6 +58,12 @@ std::string LayerOf(const std::string& rel_path) {
   auto it = LayerOverrides().find(rel_path);
   if (it != LayerOverrides().end()) {
     return it->second;
+  }
+  // The engine subdirectory is its own layer below sim (the only nested
+  // layer; checked before the generic first-directory mapping).
+  const std::string engine_prefix = "src/sim/engine/";
+  if (rel_path.compare(0, engine_prefix.size(), engine_prefix) == 0) {
+    return "sim.engine";
   }
   const std::string prefix = "src/";
   if (rel_path.compare(0, prefix.size(), prefix) != 0) {

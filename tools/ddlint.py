@@ -31,12 +31,19 @@ know. This pass enforces them over src/, bench/, and tests/:
                   compile-time static_asserts catch most skews; this rule
                   also runs where nothing compiles (doc-only CI jobs) and
                   rejects duplicate names.
+  engine-alloc    src/sim/engine/ is the zero-allocation core: no
+                  std::function (type-erased heap captures), no
+                  make_unique/make_shared, no malloc family, and no
+                  non-placement `new`. The arena's slab-growth line is the
+                  one sanctioned (waived) allocation site; everything else
+                  must use the arena or inline storage.
 
 Waivers
   Inline, on the offending line (preferred for one-off sites):
       ... // ddlint: ordered-ok(stats dump, order does not reach the sim)
   The token is <rule-token>-ok where the tokens are: wallclock, rng, assert,
-  ordered, guard, units. A reason inside the parentheses is mandatory.
+  ordered, guard, units, enginealloc. A reason inside the parentheses is
+  mandatory.
 
   File-level, in tools/ddlint-waivers.txt (one per line):
       <rule> <path> <reason...>
@@ -79,7 +86,22 @@ RULE_TOKENS = {
     "include-guard": "guard",
     "page-literal": "units",
     "trace-categories": "tracecat",
+    "engine-alloc": "enginealloc",
 }
+
+# Directory the engine-alloc rule guards (the zero-allocation event core).
+ENGINE_DIR = "src/sim/engine/"
+
+ENGINE_ALLOC_PATTERNS = [
+    (re.compile(r"\bstd::function\b"), "std::function (type-erased heap "
+     "captures): use EventFn's inline storage"),
+    (re.compile(r"\bstd::make_(unique|shared)\b|\bmake_(unique|shared)\s*<"),
+     "heap allocation helper"),
+    (re.compile(r"\b(malloc|calloc|realloc)\s*\("), "C heap allocation"),
+    # Placement new is written `::new (ptr) T(...)`; anything else is a heap
+    # allocation. The lookbehind excludes the qualified placement form.
+    (re.compile(r"(?<!:)\bnew\b(?!\s*\()"), "non-placement new"),
+]
 
 TRACE_HEADER = "src/sim/trace.h"
 
@@ -235,6 +257,18 @@ def check_file(path, rel, findings):
                      "raw 4096 literal: derive byte quantities from "
                      "kPageBytes (src/stack/request.h), or waive if this is "
                      "not a page-size quantity")
+
+    # --- engine-alloc: the zero-allocation event core ----------------------
+    if rel.startswith(ENGINE_DIR):
+        for lineno, line in enumerate(lines, 1):
+            if re.match(r"\s*#\s*include\b", line):
+                continue  # `#include <new>` is not an allocation
+            for pattern, what in ENGINE_ALLOC_PATTERNS:
+                if pattern.search(line):
+                    emit(lineno, "engine-alloc",
+                         "{}: src/sim/engine/ schedules events without "
+                         "allocating (arena slots + inline EventFn storage "
+                         "only)".format(what))
 
     # --- unordered-iter: everywhere (tests copying the idiom spread it) ---
     unordered_names = set()

@@ -63,6 +63,54 @@ class FileWaiverPrefixTest(unittest.TestCase):
         self.assertEqual(finding.waiver_reason, "inline reason")
 
 
+class EngineAllocRuleTest(unittest.TestCase):
+    """The engine-alloc rule guards src/sim/engine/'s zero-allocation core."""
+
+    def _check(self, source, rel="src/sim/engine/fake.cc"):
+        findings = []
+        with tempfile.NamedTemporaryFile("w", suffix=".cc",
+                                         delete=False) as f:
+            f.write(source)
+            path = f.name
+        try:
+            ddlint.check_file(path, rel, findings)
+        finally:
+            os.unlink(path)
+        return [x for x in findings if x.rule == "engine-alloc"]
+
+    def test_std_function_is_flagged(self):
+        hits = self._check("std::function<void()> cb;\n")
+        self.assertEqual(len(hits), 1)
+        self.assertFalse(hits[0].waived)
+
+    def test_heap_helpers_and_malloc_are_flagged(self):
+        source = ("auto p = std::make_unique<int>(1);\n"
+                  "auto q = std::make_shared<int>(2);\n"
+                  "void* r = malloc(16);\n")
+        self.assertEqual(len(self._check(source)), 3)
+
+    def test_non_placement_new_is_flagged_but_placement_new_is_not(self):
+        self.assertEqual(len(self._check("int* p = new int;\n")), 1)
+        self.assertEqual(
+            self._check("::new (static_cast<void*>(buf)) D(std::move(f));\n"),
+            [])
+
+    def test_include_new_header_is_not_an_allocation(self):
+        self.assertEqual(self._check("#include <new>\n"), [])
+
+    def test_inline_waiver_token_applies(self):
+        hits = self._check(
+            "slabs_.push_back(std::make_unique<EventRecord[]>(kSlabSize));"
+            "  // ddlint: enginealloc-ok(slab growth)\n")
+        self.assertEqual(len(hits), 1)
+        self.assertTrue(hits[0].waived)
+
+    def test_rule_is_scoped_to_the_engine_dir(self):
+        self.assertEqual(
+            self._check("std::function<void()> cb;\n", rel="src/sim/cpu.cc"),
+            [])
+
+
 class RatchetBaselineTest(unittest.TestCase):
     def test_waived_counts_group_by_rule(self):
         findings = [_finding("a.h"), _finding("b.h"),

@@ -1,0 +1,203 @@
+#!/usr/bin/env python3
+"""ddperf: capture and gate the repo's headline performance numbers.
+
+Two headline metrics (EXPERIMENTS.md "Perf baseline"):
+
+  openloop.sim_iops_per_wall_sec   bench_openloop_saturation: simulated I/Os
+                                   completed per wall-clock second across the
+                                   whole sweep (read from the DD_BENCH_JSON
+                                   params block).
+  hotpath.events_per_sec           bench_micro_hotpath BM_EventQueuePushPop:
+                                   engine push+dispatch pairs per second
+                                   (google-benchmark items_per_second).
+
+Both are higher-is-better. Runs are noisy on shared CI machines, so every
+mode takes the BEST of N runs (default 3) per metric.
+
+Modes:
+
+  capture   Run both benches best-of-N and write the metrics to --out
+            (the checked-in baseline is BENCH_6.json at the repo root):
+                ddperf.py capture --build build --out BENCH_6.json
+  compare   Gate against a baseline file: fail (exit 1) when any metric
+            falls more than --threshold (default 0.10 = 10%) below it.
+            Either re-runs the benches or, with --current, compares a
+            previously captured file without re-running:
+                ddperf.py compare --build build --baseline BENCH_6.json
+                ddperf.py compare --baseline BENCH_6.json --current ci.json
+
+DD_BENCH_SCALE is forwarded via --scale (default 1.0); use a smaller scale
+for smoke runs, but capture and compare at the same scale or the openloop
+number will not be comparable.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+SCHEMA = "ddperf-v1"
+HOTPATH_BENCH = "BM_EventQueuePushPop"
+# Secondary engine benches recorded for context (not gated): bursty mixed
+# horizons and the watchdog arm/cancel path.
+HOTPATH_EXTRAS = ("BM_EventQueueBurstDrain", "BM_TimerArmCancel")
+
+
+def run_openloop(build_dir, scale):
+    """One run of bench_openloop_saturation; returns its metric dict."""
+    binary = os.path.join(build_dir, "bench", "bench_openloop_saturation")
+    with tempfile.TemporaryDirectory() as tmp:
+        out = os.path.join(tmp, "openloop.json")
+        env = dict(os.environ)
+        env["DD_BENCH_JSON"] = out
+        env["DD_BENCH_SCALE"] = str(scale)
+        subprocess.run([binary], check=True, env=env,
+                       stdout=subprocess.DEVNULL)
+        with open(out) as f:
+            data = json.load(f)
+    params = data.get("params", {})
+    if "sim_iops_per_wall_sec" not in params:
+        raise SystemExit("ddperf: bench_openloop_saturation JSON has no "
+                         "params.sim_iops_per_wall_sec")
+    return {"openloop.sim_iops_per_wall_sec": params["sim_iops_per_wall_sec"]}
+
+
+def run_hotpath(build_dir, scale):
+    """One run of the engine microbenches; returns their metric dict."""
+    del scale  # google-benchmark self-times; DD_BENCH_SCALE does not apply
+    binary = os.path.join(build_dir, "bench", "bench_micro_hotpath")
+    names = [HOTPATH_BENCH] + list(HOTPATH_EXTRAS)
+    proc = subprocess.run(
+        [binary,
+         "--benchmark_filter=^(" + "|".join(names) + ")$",
+         "--benchmark_format=json"],
+        check=True, capture_output=True, text=True)
+    data = json.loads(proc.stdout)
+    metrics = {}
+    for bench in data.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        name = bench.get("name")
+        if name == HOTPATH_BENCH:
+            metrics["hotpath.events_per_sec"] = bench["items_per_second"]
+        elif name in HOTPATH_EXTRAS:
+            metrics["hotpath." + name + ".items_per_sec"] = (
+                bench["items_per_second"])
+    if "hotpath.events_per_sec" not in metrics:
+        raise SystemExit("ddperf: bench_micro_hotpath output has no "
+                         f"{HOTPATH_BENCH} items_per_second")
+    return metrics
+
+
+def best_of(runs, build_dir, scale):
+    """Best (max) of N runs per metric, interleaving both benches."""
+    best = {}
+    for i in range(runs):
+        combined = {}
+        combined.update(run_openloop(build_dir, scale))
+        combined.update(run_hotpath(build_dir, scale))
+        for key, value in combined.items():
+            best[key] = max(best.get(key, float("-inf")), value)
+        print(f"ddperf: run {i + 1}/{runs}: " +
+              "  ".join(f"{k}={v:,.0f}" for k, v in sorted(combined.items())),
+              file=sys.stderr)
+    return best
+
+
+def cmd_capture(args):
+    metrics = best_of(args.runs, args.build, args.scale)
+    doc = {"schema": SCHEMA, "best_of": args.runs, "scale": args.scale,
+           "metrics": metrics}
+    with open(args.out, "w") as f:
+        json.dump(doc, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"ddperf: wrote {len(metrics)} metric(s) to {args.out}")
+    return 0
+
+
+def load_metrics(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != SCHEMA:
+        raise SystemExit(f"ddperf: {path}: unexpected schema "
+                         f"{doc.get('schema')!r} (want {SCHEMA!r})")
+    return doc["metrics"]
+
+
+# Only the headline metrics gate CI; the extras are informational (they are
+# printed but a regression there does not fail the build).
+GATED = ("openloop.sim_iops_per_wall_sec", "hotpath.events_per_sec")
+
+
+def cmd_compare(args):
+    baseline = load_metrics(args.baseline)
+    if args.current:
+        current = load_metrics(args.current)
+    else:
+        if not args.build:
+            raise SystemExit("ddperf: compare needs --current or --build")
+        current = best_of(args.runs, args.build, args.scale)
+    failures = []
+    print(f"{'metric':44} {'baseline':>14} {'current':>14} {'ratio':>7}")
+    for key in sorted(baseline):
+        base = baseline[key]
+        cur = current.get(key)
+        if cur is None:
+            failures.append(f"{key}: missing from current run")
+            print(f"{key:44} {base:14,.0f} {'MISSING':>14}")
+            continue
+        ratio = cur / base if base else float("inf")
+        gated = key in GATED
+        verdict = ""
+        if gated and ratio < 1.0 - args.threshold:
+            verdict = "  REGRESSION"
+            failures.append(
+                f"{key}: {cur:,.0f} is {(1.0 - ratio) * 100:.1f}% below "
+                f"baseline {base:,.0f} (threshold {args.threshold * 100:.0f}%)")
+        elif not gated:
+            verdict = "  (info)"
+        print(f"{key:44} {base:14,.0f} {cur:14,.0f} {ratio:6.2f}x{verdict}")
+    if failures:
+        print("\nddperf: FAIL", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("\nddperf: OK (no gated metric regressed by more than "
+          f"{args.threshold * 100:.0f}%)")
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        prog="ddperf", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="mode", required=True)
+
+    cap = sub.add_parser("capture", help="run benches, write a baseline")
+    cap.add_argument("--build", required=True, help="CMake build dir")
+    cap.add_argument("--out", required=True, help="output JSON path")
+    cap.add_argument("--runs", type=int, default=3, help="best-of-N (3)")
+    cap.add_argument("--scale", type=float, default=1.0,
+                     help="DD_BENCH_SCALE for the openloop bench")
+    cap.set_defaults(func=cmd_capture)
+
+    cmp_ = sub.add_parser("compare", help="gate against a baseline")
+    cmp_.add_argument("--baseline", required=True, help="baseline JSON")
+    cmp_.add_argument("--current",
+                      help="previously captured JSON (skips re-running)")
+    cmp_.add_argument("--build", help="CMake build dir (to re-run benches)")
+    cmp_.add_argument("--runs", type=int, default=3, help="best-of-N (3)")
+    cmp_.add_argument("--scale", type=float, default=1.0,
+                      help="DD_BENCH_SCALE for the openloop bench")
+    cmp_.add_argument("--threshold", type=float, default=0.10,
+                      help="max allowed fractional regression (0.10)")
+    cmp_.set_defaults(func=cmd_compare)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
