@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "src/sim/shard.h"
+
 namespace daredevil {
 
 CpuCore::CpuCore(Simulator* sim, CoreId id, TickDuration dispatch_overhead)
@@ -79,6 +81,9 @@ Machine::Machine(Simulator* sim, const Config& config) : sim_(sim), config_(conf
         std::make_unique<CpuCore>(sim, CoreId{i}, config.dispatch_overhead));
   }
 }
+
+Machine::Machine(ShardContext* shard, const Config& config)
+    : Machine(&shard->sim(), config) {}
 
 void Machine::Post(int core, WorkLevel level, TickDuration duration, EventFn fn,
                    TenantId tenant, int from_core) {

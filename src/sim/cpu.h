@@ -22,6 +22,8 @@
 
 namespace daredevil {
 
+class ShardContext;  // src/sim/shard.h
+
 enum class WorkLevel : int {
   kIrq = 0,     // interrupt service routines
   kKernel = 1,  // syscall/block-layer/driver work
@@ -96,6 +98,10 @@ class Machine {
   };
 
   Machine(Simulator* sim, const Config& config);
+  // Shard-rooted construction: drives the shard's own simulator. The machine
+  // holds no reference to the context beyond its event loop — ownership of
+  // the other per-shard roots (RNG, metrics sink) stays with ShardContext.
+  Machine(ShardContext* shard, const Config& config);
 
   int num_cores() const { return static_cast<int>(cores_.size()); }
   CpuCore& core(int i) { return *cores_[i]; }

@@ -223,8 +223,9 @@ std::unique_ptr<StorageStack> MakeStack(StackKind kind, Machine* machine,
 
 ScenarioEnv::ScenarioEnv(const ScenarioConfig& config)
     : config_(config),
-      machine_(&sim_, config.machine),
-      device_(&sim_, config.device),
+      shard_(config.seed),
+      machine_(&shard_, config.machine),
+      device_(&shard_.sim(), config.device),
       stack_(MakeStack(config.stack, &machine_, &device_, config)) {
   DD_CHECK(stack_ != nullptr)
       << "unknown stack kind " << static_cast<int>(config.stack);
@@ -255,7 +256,7 @@ ScenarioEnv::ScenarioEnv(const ScenarioConfig& config)
     // Standard probe set: queue depths, chip occupancy, per-core run-queue
     // lengths, pending doorbell batches. All pure reads (DESIGN.md §6).
     Device* dev = &device_;
-    Simulator* sim = &sim_;
+    Simulator* sim = &shard_.sim();
     Machine* mach = &machine_;
     StorageStack* stack = stack_.get();
     sampler_->AddProbe("nsq.occupancy", [dev]() {
@@ -283,7 +284,7 @@ ScenarioEnv::ScenarioEnv(const ScenarioConfig& config)
 
 void ScenarioEnv::AttachSampler() {
   if (sampler_ != nullptr) {
-    sampler_->Attach(&sim_, measure_start(), measure_end());
+    sampler_->Attach(&shard_.sim(), measure_start(), measure_end());
   }
 }
 
@@ -309,8 +310,11 @@ ScenarioResult RunScenario(const ScenarioConfig& config) {
   }
 
   // Every layer registers its accounting into one registry; the result is a
-  // snapshot of that registry instead of hand-copied per-class getters.
+  // snapshot of that registry instead of hand-copied per-class getters. The
+  // registry is this run's metrics sink, published on the shard so shard-
+  // aware components reach it through the context instead of a global.
   MetricsRegistry registry;
+  env.shard().AttachMetrics(&registry);
   RegisterMachineMetrics(machine, &registry);
   device.RegisterMetrics(&registry);
   stack->RegisterMetrics(&registry);
@@ -319,7 +323,9 @@ ScenarioResult RunScenario(const ScenarioConfig& config) {
     env.AttachSampler();
   }
 
-  Rng master(config.seed);
+  // Per-tenant streams fork from the shard's RNG (seeded with config.seed at
+  // env construction, with no draws in between — the fork sequence is
+  // byte-identical to the former local master Rng).
   std::vector<std::unique_ptr<FioJob>> jobs;
   jobs.reserve(config.jobs.size());
   int next_core = 0;
@@ -330,9 +336,9 @@ ScenarioResult RunScenario(const ScenarioConfig& config) {
       core = next_core;
       next_core = (next_core + 1) % machine.num_cores();
     }
-    auto job = std::make_unique<FioJob>(&machine, stack, spec,
-                                        next_tenant_id++, core, master.Fork(),
-                                        measure_start, measure_end);
+    auto job = std::make_unique<FioJob>(
+        &machine, stack, spec, next_tenant_id++, core, env.shard().rng().Fork(),
+        measure_start, measure_end);
     job->AttachMetrics(&registry);
     if (config.series_window > 0) {
       job->AttachSeries(&result.latency_series.at(spec.group),

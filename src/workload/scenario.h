@@ -14,6 +14,7 @@
 #include "src/core/config.h"
 #include "src/nvme/device.h"
 #include "src/sim/cpu.h"
+#include "src/sim/shard.h"
 #include "src/sim/simulator.h"
 #include "src/stack/storage_stack.h"
 #include "src/stats/holb.h"
@@ -187,7 +188,10 @@ class ScenarioEnv {
   ScenarioEnv(const ScenarioEnv&) = delete;
   ScenarioEnv& operator=(const ScenarioEnv&) = delete;
 
-  Simulator& sim() { return sim_; }
+  // The env is a single-shard environment: one ShardContext owning the
+  // simulator (and its engine), the RNG stream, and the metrics sink slot.
+  ShardContext& shard() { return shard_; }
+  Simulator& sim() { return shard_.sim(); }
   Machine& machine() { return machine_; }
   Device& device() { return device_; }
   StorageStack& stack() { return *stack_; }
@@ -208,7 +212,7 @@ class ScenarioEnv {
 
  private:
   ScenarioConfig config_;
-  Simulator sim_;
+  ShardContext shard_;
   Machine machine_;
   Device device_;
   std::unique_ptr<StorageStack> stack_;

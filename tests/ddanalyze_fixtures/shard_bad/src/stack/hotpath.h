@@ -1,0 +1,9 @@
+// BAD: the stack reaching into the engine internals. EventArena belongs to
+// sim.engine/sim only; everything above drives it through Simulator's API.
+#pragma once
+
+struct EventArena;
+
+struct HotPath {
+  EventArena* arena_ = nullptr;  // engine internals leaked above sim: flagged
+};

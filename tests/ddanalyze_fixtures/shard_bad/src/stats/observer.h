@@ -1,0 +1,13 @@
+// BAD: stats storing mutable aliases to shard-local roots. Observability
+// must borrow through parameters, keep const views, or copy fields.
+#pragma once
+
+struct Simulator;
+struct Rng;
+
+struct Observer {
+  void Sample(Simulator* sim);  // borrow through a parameter: fine
+
+  Simulator* sim_ = nullptr;    // stored mutable alias in stats: flagged
+  Rng* stream_ = nullptr;       // Rng aliases are never stored: flagged
+};

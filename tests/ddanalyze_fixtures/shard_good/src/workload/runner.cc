@@ -1,0 +1,12 @@
+// GOOD: the workload layer is an allowed holder of machine/simulator
+// handles; an engine-internal alias needs an explicit waiver.
+struct Simulator;
+struct Machine;
+struct EventArena;
+
+struct Runner {
+  Machine& MachineRef();  // accessor returning an alias: a borrow, fine
+
+  Simulator* sim_ = nullptr;  // workload may store simulator handles
+  EventArena* arena_ = nullptr;  // ddanalyze: shard-ok(engine introspection bench)
+};

@@ -118,6 +118,79 @@ TEST(TickUnits, GoodFixtureIsCleanIncludingWaivedSite) {
   EXPECT_TRUE(r.ratchet_counts.empty());
 }
 
+TEST(GlobalState, BadFixtureFlagsEveryMutableStaticShape) {
+  const AnalysisResult r = Analyze(FixtureRoot("globals_bad"));
+  EXPECT_TRUE(r.errors.empty());
+  EXPECT_EQ(r.ratchet.size(), 5u);
+  EXPECT_TRUE(HasFinding(r.ratchet, "global-state", "state.h",
+                         "namespace-scope mutable variable 'g_total'"));
+  EXPECT_TRUE(HasFinding(r.ratchet, "global-state", "state.h",
+                         "namespace-scope mutable variable 'g_remote'"));
+  EXPECT_TRUE(
+      HasFinding(r.ratchet, "global-state", "state.h", "thread_local storage"));
+  EXPECT_TRUE(HasFinding(r.ratchet, "global-state", "state.h",
+                         "non-const class static 'instances_'"));
+  EXPECT_TRUE(HasFinding(r.ratchet, "global-state", "state.h",
+                         "mutable function-local static"));
+  ASSERT_EQ(r.ratchet_counts.count("global-state.sim"), 1u);
+  EXPECT_EQ(r.ratchet_counts.at("global-state.sim"), 5);
+}
+
+TEST(GlobalState, GoodFixtureIsCleanIncludingWaivedKnob) {
+  const AnalysisResult r = Analyze(FixtureRoot("globals_good"));
+  EXPECT_TRUE(r.errors.empty());
+  EXPECT_TRUE(r.ratchet.empty())
+      << "first: " << (r.ratchet.empty() ? "" : r.ratchet[0].message);
+  EXPECT_TRUE(r.ratchet_counts.empty());
+}
+
+TEST(ShardOwnership, BadFixtureFlagsStoredAliasesOutsideOwningLayers) {
+  const AnalysisResult r = Analyze(FixtureRoot("shard_bad"));
+  EXPECT_EQ(r.errors.size(), 3u);
+  EXPECT_TRUE(HasFinding(r.errors, "shard-ownership", "observer.h",
+                         "stored mutable alias to shard-local Simulator"));
+  EXPECT_TRUE(HasFinding(r.errors, "shard-ownership", "observer.h",
+                         "stored mutable alias to shard-local Rng"));
+  EXPECT_TRUE(HasFinding(r.errors, "shard-ownership", "hotpath.h",
+                         "stored mutable alias to shard-local EventArena"));
+}
+
+TEST(ShardOwnership, GoodFixtureAllowsBorrowsConstViewsAndOwningLayers) {
+  const AnalysisResult r = Analyze(FixtureRoot("shard_good"));
+  EXPECT_TRUE(r.errors.empty()) << r.errors.size() << " unexpected finding(s), "
+                                << "first: "
+                                << (r.errors.empty() ? "" : r.errors[0].message);
+}
+
+TEST(RngDiscipline, BadFixtureFlagsAmbientGeneratorsAndWallClock) {
+  const AnalysisResult r = Analyze(FixtureRoot("rng_bad"));
+  EXPECT_EQ(r.errors.size(), 5u);
+  EXPECT_TRUE(HasFinding(r.errors, "rng-discipline", "gen.cc", "'random_device'"));
+  EXPECT_TRUE(HasFinding(r.errors, "rng-discipline", "gen.cc", "'mt19937'"));
+  EXPECT_TRUE(HasFinding(r.errors, "rng-discipline", "gen.cc", "'time'"));
+  EXPECT_TRUE(HasFinding(r.errors, "rng-discipline", "gen.cc", "'srand'"));
+  EXPECT_TRUE(HasFinding(r.errors, "rng-discipline", "gen.cc", "'rand'"));
+}
+
+TEST(RngDiscipline, GoodFixtureAllowsLookAlikesAndWaivedCall) {
+  const AnalysisResult r = Analyze(FixtureRoot("rng_good"));
+  EXPECT_TRUE(r.errors.empty()) << r.errors.size() << " unexpected finding(s), "
+                                << "first: "
+                                << (r.errors.empty() ? "" : r.errors[0].message);
+}
+
+TEST(JsonEscape, ControlCharactersBecomeValidJsonEscapes) {
+  // Regression for the --json output: a finding message quoting source text
+  // can carry any control character; raw emission is invalid JSON.
+  EXPECT_EQ(ddanalyze::JsonEscape("plain"), "plain");
+  EXPECT_EQ(ddanalyze::JsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(ddanalyze::JsonEscape("a\nb\tc\rd"), "a\\nb\\tc\\rd");
+  EXPECT_EQ(ddanalyze::JsonEscape(std::string("\x01\x1f\x00", 3)),
+            "\\u0001\\u001f\\u0000");
+  // Bytes >= 0x20 (including UTF-8 continuation bytes) pass through.
+  EXPECT_EQ(ddanalyze::JsonEscape("\xc3\xa9"), "\xc3\xa9");
+}
+
 TEST(Ratchet, BaselineRoundTripsAndComparesDirectionally) {
   const std::map<std::string, int> counts = {{"tick-units.sim", 2},
                                              {"tick-units.stack", 0}};

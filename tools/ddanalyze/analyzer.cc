@@ -126,17 +126,20 @@ AnalysisResult Analyze(const std::string& root) {
   for (const SourceFile& f : files) {
     const bool in_stats = f.rel_path.compare(0, 10, "src/stats/") == 0;
     CheckPooledEscapes(f, in_stats, &result.errors);
+    CheckShardOwnership(f, LayerOf(f.rel_path), &result.errors);
+    CheckRngDiscipline(f, &result.errors);
   }
   const TickSymbolTable symbols = BuildTickSymbols(files);
   for (const SourceFile& f : files) {
     CheckTickUnits(f, symbols, &result.ratchet);
+    CheckGlobalState(f, &result.ratchet);
   }
   for (const Finding& f : result.ratchet) {
     std::string layer = LayerOf(f.file);
     if (layer.empty()) {
       layer = "other";
     }
-    ++result.ratchet_counts["tick-units." + layer];
+    ++result.ratchet_counts[f.rule + "." + layer];
   }
   return result;
 }
@@ -169,10 +172,13 @@ std::map<std::string, int> ReadBaseline(const std::string& path,
 
 std::string FormatBaseline(const std::map<std::string, int>& counts) {
   std::ostringstream out;
-  out << "# ddanalyze ratchet baseline: raw-integer sites flowing into\n"
-         "# tick-typed parameters, per layer. Counts may only decrease;\n"
-         "# regenerate with `ddanalyze --root . --write-baseline` after\n"
-         "# migrating call sites to Tick/TickDuration.\n";
+  out << "# ddanalyze ratchet baseline, per rule and layer:\n"
+         "#   tick-units.<layer>   raw-integer sites flowing into tick-typed\n"
+         "#                        parameters\n"
+         "#   global-state.<layer> mutable static-storage state (shared\n"
+         "#                        across shards once they run on threads)\n"
+         "# Counts may only decrease; regenerate with\n"
+         "# `ddanalyze --root . --write-baseline` after burning sites down.\n";
   for (const auto& [key, count] : counts) {
     out << key << " " << count << "\n";
   }
@@ -189,11 +195,48 @@ std::vector<std::string> CompareToBaseline(
     if (count > allowed) {
       std::ostringstream msg;
       msg << key << ": " << count << " sites, baseline allows " << allowed
-          << " (migrate the new call sites to Tick/TickDuration)";
+          << " (fix the new sites; the ratchet only goes down)";
       violations.push_back(msg.str());
     }
   }
   return violations;
+}
+
+std::string JsonEscape(const std::string& s) {
+  static const char* const kHex = "0123456789abcdef";
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (u < 0x20) {
+          // Remaining control characters are invalid raw inside a JSON
+          // string; \u00XX is the only legal spelling.
+          out += "\\u00";
+          out += kHex[u >> 4];
+          out += kHex[u & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
 }
 
 }  // namespace ddanalyze

@@ -1,5 +1,5 @@
 // ddanalyze: token-level architecture checks for the simulator tree
-// (DESIGN.md §7). Three rule families:
+// (DESIGN.md §7 and §10). Six rule families:
 //
 //   layer-dag     — includes must follow the layer table in layers.cc;
 //                   cycles and undeclared (skip) edges are errors, as are
@@ -14,6 +14,37 @@
 //                   per layer and ratcheted against tools/ddanalyze-baseline.txt
 //                   (the count may fall, never rise). Waive a single site with
 //                   `// ddanalyze: tick-ok(reason)`.
+//
+// Shard-safety suite (DESIGN.md §10) — proves the tree is shard-partitionable
+// before the sharded parallel simulation lands (ROADMAP item 2):
+//
+//   global-state  — namespace-scope non-const variables, mutable
+//                   function-local statics, thread_local, and non-const class
+//                   statics. Any of these is state shared between shards the
+//                   moment two simulators run on two threads. const /
+//                   constexpr / constinit and kConstant-named values are
+//                   exempt. Ratcheted per layer like tick-units; waive a
+//                   single site with `// ddanalyze: global-ok(reason)`.
+//   shard-ownership
+//                 — every shard-local root type (Simulator, Machine, CpuCore,
+//                   Rng, ShardContext, the engine internals, MetricsRegistry)
+//                   has an owning layer and a set of layers allowed to hold a
+//                   stored mutable alias (pointer/reference member or local).
+//                   Borrowing through a parameter or accessor return is always
+//                   fine; *storing* an alias outside the allowed layers (or
+//                   any mutable alias in src/stats/, which must observe via
+//                   copies and pull gauges) is an error. const-qualified
+//                   aliases are shared-immutable views and always allowed.
+//                   Waive with `// ddanalyze: shard-ok(reason)`.
+//   rng-discipline
+//                 — all randomness must flow through the seeded per-shard Rng
+//                   (src/sim/rng.h). Bans, at the symbol level, the libc/std
+//                   generators (rand, srand, drand48, mt19937, random_device,
+//                   ...) and time-derived seed sources (time(), clock(),
+//                   gettimeofday, std::chrono clocks). Stronger than ddlint's
+//                   regex rule: string literals and comments never match, and
+//                   only whole identifiers do. Waive with
+//                   `// ddanalyze: rng-ok(reason)`.
 #ifndef DAREDEVIL_TOOLS_DDANALYZE_ANALYZER_H_
 #define DAREDEVIL_TOOLS_DDANALYZE_ANALYZER_H_
 
@@ -27,7 +58,9 @@
 namespace ddanalyze {
 
 struct Finding {
-  std::string rule;  // "layer-dag", "pooled-escape", "tick-units"
+  // "layer-dag", "pooled-escape", "tick-units", "global-state",
+  // "shard-ownership", "rng-discipline".
+  std::string rule;
   std::string file;  // repo-relative path
   int line = 0;
   std::string message;
@@ -59,12 +92,29 @@ TickSymbolTable BuildTickSymbols(const std::vector<SourceFile>& files);
 void CheckTickUnits(const SourceFile& file, const TickSymbolTable& symbols,
                     std::vector<Finding>* out);
 
+// Global-state rule for one file: namespace-scope non-const variables,
+// mutable function-local statics, thread_local, non-const class statics.
+// Findings are ratcheted per layer ("global-state.<layer>"), not errors.
+void CheckGlobalState(const SourceFile& file, std::vector<Finding>* out);
+
+// Shard-ownership rule for one file. `layer` is the file's ddanalyze layer
+// (LayerOf); pass "" for unmapped files (every alias store is then flagged).
+void CheckShardOwnership(const SourceFile& file, const std::string& layer,
+                         std::vector<Finding>* out);
+
+// RNG-stream discipline rule for one file: bans ambient randomness and
+// time-derived seed sources at the identifier level.
+void CheckRngDiscipline(const SourceFile& file, std::vector<Finding>* out);
+
 // --- Driver ---------------------------------------------------------------
 
 struct AnalysisResult {
-  std::vector<Finding> errors;   // layer-dag + pooled-escape: must be empty
-  std::vector<Finding> ratchet;  // tick-units sites (informational)
-  // "tick-units.<layer>" -> count; layers with zero sites are omitted.
+  // layer-dag + pooled-escape + shard-ownership + rng-discipline: must be
+  // empty for the tree to pass.
+  std::vector<Finding> errors;
+  // tick-units + global-state sites (informational, ratcheted).
+  std::vector<Finding> ratchet;
+  // "<rule>.<layer>" -> count; layers with zero sites are omitted.
   std::map<std::string, int> ratchet_counts;
 };
 
@@ -82,6 +132,12 @@ std::string FormatBaseline(const std::map<std::string, int>& counts);
 std::vector<std::string> CompareToBaseline(
     const std::map<std::string, int>& current,
     const std::map<std::string, int>& baseline);
+
+// JSON string-body escaping for the CLI's --json output (exposed here so the
+// regression tests can drive it). Escapes '"', '\\' and every control
+// character below 0x20 (\n, \t, \r get their short forms, the rest \u00XX),
+// so findings whose messages quote source text stay valid JSON.
+std::string JsonEscape(const std::string& s);
 
 }  // namespace ddanalyze
 

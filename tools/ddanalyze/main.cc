@@ -13,24 +13,11 @@
 
 namespace {
 
+// Full escaping (including \u00XX for control characters) lives in
+// ddanalyze::JsonEscape so the unit tests can cover it; findings routinely
+// quote source text, and a raw tab or CR in a message is invalid JSON.
 void PrintJsonString(std::ostream& out, const std::string& s) {
-  out << '"';
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out << "\\\"";
-        break;
-      case '\\':
-        out << "\\\\";
-        break;
-      case '\n':
-        out << "\\n";
-        break;
-      default:
-        out << c;
-    }
-  }
-  out << '"';
+  out << '"' << ddanalyze::JsonEscape(s) << '"';
 }
 
 }  // namespace

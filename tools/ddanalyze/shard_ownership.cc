@@ -1,0 +1,172 @@
+// shard-ownership rule: generalizes pooled-escape to a shard-boundary model.
+// Each shard-local root type (the event engine and arena, the simulator and
+// its machine, the RNG stream, the shard context, the metrics sink) has an
+// owning layer and a small set of layers allowed to hold a *stored* mutable
+// alias to it — a pointer or reference member, local, or container element.
+// Everything else may only *borrow*: take the alias as a function parameter
+// or return it from an accessor, both of which end with the call. A stored
+// alias outside the allowed set is exactly the pointer that dangles into a
+// foreign shard once ROADMAP item 2 runs shards on threads.
+//
+// const-qualified aliases are shared-immutable views and always allowed
+// (observability reads; cross-shard reads are the window-barrier's problem,
+// not ownership's). Waive a deliberate site with
+// `// ddanalyze: shard-ok(reason)`.
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/ddanalyze/analyzer.h"
+
+namespace ddanalyze {
+namespace {
+
+struct OwnedType {
+  std::string owner;              // layer that owns instances
+  std::set<std::string> allowed;  // layers allowed to store mutable aliases
+};
+
+// Shard-local root types. The allowed sets mirror today's architecture:
+// engine internals never leak past sim; machine/core/simulator handles are
+// how the stacks and workloads drive the DES (everywhere but stats, which
+// must observe through copies and registered pull gauges); Rng is only ever
+// borrowed by reference at the draw site; ShardContext is built by the
+// workload layer and owned by sim; the metrics sink is stats machinery plus
+// the one attach slot on ShardContext.
+const std::map<std::string, OwnedType>& OwnedTypes() {
+  static const std::map<std::string, OwnedType> kTypes = {
+      {"LadderQueue", {"sim.engine", {"sim.engine", "sim"}}},
+      {"EventArena", {"sim.engine", {"sim.engine", "sim"}}},
+      {"EventRecord", {"sim.engine", {"sim.engine", "sim"}}},
+      {"Simulator",
+       {"sim",
+        {"sim.engine", "sim", "fault", "nvme", "stack", "blkmq", "blkswitch",
+         "virtio", "core", "workload", "apps"}}},
+      {"Machine",
+       {"sim",
+        {"sim", "fault", "nvme", "stack", "blkmq", "blkswitch", "virtio",
+         "core", "workload", "apps"}}},
+      {"CpuCore",
+       {"sim",
+        {"sim", "fault", "nvme", "stack", "blkmq", "blkswitch", "virtio",
+         "core", "workload", "apps"}}},
+      {"Rng", {"sim", {}}},
+      {"ShardContext", {"sim", {"sim", "workload"}}},
+      {"MetricsRegistry", {"stats", {"stats", "sim"}}},
+  };
+  return kTypes;
+}
+
+std::string JoinLayers(const std::set<std::string>& layers) {
+  if (layers.empty()) {
+    return "none (borrow by parameter only)";
+  }
+  std::string out;
+  for (const std::string& l : layers) {
+    if (!out.empty()) {
+      out += ", ";
+    }
+    out += l;
+  }
+  return out;
+}
+
+}  // namespace
+
+void CheckShardOwnership(const SourceFile& file, const std::string& layer,
+                         std::vector<Finding>* out) {
+  const std::vector<Token>& toks = file.lex.tokens;
+
+  auto report = [&](int line, const std::string& type,
+                    const OwnedType& info) {
+    if (file.lex.HasWaiver(line, "shard")) {
+      return;
+    }
+    out->push_back(
+        {"shard-ownership", file.rel_path, line,
+         "stored mutable alias to shard-local " + type + " (owned by " +
+             info.owner + ") in layer '" +
+             (layer.empty() ? "<unmapped>" : layer) +
+             "'; allowed layers: " + JoinLayers(info.allowed) +
+             ". Borrow via a parameter, store a const view, or copy the "
+             "fields you need"});
+  };
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kIdent) {
+      continue;
+    }
+    auto it = OwnedTypes().find(t.text);
+    if (it == OwnedTypes().end()) {
+      continue;
+    }
+    const OwnedType& info = it->second;
+    if (info.allowed.count(layer) > 0) {
+      continue;  // this layer may store mutable aliases of this type
+    }
+
+    // West const: `const Simulator*`, skipping namespace qualifiers so
+    // `const sim::Simulator*` is recognized too.
+    std::size_t b = i;
+    while (b >= 2 && toks[b - 1].kind == TokKind::kPunct &&
+           toks[b - 1].text == "::" && toks[b - 2].kind == TokKind::kIdent) {
+      b -= 2;
+    }
+    if (b >= 1 && toks[b - 1].kind == TokKind::kIdent &&
+        toks[b - 1].text == "const") {
+      continue;  // shared-immutable view
+    }
+
+    // East const: `Simulator const*`.
+    std::size_t p = i + 1;
+    if (p < toks.size() && toks[p].kind == TokKind::kIdent &&
+        toks[p].text == "const") {
+      continue;
+    }
+    if (p >= toks.size() || toks[p].kind != TokKind::kPunct ||
+        (toks[p].text != "*" && toks[p].text != "&")) {
+      continue;  // by-value use, base-class mention, etc.
+    }
+    ++p;
+    while (p < toks.size() && toks[p].kind == TokKind::kPunct &&
+           (toks[p].text == "*" || toks[p].text == "&")) {
+      ++p;  // `Type**`, `Type*&`
+    }
+    if (p >= toks.size()) {
+      continue;
+    }
+
+    // Template argument position: `std::vector<Simulator*>` declares a
+    // container of aliases; `static_cast<Simulator*>(...)` is a cast.
+    if (toks[p].kind == TokKind::kPunct && toks[p].text == ">") {
+      ++p;
+      if (p < toks.size() && toks[p].kind == TokKind::kPunct &&
+          toks[p].text == "(") {
+        continue;  // cast expression — a borrow, not a store
+      }
+      // fall through: the next identifier is the declared container name
+    }
+    if (p >= toks.size() || toks[p].kind != TokKind::kIdent) {
+      continue;  // `return *x;`-style expression context
+    }
+    const Token& name = toks[p];
+    if (name.text == "operator") {
+      continue;  // `Simulator& operator=(...)` — a function, not a variable
+    }
+    const Token* next = p + 1 < toks.size() ? &toks[p + 1] : nullptr;
+    if (next == nullptr || next->kind != TokKind::kPunct) {
+      continue;
+    }
+    // `,` / `)` — parameter borrow. `(` — accessor/function returning the
+    // alias. `:` — range-for borrow. Only a terminated or initialized
+    // declaration is a store.
+    if (next->text == ";" || next->text == "=" || next->text == "{") {
+      report(t.line, t.text, info);
+    }
+  }
+}
+
+}  // namespace ddanalyze

@@ -37,13 +37,20 @@ know. This pass enforces them over src/, bench/, and tests/:
                   non-placement `new`. The arena's slab-growth line is the
                   one sanctioned (waived) allocation site; everything else
                   must use the arena or inline storage.
+  local-static    No mutable function-local `static` and no `thread_local`
+                  in src/. Both are state shared by every shard the moment
+                  two simulators run on two threads (ROADMAP item 2);
+                  `static const`/`constexpr` data is fine. Fast Python
+                  backstop for ddanalyze's token-level global-state pass,
+                  which additionally covers namespace-scope variables and
+                  class statics.
 
 Waivers
   Inline, on the offending line (preferred for one-off sites):
       ... // ddlint: ordered-ok(stats dump, order does not reach the sim)
   The token is <rule-token>-ok where the tokens are: wallclock, rng, assert,
-  ordered, guard, units, enginealloc. A reason inside the parentheses is
-  mandatory.
+  ordered, guard, units, enginealloc, localstatic. A reason inside the
+  parentheses is mandatory.
 
   File-level, in tools/ddlint-waivers.txt (one per line):
       <rule> <path> <reason...>
@@ -87,6 +94,7 @@ RULE_TOKENS = {
     "page-literal": "units",
     "trace-categories": "tracecat",
     "engine-alloc": "enginealloc",
+    "local-static": "localstatic",
 }
 
 # Directory the engine-alloc rule guards (the zero-allocation event core).
@@ -135,6 +143,16 @@ UNORDERED_DECL_RE = re.compile(
 RANGE_FOR_RE = re.compile(r"\bfor\s*\(([^;]*?):([^;]*)\)")
 
 PAGE_LITERAL_RE = re.compile(r"\b4096\b")
+
+LOCAL_STATIC_PATTERNS = [
+    (re.compile(r"\bthread_local\b"), "thread_local storage"),
+    # Indented `static <type> name ...;` with a declarator that never opens a
+    # parameter list (static member/local *functions* stay legal) and no
+    # leading cv-qualifier (`static const`/`constexpr` data is immutable).
+    (re.compile(r"^\s+static\s+(?!(?:inline\s+)?(?:const|constexpr|constinit)\b)"
+                r"[\w:<>,*&\s]+?\w+\s*[={;]"),
+     "mutable local static"),
+]
 
 INLINE_WAIVER_RE = re.compile(r"//\s*ddlint:\s*([a-z]+)-ok\(([^)]*)\)")
 
@@ -257,6 +275,13 @@ def check_file(path, rel, findings):
                      "raw 4096 literal: derive byte quantities from "
                      "kPageBytes (src/stack/request.h), or waive if this is "
                      "not a page-size quantity")
+            for pattern, what in LOCAL_STATIC_PATTERNS:
+                if pattern.search(line):
+                    emit(lineno, "local-static",
+                         "{}: hidden state shared by every shard that "
+                         "reaches this line; make it const or hoist it into "
+                         "the owning component (ddanalyze global-state has "
+                         "the full rule)".format(what))
 
     # --- engine-alloc: the zero-allocation event core ----------------------
     if rel.startswith(ENGINE_DIR):

@@ -111,6 +111,70 @@ class EngineAllocRuleTest(unittest.TestCase):
             [])
 
 
+class LocalStaticRuleTest(unittest.TestCase):
+    """local-static bans mutable function-local statics and thread_local in
+    src/ — the fast backstop for ddanalyze's global-state pass."""
+
+    def _check(self, source, rel="src/sim/fake.cc"):
+        findings = []
+        with tempfile.NamedTemporaryFile("w", suffix=".cc",
+                                         delete=False) as f:
+            f.write(source)
+            path = f.name
+        try:
+            ddlint.check_file(path, rel, findings)
+        finally:
+            os.unlink(path)
+        return [x for x in findings if x.rule == "local-static"]
+
+    def test_mutable_local_static_is_flagged(self):
+        hits = self._check("int Next() {\n  static int next = 0;\n"
+                           "  return ++next;\n}\n")
+        self.assertEqual(len(hits), 1)
+        self.assertFalse(hits[0].waived)
+
+    def test_thread_local_is_flagged(self):
+        hits = self._check("void F() {\n  thread_local int depth = 0;\n}\n")
+        # thread_local matches; the static-declaration pattern must not
+        # double-report the same line.
+        self.assertEqual(len(hits), 1)
+
+    def test_const_and_constexpr_statics_are_fine(self):
+        source = ("int Lookup(int i) {\n"
+                  "  static const int kSmall[] = {1, 2, 3};\n"
+                  "  static constexpr int kBase = 7;\n"
+                  "  static inline const int kAlso = 9;\n"
+                  "  return kSmall[i] + kBase + kAlso;\n"
+                  "}\n")
+        self.assertEqual(self._check(source), [])
+
+    def test_static_member_functions_are_fine(self):
+        source = ("struct S {\n"
+                  "  static int BucketIndex(long value);\n"
+                  "  static void Invoke(void* storage) { }\n"
+                  "};\n")
+        self.assertEqual(self._check(source), [])
+
+    def test_mutable_class_static_data_is_flagged(self):
+        hits = self._check("struct S {\n  static int instances_;\n};\n")
+        self.assertEqual(len(hits), 1)
+
+    def test_inline_waiver_token_applies(self):
+        hits = self._check(
+            "int Next() {\n"
+            "  static int next = 0;"
+            "  // ddlint: localstatic-ok(single-threaded tool)\n"
+            "  return ++next;\n}\n")
+        self.assertEqual(len(hits), 1)
+        self.assertTrue(hits[0].waived)
+
+    def test_rule_is_scoped_to_src(self):
+        self.assertEqual(
+            self._check("int F() {\n  static int n = 0;\n  return n;\n}\n",
+                        rel="tests/fake_test.cc"),
+            [])
+
+
 class RatchetBaselineTest(unittest.TestCase):
     def test_waived_counts_group_by_rule(self):
         findings = [_finding("a.h"), _finding("b.h"),
