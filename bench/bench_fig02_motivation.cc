@@ -66,6 +66,10 @@ int main() {
     cfg.duration = ScaledMs(150);
     AddLTenants(cfg, 4);
     AddTTenants(cfg, 8);
+    // The same objective for both stacks turns the latency comparison into a
+    // conformance verdict: who met "99% of L-requests under 5ms", and who
+    // blocked whom when the objective was missed.
+    AddLatencySlo(cfg, 5 * kMillisecond, ScaledMs(5));
     cfg.analyze_holb = true;
     cfg.trace_capacity = TraceCapacityOr(1 << 20);
     cfg.sample_interval = kMillisecond;
@@ -84,6 +88,7 @@ int main() {
     WarnOnTraceDrops(label, r);
     std::printf("\n[%s]\n%s", std::string(StackKindName(kind)).c_str(),
                 r.holb.ToTable().c_str());
+    std::printf("%s", r.slo.ToTable().c_str());
     const double head_total =
         static_cast<double>(r.holb.attributed_head_ns);
     const double bulk_share =

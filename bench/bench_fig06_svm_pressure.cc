@@ -19,8 +19,17 @@ int main() {
   const std::vector<StackKind> stacks = {StackKind::kVanilla, StackKind::kBlkSwitch,
                                          StackKind::kDareFull};
 
+  // Every run carries the same latency objective for the L-tenants, so the
+  // table can report conformance ("did the latency tenant keep its SLO?")
+  // next to the raw percentiles. Violation episodes are attributed to their
+  // dominant blockers; the detail tables below surface the culprits.
+  const Tick slo_threshold = 5 * kMillisecond;
+  constexpr double kSloTarget = 99.0;
+  constexpr int kSloDetailPressure = 16;
+  std::vector<std::pair<std::string, std::string>> slo_detail;
+
   TablePrinter table({"T-tenants", "stack", "L p99.9", "L avg", "L IOPS",
-                      "T tput", "CPU util"});
+                      "T tput", "CPU util", "L SLO", "budget burn"});
   for (int n_t : pressures) {
     for (StackKind kind : stacks) {
       ScenarioConfig cfg = MakeSvmConfig(/*cores=*/4);
@@ -29,12 +38,19 @@ int main() {
       cfg.duration = ScaledMs(150);
       AddLTenants(cfg, 4);
       AddTTenants(cfg, n_t);
+      AddLatencySlo(cfg, slo_threshold, ScaledMs(5), kSloTarget);
       const ScenarioResult r = RunScenario(cfg);
       json.Add(std::string(StackKindName(kind)) + "/nt=" + std::to_string(n_t), r);
+      if (n_t == kSloDetailPressure &&
+          (kind == StackKind::kVanilla || kind == StackKind::kDareFull)) {
+        slo_detail.emplace_back(std::string(StackKindName(kind)),
+                                r.slo.ToTable());
+      }
       table.AddRow({std::to_string(n_t), std::string(StackKindName(kind)),
                     FormatMs(static_cast<double>(r.P999Ns("L"))),
                     FormatMs(r.AvgLatencyNs("L")), FormatCount(r.Iops("L")),
-                    FormatMiBps(r.ThroughputBps("T")), FormatPercent(r.cpu_util)});
+                    FormatMiBps(r.ThroughputBps("T")), FormatPercent(r.cpu_util),
+                    SloCell(r.slo), FormatRatio(r.slo.MaxBudgetBurned())});
     }
   }
   table.Print();
@@ -43,5 +59,17 @@ int main() {
       "to 33x on SV-M, with stable comparable T throughput (at worst ~25.9%%\n"
       "lower); vanilla and blk-switch inflate L latency as pressure rises and\n"
       "L-tenants can hardly issue I/O under extreme pressure (Fig. 6c).\n");
+
+  std::printf("\n--- SLO conformance detail (%d T-tenants, p%.5g < %s) ---\n",
+              kSloDetailPressure, kSloTarget,
+              FormatUs(static_cast<double>(slo_threshold)).c_str());
+  for (const auto& [stack, detail] : slo_detail) {
+    std::printf("\n[%s]\n%s", stack.c_str(), detail.c_str());
+  }
+  std::printf(
+      "\nPaper shape: the L-tenants keep their objective under Daredevil but\n"
+      "burn through the whole error budget under vanilla blk-mq, where the\n"
+      "violation episodes are attributed to bulk T-tenants blocking the\n"
+      "shared queues.\n");
   return 0;
 }

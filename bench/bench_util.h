@@ -37,6 +37,47 @@ inline void PrintHeader(const char* experiment, const char* paper_ref,
   std::printf("Setup: %s\n\n", setup);
 }
 
+// Attaches a latency SLO for the L-tenant group: `target` percent of each
+// L-tenant's requests must complete end-to-end under `threshold`, with burn
+// rates evaluated over `window`-wide buckets. The run's ScenarioResult then
+// carries a per-tenant conformance report (result.slo) whose violation
+// episodes are attributed to their dominant blockers; configuring a spec
+// implies per-request timeline capture.
+inline void AddLatencySlo(ScenarioConfig& cfg, Tick threshold, Tick window,
+                          double target = 99.0) {
+  SloSpec spec;
+  spec.selector = "L";
+  spec.target_percentile = target;
+  spec.threshold = threshold;
+  spec.window = window;
+  cfg.slos.push_back(spec);
+}
+
+// Total requests observed by the SLO tracker (0 = every tracked tenant was
+// starved out of the measurement window; conformance is then vacuous).
+inline uint64_t SloTotalRequests(const SloReport& slo) {
+  uint64_t total = 0;
+  for (const auto& [name, r] : slo.tenants) {
+    total += r.total();
+  }
+  return total;
+}
+
+// Compact conformance cell for bench tables: "99.2%", "MISS 12.4%", or
+// "starved" when no tracked request completed in the measurement window.
+inline std::string SloCell(const SloReport& slo) {
+  if (SloTotalRequests(slo) == 0) {
+    return "starved";
+  }
+  const double conf = slo.AggregateConformancePct();
+  std::string cell = FormatPercent(conf / 100.0);
+  bool met = true;
+  for (const auto& [name, r] : slo.tenants) {
+    met = met && r.met;
+  }
+  return met ? cell : "MISS " + cell;
+}
+
 // DD_TRACE_JSON=<path>: benches that support timeline tracing export a
 // Chrome-trace/Perfetto JSON of their tracing-enabled scenario to this path
 // (load it at ui.perfetto.dev; see EXPERIMENTS.md "Capturing and viewing

@@ -1,6 +1,7 @@
 #include "src/apps/app_io.h"
 
 #include "src/core/invariant.h"
+#include "src/stats/slo.h"
 
 namespace daredevil {
 
@@ -22,9 +23,14 @@ AppIoContext::Op* AppIoContext::AllocOp() {
   Op* op = owned.get();
   op->ctx = this;
   op->rq.tenant = tenant_;
-  op->rq.on_complete = [op](Request*) {
+  op->rq.on_complete = [op](Request* r) {
     AppIoContext* ctx = op->ctx;
     --ctx->inflight_;
+    if (ctx->slo_ != nullptr) {
+      ctx->slo_->Record(ctx->machine_->now(),
+                        r->complete_time - r->issue_time,
+                        r->status == IoStatus::kOk);
+    }
     Callback done = std::move(op->done);
     op->done = nullptr;
     ctx->free_list_.push_back(op);

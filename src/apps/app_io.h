@@ -13,6 +13,8 @@
 
 namespace daredevil {
 
+class SloTenantState;  // src/stats/slo.h
+
 class AppIoContext {
  public:
   using Callback = std::function<void()>;
@@ -41,6 +43,10 @@ class AppIoContext {
   uint64_t pages_transferred() const { return pages_; }
   int inflight() const { return inflight_; }
 
+  // Optional SLO observer (owned by the scenario's SloTracker; null is fine).
+  // Every completed op is reported with its end-to-end latency.
+  void AttachSlo(SloTenantState* slo) { slo_ = slo; }
+
  private:
   struct Op {
     Request rq;
@@ -66,6 +72,7 @@ class AppIoContext {
   uint64_t writes_ = 0;
   uint64_t pages_ = 0;
   int inflight_ = 0;
+  SloTenantState* slo_ = nullptr;
 };
 
 }  // namespace daredevil

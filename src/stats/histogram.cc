@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 
 namespace daredevil {
 namespace {
@@ -94,7 +95,8 @@ int64_t Histogram::Percentile(double p) const {
   if (count_ == 0) {
     return 0;
   }
-  p = std::clamp(p, 0.0, 100.0);
+  // std::clamp on NaN is undefined; a garbage percentile reads as "the tail".
+  p = std::isnan(p) ? 100.0 : std::clamp(p, 0.0, 100.0);
   const double target_rank = p / 100.0 * static_cast<double>(count_);
   uint64_t cumulative = 0;
   for (int i = 0; i < kTotalBuckets; ++i) {

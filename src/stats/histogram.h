@@ -24,8 +24,9 @@ class Histogram {
   int64_t min() const { return count_ == 0 ? 0 : min_; }
   int64_t max() const { return count_ == 0 ? 0 : max_; }
   double Mean() const;
-  // p in [0, 100]. Returns an upper bound of the bucket containing the
-  // p-th percentile observation (0 when empty).
+  // p in [0, 100]; out-of-range values are clamped and NaN reads as 100.
+  // Returns an upper bound of the bucket containing the p-th percentile
+  // observation (0 when empty).
   int64_t Percentile(double p) const;
 
   int64_t P50() const { return Percentile(50.0); }

@@ -208,6 +208,15 @@ HolbReport AnalyzeHolBlocking(const std::vector<RequestRecord>& records,
     if (opts.victims_latency_sensitive_only && !victim.latency_sensitive) {
       continue;
     }
+    if (opts.victim_tenant_id != 0 &&
+        victim.tenant_id != opts.victim_tenant_id) {
+      continue;
+    }
+    if (victim.complete < opts.victim_complete_begin ||
+        (opts.victim_complete_end >= 0 &&
+         victim.complete >= opts.victim_complete_end)) {
+      continue;
+    }
     const Tick wait_begin = victim.nsq_enqueue;
     const Tick wait_end = victim.fetch_start;
     ++report.victims;

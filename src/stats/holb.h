@@ -42,6 +42,17 @@ struct HolbOptions {
   size_t top_n = 10;
   // Optional tenant display names ("L0", "T1", ...); ids otherwise.
   std::map<uint64_t, std::string> tenant_names;
+
+  // --- Victim filters (the SLO episode cross-link, slo.h) -----------------
+  // These narrow *who counts as a victim*; blocker intervals are always
+  // reconstructed from every record, so a filtered pass still charges
+  // out-of-range blockers correctly.
+  // Nonzero: only this tenant's requests are victims (tenant ids start at 1).
+  uint64_t victim_tenant_id = 0;
+  // Only requests completing in [victim_complete_begin, victim_complete_end)
+  // are victims; a negative end means unbounded.
+  Tick victim_complete_begin = 0;
+  Tick victim_complete_end = -1;
 };
 
 // One row of a blocker ranking (key = tenant name or size class).

@@ -19,6 +19,7 @@ class TimeSeries {
 
   void Record(Tick at, int64_t value) {
     if (at < origin_) {
+      ++dropped_early_;
       return;
     }
     const auto idx = static_cast<size_t>((at - origin_) / window_);
@@ -30,6 +31,11 @@ class TimeSeries {
   }
 
   size_t num_windows() const { return windows_.size(); }
+  // Samples rejected because they predate `origin` (e.g. requests issued in
+  // warmup but completing after measurement started was mis-stamped, or an
+  // origin set after traffic began). Surfaced as the timeseries.dropped_early
+  // gauge so truncated series are visible instead of silently short.
+  uint64_t dropped_early() const { return dropped_early_; }
   Tick window_width() const { return window_; }
   Tick WindowStart(size_t i) const { return origin_ + static_cast<Tick>(i) * window_; }
 
@@ -51,6 +57,7 @@ class TimeSeries {
   Tick origin_;
   Tick window_;
   std::vector<Window> windows_;
+  uint64_t dropped_early_ = 0;
 };
 
 }  // namespace daredevil

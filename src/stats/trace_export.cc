@@ -6,6 +6,7 @@
 
 #include "src/core/invariant.h"
 #include "src/stats/metrics.h"
+#include "src/stats/slo.h"
 #include "src/stats/state_sampler.h"
 
 namespace daredevil {
@@ -161,6 +162,60 @@ void BuildMetadata(const TraceExportInput& input,
   AddMeta(out, kTracePidCounters, 0, "process_name", "sampled state");
   AddMeta(out, kTracePidControl, 0, "process_name", "stack control");
   AddMeta(out, kTracePidControl, 0, "thread_name", "scheduling");
+  if (input.slo != nullptr && !input.slo->empty()) {
+    AddMeta(out, kTracePidSlo, 0, "process_name", "SLO conformance");
+    int tid = 0;
+    for (const auto& [tenant, r] : input.slo->tenants) {
+      AddMeta(out, kTracePidSlo, tid, "thread_name", "SLO " + tenant);
+      ++tid;
+    }
+  }
+}
+
+// Violation episodes as X slices and per-window fast burn rates as counters,
+// one track per SLO-tracked tenant (map order = tid order).
+void BuildSloEvents(const TraceExportInput& input,
+                    std::vector<ChromeEvent>& out) {
+  if (input.slo == nullptr || input.slo->empty()) {
+    return;
+  }
+  auto fmt = [](double v) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.15g", v);
+    return std::string(buf);
+  };
+  int tid = 0;
+  for (const auto& [tenant, r] : input.slo->tenants) {
+    for (const SloEpisode& ep : r.episodes) {
+      ChromeEvent x;
+      x.ph = 'X';
+      x.ts = ep.begin;
+      x.dur = ep.duration();
+      x.pid = kTracePidSlo;
+      x.tid = tid;
+      x.cat = "slo";
+      x.name = "SLO violation " + tenant;
+      x.args.emplace_back("peak_burn", fmt(ep.peak_burn));
+      x.args.emplace_back("bad", std::to_string(ep.bad));
+      x.args.emplace_back("total", std::to_string(ep.total));
+      x.args.emplace_back("blame",
+                          Quoted(ep.blame.empty() ? "unattributed" : ep.blame));
+      x.args.emplace_back("mechanism", Quoted(ep.mechanism));
+      out.push_back(x);
+    }
+    for (const SloWindow& win : r.windows) {
+      ChromeEvent c;
+      c.ph = 'C';
+      c.ts = win.start;
+      c.pid = kTracePidSlo;
+      c.tid = tid;
+      c.name = "burn " + tenant;
+      c.args.emplace_back("fast", fmt(win.fast_burn));
+      c.args.emplace_back("slow", fmt(win.slow_burn));
+      out.push_back(c);
+    }
+    ++tid;
+  }
 }
 
 // Per-request nested async lifecycle slices plus the resource-track slices
@@ -488,6 +543,7 @@ std::vector<ChromeEvent> BuildChromeEvents(const TraceExportInput& input) {
   BuildRequestEvents(input, input.requests, data);
   BuildTraceEventInstants(input, !input.requests.empty(), data);
   BuildCounterEvents(input, data);
+  BuildSloEvents(input, data);
   // Stable sort keeps emission order for equal timestamps, which preserves
   // begin/end pairing within each request's nested async slices.
   std::stable_sort(data.begin(), data.end(),

@@ -37,6 +37,7 @@
 namespace daredevil {
 
 class StateSampler;  // src/stats/state_sampler.h
+struct SloReport;    // src/stats/slo.h
 
 // --- Per-request lifecycle capture ---------------------------------------
 
@@ -106,6 +107,7 @@ inline constexpr int kTracePidNcq = 4;       // completion-queue residency
 inline constexpr int kTracePidRequests = 5;  // per-request nested lifecycles
 inline constexpr int kTracePidCounters = 6;  // StateSampler counter tracks
 inline constexpr int kTracePidControl = 7;   // scheduling / migration events
+inline constexpr int kTracePidSlo = 8;       // per-tenant SLO violation tracks
 
 // One Chrome trace event before serialization (exposed so tests can verify
 // well-formedness - slice nesting, non-overlap - without a JSON parser).
@@ -132,6 +134,9 @@ struct TraceExportInput {
   // Completed-request records (RequestTimelineLog::Records()); may be empty.
   std::vector<RequestRecord> requests;
   const StateSampler* sampler = nullptr;      // optional counter tracks
+  // Optional finalized SLO report: renders violation episodes as slices and
+  // per-window burn rates as counters on per-tenant SLO tracks.
+  const SloReport* slo = nullptr;
   std::map<uint64_t, std::string> tenant_names;  // id -> display name
   std::map<int, std::string> nsq_labels;      // per-stack track naming
 };

@@ -1,6 +1,7 @@
 #include "src/workload/fio_job.h"
 
 #include "src/core/invariant.h"
+#include "src/stats/slo.h"
 
 namespace daredevil {
 
@@ -133,6 +134,9 @@ void FioJob::OnComplete(Request* rq) {
   }
   if (bytes_series_ != nullptr) {
     bytes_series_->Record(now, static_cast<int64_t>(rq->bytes()));
+  }
+  if (slo_ != nullptr) {
+    slo_->Record(now, latency, rq->status == IoStatus::kOk);
   }
   free_list_.push_back(rq);
   ScheduleNextIssue();

@@ -16,6 +16,8 @@
 
 namespace daredevil {
 
+class SloTenantState;  // src/stats/slo.h
+
 struct FioJobSpec {
   std::string name;
   std::string group = "T";  // stats label ("L", "T", "TL", ...)
@@ -96,6 +98,10 @@ class FioJob {
     bytes_series_ = bytes_series;
   }
 
+  // Optional SLO observer (owned by the scenario's SloTracker; null is fine
+  // and means this tenant matched no spec). Fed one call per delivery.
+  void AttachSlo(SloTenantState* slo) { slo_ = slo; }
+
   // Registers this job's traffic into group-aggregated counters
   // ("workload.<group>.issued" / ".completed"); jobs of the same group share
   // the cells by name.
@@ -142,6 +148,7 @@ class FioJob {
 
   TimeSeries* latency_series_ = nullptr;
   TimeSeries* bytes_series_ = nullptr;
+  SloTenantState* slo_ = nullptr;
 };
 
 }  // namespace daredevil

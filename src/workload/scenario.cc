@@ -183,6 +183,13 @@ std::string ScenarioResult::ToJson(bool include_observability) const {
     }
     w.EndObject();
   }
+  if (include_observability && !slo.empty()) {
+    // Like "errors" and "observability": outside the fingerprinted
+    // projection, because the report exists only when the SLO observer was
+    // configured and observers must not move fingerprints.
+    w.Key("slo");
+    slo.AppendJson(w);
+  }
   w.EndObject();
   return w.str();
 }
@@ -247,7 +254,9 @@ ScenarioEnv::ScenarioEnv(const ScenarioConfig& config)
     stack_->SetFaultRecovery(config.fault_recovery);
     stack_->SetFaultPlan(&faults_);
   }
-  if (config.export_trace || config.analyze_holb) {
+  if (config.export_trace || config.analyze_holb || !config.slos.empty()) {
+    // SLO episode attribution replays the HOL analysis over the captured
+    // timelines, so configuring specs implies the capture.
     timeline_ = std::make_unique<RequestTimelineLog>(config.timeline_capacity);
     stack_->SetTimelineLog(timeline_.get());
   }
@@ -322,6 +331,26 @@ ScenarioResult RunScenario(const ScenarioConfig& config) {
     env.sampler()->RegisterMetrics(&registry);
     env.AttachSampler();
   }
+  if (config.series_window > 0) {
+    // Truncated series are otherwise invisible: TimeSeries::Record counts
+    // pre-origin samples instead of silently dropping them, and this gauge
+    // surfaces the sum. Registered only when series are collected, so runs
+    // without them keep an unchanged metrics schema (and fingerprint).
+    registry.RegisterGauge("timeseries.dropped_early", [&result]() {
+      uint64_t dropped = 0;
+      for (const auto& [group, series] : result.latency_series) {
+        dropped += series.dropped_early();
+      }
+      for (const auto& [group, series] : result.bytes_series) {
+        dropped += series.dropped_early();
+      }
+      return static_cast<double>(dropped);
+    });
+  }
+
+  // The SLO tracker observes deliveries via raw pointers handed to the jobs,
+  // so it must outlive them (declared first = destroyed last).
+  SloTracker slo_tracker(config.slos, measure_start, measure_end);
 
   // Per-tenant streams fork from the shard's RNG (seeded with config.seed at
   // env construction, with no draws in between — the fork sequence is
@@ -343,6 +372,11 @@ ScenarioResult RunScenario(const ScenarioConfig& config) {
     if (config.series_window > 0) {
       job->AttachSeries(&result.latency_series.at(spec.group),
                         &result.bytes_series.at(spec.group));
+    }
+    if (!slo_tracker.empty()) {
+      job->AttachSlo(slo_tracker.AddTenant(job->tenant().name,
+                                           job->tenant().group,
+                                           job->tenant().id.value()));
     }
     jobs.push_back(std::move(job));
   }
@@ -413,6 +447,9 @@ ScenarioResult RunScenario(const ScenarioConfig& config) {
   if (env.sampler() != nullptr) {
     result.sampler = env.sampler()->Snapshot();
   }
+  if (!slo_tracker.empty()) {
+    result.slo = slo_tracker.Finalize();
+  }
   if (env.timeline_log() != nullptr) {
     result.timeline_total = env.timeline_log()->total_recorded();
     result.timeline_dropped = env.timeline_log()->dropped();
@@ -427,6 +464,10 @@ ScenarioResult RunScenario(const ScenarioConfig& config) {
     holb_opts.tenant_names = tenant_names;
     result.holb = AnalyzeHolBlocking(records, holb_opts);
 
+    // Cross-link violation episodes with their dominant blockers before the
+    // export so the trace slices carry the attribution.
+    AttributeSloEpisodes(result.slo, records, tenant_names);
+
     if (config.export_trace) {
       TraceExportInput input;
       input.stack_name = std::string(stack->name());
@@ -438,6 +479,7 @@ ScenarioResult RunScenario(const ScenarioConfig& config) {
       }
       input.requests = records;
       input.sampler = env.sampler();
+      input.slo = &result.slo;
       input.tenant_names = std::move(tenant_names);
       for (int i = 0; i < device.nr_nsq(); ++i) {
         input.nsq_labels[i] = stack->NsqTrackLabel(i);

@@ -18,6 +18,7 @@
 #include "src/sim/simulator.h"
 #include "src/stack/storage_stack.h"
 #include "src/stats/holb.h"
+#include "src/stats/slo.h"
 #include "src/stats/state_sampler.h"
 #include "src/stats/time_series.h"
 #include "src/stats/trace_export.h"
@@ -71,6 +72,13 @@ struct ScenarioConfig {
   // Ring capacity (records) for the per-request timeline capture used by the
   // exporter and the HOL analyzer.
   size_t timeline_capacity = 1 << 20;
+  // Per-tenant latency objectives (src/stats/slo.h). Non-empty: an SloTracker
+  // observes every matched tenant's deliveries over the measurement window
+  // and ScenarioResult::slo carries the finalized conformance report, with
+  // violation episodes cross-linked to the HOL-blocking attribution (the
+  // timeline capture is attached implicitly). Pure observer: fingerprints
+  // are byte-identical with and without specs.
+  std::vector<SloSpec> slos;
 
   std::vector<FioJobSpec> jobs;
 
@@ -125,7 +133,11 @@ struct ScenarioResult {
   uint64_t timeline_dropped = 0;
 
   SamplerSnapshot sampler;  // empty unless sample_interval > 0
-  HolbReport holb;          // empty unless export_trace / analyze_holb
+  HolbReport holb;          // empty unless export_trace / analyze_holb / slos
+  // Per-tenant SLO conformance (empty unless config.slos matched a tenant).
+  // Serialized as the "slo" JSON section, outside the fingerprinted
+  // projection like every other observer output.
+  SloReport slo;
   // The exported Chrome-trace JSON (empty unless export_trace).
   std::string trace_json;
 
@@ -200,7 +212,7 @@ class ScenarioEnv {
   Tick measure_end() const { return config_.warmup + config_.duration; }
   // Null unless config.trace_capacity > 0.
   TraceLog* trace_log() { return trace_.get(); }
-  // Null unless config.export_trace / config.analyze_holb.
+  // Null unless config.export_trace / config.analyze_holb / config.slos.
   RequestTimelineLog* timeline_log() { return timeline_.get(); }
   // Null unless config.sample_interval > 0. Probes are wired but the sampler
   // is not yet scheduled; call AttachSampler() (RunScenario does).

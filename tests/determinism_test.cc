@@ -222,6 +222,50 @@ INSTANTIATE_TEST_SUITE_P(Stacks, FaultDeterminismGate,
                                            StackKind::kDareFull),
                          GateName);
 
+TEST(DeterminismGate, SloTrackingDoesNotPerturbFingerprints) {
+  // The SLO tracker is the third observer class after tracing and sampling:
+  // configuring specs attaches the timeline capture and feeds per-delivery
+  // callbacks, but none of that may move a simulated event. Gate it the same
+  // way as tracing - each stack's fingerprint AND trace stream must still
+  // match the pinned goldens with tracking enabled.
+  for (const GoldenFingerprint& golden : kGoldenFingerprints) {
+    ScenarioConfig cfg = GateConfig(golden.kind, /*seed=*/42);
+    SloSpec spec;
+    spec.selector = "L";
+    spec.threshold = 300 * kMicrosecond;
+    spec.window = kMillisecond;
+    cfg.slos.push_back(spec);
+    const ScenarioResult r = RunScenario(cfg);
+    EXPECT_FALSE(r.slo.empty())
+        << StackKindName(golden.kind) << ": spec matched no tenant";
+    EXPECT_EQ(r.SimulationFingerprint(), golden.fingerprint)
+        << StackKindName(golden.kind)
+        << ": enabling SLO tracking moved the fingerprint";
+    EXPECT_EQ(r.trace_hash, golden.trace_hash)
+        << StackKindName(golden.kind)
+        << ": enabling SLO tracking moved the trace stream";
+  }
+}
+
+TEST(DeterminismGate, SloReportIsByteStable) {
+  // The serialized report (windows, burn rates, episodes, attribution) is
+  // part of ToJson(true): two same-seed runs must agree byte-for-byte.
+  ScenarioConfig cfg = GateConfig(StackKind::kVanilla, /*seed=*/42);
+  SloSpec spec;
+  spec.selector = "L";
+  // Tight threshold: violations (and thus episodes + attribution) exist, so
+  // this exercises the full report, not just the conformance scalars.
+  spec.threshold = 50 * kMicrosecond;
+  spec.window = kMillisecond;
+  cfg.slos.push_back(spec);
+  const ScenarioResult a = RunScenario(cfg);
+  const ScenarioResult b = RunScenario(cfg);
+  ASSERT_FALSE(a.slo.empty());
+  EXPECT_EQ(a.ToJson(), b.ToJson());
+  // And the projection the fingerprint digests must not contain the report.
+  EXPECT_EQ(a.ToJson(false).find("\"slo\""), std::string::npos);
+}
+
 TEST(DeterminismGate, FingerprintWithoutTraceStillStable) {
   ScenarioConfig cfg = GateConfig(StackKind::kDareFull, 7);
   cfg.trace_capacity = 0;

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <vector>
 
 #include "src/sim/rng.h"
@@ -30,6 +31,49 @@ TEST(HistogramTest, SingleValue) {
   EXPECT_DOUBLE_EQ(h.Mean(), 12345.0);
   // Quantization error is bounded by ~3% in the log-linear mapping.
   EXPECT_NEAR(static_cast<double>(h.Percentile(50)), 12345.0, 12345.0 * 0.04);
+}
+
+TEST(HistogramTest, PercentileClampsOutOfRangeP) {
+  Histogram h;
+  h.Record(10);
+  h.Record(20);
+  h.Record(30);
+  // Out-of-range percentiles clamp to the extremes instead of walking off
+  // the bucket array; NaN reads as the tail.
+  EXPECT_EQ(h.Percentile(-5.0), h.Percentile(0.0));
+  EXPECT_EQ(h.Percentile(250.0), h.Percentile(100.0));
+  EXPECT_EQ(h.Percentile(100.0), 30);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(h.Percentile(nan), h.Percentile(100.0));
+
+  Histogram empty;
+  EXPECT_EQ(empty.Percentile(-5.0), 0);
+  EXPECT_EQ(empty.Percentile(250.0), 0);
+  EXPECT_EQ(empty.Percentile(nan), 0);
+}
+
+TEST(HistogramTest, SingleSamplePercentilesAllAgree) {
+  Histogram h;
+  h.Record(42);
+  for (double p : {0.0, 1.0, 50.0, 99.0, 100.0}) {
+    EXPECT_EQ(h.Percentile(p), 42) << "p=" << p;
+  }
+  EXPECT_EQ(h.min(), 42);
+  EXPECT_EQ(h.max(), 42);
+}
+
+TEST(HistogramTest, AllZeroValuesStayZero) {
+  Histogram h;
+  for (int i = 0; i < 100; ++i) {
+    h.Record(0);
+  }
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+  for (double p : {0.0, 50.0, 99.9, 100.0}) {
+    EXPECT_EQ(h.Percentile(p), 0) << "p=" << p;
+  }
 }
 
 TEST(HistogramTest, SmallValuesExact) {
@@ -164,6 +208,17 @@ TEST(TimeSeriesTest, OriginOffset) {
   ASSERT_EQ(ts.num_windows(), 2u);
   EXPECT_EQ(ts.WindowStart(0), 1000);
   EXPECT_EQ(ts.WindowStart(1), 1100);
+  EXPECT_EQ(ts.WindowCount(0), 1u);
+}
+
+TEST(TimeSeriesTest, CountsDroppedEarlySamples) {
+  TimeSeries ts(1000, 100);
+  EXPECT_EQ(ts.dropped_early(), 0u);
+  ts.Record(500, 5);
+  ts.Record(999, 5);
+  ts.Record(1000, 5);  // in range: not a drop
+  EXPECT_EQ(ts.dropped_early(), 2u);
+  EXPECT_EQ(ts.num_windows(), 1u);
   EXPECT_EQ(ts.WindowCount(0), 1u);
 }
 

@@ -140,32 +140,50 @@ def cmd_compare(args):
             raise SystemExit("ddperf: compare needs --current or --build")
         current = best_of(args.runs, args.build, args.scale)
     failures = []
-    print(f"{'metric':44} {'baseline':>14} {'current':>14} {'ratio':>7}")
+    rows = []
     for key in sorted(baseline):
         base = baseline[key]
         cur = current.get(key)
         if cur is None:
             failures.append(f"{key}: missing from current run")
-            print(f"{key:44} {base:14,.0f} {'MISSING':>14}")
+            rows.append((key, f"{base:,.0f}", "MISSING", "", ""))
             continue
         ratio = cur / base if base else float("inf")
         gated = key in GATED
         verdict = ""
         if gated and ratio < 1.0 - args.threshold:
-            verdict = "  REGRESSION"
+            verdict = "REGRESSION"
             failures.append(
                 f"{key}: {cur:,.0f} is {(1.0 - ratio) * 100:.1f}% below "
                 f"baseline {base:,.0f} (threshold {args.threshold * 100:.0f}%)")
         elif not gated:
-            verdict = "  (info)"
-        print(f"{key:44} {base:14,.0f} {cur:14,.0f} {ratio:6.2f}x{verdict}")
+            verdict = "(info)"
+        rows.append((key, f"{base:,.0f}", f"{cur:,.0f}", f"{ratio:.2f}x",
+                     verdict))
+    ok_line = ("ddperf: OK (no gated metric regressed by more than "
+               f"{args.threshold * 100:.0f}%)")
+    if args.format == "md":
+        # Markdown comparison table, pasteable into a PR comment or appended
+        # to $GITHUB_STEP_SUMMARY by the perf-baseline CI job.
+        print("### Perf baseline comparison\n")
+        print("| metric | baseline | current | ratio | verdict |")
+        print("|---|---:|---:|---:|---|")
+        for key, base, cur, ratio, verdict in rows:
+            print(f"| `{key}` | {base} | {cur} | {ratio} | {verdict} |")
+        print()
+        print("**FAIL**" if failures else f"**{ok_line}**")
+    else:
+        print(f"{'metric':44} {'baseline':>14} {'current':>14} {'ratio':>7}")
+        for key, base, cur, ratio, verdict in rows:
+            pad = "  " + verdict if verdict else ""
+            print(f"{key:44} {base:>14} {cur:>14} {ratio:>7}{pad}")
+        if not failures:
+            print("\n" + ok_line)
     if failures:
         print("\nddperf: FAIL", file=sys.stderr)
         for failure in failures:
             print(f"  {failure}", file=sys.stderr)
         return 1
-    print("\nddperf: OK (no gated metric regressed by more than "
-          f"{args.threshold * 100:.0f}%)")
     return 0
 
 
@@ -193,6 +211,8 @@ def main(argv):
                       help="DD_BENCH_SCALE for the openloop bench")
     cmp_.add_argument("--threshold", type=float, default=0.10,
                       help="max allowed fractional regression (0.10)")
+    cmp_.add_argument("--format", choices=("text", "md"), default="text",
+                      help="comparison table format (md suits step summaries)")
     cmp_.set_defaults(func=cmd_compare)
 
     args = parser.parse_args(argv)
