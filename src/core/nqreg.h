@@ -50,11 +50,11 @@ class NqReg {
   std::vector<int> NcqsOfGroup(NqPrio prio) const;
   std::vector<int> NsqsOfGroup(NqPrio prio) const;
 
-  int mru_budget() const { return config_.mru; }
-  uint64_t schedules() const { return schedules_; }
-  uint64_t heap_resorts() const { return heap_resorts_; }
+  DD_OBSERVER int mru_budget() const { return config_.mru; }
+  DD_OBSERVER uint64_t schedules() const { return schedules_; }
+  DD_OBSERVER uint64_t heap_resorts() const { return heap_resorts_; }
   // "RCU" snapshot version of a group's NCQ heap (bumped on re-sort).
-  uint64_t GroupVersion(NqPrio prio) const {
+  DD_OBSERVER uint64_t GroupVersion(NqPrio prio) const {
     return groups_[static_cast<int>(prio)].version;
   }
 

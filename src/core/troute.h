@@ -51,8 +51,10 @@ class TRoute {
   bool NeedsPerRequestQuery(const Request& rq) const;
 
   const TenantState* GetState(TenantId tenant_id) const;
-  uint64_t priority_updates() const { return priority_updates_; }
-  uint64_t per_request_queries() const { return per_request_queries_; }
+  DD_OBSERVER uint64_t priority_updates() const { return priority_updates_; }
+  DD_OBSERVER uint64_t per_request_queries() const {
+    return per_request_queries_;
+  }
 
  private:
   TenantState& StateOf(Tenant* tenant);

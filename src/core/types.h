@@ -29,6 +29,14 @@
 
 #include "src/sim/clock.h"
 
+// Marks a function as part of the observability surface. Expands to nothing;
+// it is an annotation for tools/ddanalyze, whose observer-purity pass takes
+// every DD_OBSERVER function (plus all of src/stats/) as an entry point and
+// proves it transitively writes no simulation-owned state (DESIGN.md §12).
+// Annotate read-only accessors that reports and samplers call on scheduler /
+// stack state so the pass guards them against someday growing side effects.
+#define DD_OBSERVER
+
 namespace daredevil {
 
 // A span of simulated time, in ticks (nanoseconds).

@@ -1,0 +1,9 @@
+// A helper outside src/stats/ that mutates the simulation. Not an entry
+// point itself - it only becomes a finding when observer code reaches it.
+#pragma once
+
+class Simulator;
+
+inline void NudgeClock(Simulator* sim) {
+  sim->ScheduleAt(9);  // the transitive mutation the observer walk must find
+}

@@ -1,0 +1,19 @@
+// BAD observers: every function here is a purity entry point by charter.
+class Simulator;
+void NudgeClock(Simulator* sim);
+
+// Direct mutation: a stats function scheduling work on the simulator.
+void SampleNow(Simulator* sim) {
+  sim->ScheduleAt(5);
+}
+
+// Transitive mutation: the write happens in src/core/helper.h, two hops away.
+void SampleLater(Simulator* sim) {
+  NudgeClock(sim);
+}
+
+// Unknown callee: an opaque callback the call graph cannot resolve. Not an
+// error - counted as purity-unresolved.stats and ratcheted.
+void FlushInto(void (*cb)()) {
+  cb();
+}

@@ -1,0 +1,28 @@
+// GOOD observers: const reads, observer-local state, chained calls on an
+// observer-owned writer, a local lambda, and one waived scheduling site.
+class Simulator;
+
+// Observer-owned fluent writer (the JsonWriter shape): chained calls return
+// the writer, so receivers are ')' and resolve through the owner fallback.
+class MiniWriter {
+ public:
+  MiniWriter& Key(const char* k) { return *this; }
+  MiniWriter& Num(long v) { return *this; }
+};
+
+void Summarize(const Simulator* sim, MiniWriter& w) {
+  w.Key("now").Num(sim->now());
+}
+
+void SampleWindow(Simulator* sim) {
+  auto scale = [](long v) { return v * 2; };
+  long window = scale(sim->now());
+  (void)window;
+  // The sampler's self-rescheduling is sanctioned and carries a waiver.
+  sim->ScheduleAt(1);  // ddanalyze: purity-ok(sanctioned probe timer)
+}
+
+// A waived opaque callback: the waiver silences the ratchet site too.
+void FlushInto(void (*cb)()) {
+  cb();  // ddanalyze: purity-ok(gauge callback registered by the harness)
+}

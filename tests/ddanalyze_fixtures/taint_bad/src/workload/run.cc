@@ -1,0 +1,23 @@
+// BAD: observability-only ScenarioConfig fields steering simulation writes.
+class Simulator;
+
+struct ScenarioConfig {
+  bool export_trace = false;
+  long sample_interval = 0;
+};
+
+// An observability knob (sample_interval) decides whether and when the
+// simulator schedules work: the fingerprint now depends on the knob.
+void Drive(const ScenarioConfig& cfg, Simulator* sim) {
+  if (cfg.sample_interval > 0) {
+    sim->ScheduleAt(cfg.sample_interval);
+  }
+}
+
+// An opaque callback inside a tainted region: not provably mutating, so it
+// is ratcheted as taint-unresolved.workload rather than flagged.
+void Hook(const ScenarioConfig& cfg, void (*cb)()) {
+  if (cfg.export_trace) {
+    cb();
+  }
+}

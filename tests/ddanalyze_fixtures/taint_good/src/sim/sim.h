@@ -1,0 +1,8 @@
+// Simulation-owned state for the taint_good fixture.
+#pragma once
+
+class Simulator {
+ public:
+  void ScheduleAt(long when);      // non-const: mutates the event queue
+  long now() const;
+};

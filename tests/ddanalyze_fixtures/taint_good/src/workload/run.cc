@@ -1,0 +1,37 @@
+// GOOD: observability-only config fields flow only into observer-owned
+// sinks, allowlisted wiring, or explicitly waived sites.
+class Simulator;
+class TraceLog;
+
+struct ScenarioConfig {
+  bool export_trace = false;
+  long sample_interval = 0;
+  long trace_capacity = 0;
+};
+
+struct StorageStack {
+  void SetTraceLog(TraceLog* log);
+};
+
+// Wiring the trace log is how export_trace is meant to act on the stack;
+// SetTraceLog is allowlisted observability plumbing.
+void Drive(const ScenarioConfig& cfg, StorageStack* stack, TraceLog* log) {
+  if (cfg.export_trace) {
+    stack->SetTraceLog(log);
+  }
+}
+
+// Observer-owned sink: sizing an export buffer reads the knob without
+// touching fingerprinted state.
+void Export(const ScenarioConfig& cfg, long* out_count) {
+  if (cfg.trace_capacity > 0) {
+    *out_count = cfg.trace_capacity;
+  }
+}
+
+// A deliberate, documented exception carries a waiver.
+void Prime(const ScenarioConfig& cfg, Simulator* sim) {
+  if (cfg.sample_interval > 0) {
+    sim->ScheduleAt(cfg.sample_interval);  // ddanalyze: taint-ok(gate scenario warms the sampler deliberately)
+  }
+}

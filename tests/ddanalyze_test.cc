@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "tools/ddanalyze/analyzer.h"
+#include "tools/ddanalyze/callgraph.h"
 #include "tools/ddanalyze/layers.h"
 #include "tools/ddanalyze/lexer.h"
 
@@ -217,6 +218,180 @@ TEST(Lexer, WaiversAttachToTheirLineAndRule) {
   EXPECT_FALSE(lex.HasWaiver(1, "escape"));
   EXPECT_FALSE(lex.HasWaiver(2, "tick"));
   EXPECT_TRUE(lex.HasWaiver(3, "escape"));
+}
+
+TEST(ObserverPurity, BadFixtureFlagsDirectTransitiveAndAnnotatedMutation) {
+  const AnalysisResult r = Analyze(FixtureRoot("purity_bad"));
+  EXPECT_EQ(r.errors.size(), 3u);
+  // A DD_OBSERVER-annotated method that bumps a member of its own
+  // simulation-owned class.
+  EXPECT_TRUE(HasFinding(r.errors, "observer-purity", "sim.h",
+                         "writes member 'peeks_'"));
+  // A stats function scheduling work on the simulator directly.
+  EXPECT_TRUE(HasFinding(r.errors, "observer-purity", "observer.cc",
+                         "non-const call Simulator::ScheduleAt()"));
+  // The same mutation two hops away, attributed back to its observer entry.
+  EXPECT_TRUE(HasFinding(r.errors, "observer-purity", "helper.h",
+                         "reachable from observer entry SampleLater"));
+  // The opaque callback is ratcheted, not flagged.
+  EXPECT_TRUE(HasFinding(r.ratchet, "purity-unresolved", "observer.cc",
+                         "unresolved free call 'cb'"));
+  ASSERT_EQ(r.ratchet_counts.count("purity-unresolved.stats"), 1u);
+  EXPECT_EQ(r.ratchet_counts.at("purity-unresolved.stats"), 1);
+}
+
+TEST(ObserverPurity, GoodFixtureIsCleanIncludingWaivedSites) {
+  // Const reads, chained calls on an observer-owned fluent writer, a local
+  // lambda, and waived scheduling/callback sites: no errors, no ratchet.
+  const AnalysisResult r = Analyze(FixtureRoot("purity_good"));
+  EXPECT_TRUE(r.errors.empty()) << r.errors.size() << " unexpected finding(s), "
+                                << "first: "
+                                << (r.errors.empty() ? "" : r.errors[0].message);
+  EXPECT_TRUE(r.ratchet.empty())
+      << "first: " << (r.ratchet.empty() ? "" : r.ratchet[0].message);
+}
+
+TEST(FingerprintTaint, BadFixtureFlagsObservabilityKnobSteeringTheSim) {
+  const AnalysisResult r = Analyze(FixtureRoot("taint_bad"));
+  EXPECT_EQ(r.errors.size(), 1u);
+  EXPECT_TRUE(HasFinding(r.errors, "fingerprint-taint", "run.cc",
+                         "'sample_interval' flows into non-const call "
+                         "Simulator::ScheduleAt()"));
+  // The opaque callback inside the export_trace-tainted region ratchets.
+  EXPECT_TRUE(HasFinding(r.ratchet, "taint-unresolved", "run.cc",
+                         "tainted by 'export_trace'"));
+  ASSERT_EQ(r.ratchet_counts.count("taint-unresolved.workload"), 1u);
+  EXPECT_EQ(r.ratchet_counts.at("taint-unresolved.workload"), 1);
+}
+
+TEST(FingerprintTaint, GoodFixtureAllowsSinksWiringAndWaivedSites) {
+  // Observer-owned sinks, allowlisted SetTraceLog wiring, and one waived
+  // deliberate exception: no errors, no ratchet.
+  const AnalysisResult r = Analyze(FixtureRoot("taint_good"));
+  EXPECT_TRUE(r.errors.empty()) << r.errors.size() << " unexpected finding(s), "
+                                << "first: "
+                                << (r.errors.empty() ? "" : r.errors[0].message);
+  EXPECT_TRUE(r.ratchet.empty())
+      << "first: " << (r.ratchet.empty() ? "" : r.ratchet[0].message);
+}
+
+ddanalyze::SourceFile MakeFile(const std::string& path,
+                               const std::string& text) {
+  ddanalyze::SourceFile f;
+  f.rel_path = path;
+  f.lex = ddanalyze::Lex(text);
+  return f;
+}
+
+const ddanalyze::CallSite* FindCall(const ddanalyze::CallGraph& g,
+                                    const std::string& name) {
+  for (const ddanalyze::CallSite& cs : g.calls) {
+    if (cs.name == name) return &cs;
+  }
+  return nullptr;
+}
+
+TEST(CallGraph, ResolvesReceiversAndClassifiesConstness) {
+  std::vector<ddanalyze::SourceFile> files;
+  files.push_back(MakeFile("src/sim/sim.h",
+                           "class Simulator {\n"
+                           " public:\n"
+                           "  void ScheduleAt(long when);\n"
+                           "  long now() const;\n"
+                           "};\n"));
+  files.push_back(MakeFile("src/stats/obs.cc",
+                           "class Simulator;\n"
+                           "long Probe(Simulator* sim) {\n"
+                           "  sim->ScheduleAt(1);\n"
+                           "  return sim->now();\n"
+                           "}\n"));
+  const ddanalyze::CallGraph g = ddanalyze::BuildCallGraph(files);
+
+  const ddanalyze::CallSite* sched = FindCall(g, "ScheduleAt");
+  ASSERT_NE(sched, nullptr);
+  EXPECT_EQ(sched->receiver_type, "Simulator");
+  EXPECT_EQ(g.Classify(*sched, nullptr),
+            ddanalyze::CallClass::kMutatingSimState);
+
+  const ddanalyze::CallSite* now = FindCall(g, "now");
+  ASSERT_NE(now, nullptr);
+  EXPECT_EQ(g.Classify(*now, nullptr), ddanalyze::CallClass::kConstRead);
+}
+
+TEST(CallGraph, HandlesDeclarationsLambdasAndChainedCalls) {
+  std::vector<ddanalyze::SourceFile> files;
+  files.push_back(MakeFile(
+      "src/stats/w.cc",
+      "class W {\n"
+      " public:\n"
+      "  W(int capacity);\n"
+      "  W& Key(const char* k) { return *this; }\n"
+      "  W& Num(long v) { return *this; }\n"
+      "};\n"
+      "long Render(long v) {\n"
+      "  W w(8);\n"                      // decl: constructor, not a call
+      "  w.Key(\"x\").Num(v);\n"         // chained: owner fallback on Num
+      "  auto scale = [](long x) { return x * 2; };\n"
+      "  return scale(v);\n"             // local lambda: analyzed inline
+      "}\n"));
+  const ddanalyze::CallGraph g = ddanalyze::BuildCallGraph(files);
+
+  // `W w(8)` resolves to W's constructor rather than a free call to `w`.
+  EXPECT_EQ(FindCall(g, "w"), nullptr);
+  const ddanalyze::CallSite* ctor = FindCall(g, "W");
+  ASSERT_NE(ctor, nullptr);
+  EXPECT_TRUE(ctor->resolved);
+
+  // The chained `.Num(...)` receiver is ')' — the unique-owner fallback
+  // resolves it to W and recursion proves it harmless.
+  const ddanalyze::CallSite* num = FindCall(g, "Num");
+  ASSERT_NE(num, nullptr);
+  EXPECT_EQ(num->receiver_type, "W");
+  EXPECT_EQ(g.Classify(*num, nullptr), ddanalyze::CallClass::kRecurse);
+
+  // A call through a local lambda is safe: its body is part of Render's
+  // own token range and is analyzed there.
+  const ddanalyze::CallSite* scale = FindCall(g, "scale");
+  ASSERT_NE(scale, nullptr);
+  EXPECT_EQ(g.Classify(*scale, nullptr), ddanalyze::CallClass::kSafe);
+}
+
+TEST(Passes, ListPassesMatchesAnalyzeExecutionOrder) {
+  const auto listed = ddanalyze::ListPasses();
+  const AnalysisResult r = Analyze(FixtureRoot("layer_good"));
+  ASSERT_EQ(r.passes.size(), listed.size());
+  for (std::size_t i = 0; i < listed.size(); ++i) {
+    EXPECT_EQ(r.passes[i].name, listed[i].first);
+    EXPECT_GE(r.passes[i].wall_ms, 0.0);
+    EXPECT_FALSE(listed[i].second.empty());
+  }
+}
+
+TEST(Lexer, RawStringsConsumeTheirBodyAndKeepLineNumbers) {
+  // Regression: the old lexer leaked prefixed raw strings token-by-token and
+  // swallowed the rest of the file on a malformed `R"ident"` false trigger.
+  const ddanalyze::LexedFile lex = ddanalyze::Lex(
+      "const char* a = R\"(line one\n"
+      "line two)\";\n"
+      "int after_plain = 1;\n"
+      "const char* b = R\"delim(has )\" inside)delim\";\n"
+      "const char* c = u8R\"(utf8 raw)\";\n"
+      "int z = R\"abc\";\n"  // not a raw string: R ident + ordinary string
+      "int done = 2;\n");
+  std::map<std::string, int> line_of;
+  for (const ddanalyze::Token& t : lex.tokens) {
+    if (t.kind == ddanalyze::TokKind::kIdent) line_of[t.text] = t.line;
+    // Raw string bodies must never leak into the token stream.
+    EXPECT_NE(t.text, "line");
+    EXPECT_NE(t.text, "inside");
+    EXPECT_NE(t.text, "utf8");
+  }
+  EXPECT_EQ(line_of.at("after_plain"), 3);  // the raw string spans lines 1-2
+  EXPECT_EQ(line_of.at("b"), 4);
+  EXPECT_EQ(line_of.at("c"), 5);
+  EXPECT_EQ(line_of.at("z"), 6);
+  EXPECT_EQ(line_of.at("R"), 6);  // the false trigger falls back to an ident
+  EXPECT_EQ(line_of.at("done"), 7);
 }
 
 TEST(Lexer, CommentsStringsAndIncludesAreSeparated) {

@@ -1,10 +1,13 @@
 #include "tools/ddanalyze/analyzer.h"
 
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <sstream>
 
+#include "tools/ddanalyze/callgraph.h"
 #include "tools/ddanalyze/layers.h"
 
 namespace ddanalyze {
@@ -99,41 +102,109 @@ void CheckLayers(const std::vector<SourceFile>& files,
   }
 }
 
+std::vector<std::pair<std::string, std::string>> ListPasses() {
+  return {
+      {"scan", "read + lex src/**/*.{h,cc,cpp,hpp}"},
+      {"layer-dag", "include edges must follow the layer table; no cycles"},
+      {"pooled-escape", "pooled Request pointers must not outlive delivery"},
+      {"shard-ownership", "stored mutable aliases of shard roots by layer"},
+      {"rng-discipline", "all randomness through the seeded per-shard Rng"},
+      {"tick-units", "raw integers into tick-typed parameters (ratchet)"},
+      {"global-state", "mutable static-storage state (ratchet)"},
+      {"callgraph", "function/call-site index for the observer passes"},
+      {"observer-purity",
+       "src/stats/ + DD_OBSERVER code reaches no sim-state write"},
+      {"fingerprint-taint",
+       "observability-only config fields cannot reach fingerprinted state"},
+  };
+}
+
 AnalysisResult Analyze(const std::string& root) {
   AnalysisResult result;
   std::vector<SourceFile> files;
-  const fs::path src = fs::path(root) / "src";
-  if (fs::exists(src)) {
-    for (const auto& entry : fs::recursive_directory_iterator(src)) {
-      if (!entry.is_regular_file() || !IsSourcePath(entry.path())) {
-        continue;
-      }
-      std::ifstream in(entry.path());
-      std::stringstream buf;
-      buf << in.rdbuf();
-      SourceFile f;
-      f.rel_path = fs::relative(entry.path(), root).generic_string();
-      f.lex = Lex(buf.str());
-      files.push_back(std::move(f));
-    }
-  }
-  std::sort(files.begin(), files.end(),
-            [](const SourceFile& a, const SourceFile& b) {
-              return a.rel_path < b.rel_path;
-            });
 
-  CheckLayers(files, &result.errors);
-  for (const SourceFile& f : files) {
-    const bool in_stats = f.rel_path.compare(0, 10, "src/stats/") == 0;
-    CheckPooledEscapes(f, in_stats, &result.errors);
-    CheckShardOwnership(f, LayerOf(f.rel_path), &result.errors);
-    CheckRngDiscipline(f, &result.errors);
-  }
-  const TickSymbolTable symbols = BuildTickSymbols(files);
-  for (const SourceFile& f : files) {
-    CheckTickUnits(f, symbols, &result.ratchet);
-    CheckGlobalState(f, &result.ratchet);
-  }
+  // Runs one named step, timing it and attributing any findings it appends.
+  auto timed = [&result](const std::string& name, std::vector<Finding>* errs,
+                         std::vector<Finding>* ratchet,
+                         const std::function<void()>& body) {
+    const std::size_t e0 = errs != nullptr ? errs->size() : 0;
+    const std::size_t r0 = ratchet != nullptr ? ratchet->size() : 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    body();
+    const auto t1 = std::chrono::steady_clock::now();
+    PassStat stat;
+    stat.name = name;
+    stat.wall_ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    stat.findings =
+        errs != nullptr ? static_cast<int>(errs->size() - e0) : 0;
+    stat.ratchet_sites =
+        ratchet != nullptr ? static_cast<int>(ratchet->size() - r0) : 0;
+    result.passes.push_back(std::move(stat));
+  };
+
+  timed("scan", nullptr, nullptr, [&] {
+    const fs::path src = fs::path(root) / "src";
+    if (fs::exists(src)) {
+      for (const auto& entry : fs::recursive_directory_iterator(src)) {
+        if (!entry.is_regular_file() || !IsSourcePath(entry.path())) {
+          continue;
+        }
+        std::ifstream in(entry.path());
+        std::stringstream buf;
+        buf << in.rdbuf();
+        SourceFile f;
+        f.rel_path = fs::relative(entry.path(), root).generic_string();
+        f.lex = Lex(buf.str());
+        files.push_back(std::move(f));
+      }
+    }
+    std::sort(files.begin(), files.end(),
+              [](const SourceFile& a, const SourceFile& b) {
+                return a.rel_path < b.rel_path;
+              });
+  });
+
+  timed("layer-dag", &result.errors, nullptr,
+        [&] { CheckLayers(files, &result.errors); });
+  timed("pooled-escape", &result.errors, nullptr, [&] {
+    for (const SourceFile& f : files) {
+      const bool in_stats = f.rel_path.compare(0, 10, "src/stats/") == 0;
+      CheckPooledEscapes(f, in_stats, &result.errors);
+    }
+  });
+  timed("shard-ownership", &result.errors, nullptr, [&] {
+    for (const SourceFile& f : files) {
+      CheckShardOwnership(f, LayerOf(f.rel_path), &result.errors);
+    }
+  });
+  timed("rng-discipline", &result.errors, nullptr, [&] {
+    for (const SourceFile& f : files) {
+      CheckRngDiscipline(f, &result.errors);
+    }
+  });
+  timed("tick-units", nullptr, &result.ratchet, [&] {
+    const TickSymbolTable symbols = BuildTickSymbols(files);
+    for (const SourceFile& f : files) {
+      CheckTickUnits(f, symbols, &result.ratchet);
+    }
+  });
+  timed("global-state", nullptr, &result.ratchet, [&] {
+    for (const SourceFile& f : files) {
+      CheckGlobalState(f, &result.ratchet);
+    }
+  });
+
+  CallGraph graph;
+  timed("callgraph", nullptr, nullptr,
+        [&] { graph = BuildCallGraph(files); });
+  timed("observer-purity", &result.errors, &result.ratchet, [&] {
+    CheckObserverPurity(files, graph, &result.errors, &result.ratchet);
+  });
+  timed("fingerprint-taint", &result.errors, &result.ratchet, [&] {
+    CheckFingerprintTaint(files, graph, &result.errors, &result.ratchet);
+  });
+
   for (const Finding& f : result.ratchet) {
     std::string layer = LayerOf(f.file);
     if (layer.empty()) {
@@ -173,10 +244,15 @@ std::map<std::string, int> ReadBaseline(const std::string& path,
 std::string FormatBaseline(const std::map<std::string, int>& counts) {
   std::ostringstream out;
   out << "# ddanalyze ratchet baseline, per rule and layer:\n"
-         "#   tick-units.<layer>   raw-integer sites flowing into tick-typed\n"
-         "#                        parameters\n"
-         "#   global-state.<layer> mutable static-storage state (shared\n"
-         "#                        across shards once they run on threads)\n"
+         "#   tick-units.<layer>        raw-integer sites flowing into\n"
+         "#                             tick-typed parameters\n"
+         "#   global-state.<layer>      mutable static-storage state (shared\n"
+         "#                             across shards once they run on\n"
+         "#                             threads)\n"
+         "#   purity-unresolved.<layer> observer-reachable callees the call\n"
+         "#                             graph cannot prove read-only\n"
+         "#   taint-unresolved.<layer>  callees reached from regions tainted\n"
+         "#                             by observability-only config fields\n"
          "# Counts may only decrease; regenerate with\n"
          "# `ddanalyze --root . --write-baseline` after burning sites down.\n";
   for (const auto& [key, count] : counts) {

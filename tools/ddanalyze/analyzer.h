@@ -45,6 +45,29 @@
 //                   regex rule: string literals and comments never match, and
 //                   only whole identifiers do. Waive with
 //                   `// ddanalyze: rng-ok(reason)`.
+//
+// Observer-neutrality suite (DESIGN.md §12) — call-graph-aware passes
+// (tools/ddanalyze/callgraph.h) proving the observability surface cannot
+// perturb the simulation:
+//
+//   observer-purity
+//                 — every function under src/stats/ plus every DD_OBSERVER-
+//                   annotated function must transitively reach no write to
+//                   simulation-owned state (member stores / non-const calls
+//                   on Simulator, Machine, Device, the queues, Rng, ...;
+//                   stores through pooled Request*; const_cast). Hard
+//                   errors; waive with `// ddanalyze: purity-ok(reason)`.
+//                   Callees the graph cannot resolve are ratcheted as
+//                   "purity-unresolved.<layer>".
+//   fingerprint-taint
+//                 — observability-only ScenarioConfig fields (export_trace,
+//                   sample_interval, analyze_holb, slos, timeline_capacity,
+//                   trace_capacity, trace_json_path) must not flow into code
+//                   that writes fingerprinted state. Region-scoped taint:
+//                   if/while/for conditions taint their controlled blocks,
+//                   other reads taint the enclosing statement. Hard errors;
+//                   waive with `// ddanalyze: taint-ok(reason)`; unresolved
+//                   callees ratchet as "taint-unresolved.<layer>".
 #ifndef DAREDEVIL_TOOLS_DDANALYZE_ANALYZER_H_
 #define DAREDEVIL_TOOLS_DDANALYZE_ANALYZER_H_
 
@@ -108,14 +131,31 @@ void CheckRngDiscipline(const SourceFile& file, std::vector<Finding>* out);
 
 // --- Driver ---------------------------------------------------------------
 
+// One entry per pass the driver ran, in execution order, with wall time —
+// surfaced by `ddanalyze --json` / `--list-passes` so the CI step summary
+// shows which pass found what and how long it took.
+struct PassStat {
+  std::string name;
+  double wall_ms = 0.0;
+  int findings = 0;       // hard errors this pass emitted
+  int ratchet_sites = 0;  // ratcheted (non-error) sites this pass emitted
+};
+
+// Names and one-line descriptions of every pass, in execution order
+// (includes the "scan" and "callgraph" infrastructure steps).
+std::vector<std::pair<std::string, std::string>> ListPasses();
+
 struct AnalysisResult {
-  // layer-dag + pooled-escape + shard-ownership + rng-discipline: must be
-  // empty for the tree to pass.
+  // layer-dag + pooled-escape + shard-ownership + rng-discipline +
+  // observer-purity + fingerprint-taint: must be empty for the tree to pass.
   std::vector<Finding> errors;
-  // tick-units + global-state sites (informational, ratcheted).
+  // tick-units + global-state + purity-unresolved + taint-unresolved sites
+  // (informational, ratcheted).
   std::vector<Finding> ratchet;
   // "<rule>.<layer>" -> count; layers with zero sites are omitted.
   std::map<std::string, int> ratchet_counts;
+  // Per-pass wall time and finding counts, in execution order.
+  std::vector<PassStat> passes;
 };
 
 // Scans <root>/src/**/*.{h,cc} and runs all rules.

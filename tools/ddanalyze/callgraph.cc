@@ -1,0 +1,1049 @@
+// Call-graph builder (DESIGN.md §12.1): function indexing, member/base
+// harvesting and call-site resolution over the ddanalyze token streams.
+//
+// The builder runs two sweeps per file. Sweep one is a scope machine (the
+// global_state.cc pattern, grown names): it classifies every brace as
+// namespace / class body / block, records class names, base classes and data
+// member types, and indexes every function declaration and definition it can
+// see — in-class, out-of-class qualified (`Machine::Submit`), constness,
+// DD_OBSERVER annotations and body token ranges. Sweep two walks each
+// recorded body, harvests parameter/local types, and extracts call sites,
+// resolving receivers through the harvested type environment.
+#include "tools/ddanalyze/callgraph.h"
+
+#include <algorithm>
+#include <cctype>
+#include <functional>
+
+namespace ddanalyze {
+namespace {
+
+// Types that are simulation-owned state: mutating any of these from
+// observer-reachable code perturbs the simulation (and, under sharding, races
+// with the owning shard). Derived classes are folded in via the base table.
+const std::set<std::string>& SimOwnedTypes() {
+  static const std::set<std::string> kTypes = {
+      // The clock and event engine.
+      "Simulator", "LadderQueue", "EventArena", "EventRecord", "TimerHandle",
+      // The machine, its cores and the per-shard roots.
+      "Machine", "CpuCore", "ShardContext", "Rng", "Tenant",
+      // The device and its queues.
+      "Device", "SubmissionQueue", "CompletionQueue", "FlashBackend",
+      "NvmeCommand", "NvmeCompletion",
+      // The stacks and their scheduling state.
+      "StorageStack", "IoScheduler", "NqReg", "TRoute", "Blex",
+      // Virtio fan-in.
+      "VirtQueue", "GuestVm", "NProxy", "GuestRequest",
+      // Fault injection (its cursors advance with consumption).
+      "FaultPlan",
+      // Pooled requests: an observer storing through a Request* rewrites
+      // live scheduling state.
+      "Request",
+  };
+  return kTypes;
+}
+
+// Method names that never reach simulation state no matter the (unresolved)
+// receiver: the standard container/string/smart-pointer vocabulary. Never
+// consulted when the receiver resolves to a sim-owned type.
+const std::set<std::string>& SafeMethodNames() {
+  static const std::set<std::string> kNames = {
+      "size",     "empty",        "begin",   "end",      "rbegin",
+      "rend",     "front",        "back",    "at",       "find",
+      "count",    "contains",     "clear",   "reserve",  "resize",
+      "push_back","emplace_back", "pop_back","insert",   "erase",
+      "emplace",  "assign",       "swap",    "c_str",    "data",
+      "str",      "substr",       "append",  "length",   "compare",
+      "rfind",    "find_first_of","find_last_of",        "lower_bound",
+      "upper_bound", "get",       "reset",   "release",  "push",
+      "pop",      "top",          "first",   "second",   "value",
+      "has_value","value_or",
+  };
+  return kNames;
+}
+
+// Free-call names that are safe without resolution: libc and the handful of
+// std vocabulary spelled unqualified.
+const std::set<std::string>& SafeFreeNames() {
+  static const std::set<std::string> kNames = {
+      "snprintf", "printf", "fprintf", "sprintf", "memcpy", "memmove",
+      "memset",   "strlen", "strcmp",  "strncmp", "getenv", "abort",
+      "exit",     "move",   "min",     "max",     "to_string",
+      // Strong scalar types (src/core/types.h) used as functional casts.
+      "Tick", "TickDuration", "Lba", "QueueId", "CoreId", "TenantId",
+  };
+  return kNames;
+}
+
+const std::set<std::string>& TypeKeywords() {
+  static const std::set<std::string> kKeywords = {
+      "const",    "constexpr", "constinit", "volatile", "mutable",
+      "static",   "inline",    "extern",    "typename", "struct",
+      "class",    "enum",      "unsigned",  "signed",   "register",
+      "virtual",  "explicit",  "friend",    "noexcept", "override",
+      "final",
+  };
+  return kKeywords;
+}
+
+bool IsAssignOp(const std::string& t) {
+  return t == "=" || t == "+=" || t == "-=" || t == "*=" || t == "/=" ||
+         t == "%=" || t == "&=" || t == "|=" || t == "^=" || t == "<<=" ||
+         t == ">>=" || t == "++" || t == "--";
+}
+
+bool IsMacroName(const std::string& name) {
+  bool has_alpha = false;
+  for (char c : name) {
+    if (std::islower(static_cast<unsigned char>(c))) return false;
+    if (std::isupper(static_cast<unsigned char>(c))) has_alpha = true;
+  }
+  return has_alpha;
+}
+
+// Resolves a run of declaration-type tokens to a single class name for
+// receiver typing: drops cv/storage keywords and namespace qualifiers, keeps
+// the last type segment, unwraps unique_ptr/shared_ptr one level, and gives
+// up ("") on any other template (containers stay untyped on purpose).
+std::string ResolveTypeTokens(const std::vector<const Token*>& toks) {
+  std::string last;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = *toks[i];
+    if (t.kind == TokKind::kPunct) {
+      if (t.text == "*" || t.text == "&" || t.text == "&&" || t.text == "::") {
+        continue;
+      }
+      if (t.text == "<") {
+        if (last == "unique_ptr" || last == "shared_ptr") {
+          // Recurse into the pointee: tokens up to the matching '>' or the
+          // first top-level ',' (deleter arguments are out of scope).
+          std::vector<const Token*> inner;
+          int depth = 1;
+          for (std::size_t j = i + 1; j < toks.size(); ++j) {
+            const Token& u = *toks[j];
+            if (u.kind == TokKind::kPunct) {
+              if (u.text == "<") ++depth;
+              if (u.text == ">") {
+                if (--depth == 0) break;
+              }
+              if (u.text == "," && depth == 1) break;
+            }
+            inner.push_back(&u);
+          }
+          return ResolveTypeTokens(inner);
+        }
+        return "";  // vector<T>, map<K,V>, function<...>: untyped
+      }
+      continue;
+    }
+    if (t.kind == TokKind::kIdent && TypeKeywords().count(t.text) == 0 &&
+        t.text != "std") {
+      last = t.text;
+    }
+  }
+  return last;
+}
+
+struct ScopeFrame {
+  enum Kind { kNamespace, kClass, kBlock } kind = kBlock;
+  std::string name;  // class name when kind == kClass
+  int func = -1;     // function whose body this brace opened
+};
+
+// Finds the parameter-list '(' of a would-be function header: the first '('
+// outside template angle brackets. Returns stmt.size() when there is none or
+// when a top-level '=' precedes it (a variable with an initializer).
+std::size_t ParamParen(const std::vector<const Token*>& stmt) {
+  int angle = 0;
+  for (std::size_t i = 0; i < stmt.size(); ++i) {
+    const Token& t = *stmt[i];
+    if (t.kind != TokKind::kPunct) continue;
+    if (t.text == "<") ++angle;
+    if (t.text == ">" && angle > 0) --angle;
+    if (t.text == ">>") angle = angle >= 2 ? angle - 2 : 0;  // vector<vector<T>>
+    if (angle > 0) continue;
+    if (t.text == "=") return stmt.size();
+    if (t.text == "(") return i;
+  }
+  return stmt.size();
+}
+
+std::size_t MatchParen(const std::vector<const Token*>& stmt,
+                       std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < stmt.size(); ++i) {
+    if (stmt[i]->kind != TokKind::kPunct) continue;
+    if (stmt[i]->text == "(") ++depth;
+    if (stmt[i]->text == ")" && --depth == 0) return i;
+  }
+  return stmt.size();
+}
+
+bool ContainsIdent(const std::vector<const Token*>& stmt,
+                   const std::string& text) {
+  for (const Token* t : stmt) {
+    if (t->kind == TokKind::kIdent && t->text == text) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool CallGraph::HasConstOverload(const std::string& cls,
+                                 const std::string& method) const {
+  for (int idx : LookupMethod(cls, method)) {
+    if (functions[idx].is_const) return true;
+  }
+  return false;
+}
+
+std::vector<int> CallGraph::LookupMethod(const std::string& cls,
+                                         const std::string& method) const {
+  std::vector<int> out;
+  std::set<std::string> seen;
+  std::vector<std::string> chain{cls};
+  while (!chain.empty()) {
+    const std::string cur = chain.back();
+    chain.pop_back();
+    if (!seen.insert(cur).second) continue;
+    auto cit = methods.find(cur);
+    if (cit != methods.end()) {
+      auto mit = cit->second.find(method);
+      if (mit != cit->second.end()) {
+        out.insert(out.end(), mit->second.begin(), mit->second.end());
+      }
+    }
+    auto bit = bases.find(cur);
+    if (bit != bases.end()) {
+      chain.insert(chain.end(), bit->second.begin(), bit->second.end());
+    }
+  }
+  return out;
+}
+
+const std::string* CallGraph::MemberType(const std::string& owner,
+                                         const std::string& member) const {
+  std::set<std::string> seen;
+  std::vector<std::string> chain{owner};
+  while (!chain.empty()) {
+    const std::string cur = chain.back();
+    chain.pop_back();
+    if (!seen.insert(cur).second) continue;
+    auto cit = members.find(cur);
+    if (cit != members.end()) {
+      auto mit = cit->second.find(member);
+      if (mit != cit->second.end()) return &mit->second;
+    }
+    auto bit = bases.find(cur);
+    if (bit != bases.end()) {
+      chain.insert(chain.end(), bit->second.begin(), bit->second.end());
+    }
+  }
+  return nullptr;
+}
+
+bool CallGraph::IsSimOwned(const std::string& type) const {
+  if (type.empty()) return false;
+  if (SimOwnedTypes().count(type) > 0) return true;
+  // Fold in derived classes (BlkMqStack is a StorageStack, ...).
+  std::set<std::string> seen;
+  std::vector<std::string> chain{type};
+  while (!chain.empty()) {
+    const std::string cur = chain.back();
+    chain.pop_back();
+    if (!seen.insert(cur).second) continue;
+    if (SimOwnedTypes().count(cur) > 0) return true;
+    auto bit = bases.find(cur);
+    if (bit != bases.end()) {
+      chain.insert(chain.end(), bit->second.begin(), bit->second.end());
+    }
+  }
+  return false;
+}
+
+CallClass CallGraph::Classify(const CallSite& cs, std::string* why) const {
+  auto set_why = [&](const std::string& s) {
+    if (why != nullptr) *why = s;
+  };
+  if (cs.std_qualified) {
+    set_why("std-qualified call");
+    return CallClass::kSafe;
+  }
+  if (!cs.receiver_type.empty() && IsSimOwned(cs.receiver_type)) {
+    const std::vector<int> overloads = LookupMethod(cs.receiver_type, cs.name);
+    if (overloads.empty()) {
+      if (cs.name == "get") {
+        // `owner_.get()` on a unique_ptr member: the unwrap typed the
+        // receiver as the pointee, but the call is the smart pointer's
+        // const accessor.
+        set_why("smart-pointer get()");
+        return CallClass::kSafe;
+      }
+      set_why("method '" + cs.name + "' not indexed on sim-owned type '" +
+              cs.receiver_type + "'");
+      return CallClass::kUnresolved;
+    }
+    for (int idx : overloads) {
+      if (functions[idx].is_const) {
+        set_why("const " + cs.receiver_type + "::" + cs.name);
+        return CallClass::kConstRead;
+      }
+    }
+    set_why("non-const call " + cs.receiver_type + "::" + cs.name +
+            "() on simulation-owned state");
+    return CallClass::kMutatingSimState;
+  }
+  if (cs.resolved) {
+    for (int idx : cs.targets) {
+      if (functions[idx].has_body) {
+        set_why("resolved to " + functions[idx].qualified_name());
+        return CallClass::kRecurse;
+      }
+    }
+    // Declaration-only target outside a sim-owned type: nothing analyzable
+    // here, but nothing mutable either — the declaration lives in scanned
+    // code, so if it had a body in-tree we would have indexed it.
+    set_why("declaration-only target for '" + cs.name + "'");
+    return CallClass::kSafe;
+  }
+  if (cs.has_receiver) {
+    if (SafeMethodNames().count(cs.name) > 0) {
+      set_why("standard container/string method");
+      return CallClass::kSafe;
+    }
+    set_why("unresolved receiver for call '" + cs.name + "'");
+    return CallClass::kUnresolved;
+  }
+  if (cs.caller >= 0 &&
+      cs.caller < static_cast<int>(functions.size())) {
+    auto lit = functions[cs.caller].var_types.find(cs.name);
+    if (lit != functions[cs.caller].var_types.end() &&
+        lit->second == "<lambda>") {
+      set_why("local lambda; its body is analyzed inline with the caller");
+      return CallClass::kSafe;
+    }
+  }
+  if (IsMacroName(cs.name)) {
+    set_why("macro invocation");
+    return CallClass::kSafe;
+  }
+  if (SafeFreeNames().count(cs.name) > 0 ||
+      SafeMethodNames().count(cs.name) > 0) {
+    set_why("safe-listed free call");
+    return CallClass::kSafe;
+  }
+  // An unresolved call whose name is a known class is a constructor of a
+  // type we indexed but whose constructors we did not (defaulted/implicit):
+  // constructing a fresh object does not mutate existing simulation state.
+  if (methods.count(cs.name) > 0 || members.count(cs.name) > 0 ||
+      bases.count(cs.name) > 0) {
+    set_why("construction of indexed type " + cs.name);
+    return CallClass::kSafe;
+  }
+  set_why("unresolved free call '" + cs.name + "'");
+  return CallClass::kUnresolved;
+}
+
+std::vector<CallGraph::WriteSite> CallGraph::FindSimOwnedWrites(
+    int func, std::size_t begin, std::size_t end) const {
+  std::vector<WriteSite> out;
+  const FunctionInfo& fn = functions[func];
+  const std::vector<Token>& toks = (*files)[fn.file].lex.tokens;
+  const std::size_t stop = std::min(end, toks.size());
+
+  // Resolves the type of the receiver expression ending at toks[pos]
+  // (inclusive), following one chain of `.`/`->` member accesses.
+  // Depth-limits itself; returns "" for anything it cannot type.
+  std::function<std::string(std::size_t, int)> type_of =
+      [&](std::size_t pos, int depth) -> std::string {
+    if (depth > 4 || pos >= toks.size()) return "";
+    const Token& t = toks[pos];
+    if (t.kind != TokKind::kIdent) return "";
+    if (t.text == "this") return fn.class_name;
+    std::string base_type;
+    if (pos >= 2 && toks[pos - 1].kind == TokKind::kPunct &&
+        (toks[pos - 1].text == "." || toks[pos - 1].text == "->")) {
+      base_type = type_of(pos - 2, depth + 1);
+      if (base_type.empty()) return "";
+      const std::string* mt = MemberType(base_type, t.text);
+      return mt != nullptr ? *mt : "";
+    }
+    auto vit = fn.var_types.find(t.text);
+    if (vit != fn.var_types.end()) return vit->second;
+    if (!fn.class_name.empty()) {
+      const std::string* mt = MemberType(fn.class_name, t.text);
+      if (mt != nullptr) return *mt;
+    }
+    return "";
+  };
+
+  for (std::size_t i = begin; i < stop; ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::kIdent) continue;
+    if (t.text == "const_cast") {
+      out.push_back({t.line,
+                     "const_cast in observer-reachable code: casting away "
+                     "const is how \"pure\" observers cheat; use a const "
+                     "interface instead"});
+      continue;
+    }
+    const bool assigned_after =
+        i + 1 < stop && toks[i + 1].kind == TokKind::kPunct &&
+        IsAssignOp(toks[i + 1].text);
+    const bool incremented_before =
+        i >= 1 && toks[i - 1].kind == TokKind::kPunct &&
+        (toks[i - 1].text == "++" || toks[i - 1].text == "--");
+    if (!assigned_after && !incremented_before) continue;
+
+    if (i >= 2 && toks[i - 1].kind == TokKind::kPunct &&
+        (toks[i - 1].text == "." || toks[i - 1].text == "->")) {
+      // `expr.field = ...` / `expr->field += ...`
+      const std::string recv = type_of(i - 2, 0);
+      if (IsSimOwned(recv)) {
+        out.push_back({t.line, "store to simulation-owned state: " + recv +
+                                   "::" + t.text});
+      }
+      continue;
+    }
+    if (incremented_before && i >= 2 && toks[i - 2].kind == TokKind::kPunct &&
+        (toks[i - 2].text == "." || toks[i - 2].text == "->")) {
+      // `++expr.field`
+      const std::string recv = type_of(i - 3, 0);
+      if (IsSimOwned(recv)) {
+        out.push_back({t.line, "store to simulation-owned state: " + recv +
+                                   "::" + t.text});
+      }
+      continue;
+    }
+    // `*ptr = ...` where ptr points at sim-owned state. The '*' must be a
+    // unary dereference (preceded by a statement/expression boundary), not
+    // the '*' of a pointer declaration `Device* dev = ...`.
+    if (assigned_after && i >= 2 && toks[i - 1].kind == TokKind::kPunct &&
+        toks[i - 1].text == "*" && toks[i - 2].kind == TokKind::kPunct &&
+        toks[i - 2].text != ")" && toks[i - 2].text != "]" &&
+        toks[i - 2].text != ">") {
+      const std::string recv = type_of(i, 0);
+      if (IsSimOwned(recv)) {
+        out.push_back(
+            {t.line, "store through pointer to simulation-owned " + recv});
+      }
+      continue;
+    }
+    // Bare member store inside a method of a sim-owned class (the mutating
+    // DD_OBSERVER case: `++schedules_;` in an annotated accessor).
+    if (!fn.class_name.empty() && IsSimOwned(fn.class_name) &&
+        fn.var_types.count(t.text) == 0 &&
+        MemberType(fn.class_name, t.text) != nullptr) {
+      out.push_back({t.line, "method of simulation-owned " + fn.class_name +
+                                 " writes member '" + t.text + "'"});
+    }
+  }
+  return out;
+}
+
+ReachWalk WalkReachable(const CallGraph& g, const std::vector<int>& starts) {
+  ReachWalk out;
+  std::map<int, int> root_of;  // function -> start it was first reached from
+  std::vector<int> queue;
+  for (int s : starts) {
+    if (root_of.emplace(s, s).second) queue.push_back(s);
+  }
+  for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+    const int f = queue[qi];
+    const FunctionInfo& fn = g.functions[f];
+    if (!fn.has_body) continue;
+    const int root = root_of[f];
+    for (const CallGraph::WriteSite& w :
+         g.FindSimOwnedWrites(f, fn.body_begin, fn.body_end)) {
+      out.mutations.push_back({f, w.line, w.message, root});
+    }
+    auto cit = g.calls_of.find(f);
+    if (cit == g.calls_of.end()) continue;
+    for (int ci : cit->second) {
+      const CallSite& cs = g.calls[ci];
+      std::string why;
+      switch (g.Classify(cs, &why)) {
+        case CallClass::kMutatingSimState:
+          out.mutations.push_back({f, cs.line, why, root});
+          break;
+        case CallClass::kConstRead:
+        case CallClass::kSafe:
+          break;
+        case CallClass::kRecurse:
+          for (int tgt : cs.targets) {
+            if (g.functions[tgt].has_body &&
+                root_of.emplace(tgt, root).second) {
+              queue.push_back(tgt);
+            }
+          }
+          break;
+        case CallClass::kUnresolved:
+          out.unresolved.push_back({f, cs.line, why, root});
+          break;
+      }
+    }
+  }
+  return out;
+}
+
+CallGraph BuildCallGraph(const std::vector<SourceFile>& files) {
+  CallGraph g;
+  g.files = &files;
+
+  // --- Sweep one: functions, members, bases --------------------------------
+  for (int fi = 0; fi < static_cast<int>(files.size()); ++fi) {
+    const std::vector<Token>& toks = files[fi].lex.tokens;
+    std::vector<ScopeFrame> scopes{{ScopeFrame::kNamespace, "", -1}};
+    std::vector<const Token*> stmt;
+
+    // Harvests one class-scope data member declaration from `stmt`.
+    auto harvest_member = [&](const std::string& cls) {
+      if (cls.empty() || stmt.empty()) return;
+      if (ContainsIdent(stmt, "static") || ContainsIdent(stmt, "using") ||
+          ContainsIdent(stmt, "typedef") || ContainsIdent(stmt, "friend") ||
+          ContainsIdent(stmt, "template") || ContainsIdent(stmt, "operator")) {
+        return;
+      }
+      // The declared name: last ident before the initializer / array extent.
+      std::size_t cut = stmt.size();
+      int angle = 0;
+      for (std::size_t i = 0; i < stmt.size(); ++i) {
+        if (stmt[i]->kind != TokKind::kPunct) continue;
+        if (stmt[i]->text == "<") ++angle;
+        if (stmt[i]->text == ">" && angle > 0) --angle;
+        if (stmt[i]->text == ">>") angle = angle >= 2 ? angle - 2 : 0;
+        if (angle > 0) continue;
+        if (stmt[i]->text == "=" || stmt[i]->text == "[") {
+          cut = i;
+          break;
+        }
+      }
+      const Token* name = nullptr;
+      std::size_t name_at = 0;
+      for (std::size_t i = 0; i < cut; ++i) {
+        if (stmt[i]->kind == TokKind::kIdent &&
+            TypeKeywords().count(stmt[i]->text) == 0) {
+          name = stmt[i];
+          name_at = i;
+        }
+      }
+      if (name == nullptr || name_at == 0) return;
+      std::vector<const Token*> type_toks(stmt.begin(),
+                                          stmt.begin() + name_at);
+      g.members[cls][name->text] = ResolveTypeTokens(type_toks);
+    };
+
+    // Records a function declaration (terminator ';') or definition ('{')
+    // from `stmt`. Returns the new function's index, or -1.
+    auto record_function = [&](bool has_body, int body_tok_line_hint) -> int {
+      (void)body_tok_line_hint;
+      std::size_t paren = stmt.size();
+      std::string name;
+      // Operator overloads: the parameter list follows the operator symbol.
+      for (std::size_t i = 0; i + 1 < stmt.size(); ++i) {
+        if (stmt[i]->kind == TokKind::kIdent && stmt[i]->text == "operator") {
+          name = "operator";
+          std::size_t j = i + 1;
+          while (j < stmt.size() && stmt[j]->kind == TokKind::kPunct &&
+                 stmt[j]->text != "(") {
+            name += stmt[j]->text;
+            ++j;
+          }
+          if (j < stmt.size() && stmt[j]->kind == TokKind::kPunct &&
+              stmt[j]->text == "(") {
+            // operator() itself: the '(' here is the operator, the next one
+            // the parameter list.
+            if (name == "operator" && j + 1 < stmt.size() &&
+                stmt[j + 1]->text == ")") {
+              name = "operator()";
+              j += 2;
+            }
+            paren = j;
+          }
+          break;
+        }
+      }
+      if (name.empty()) {
+        paren = ParamParen(stmt);
+        if (paren >= stmt.size() || paren == 0) return -1;
+        if (stmt[paren - 1]->kind != TokKind::kIdent) return -1;
+        name = stmt[paren - 1]->text;
+        if (TypeKeywords().count(name) > 0 || name == "if" || name == "for" ||
+            name == "while" || name == "switch" || name == "return" ||
+            name == "catch" || name == "defined") {
+          return -1;
+        }
+        if (paren >= 2 && stmt[paren - 2]->kind == TokKind::kPunct &&
+            stmt[paren - 2]->text == "~") {
+          name = "~" + name;
+        }
+      }
+      if (paren >= stmt.size()) return -1;
+
+      FunctionInfo fn;
+      fn.name = name;
+      fn.file = fi;
+      fn.line = stmt[paren]->line;
+      fn.has_body = has_body;
+      fn.is_observer = ContainsIdent(stmt, "DD_OBSERVER");
+
+      // Qualified out-of-class definition: `Class::name(` — look behind the
+      // name (and behind '~' for destructors).
+      std::size_t name_at = paren - 1;
+      if (name.size() > 1 && name[0] == '~') --name_at;
+      if (name.compare(0, 8, "operator") == 0) {
+        // scan for the 'operator' ident
+        for (std::size_t i = 0; i < stmt.size(); ++i) {
+          if (stmt[i]->kind == TokKind::kIdent && stmt[i]->text == "operator") {
+            name_at = i;
+            break;
+          }
+        }
+      }
+      if (name_at >= 2 && stmt[name_at - 1]->kind == TokKind::kPunct &&
+          stmt[name_at - 1]->text == "::" &&
+          stmt[name_at - 2]->kind == TokKind::kIdent) {
+        fn.class_name = stmt[name_at - 2]->text;
+      } else if (scopes.back().kind == ScopeFrame::kClass) {
+        fn.class_name = scopes.back().name;
+      }
+
+      // const qualification: a `const` between the parameter list's ')' and
+      // the body / terminator / ctor-initializer.
+      const std::size_t close = MatchParen(stmt, paren);
+      for (std::size_t i = close + 1; i < stmt.size(); ++i) {
+        if (stmt[i]->kind == TokKind::kPunct && stmt[i]->text == ":") break;
+        if (stmt[i]->kind == TokKind::kIdent && stmt[i]->text == "const") {
+          fn.is_const = true;
+          break;
+        }
+      }
+
+      // Parameter types, split on top-level commas.
+      std::vector<const Token*> param;
+      int pdepth = 0, adepth = 0;
+      auto flush_param = [&]() {
+        if (param.empty()) return;
+        const Token* pname = nullptr;
+        std::size_t pname_at = 0;
+        for (std::size_t i = 0; i < param.size(); ++i) {
+          if (param[i]->kind == TokKind::kIdent &&
+              TypeKeywords().count(param[i]->text) == 0) {
+            pname = param[i];
+            pname_at = i;
+          }
+        }
+        if (pname != nullptr && pname_at > 0) {
+          std::vector<const Token*> type_toks(param.begin(),
+                                              param.begin() + pname_at);
+          const std::string ty = ResolveTypeTokens(type_toks);
+          if (!ty.empty()) fn.var_types[pname->text] = ty;
+        }
+        param.clear();
+      };
+      for (std::size_t i = paren + 1; i < close && i < stmt.size(); ++i) {
+        const Token& t = *stmt[i];
+        if (t.kind == TokKind::kPunct) {
+          if (t.text == "(") ++pdepth;
+          if (t.text == ")") --pdepth;
+          if (t.text == "<") ++adepth;
+          if (t.text == ">" && adepth > 0) --adepth;
+          if (t.text == "," && pdepth == 0 && adepth == 0) {
+            flush_param();
+            continue;
+          }
+          if (t.text == "=") {
+            // Default argument: the value is not part of the type.
+            while (i + 1 < close &&
+                   !(stmt[i + 1]->kind == TokKind::kPunct &&
+                     stmt[i + 1]->text == "," && pdepth == 0 && adepth == 0)) {
+              ++i;
+            }
+            continue;
+          }
+        }
+        param.push_back(&t);
+      }
+      flush_param();
+
+      const int idx = static_cast<int>(g.functions.size());
+      g.functions.push_back(std::move(fn));
+      const FunctionInfo& rec = g.functions.back();
+      if (rec.class_name.empty()) {
+        g.free_functions[rec.name].push_back(idx);
+      } else {
+        g.methods[rec.class_name][rec.name].push_back(idx);
+      }
+      return idx;
+    };
+
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (t.kind == TokKind::kPunct && t.text == ":") {
+        // Drop access specifiers so they never pollute statement analysis.
+        if (!stmt.empty() && stmt.back()->kind == TokKind::kIdent &&
+            (stmt.back()->text == "public" ||
+             stmt.back()->text == "private" ||
+             stmt.back()->text == "protected")) {
+          stmt.pop_back();
+          continue;
+        }
+      }
+      if (t.kind == TokKind::kPunct && t.text == "{") {
+        const ScopeFrame::Kind cur = scopes.back().kind;
+        ScopeFrame next{ScopeFrame::kBlock, "", -1};
+        if (cur == ScopeFrame::kNamespace || cur == ScopeFrame::kClass) {
+          if (ContainsIdent(stmt, "namespace")) {
+            next.kind = ScopeFrame::kNamespace;
+          } else if (ContainsIdent(stmt, "enum")) {
+            next.kind = ScopeFrame::kBlock;  // enumerators are not members
+          } else if (ContainsIdent(stmt, "class") ||
+                     ContainsIdent(stmt, "struct") ||
+                     ContainsIdent(stmt, "union")) {
+            next.kind = ScopeFrame::kClass;
+            // Name: first plain ident after the class-key; bases: idents
+            // after the ':' minus access/virtual keywords.
+            std::size_t key = stmt.size();
+            for (std::size_t k = 0; k < stmt.size(); ++k) {
+              if (stmt[k]->kind == TokKind::kIdent &&
+                  (stmt[k]->text == "class" || stmt[k]->text == "struct" ||
+                   stmt[k]->text == "union")) {
+                key = k;
+                break;
+              }
+            }
+            std::size_t colon = stmt.size();
+            for (std::size_t k = key; k < stmt.size(); ++k) {
+              if (stmt[k]->kind == TokKind::kPunct && stmt[k]->text == ":") {
+                colon = k;
+                break;
+              }
+            }
+            for (std::size_t k = key + 1; k < colon; ++k) {
+              if (stmt[k]->kind == TokKind::kIdent &&
+                  stmt[k]->text != "final" &&
+                  TypeKeywords().count(stmt[k]->text) == 0) {
+                next.name = stmt[k]->text;
+                break;
+              }
+            }
+            for (std::size_t k = colon; k < stmt.size(); ++k) {
+              if (stmt[k]->kind == TokKind::kIdent &&
+                  stmt[k]->text != "public" && stmt[k]->text != "private" &&
+                  stmt[k]->text != "protected" &&
+                  stmt[k]->text != "virtual" && stmt[k]->text != "std") {
+                g.bases[next.name].push_back(stmt[k]->text);
+              }
+            }
+          } else {
+            bool has_paren = ParamParen(stmt) < stmt.size();
+            if (has_paren) {
+              const int idx = record_function(/*has_body=*/true, t.line);
+              if (idx >= 0) {
+                g.functions[idx].body_begin = i;
+                next.func = idx;
+              }
+            } else if (cur == ScopeFrame::kClass) {
+              // `Foo bar_{...};` brace-initialized member.
+              harvest_member(scopes.back().name);
+            }
+          }
+        }
+        scopes.push_back(next);
+        stmt.clear();
+        continue;
+      }
+      if (t.kind == TokKind::kPunct && t.text == "}") {
+        if (scopes.size() > 1) {
+          if (scopes.back().func >= 0) {
+            g.functions[scopes.back().func].body_end = i + 1;
+          }
+          scopes.pop_back();
+        }
+        stmt.clear();
+        continue;
+      }
+      if (t.kind == TokKind::kPunct && t.text == ";") {
+        const ScopeFrame& cur = scopes.back();
+        if (cur.kind == ScopeFrame::kNamespace ||
+            cur.kind == ScopeFrame::kClass) {
+          // Function declaration (no body) or a data member / namespace var.
+          const std::size_t paren = ParamParen(stmt);
+          const bool function_shaped =
+              paren < stmt.size() && paren > 0 &&
+              (stmt[paren - 1]->kind == TokKind::kIdent ||
+               ContainsIdent(stmt, "operator"));
+          if (function_shaped && !ContainsIdent(stmt, "using") &&
+              !ContainsIdent(stmt, "typedef") &&
+              !ContainsIdent(stmt, "DD_CHECK")) {
+            record_function(/*has_body=*/false, t.line);
+          } else if (cur.kind == ScopeFrame::kClass) {
+            harvest_member(cur.name);
+          }
+        }
+        stmt.clear();
+        continue;
+      }
+      stmt.push_back(&t);
+    }
+  }
+
+  // Method name -> owning classes, for the unique-name fallback below: a
+  // chained call (`writer.BeginObject().Int(...)`) has a ')' receiver the
+  // type environment cannot follow, but when exactly one indexed class
+  // declares the method, that class is the only in-tree candidate.
+  std::map<std::string, std::vector<std::string>> method_owners;
+  for (const auto& [cls, by_name] : g.methods) {
+    for (const auto& [mname, _] : by_name) {
+      method_owners[mname].push_back(cls);
+    }
+  }
+
+  // --- Sweep two: locals and call sites per body ---------------------------
+  const std::set<std::string> kControl = {
+      "if",     "for",   "while",    "switch",      "return",
+      "sizeof", "catch", "alignof",  "co_return",   "co_await",
+      "throw",  "new",   "delete",   "static_cast", "const_cast",
+      "reinterpret_cast", "dynamic_cast", "decltype", "noexcept",
+  };
+  for (int fidx = 0; fidx < static_cast<int>(g.functions.size()); ++fidx) {
+    FunctionInfo& fn = g.functions[fidx];
+    if (!fn.has_body || fn.body_end <= fn.body_begin) continue;
+    const std::vector<Token>& toks = files[fn.file].lex.tokens;
+
+    // Local lambdas: `auto name = [...]`. A call through `name` needs no
+    // recursion — the lambda's body sits inside this function's token range,
+    // so its writes and call sites are already analyzed inline.
+    for (std::size_t i = fn.body_begin + 1; i + 3 < fn.body_end; ++i) {
+      if (toks[i].kind == TokKind::kIdent && toks[i].text == "auto" &&
+          toks[i + 1].kind == TokKind::kIdent &&
+          toks[i + 2].kind == TokKind::kPunct && toks[i + 2].text == "=" &&
+          toks[i + 3].kind == TokKind::kPunct && toks[i + 3].text == "[") {
+        fn.var_types[toks[i + 1].text] = "<lambda>";
+      }
+    }
+
+    // Local declarations: a statement-leading run of type tokens followed by
+    // a name and then '=', '(', '{' or ';'. One forward sweep, statement
+    // boundaries at ';' '{' '}'.
+    std::size_t stmt_start = fn.body_begin + 1;
+    for (std::size_t i = fn.body_begin + 1; i < fn.body_end; ++i) {
+      const Token& t = toks[i];
+      const bool boundary =
+          t.kind == TokKind::kPunct &&
+          (t.text == ";" || t.text == "{" || t.text == "}");
+      if (!boundary) continue;
+      // Analyze toks[stmt_start, i): type-run + name?
+      std::vector<const Token*> run;
+      std::size_t k = stmt_start;
+      int angle = 0;
+      bool ok = k < i && toks[k].kind == TokKind::kIdent &&
+                kControl.count(toks[k].text) == 0;
+      for (; ok && k < i; ++k) {
+        const Token& u = toks[k];
+        if (u.kind == TokKind::kIdent) {
+          run.push_back(&u);
+          continue;
+        }
+        if (u.kind == TokKind::kPunct) {
+          if (u.text == "<") {
+            ++angle;
+            run.push_back(&u);
+            continue;
+          }
+          if (u.text == ">") {
+            if (angle == 0) {
+              ok = false;
+              break;
+            }
+            --angle;
+            run.push_back(&u);
+            continue;
+          }
+          if (u.text == ">>") {
+            if (angle < 2) {
+              ok = false;
+              break;
+            }
+            angle -= 2;
+            run.push_back(&u);
+            continue;
+          }
+          if (angle > 0 || u.text == "::" || u.text == "*" || u.text == "&") {
+            run.push_back(&u);
+            continue;
+          }
+          if (u.text == "=" || u.text == "(") break;
+          ok = false;
+          break;
+        }
+        ok = false;
+        break;
+      }
+      if (ok && angle == 0 && run.size() >= 2 &&
+          run.back()->kind == TokKind::kIdent) {
+        // Count plain idents: need a type ident distinct from the name.
+        int idents = 0;
+        for (const Token* r : run) {
+          if (r->kind == TokKind::kIdent &&
+              TypeKeywords().count(r->text) == 0 && r->text != "std" &&
+              r->text != "auto") {
+            ++idents;
+          }
+        }
+        if (idents >= 2) {
+          const std::string vname = run.back()->text;
+          std::vector<const Token*> type_toks(run.begin(), run.end() - 1);
+          const std::string ty = ResolveTypeTokens(type_toks);
+          if (fn.var_types.count(vname) == 0) {
+            // Untyped templates (vector<T>, map<K,V>) still get recorded as
+            // "<opaque>": the name is a known local, so `name(...)` right
+            // after a '>' is its paren-initializer, not a call.
+            fn.var_types[vname] = ty.empty() ? "<opaque>" : ty;
+          }
+        }
+      }
+      stmt_start = i + 1;
+    }
+
+    // Receiver typing (same resolver FindSimOwnedWrites uses).
+    std::function<std::string(std::size_t, int)> type_of =
+        [&](std::size_t pos, int depth) -> std::string {
+      if (depth > 4 || pos >= toks.size()) return "";
+      const Token& t = toks[pos];
+      if (t.kind != TokKind::kIdent) return "";
+      if (t.text == "this") return fn.class_name;
+      if (pos >= 2 && toks[pos - 1].kind == TokKind::kPunct &&
+          (toks[pos - 1].text == "." || toks[pos - 1].text == "->")) {
+        const std::string base = type_of(pos - 2, depth + 1);
+        if (base.empty()) return "";
+        const std::string* mt = g.MemberType(base, t.text);
+        return mt != nullptr ? *mt : "";
+      }
+      auto vit = fn.var_types.find(t.text);
+      if (vit != fn.var_types.end()) return vit->second;
+      if (!fn.class_name.empty()) {
+        const std::string* mt = g.MemberType(fn.class_name, t.text);
+        if (mt != nullptr) return *mt;
+      }
+      return "";
+    };
+
+    for (std::size_t i = fn.body_begin + 1; i + 1 < fn.body_end; ++i) {
+      const Token& t = toks[i];
+      if (t.kind != TokKind::kIdent || kControl.count(t.text) > 0) continue;
+      if (!(toks[i + 1].kind == TokKind::kPunct && toks[i + 1].text == "(")) {
+        continue;
+      }
+      CallSite cs;
+      cs.caller = fidx;
+      cs.name = t.text;
+      cs.line = t.line;
+      cs.name_tok = i;
+      if (i >= 1 && toks[i - 1].kind == TokKind::kIdent &&
+          kControl.count(toks[i - 1].text) == 0 &&
+          toks[i - 1].text != "else" && toks[i - 1].text != "do" &&
+          toks[i - 1].text != "case" && toks[i - 1].text != "goto" &&
+          toks[i - 1].text != "operator") {
+        // `Type name(args)` — a local declaration, not a call to `name`.
+        // The constructor of an indexed type is the real callee; anything
+        // else (builtins, std, externals) constructs no simulation state.
+        const std::string& ty = toks[i - 1].text;
+        if (g.methods.count(ty) == 0 && g.members.count(ty) == 0 &&
+            g.bases.count(ty) == 0) {
+          continue;
+        }
+        cs.name = ty;
+        cs.targets = g.LookupMethod(ty, ty);
+        cs.resolved = !cs.targets.empty();
+        const int decl_idx = static_cast<int>(g.calls.size());
+        g.calls_of[fidx].push_back(decl_idx);
+        g.calls.push_back(std::move(cs));
+        continue;
+      }
+      if (i >= 1 && toks[i - 1].kind == TokKind::kPunct &&
+          (toks[i - 1].text == ">" || toks[i - 1].text == ">>") &&
+          fn.var_types.count(t.text) > 0) {
+        // `std::vector<T> name(init)`: the paren-initializer of a recorded
+        // local whose declaration ends in a template '>', not a call.
+        continue;
+      }
+      if (i >= 1 && toks[i - 1].kind == TokKind::kPunct) {
+        const std::string& prev = toks[i - 1].text;
+        if (prev == "." || prev == "->") {
+          cs.has_receiver = true;
+          if (i >= 2) cs.receiver_type = type_of(i - 2, 0);
+        } else if (prev == "::") {
+          if (i >= 2 && toks[i - 2].kind == TokKind::kIdent) {
+            const std::string& q = toks[i - 2].text;
+            if (q == "std") {
+              cs.std_qualified = true;
+            } else if (g.methods.count(q) > 0 || g.members.count(q) > 0 ||
+                       g.bases.count(q) > 0) {
+              cs.has_receiver = true;
+              cs.receiver_type = q;  // Class::Static(...) / explicit call
+            }
+            // else: namespace qualification; fall through to free lookup
+          } else {
+            cs.std_qualified = true;  // ::libc_call(...)
+          }
+        }
+      }
+      // Resolve targets.
+      if (!cs.std_qualified) {
+        if (cs.has_receiver) {
+          if (cs.receiver_type.empty() &&
+              SafeMethodNames().count(cs.name) == 0) {
+            // Owner fallback for untyped receivers (chained calls, untracked
+            // containers): with exactly one indexed class declaring the
+            // method — and it not being that class's constructor — assume
+            // it; with several, conservatively target every candidate's
+            // overload set (the walk then analyzes all of their bodies).
+            auto oit = method_owners.find(cs.name);
+            if (oit != method_owners.end()) {
+              if (oit->second.size() == 1 && oit->second[0] != cs.name) {
+                cs.receiver_type = oit->second[0];
+              } else if (oit->second.size() > 1) {
+                for (const std::string& owner : oit->second) {
+                  if (owner == cs.name) continue;  // constructor, not method
+                  const std::vector<int> cand =
+                      g.LookupMethod(owner, cs.name);
+                  cs.targets.insert(cs.targets.end(), cand.begin(),
+                                    cand.end());
+                }
+                cs.resolved = !cs.targets.empty();
+              }
+            }
+          }
+          if (!cs.resolved && !cs.receiver_type.empty()) {
+            cs.targets = g.LookupMethod(cs.receiver_type, cs.name);
+            cs.resolved = !cs.targets.empty();
+          }
+        } else {
+          // Bare call: implicit-this method, then free function.
+          if (!fn.class_name.empty()) {
+            cs.targets = g.LookupMethod(fn.class_name, cs.name);
+            if (!cs.targets.empty()) {
+              cs.has_receiver = true;
+              cs.receiver_type = fn.class_name;
+              cs.resolved = true;
+            }
+          }
+          if (!cs.resolved) {
+            auto fit = g.free_functions.find(cs.name);
+            if (fit != g.free_functions.end()) {
+              cs.targets = fit->second;
+              cs.resolved = true;
+            }
+          }
+        }
+      }
+      const int cs_idx = static_cast<int>(g.calls.size());
+      g.calls_of[fidx].push_back(cs_idx);
+      g.calls.push_back(std::move(cs));
+    }
+  }
+  return g;
+}
+
+}  // namespace ddanalyze

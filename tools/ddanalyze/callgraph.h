@@ -1,0 +1,163 @@
+// Function-level call graph over the lexed token streams (DESIGN.md §12).
+//
+// This is not a compiler front end: it is the same token-level approximation
+// the other ddanalyze passes use, grown one level up. The builder indexes
+// every function declaration and definition (free functions, in-class and
+// out-of-class member definitions, constness, DD_OBSERVER annotations), every
+// class's data-member types and base classes, and every call site inside a
+// function body. Member calls are resolved by receiver type where the token
+// stream allows (locals, parameters, members, `this`, one level of
+// smart-pointer unwrapping); everything else becomes a conservative
+// "unresolved callee" edge that the purity/taint passes ratchet instead of
+// guessing about.
+#ifndef DAREDEVIL_TOOLS_DDANALYZE_CALLGRAPH_H_
+#define DAREDEVIL_TOOLS_DDANALYZE_CALLGRAPH_H_
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/ddanalyze/analyzer.h"
+
+namespace ddanalyze {
+
+struct FunctionInfo {
+  std::string name;        // unqualified name ("Record", "operator()")
+  std::string class_name;  // enclosing or ::-qualifying class; "" = free
+  int file = -1;           // index into the SourceFile vector
+  int line = 0;            // line of the header (the parameter-list '(')
+  bool is_const = false;   // const-qualified member function
+  bool is_observer = false;  // header carries the DD_OBSERVER annotation
+  bool has_body = false;
+  std::size_t body_begin = 0;  // token index of the body '{' (when has_body)
+  std::size_t body_end = 0;    // one past the matching '}'
+  // Parameter and simple-local types by name, harvested from the header and
+  // from `T x = ...;` / `T* x;` declarations in the body. Smart pointers are
+  // unwrapped to their pointee; templated containers stay unrecorded.
+  std::map<std::string, std::string> var_types;
+
+  std::string qualified_name() const {
+    return class_name.empty() ? name : class_name + "::" + name;
+  }
+};
+
+struct CallSite {
+  int caller = -1;            // FunctionInfo index
+  std::string name;           // callee name as written
+  std::string receiver_type;  // resolved receiver class; "" = none/unknown
+  bool has_receiver = false;  // written as `expr.name(` / `expr->name(`
+  bool std_qualified = false;  // written as `std::name(` or `::name(`
+  int line = 0;
+  std::size_t name_tok = 0;  // token index of `name` in the caller's file
+  // Resolved targets (the whole overload set, declarations included). Empty
+  // with resolved=false means the callee is unknown to the graph.
+  std::vector<int> targets;
+  bool resolved = false;
+};
+
+// How a call site relates to simulation-owned state. Classification order:
+// mutating > const-read > recurse > safe > unresolved.
+enum class CallClass {
+  kMutatingSimState,  // non-const member call on a sim-owned receiver
+  kConstRead,         // const member (or const overload) on a sim-owned type
+  kRecurse,           // resolved to analyzable bodies; caller must walk them
+  kSafe,              // std:: / safe-listed utility; no further analysis
+  kUnresolved,        // unknown callee: ratchet material, never silently ok
+};
+
+class CallGraph {
+ public:
+  std::vector<FunctionInfo> functions;
+  std::vector<CallSite> calls;
+  // Call-site indices grouped by caller function.
+  std::map<int, std::vector<int>> calls_of;
+  // class -> method name -> overload-set function indices (decls + defs).
+  std::map<std::string, std::map<std::string, std::vector<int>>> methods;
+  // free function name -> function indices.
+  std::map<std::string, std::vector<int>> free_functions;
+  // class -> data member name -> type name ("" = declared but unresolvable).
+  std::map<std::string, std::map<std::string, std::string>> members;
+  // class -> direct base classes.
+  std::map<std::string, std::vector<std::string>> bases;
+
+  // True when `cls` or any transitive base declares a const overload of
+  // `method` (the binding a const receiver would pick).
+  bool HasConstOverload(const std::string& cls, const std::string& method) const;
+  // The full overload set of `cls::method`, searching the base chain.
+  std::vector<int> LookupMethod(const std::string& cls,
+                                const std::string& method) const;
+  // True when `cls` is a declared data member of `owner` (or of a base).
+  const std::string* MemberType(const std::string& owner,
+                                const std::string& member) const;
+  // True when `type` is simulation-owned state (or derives from it): the
+  // types whose mutation from observer code the purity/taint passes police.
+  bool IsSimOwned(const std::string& type) const;
+
+  // Classifies one call site against the sim-owned table. `why` (optional)
+  // receives a human-readable reason for the classification.
+  CallClass Classify(const CallSite& cs, std::string* why) const;
+
+  // Direct writes to sim-owned state in toks[begin, end) of `func`'s file:
+  // member stores through a sim-owned receiver (`dev->field = ...`),
+  // increments/decrements, bare member stores inside methods of sim-owned
+  // classes, and const_cast (the classic "pure observer" cheat).
+  struct WriteSite {
+    int line = 0;
+    std::string message;
+  };
+  std::vector<WriteSite> FindSimOwnedWrites(int func, std::size_t begin,
+                                            std::size_t end) const;
+
+  const std::vector<SourceFile>* files = nullptr;  // borrowed, not owned
+};
+
+// Builds the graph over the whole scanned file set. `files` must outlive the
+// returned graph (it keeps a pointer for token access).
+CallGraph BuildCallGraph(const std::vector<SourceFile>& files);
+
+// Shared reachability analysis for the purity/taint passes: BFS over the
+// resolved call edges from `starts`, classifying every reachable call site
+// and scanning every reachable body for direct sim-owned writes. Const reads
+// on sim-owned types are leaves (not recursed into); unknown callees are
+// reported, never silently skipped.
+struct ReachWalk {
+  struct Site {
+    int func = -1;  // function the site is in
+    int line = 0;
+    std::string message;
+    int root = -1;  // the start function this site is reachable from
+  };
+  std::vector<Site> mutations;   // writes + non-const calls on sim state
+  std::vector<Site> unresolved;  // callees the graph cannot resolve
+};
+ReachWalk WalkReachable(const CallGraph& g, const std::vector<int>& starts);
+
+// --- Passes built on the graph --------------------------------------------
+
+// Observer-purity pass (DESIGN.md §12.2): every function defined under
+// src/stats/ plus every DD_OBSERVER-annotated function must transitively
+// reach no write to simulation-owned state. Violations are hard errors
+// (waive a site with `// ddanalyze: purity-ok(reason)`); calls the graph
+// cannot resolve are ratcheted as "purity-unresolved.<layer>".
+void CheckObserverPurity(const std::vector<SourceFile>& files,
+                         const CallGraph& graph, std::vector<Finding>* errors,
+                         std::vector<Finding>* ratchet);
+
+// Fingerprint-taint pass (DESIGN.md §12.3): observability-only ScenarioConfig
+// fields must not flow into code that writes fingerprinted simulation state.
+// A read of such a field taints the enclosing statement — or, when it is read
+// inside an if/while/for condition, the whole controlled block (else branch
+// included). Tainted regions may wire observers (SetTraceLog/SetTimelineLog
+// and friends) and call observer-pure code, but any sim-owned mutation or
+// call into mutating code is a hard error (waive with
+// `// ddanalyze: taint-ok(reason)`); unresolvable calls are ratcheted as
+// "taint-unresolved.<layer>".
+void CheckFingerprintTaint(const std::vector<SourceFile>& files,
+                           const CallGraph& graph, std::vector<Finding>* errors,
+                           std::vector<Finding>* ratchet);
+
+}  // namespace ddanalyze
+
+#endif  // DAREDEVIL_TOOLS_DDANALYZE_CALLGRAPH_H_

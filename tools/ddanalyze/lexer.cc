@@ -135,20 +135,6 @@ LexedFile Lex(const std::string& content) {
       i = end == n ? n : end + 2;
       continue;
     }
-    // Raw string literal: R"delim( ... )delim".
-    if (c == 'R' && peek(1) == '"') {
-      std::size_t p = i + 2;
-      std::string delim;
-      while (p < n && content[p] != '(') delim.push_back(content[p++]);
-      const std::string closer = ")" + delim + "\"";
-      std::size_t end = content.find(closer, p);
-      if (end == std::string::npos) end = n;
-      for (std::size_t k = i; k < end && k < n; ++k) {
-        if (content[k] == '\n') ++line;
-      }
-      i = end == n ? n : end + closer.size();
-      continue;
-    }
     // String / char literal.
     if (c == '"' || c == '\'') {
       const char quote = c;
@@ -161,11 +147,53 @@ LexedFile Lex(const std::string& content) {
       i = p < n ? p + 1 : n;
       continue;
     }
-    // Identifier.
+    // Identifier — or the prefix of a raw string literal. Raw strings must be
+    // recognized through their identifier-shaped prefix (R, u8R, uR, LR, UR),
+    // not by peeking at a bare 'R': otherwise `u8R"(...)"` lexes as the
+    // identifier `u8R` plus an ordinary string, and the literal body leaks
+    // spurious tokens / desynchronizes line tracking across its newlines.
     if (IsIdentStart(c)) {
       std::size_t p = i;
       while (p < n && IsIdentChar(content[p])) ++p;
-      out.tokens.push_back({TokKind::kIdent, content.substr(i, p - i), line});
+      const std::string ident = content.substr(i, p - i);
+      if (p < n && content[p] == '"' &&
+          (ident == "R" || ident == "u8R" || ident == "uR" || ident == "LR" ||
+           ident == "UR")) {
+        // Validate the delimiter per [lex.string]: at most 16 chars, none of
+        // which may be a parenthesis, backslash, quote, or whitespace. On a
+        // malformed delimiter (e.g. `R"abc"` in test strings) fall back to
+        // identifier + ordinary string instead of scanning for a ')' that may
+        // be pages away — the old behavior silently swallowed the rest of the
+        // file.
+        std::size_t q = p + 1;
+        std::string delim;
+        bool valid = false;
+        while (q < n && delim.size() <= 16) {
+          const char d = content[q];
+          if (d == '(') {
+            valid = true;
+            break;
+          }
+          if (d == ')' || d == '\\' || d == '"' || d == ' ' || d == '\t' ||
+              d == '\n' || d == '\r' || d == '\v' || d == '\f') {
+            break;
+          }
+          delim.push_back(d);
+          ++q;
+        }
+        if (valid && delim.size() <= 16) {
+          const std::string closer = ")" + delim + "\"";
+          std::size_t end = content.find(closer, q + 1);
+          if (end == std::string::npos) end = n;
+          const std::size_t stop = end == n ? n : end + closer.size();
+          for (std::size_t k = i; k < stop; ++k) {
+            if (content[k] == '\n') ++line;
+          }
+          i = stop;
+          continue;
+        }
+      }
+      out.tokens.push_back({TokKind::kIdent, ident, line});
       i = p;
       continue;
     }

@@ -1,6 +1,8 @@
 // ddanalyze CLI. Typical runs:
 //   ddanalyze --root .                      # architecture check + ratchet
 //   ddanalyze --root . --write-baseline     # refresh the ratchet baseline
+//   ddanalyze --root . --md                 # markdown summary (CI step page)
+//   ddanalyze --list-passes                 # what runs, in order
 //   ddanalyze --root tests/ddanalyze_fixtures/layer_bad   # fixture corpus
 // Exit code 0 = clean, 1 = findings or ratchet regression, 2 = usage error.
 #include <cstdio>
@@ -20,6 +22,63 @@ void PrintJsonString(std::ostream& out, const std::string& s) {
   out << '"' << ddanalyze::JsonEscape(s) << '"';
 }
 
+// Markdown summary for the CI step page: per-pass table (what found what,
+// how long it took) and the ratchet-vs-baseline delta table.
+void PrintMarkdown(std::ostream& out, const ddanalyze::AnalysisResult& result,
+                   const std::map<std::string, int>& baseline,
+                   bool have_baseline,
+                   const std::vector<std::string>& ratchet_violations) {
+  out << "### ddanalyze\n\n";
+  out << "| pass | wall ms | errors | ratchet sites |\n";
+  out << "|---|---:|---:|---:|\n";
+  char ms[32];
+  for (const ddanalyze::PassStat& p : result.passes) {
+    std::snprintf(ms, sizeof(ms), "%.2f", p.wall_ms);
+    out << "| " << p.name << " | " << ms << " | " << p.findings << " | "
+        << p.ratchet_sites << " |\n";
+  }
+  out << "\n";
+  if (!result.errors.empty()) {
+    out << "**" << result.errors.size() << " hard error(s):**\n\n";
+    for (const auto& f : result.errors) {
+      out << "- `" << f.file << ":" << f.line << "` [" << f.rule << "] "
+          << f.message << "\n";
+    }
+    out << "\n";
+  }
+  if (!result.ratchet_counts.empty() || have_baseline) {
+    out << "**Ratchet vs baseline** (counts may only fall):\n\n";
+    out << "| key | baseline | current | delta |\n";
+    out << "|---|---:|---:|---:|\n";
+    std::map<std::string, int> keys = result.ratchet_counts;
+    for (const auto& [key, count] : baseline) {
+      keys.emplace(key, 0);  // burned-down keys still show their headroom
+    }
+    for (const auto& [key, _] : keys) {
+      auto cit = result.ratchet_counts.find(key);
+      auto bit = baseline.find(key);
+      const int cur = cit == result.ratchet_counts.end() ? 0 : cit->second;
+      const int base = bit == baseline.end() ? 0 : bit->second;
+      const int delta = cur - base;
+      out << "| `" << key << "` | " << base << " | " << cur << " | "
+          << (delta > 0 ? "**+" + std::to_string(delta) + "**"
+                        : std::to_string(delta))
+          << " |\n";
+    }
+    out << "\n";
+  }
+  if (!ratchet_violations.empty()) {
+    out << "**Ratchet regressions:**\n\n";
+    for (const auto& v : ratchet_violations) {
+      out << "- " << v << "\n";
+    }
+    out << "\n";
+  }
+  out << (result.errors.empty() && ratchet_violations.empty()
+              ? "Result: **clean**\n"
+              : "Result: **FAIL**\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -27,6 +86,7 @@ int main(int argc, char** argv) {
   std::string baseline_path;
   bool write_baseline = false;
   bool json = false;
+  bool md = false;
   bool no_ratchet = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -39,12 +99,20 @@ int main(int argc, char** argv) {
       write_baseline = true;
     } else if (arg == "--json") {
       json = true;
+    } else if (arg == "--md") {
+      md = true;
     } else if (arg == "--no-ratchet") {
       no_ratchet = true;
+    } else if (arg == "--list-passes") {
+      for (const auto& [name, desc] : ddanalyze::ListPasses()) {
+        std::printf("%-18s %s\n", name.c_str(), desc.c_str());
+      }
+      return 0;
     } else if (arg == "--help" || arg == "-h") {
       std::puts(
           "usage: ddanalyze [--root DIR] [--baseline FILE] "
-          "[--write-baseline] [--json] [--no-ratchet]");
+          "[--write-baseline] [--json] [--md] [--no-ratchet] "
+          "[--list-passes]");
       return 0;
     } else {
       std::fprintf(stderr, "ddanalyze: unknown argument '%s'\n", arg.c_str());
@@ -69,11 +137,14 @@ int main(int argc, char** argv) {
                 result.ratchet_counts.size(), baseline_path.c_str());
   }
 
+  std::map<std::string, int> baseline;
+  bool have_baseline = false;
   std::vector<std::string> ratchet_violations;
   if (!no_ratchet && !write_baseline) {
     std::string err;
-    const auto baseline = ddanalyze::ReadBaseline(baseline_path, &err);
-    if (err.empty()) {
+    baseline = ddanalyze::ReadBaseline(baseline_path, &err);
+    have_baseline = err.empty();
+    if (have_baseline) {
       ratchet_violations =
           ddanalyze::CompareToBaseline(result.ratchet_counts, baseline);
     }
@@ -96,6 +167,18 @@ int main(int argc, char** argv) {
       PrintJsonString(out, f.message);
       out << "}";
     }
+    out << "],\"passes\":[";
+    first = true;
+    char ms[32];
+    for (const auto& p : result.passes) {
+      if (!first) out << ",";
+      first = false;
+      std::snprintf(ms, sizeof(ms), "%.3f", p.wall_ms);
+      out << "{\"name\":";
+      PrintJsonString(out, p.name);
+      out << ",\"wall_ms\":" << ms << ",\"findings\":" << p.findings
+          << ",\"ratchet_sites\":" << p.ratchet_sites << "}";
+    }
     out << "],\"ratchet\":{";
     first = true;
     for (const auto& [key, count] : result.ratchet_counts) {
@@ -105,6 +188,9 @@ int main(int argc, char** argv) {
       out << ":" << count;
     }
     out << "},\"ratchet_violations\":" << ratchet_violations.size() << "}\n";
+  } else if (md) {
+    PrintMarkdown(std::cout, result, baseline, have_baseline,
+                  ratchet_violations);
   } else {
     for (const auto& f : result.errors) {
       std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
@@ -112,6 +198,10 @@ int main(int argc, char** argv) {
     }
     for (const auto& v : ratchet_violations) {
       std::printf("ratchet regression: %s\n", v.c_str());
+    }
+    for (const auto& p : result.passes) {
+      std::printf("pass %-18s %8.2f ms  %3d error(s)  %3d ratchet site(s)\n",
+                  p.name.c_str(), p.wall_ms, p.findings, p.ratchet_sites);
     }
     std::printf(
         "ddanalyze: %zu finding(s), %zu ratchet counter(s), %zu ratchet "

@@ -1,0 +1,78 @@
+// observer-purity rule (DESIGN.md §12.2): the observability surface must be
+// read-only with respect to the simulation, transitively.
+//
+// Entry points are every function defined under src/stats/ (trace_export,
+// state_sampler, holb, slo, metrics, histogram, time_series — the whole
+// layer is an observer by charter) plus any function annotated DD_OBSERVER
+// anywhere in the tree (src/core/ uses it to mark read-only accessors on
+// scheduler state). From those entries the pass walks the resolved call
+// graph; any reachable write to simulation-owned state — a member store
+// through a sim-owned receiver, a non-const member call on one, a store
+// through a pooled Request*, a const_cast — is a hard error. The dynamic
+// determinism gates prove fingerprints don't move for the scenarios we run;
+// this pass proves the read-onlyness those gates sample, for every code
+// path, at analysis time — which is also what lets the sharded-simulation
+// work treat observers as race-free readers (ROADMAP item 2).
+//
+// Precision boundary: calls the graph cannot resolve (std::function members,
+// values returned from calls, templated containers) are never silently
+// trusted — they are counted per layer as "purity-unresolved.<layer>" and
+// ratcheted against tools/ddanalyze-baseline.txt, so the unresolvable set
+// can only shrink. Waive a deliberate site (e.g. the StateSampler's
+// sanctioned self-rescheduling) with `// ddanalyze: purity-ok(reason)`.
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/ddanalyze/callgraph.h"
+
+namespace ddanalyze {
+
+void CheckObserverPurity(const std::vector<SourceFile>& files,
+                         const CallGraph& graph, std::vector<Finding>* errors,
+                         std::vector<Finding>* ratchet) {
+  std::vector<int> entries;
+  for (int i = 0; i < static_cast<int>(graph.functions.size()); ++i) {
+    const FunctionInfo& fn = graph.functions[i];
+    if (!fn.has_body) continue;
+    const std::string& path = files[fn.file].rel_path;
+    const bool in_stats = path.compare(0, 10, "src/stats/") == 0;
+    if (in_stats || fn.is_observer) entries.push_back(i);
+  }
+  const ReachWalk walk = WalkReachable(graph, entries);
+
+  // The same site can be reached from several entry roots; report it once.
+  std::set<std::string> reported;
+  auto once = [&reported](const std::string& file, int line,
+                          const std::string& msg) {
+    return reported.insert(file + "|" + std::to_string(line) + "|" + msg)
+        .second;
+  };
+
+  for (const ReachWalk::Site& s : walk.mutations) {
+    const FunctionInfo& fn = graph.functions[s.func];
+    const SourceFile& sf = files[fn.file];
+    if (sf.lex.HasWaiver(s.line, "purity")) continue;
+    if (!once(sf.rel_path, s.line, s.message)) continue;
+    const FunctionInfo& root = graph.functions[s.root];
+    std::string msg = s.message + " [in " + fn.qualified_name();
+    if (s.func != s.root) {
+      msg += ", reachable from observer entry " + root.qualified_name();
+    }
+    msg += "]; observers must be fingerprint-neutral by construction";
+    errors->push_back({"observer-purity", sf.rel_path, s.line, msg});
+  }
+  for (const ReachWalk::Site& s : walk.unresolved) {
+    const FunctionInfo& fn = graph.functions[s.func];
+    const SourceFile& sf = files[fn.file];
+    if (sf.lex.HasWaiver(s.line, "purity")) continue;
+    if (!once(sf.rel_path, s.line, s.message)) continue;
+    ratchet->push_back({"purity-unresolved", sf.rel_path, s.line,
+                        s.message + " [in " + fn.qualified_name() +
+                            "]; the call graph cannot prove this callee "
+                            "read-only"});
+  }
+}
+
+}  // namespace ddanalyze
