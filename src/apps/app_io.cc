@@ -42,8 +42,9 @@ AppIoContext::Op* AppIoContext::AllocOp() {
   return op;
 }
 
-void AppIoContext::Issue(uint64_t lba, uint32_t pages, bool is_write, bool sync,
-                         bool meta, Callback done) {
+uint64_t AppIoContext::Issue(uint64_t lba, uint32_t pages, bool is_write,
+                             bool sync, bool meta, bool flush, bool fua,
+                             Callback done) {
   DD_CHECK(pages >= 1) << "tenant " << tenant_->id << " issued an empty I/O";
   DD_CHECK(lba + pages <= namespace_pages())
       << "tenant " << tenant_->id << " I/O [" << lba << ", " << lba + pages
@@ -58,6 +59,8 @@ void AppIoContext::Issue(uint64_t lba, uint32_t pages, bool is_write, bool sync,
   rq.is_write = is_write;
   rq.is_sync = sync;
   rq.is_meta = meta;
+  rq.is_flush = flush;
+  rq.is_fua = fua;
   rq.ResetTimeline();  // pooled request: clear the previous run's stamps
   rq.issue_time = machine_->now();
   rq.routed_nsq = -1;
@@ -65,8 +68,12 @@ void AppIoContext::Issue(uint64_t lba, uint32_t pages, bool is_write, bool sync,
   op->done = std::move(done);
 
   ++inflight_;
-  (is_write ? writes_ : reads_) += 1;
-  pages_ += pages;
+  if (flush) {
+    ++flushes_;  // barriers move no data: not a write, no pages transferred
+  } else {
+    (is_write ? writes_ : reads_) += 1;
+    pages_ += pages;
+  }
 
   const TickDuration issue_cost =
       stack_->costs().syscall +
@@ -77,16 +84,32 @@ void AppIoContext::Issue(uint64_t lba, uint32_t pages, bool is_write, bool sync,
                    stack_->SubmitAsync(&op->rq);
                  },
                  tenant_->id);
+  return rq.id;
 }
 
-void AppIoContext::Read(uint64_t lba, uint32_t pages, Callback done) {
-  Issue(lba, pages, /*is_write=*/false, /*sync=*/false, /*meta=*/false,
-        std::move(done));
+uint64_t AppIoContext::Read(uint64_t lba, uint32_t pages, Callback done) {
+  return Issue(lba, pages, /*is_write=*/false, /*sync=*/false, /*meta=*/false,
+               /*flush=*/false, /*fua=*/false, std::move(done));
 }
 
-void AppIoContext::Write(uint64_t lba, uint32_t pages, bool sync, bool meta,
-                         Callback done) {
-  Issue(lba, pages, /*is_write=*/true, sync, meta, std::move(done));
+uint64_t AppIoContext::Write(uint64_t lba, uint32_t pages, bool sync, bool meta,
+                             Callback done) {
+  return Issue(lba, pages, /*is_write=*/true, sync, meta, /*flush=*/false,
+               /*fua=*/false, std::move(done));
+}
+
+uint64_t AppIoContext::WriteFua(uint64_t lba, uint32_t pages, bool meta,
+                                Callback done) {
+  return Issue(lba, pages, /*is_write=*/true, /*sync=*/true, meta,
+               /*flush=*/false, /*fua=*/true, std::move(done));
+}
+
+uint64_t AppIoContext::Flush(Callback done) {
+  // A barrier targets no LBA; page 0 with pages=1 keeps queue-capacity
+  // accounting honest without touching flash (the device never schedules a
+  // flash page for a flush command).
+  return Issue(/*lba=*/0, /*pages=*/1, /*is_write=*/false, /*sync=*/true,
+               /*meta=*/false, /*flush=*/true, /*fua=*/false, std::move(done));
 }
 
 void AppIoContext::Compute(TickDuration duration, Callback done) {

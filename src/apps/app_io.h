@@ -15,6 +15,12 @@ namespace daredevil {
 
 class SloTenantState;  // src/stats/slo.h
 
+// What application recovery sees at a namespace-relative page after a crash.
+// Tests close this over the device's persisted snapshot
+// (`[&](uint64_t lba) { return device.PersistedAt(nsid, Lba{lba}); }`), so
+// the apps layer never names device types.
+using DurabilityView = std::function<PersistedPageView(uint64_t lba)>;
+
 class AppIoContext {
  public:
   using Callback = std::function<void()>;
@@ -25,9 +31,21 @@ class AppIoContext {
   AppIoContext& operator=(const AppIoContext&) = delete;
 
   // Issues a read of `pages` 4KB pages at `lba` (namespace-relative).
-  void Read(uint64_t lba, uint32_t pages, Callback done);
+  // All I/O entry points return the request id — which is also the device
+  // command id of the first attempt — so applications can key durability
+  // bookkeeping (WAL records, inode versions) by the cid that recovery will
+  // find in the device's persisted snapshot.
+  uint64_t Read(uint64_t lba, uint32_t pages, Callback done);
   // Issues a write; sync/meta map to REQ_SYNC / REQ_META.
-  void Write(uint64_t lba, uint32_t pages, bool sync, bool meta, Callback done);
+  uint64_t Write(uint64_t lba, uint32_t pages, bool sync, bool meta,
+                 Callback done);
+  // Issues a FUA write (REQ_FUA, implies REQ_SYNC): completion acknowledges
+  // durability — the device persists the pages before posting the CQE.
+  uint64_t WriteFua(uint64_t lba, uint32_t pages, bool meta, Callback done);
+  // Issues a cache-flush barrier (REQ_OP_FLUSH): on completion, every write
+  // the device acknowledged before the flush is durable. Not counted in
+  // writes_issued()/pages_transferred() — flushes move no data.
+  uint64_t Flush(Callback done);
   // Pure CPU work in user context on the tenant's current core.
   void Compute(TickDuration duration, Callback done);
 
@@ -40,6 +58,7 @@ class AppIoContext {
 
   uint64_t reads_issued() const { return reads_; }
   uint64_t writes_issued() const { return writes_; }
+  uint64_t flushes_issued() const { return flushes_; }
   uint64_t pages_transferred() const { return pages_; }
   int inflight() const { return inflight_; }
 
@@ -54,8 +73,8 @@ class AppIoContext {
     AppIoContext* ctx = nullptr;
   };
 
-  void Issue(uint64_t lba, uint32_t pages, bool is_write, bool sync, bool meta,
-             Callback done);
+  uint64_t Issue(uint64_t lba, uint32_t pages, bool is_write, bool sync,
+                 bool meta, bool flush, bool fua, Callback done);
   Op* AllocOp();
 
   Machine* machine_;
@@ -70,6 +89,7 @@ class AppIoContext {
   std::vector<Op*> free_list_;
   uint64_t reads_ = 0;
   uint64_t writes_ = 0;
+  uint64_t flushes_ = 0;
   uint64_t pages_ = 0;
   int inflight_ = 0;
   SloTenantState* slo_ = nullptr;

@@ -38,6 +38,19 @@ struct KvStoreConfig {
   TickDuration cpu_per_block{1 * kMicrosecond};  // block decode
 };
 
+// What KvStore::Recover found in the WAL region. `clean()` is the headline
+// durability invariant: no acknowledged Put may be missing or corrupt.
+struct KvRecoveryReport {
+  uint64_t scanned = 0;       // WAL slots examined
+  uint64_t replayed = 0;      // records rebuilt into the memtable
+  uint64_t torn = 0;          // per-record checksum caught a partial persist
+  uint64_t stale = 0;         // slot still held an older record (cid mismatch)
+  uint64_t lost_unacked = 0;  // unacknowledged records lost (benign)
+  uint64_t lost_acked = 0;    // acknowledged records missing/corrupt: violation
+  uint64_t reordered = 0;     // valid records found past an LSN gap
+  bool clean() const { return lost_acked == 0; }
+};
+
 class KvStore {
  public:
   using Callback = std::function<void()>;
@@ -54,6 +67,16 @@ class KvStore {
 
   void Get(uint64_t key, Callback done);
   void Put(uint64_t key, Callback done);
+  // Post-crash recovery: forgets all volatile state (memtable, un-checkpointed
+  // L0 runs), then scans the circular WAL region against the device's
+  // persisted snapshot — per-record checksums (modeled as a cid match on the
+  // persisted page) reject torn and stale slots, LSN gaps flag reordering —
+  // and rebuilds the memtable from every valid record past the last
+  // acknowledged checkpoint. Call only after the device crashed; the
+  // simulation must be drained (no I/O is issued).
+  KvRecoveryReport Recover(const DurabilityView& view);
+  // True when `key` is serveable (memtable or a live sorted run).
+  DD_OBSERVER bool Contains(uint64_t key) const;
   // Reads ~n consecutive entries starting at key.
   void Scan(uint64_t key, int n, Callback done);
   void ReadModifyWrite(uint64_t key, Callback done);
@@ -62,6 +85,7 @@ class KvStore {
   uint64_t cache_hits() const { return cache_.hits(); }
   uint64_t cache_misses() const { return cache_.misses(); }
   uint64_t wal_appends() const { return wal_appends_; }
+  uint64_t acked_checkpoint_lsn() const { return acked_checkpoint_lsn_; }
   uint64_t flushes() const { return flushes_; }
   uint64_t compactions() const { return compactions_; }
   size_t num_sstables() const { return sstables_.size(); }
@@ -75,7 +99,21 @@ class KvStore {
     uint64_t base_lba = 0;
     uint64_t num_pages = 0;
     int level = 0;
+    // WAL records with lsn < seal_lsn are superseded by this run. A run is
+    // durable once the checkpoint barrier behind it acked
+    // (seal_lsn <= acked_checkpoint_lsn_); recovery drops the rest.
+    uint64_t seal_lsn = 0;
     std::vector<uint64_t> keys;
+  };
+
+  // The writer's intent for one WAL slot: what recovery must find there. The
+  // cid doubles as the record checksum — the persisted page validates iff it
+  // carries this cid intact.
+  struct WalRecord {
+    uint64_t lsn = 0;
+    uint64_t key = 0;
+    uint64_t cid = 0;
+    bool acked = false;  // the FUA completion reached the application
   };
 
   uint64_t BlockOf(const SsTable& table, uint64_t key) const {
@@ -105,6 +143,9 @@ class KvStore {
   uint64_t next_sstable_id_ = 1;
 
   uint64_t wal_head_ = 0;
+  uint64_t next_lsn_ = 0;
+  uint64_t acked_checkpoint_lsn_ = 0;
+  std::map<uint64_t, WalRecord> wal_log_;  // wal slot (lba) -> latest intent
   uint64_t data_alloc_ = 0;
   bool flush_in_progress_ = false;
   bool compaction_in_progress_ = false;

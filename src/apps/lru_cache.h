@@ -51,6 +51,13 @@ class LruCache {
     index_.erase(it);
   }
 
+  // Drops every cached id (a crashed machine's page cache is volatile);
+  // hit/miss accounting is preserved.
+  void Clear() {
+    order_.clear();
+    index_.clear();
+  }
+
   size_t size() const { return index_.size(); }
   size_t capacity() const { return capacity_; }
   uint64_t hits() const { return hits_; }

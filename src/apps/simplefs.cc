@@ -1,5 +1,6 @@
 #include "src/apps/simplefs.h"
 
+#include <algorithm>
 #include <memory>
 
 #include "src/core/invariant.h"
@@ -42,24 +43,57 @@ std::vector<SimpleFs::FileId> SimpleFs::Preload(int n, uint32_t pages_per_file) 
   return ids;
 }
 
+SimpleFs::FileRecovery& SimpleFs::Rlog(const Inode& inode) {
+  auto [it, inserted] = rlog_.try_emplace(inode.id);
+  FileRecovery& fr = it->second;
+  if (inserted) {
+    fr.blocks = inode.blocks;
+    fr.preloaded_pages = static_cast<uint32_t>(inode.blocks.size());
+  }
+  return fr;
+}
+
+void SimpleFs::WriteInode(FileId id, uint32_t pages, Callback done) {
+  ++meta_writes_;
+  FileRecovery& fr = rlog_[id];
+  const size_t version = fr.versions.size();
+  const uint64_t cid = io_->WriteFua(
+      InodeLba(id), 1, /*meta=*/true,
+      [this, id, version, done = std::move(done)]() mutable {
+        // The FUA completion is the durability acknowledgement: from here on
+        // recovery must reflect this version (or a newer one).
+        FileRecovery& r = rlog_[id];
+        const uint32_t pages = r.versions[version].pages;
+        if (pages == kDeletedMarker) {
+          r.acked_deleted = true;
+        } else {
+          r.acked_deleted = false;
+          r.acked_pages = std::max<int64_t>(r.acked_pages, pages);
+        }
+        done();
+      });
+  fr.versions.push_back(InodeVersion{cid, pages});
+}
+
 void SimpleFs::Create(Callback done, FileId* out_id) {
   Inode inode;
   inode.id = next_id_++;
   if (out_id != nullptr) {
     *out_id = inode.id;
   }
-  const uint64_t meta_lba = InodeLba(inode.id);
-  files_.emplace(inode.id, std::move(inode));
-  ++meta_writes_;
-  io_->Write(meta_lba, 1, /*sync=*/true, /*meta=*/true, std::move(done));
+  const FileId id = inode.id;
+  files_.emplace(id, std::move(inode));
+  WriteInode(id, 0, std::move(done));
 }
 
 void SimpleFs::Append(FileId id, uint32_t pages, Callback done) {
   auto it = files_.find(id);
   DD_CHECK(it != files_.end()) << "Append to unknown file " << id;
+  FileRecovery& fr = Rlog(it->second);
   for (uint32_t p = 0; p < pages; ++p) {
     const uint64_t block = AllocBlock();
     it->second.blocks.push_back(block);
+    fr.blocks.push_back(block);
     cache_.Insert(block);  // written through the page cache
   }
   io_->Compute(config_.cpu_per_op, std::move(done));
@@ -69,26 +103,32 @@ void SimpleFs::Fsync(FileId id, Callback done) {
   auto it = files_.find(id);
   DD_CHECK(it != files_.end()) << "Fsync of unknown file " << id;
   Inode& inode = it->second;
+  FileRecovery& fr = Rlog(inode);
   const uint32_t first_dirty = inode.dirty_from;
   const auto total = static_cast<uint32_t>(inode.blocks.size());
   if (first_dirty >= total) {
-    // Nothing dirty: inode write only.
-    ++meta_writes_;
-    io_->Write(InodeLba(id), 1, /*sync=*/true, /*meta=*/true, std::move(done));
+    // Nothing dirty: the FUA inode write alone is the barrier.
+    WriteInode(id, total, std::move(done));
     return;
   }
   const uint32_t dirty_pages = total - first_dirty;
   const uint64_t start_block = inode.blocks[first_dirty];
   inode.dirty_from = total;
   data_write_pages_ += dirty_pages;
-  const uint64_t meta_lba = InodeLba(id);
-  // Data pages first (allocated contiguously by Append), then the inode.
-  io_->Write(start_block, dirty_pages, /*sync=*/true, /*meta=*/false,
-             [this, meta_lba, done = std::move(done)]() mutable {
-               ++meta_writes_;
-               io_->Write(meta_lba, 1, /*sync=*/true, /*meta=*/true,
-                          std::move(done));
-             });
+  // The fsync barrier chain: (1) dirty data pages (allocated contiguously by
+  // Append) land in the device write cache, (2) a FLUSH makes them durable,
+  // (3) a FUA inode write durably publishes the new length. Completion of (3)
+  // is the acknowledgement the caller may rely on after a crash.
+  const uint64_t data_cid = io_->Write(
+      start_block, dirty_pages, /*sync=*/true, /*meta=*/false,
+      [this, id, total, done = std::move(done)]() mutable {
+        io_->Flush([this, id, total, done = std::move(done)]() mutable {
+          WriteInode(id, total, std::move(done));
+        });
+      });
+  for (uint32_t p = first_dirty; p < total; ++p) {
+    fr.data_cids[fr.blocks[p]] = data_cid;
+  }
 }
 
 void SimpleFs::Read(FileId id, Callback done) {
@@ -121,18 +161,100 @@ void SimpleFs::Read(FileId id, Callback done) {
 void SimpleFs::Delete(FileId id, Callback done) {
   auto it = files_.find(id);
   DD_CHECK(it != files_.end()) << "Delete of unknown file " << id;
+  Rlog(it->second);  // seed the durability log before the inode disappears
   for (uint64_t block : it->second.blocks) {
     cache_.Erase(block);
   }
-  const uint64_t meta_lba = InodeLba(id);
   files_.erase(it);
-  ++meta_writes_;
-  io_->Write(meta_lba, 1, /*sync=*/true, /*meta=*/true, std::move(done));
+  // The delete marker is an inode version like any other: recovery finding it
+  // persisted keeps the file dead; an acknowledged delete whose marker is
+  // missing while an older inode version persisted is a resurrection.
+  WriteInode(id, kDeletedMarker, std::move(done));
 }
 
 void SimpleFs::Stat(FileId id, Callback done) {
   (void)id;
   io_->Compute(config_.cpu_per_op, std::move(done));
+}
+
+FsckReport SimpleFs::Recover(const DurabilityView& view) {
+  FsckReport rep;
+  // The page cache died with the machine: a stale hit after recovery would
+  // silently serve lost data.
+  cache_.Clear();
+  for (const auto& [id, fr] : rlog_) {
+    ++rep.files_checked;
+    files_.erase(id);  // rebuilt below, only from what the snapshot proves
+    const PersistedPageView iv = view(InodeLba(id));
+    if (iv.present && iv.torn) {
+      ++rep.torn_inodes;
+      if (fr.acked_pages >= 0 || fr.acked_deleted) {
+        ++rep.acked_violations;  // acknowledged state behind a corrupt inode
+      }
+      continue;
+    }
+    const InodeVersion* match = nullptr;
+    if (iv.present) {
+      for (const InodeVersion& v : fr.versions) {
+        if (v.cid == iv.cid) {
+          match = &v;
+          break;
+        }
+      }
+    }
+    if (match == nullptr) {
+      // No durable inode for this file (never persisted, or another file's
+      // page occupies the slot). Losing it is only legal if nothing was
+      // acknowledged — an acked delete is satisfied by absence.
+      if (fr.acked_pages >= 0 && !fr.acked_deleted) {
+        ++rep.acked_violations;
+      } else if (!fr.acked_deleted) {
+        ++rep.files_lost_clean;
+      }
+      continue;
+    }
+    if (match->pages == kDeletedMarker) {
+      continue;  // durable delete marker: the file stays dead
+    }
+    if (fr.acked_deleted) {
+      ++rep.acked_violations;  // resurrection: an older version outlived the
+      continue;                // acknowledged delete
+    }
+    // Data sweep: every block the durable inode covers must validate. The
+    // first bad block truncates the file — torn or mismatched data is
+    // detected and never served, acknowledged or not.
+    uint32_t usable = match->pages;
+    for (uint32_t i = 0; i < match->pages && i < fr.blocks.size(); ++i) {
+      if (i < fr.preloaded_pages) {
+        continue;  // pre-existing durable state, never device-written
+      }
+      const PersistedPageView dv = view(fr.blocks[i]);
+      auto dc = fr.data_cids.find(fr.blocks[i]);
+      const bool ok = dv.present && !dv.torn && dc != fr.data_cids.end() &&
+                      dc->second == dv.cid;
+      if (ok) {
+        continue;
+      }
+      if (dv.present && dv.torn) {
+        ++rep.torn_data_pages;
+      }
+      usable = std::min(usable, i);
+    }
+    usable = std::min(usable, static_cast<uint32_t>(fr.blocks.size()));
+    if (usable < match->pages) {
+      ++rep.truncated_files;
+    }
+    if (fr.acked_pages > static_cast<int64_t>(usable)) {
+      ++rep.acked_violations;  // an acknowledged fsync's data did not survive
+    }
+    Inode inode;
+    inode.id = id;
+    inode.blocks.assign(fr.blocks.begin(), fr.blocks.begin() + usable);
+    inode.dirty_from = usable;
+    files_.emplace(id, std::move(inode));
+    ++rep.files_recovered;
+  }
+  return rep;
 }
 
 }  // namespace daredevil

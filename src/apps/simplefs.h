@@ -26,6 +26,20 @@ struct SimpleFsConfig {
   TickDuration cpu_per_op{1500};      // path lookup / metadata update
 };
 
+// What SimpleFs::Recover's fsck-style sweep found. `clean()` is the headline
+// invariant: every state transition the app was acknowledged (fsync, create,
+// delete) must be reflected by the persisted snapshot.
+struct FsckReport {
+  uint64_t files_checked = 0;
+  uint64_t files_recovered = 0;   // a durable inode restored the file
+  uint64_t files_lost_clean = 0;  // never reached media, never acked (benign)
+  uint64_t torn_inodes = 0;       // inode page detectably corrupt
+  uint64_t torn_data_pages = 0;   // data block detectably corrupt
+  uint64_t truncated_files = 0;   // recovered shorter than the inode claimed
+  uint64_t acked_violations = 0;  // acknowledged state missing/corrupt/resurrected
+  bool clean() const { return acked_violations == 0; }
+};
+
 class SimpleFs {
  public:
   using Callback = std::function<void()>;
@@ -41,7 +55,10 @@ class SimpleFs {
   void Create(Callback done, FileId* out_id);
   // Extends the file by `pages` dirty pages in the page cache (no device I/O).
   void Append(FileId id, uint32_t pages, Callback done);
-  // Persists dirty data pages (synchronous writes) plus the inode.
+  // Persists the file with a real durability barrier: dirty data writes, then
+  // a FLUSH (data reaches media), then a FUA inode write that durably
+  // publishes the new length. Completion therefore acknowledges durability —
+  // this is the fsync MailServer's compose path rides.
   void Fsync(FileId id, Callback done);
   // Reads the whole file; cache hits cost CPU only.
   void Read(FileId id, Callback done);
@@ -49,6 +66,17 @@ class SimpleFs {
   void Delete(FileId id, Callback done);
   // Metadata-only access (inode is cached): CPU only.
   void Stat(FileId id, Callback done);
+
+  // Post-crash recovery with an fsck-style invariant sweep: every file that
+  // ever wrote durability state is rebuilt from the persisted snapshot — the
+  // inode page selects the durable version, each covered data block is
+  // verified (torn or mismatched blocks truncate the file, never get served)
+  // — and any acknowledged fsync/create/delete the snapshot contradicts is a
+  // violation. Files installed by Preload (never written through the device)
+  // are treated as pre-existing durable state and left alone. The volatile
+  // page cache is dropped. Call only after the device crashed, on a drained
+  // simulation (no I/O is issued).
+  FsckReport Recover(const DurabilityView& view);
 
   bool Exists(FileId id) const { return files_.count(id) != 0; }
   size_t num_files() const { return files_.size(); }
@@ -65,15 +93,44 @@ class SimpleFs {
     uint32_t dirty_from = 0;  // blocks[dirty_from..] are dirty
   };
 
+  // One inode write issued to the device: the version's cid doubles as its
+  // checksum (the persisted inode page validates iff it carries this cid).
+  // pages == kDeletedMarker records a delete.
+  struct InodeVersion {
+    uint64_t cid = 0;
+    uint32_t pages = 0;
+  };
+  static constexpr uint32_t kDeletedMarker = ~0u;
+
+  // Durability bookkeeping for one file; outlives the in-memory inode (a
+  // deleted file must still be checked for resurrection).
+  struct FileRecovery {
+    std::vector<uint64_t> blocks;            // every block lba the file held
+    // Blocks below this index were installed by Preload: pre-existing durable
+    // state, never written through the device, assumed intact by recovery.
+    uint32_t preloaded_pages = 0;
+    std::map<uint64_t, uint64_t> data_cids;  // block lba -> writing cid
+    std::vector<InodeVersion> versions;      // every inode write issued
+    int64_t acked_pages = -1;  // durable length promised to the app (-1: none)
+    bool acked_deleted = false;
+  };
+
   uint64_t InodeLba(FileId id) const {
     return id % config_.inode_region_pages;
   }
   uint64_t AllocBlock();
+  // The file's durability log, created (and seeded with any preloaded blocks)
+  // on first touch.
+  FileRecovery& Rlog(const Inode& inode);
+  // Records an inode write of `pages` for `id` and issues it FUA; the
+  // completion updates the file's acknowledged durable state before `done`.
+  void WriteInode(FileId id, uint32_t pages, Callback done);
 
   AppIoContext* io_;
   SimpleFsConfig config_;
   LruCache cache_;
   std::map<FileId, Inode> files_;
+  std::map<FileId, FileRecovery> rlog_;
   FileId next_id_ = 1;
   uint64_t data_alloc_;
   uint64_t meta_writes_ = 0;

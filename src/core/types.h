@@ -164,6 +164,9 @@ enum class IoStatus : uint8_t {
   kNamespaceNotReady,   // controller-side namespace fault
   kAborted,             // host abort reclaimed the command
   kTimedOut,            // watchdog expired with retries exhausted
+  kDataLoss,            // recovery found the data torn or lost: acknowledged
+                        // state that did not survive a crash (never returned
+                        // on the live I/O path, only by post-crash recovery)
 };
 
 inline const char* IoStatusName(IoStatus s) {
@@ -178,9 +181,22 @@ inline const char* IoStatusName(IoStatus s) {
       return "aborted";
     case IoStatus::kTimedOut:
       return "timed-out";
+    case IoStatus::kDataLoss:
+      return "data-loss";
   }
   return "?";
 }
+
+// Post-crash durability view of one page: what the device's persisted-state
+// snapshot holds after a crash collapse (src/nvme/device.h, DESIGN.md §13).
+// Lives in the vocabulary layer because application recovery (src/apps/)
+// consumes it without depending on device types: tests hand apps a
+// `std::function<PersistedPageView(Lba)>` closed over the device.
+struct PersistedPageView {
+  bool present = false;  // a write to this page survived the crash
+  uint64_t cid = 0;      // id of the write command whose data is persisted
+  bool torn = false;     // partial persist: contents are detectably corrupt
+};
 
 }  // namespace daredevil
 

@@ -20,6 +20,14 @@ const char* FaultKindName(FaultKind k) {
       return "irq-delay";
     case FaultKind::kCommandDrop:
       return "command-drop";
+    case FaultKind::kTornWrite:
+      return "torn-write";
+    case FaultKind::kWriteReorder:
+      return "write-reorder";
+    case FaultKind::kFlushIgnore:
+      return "flush-ignore";
+    case FaultKind::kCrash:
+      return "crash";
   }
   return "?";
 }
@@ -146,6 +154,42 @@ IrqFault FaultPlan::OnIrq(Tick now, int ncq) {
   return out;
 }
 
+bool FaultPlan::TornWrite(Tick now, int channel, int chip) {
+  bool torn = false;
+  for (SpecState& s : specs_) {
+    if (s.spec.kind != FaultKind::kTornWrite) {
+      continue;
+    }
+    if (!Match(s.spec.channel, channel) || !Match(s.spec.chip, chip)) {
+      continue;
+    }
+    torn = Fires(s, now) || torn;
+  }
+  return torn;
+}
+
+bool FaultPlan::ReorderWrite(Tick now, int nsq) {
+  bool reorder = false;
+  for (SpecState& s : specs_) {
+    if (s.spec.kind != FaultKind::kWriteReorder || !Match(s.spec.nsq, nsq)) {
+      continue;
+    }
+    reorder = Fires(s, now) || reorder;
+  }
+  return reorder;
+}
+
+bool FaultPlan::IgnoreFlush(Tick now, int nsq) {
+  bool ignore = false;
+  for (SpecState& s : specs_) {
+    if (s.spec.kind != FaultKind::kFlushIgnore || !Match(s.spec.nsq, nsq)) {
+      continue;
+    }
+    ignore = Fires(s, now) || ignore;
+  }
+  return ignore;
+}
+
 uint64_t FaultPlan::total_injections() const {
   uint64_t total = 0;
   for (uint64_t c : counts_) {
@@ -196,6 +240,23 @@ FaultPlan MakeDenseFaultPlan(double rate) {
   drop.kind = FaultKind::kCommandDrop;
   drop.probability = rate / 4.0;
   plan.Add(drop);
+
+  // Durability hazards: invisible on the transport path (commands still
+  // complete kOk), they only change what a crash collapse preserves.
+  FaultSpec torn;
+  torn.kind = FaultKind::kTornWrite;
+  torn.probability = rate;
+  plan.Add(torn);
+
+  FaultSpec reorder;
+  reorder.kind = FaultKind::kWriteReorder;
+  reorder.probability = rate;
+  plan.Add(reorder);
+
+  FaultSpec flush_ignore;
+  flush_ignore.kind = FaultKind::kFlushIgnore;
+  flush_ignore.probability = rate;
+  plan.Add(flush_ignore);
   return plan;
 }
 

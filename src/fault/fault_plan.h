@@ -42,8 +42,24 @@ enum class FaultKind : int {
   kIrqDelay,              // IRQ vector delivery delayed by `delay`
   kCommandDrop,           // fetched command vanishes (firmware hang: the only
                           // recovery is the host watchdog timeout)
+
+  // --- Durability hazards (device write-cache model, DESIGN.md §13) -------
+  kTornWrite,     // page persists partially: a crash leaves it torn (detected
+                  // via application checksums, never silently served)
+  kWriteReorder,  // page escapes the next flush barrier (write-cache eviction
+                  // reordered across the flush the host believed covered it)
+  kFlushIgnore,   // FLUSH completes kOk but persists nothing (lying device)
+  kCrash,         // whole-machine crash at an arbitrary tick. Never consulted
+                  // by the device: the crash-matrix harness owns the crash
+                  // point (Device::Crash) and this kind exists so crash
+                  // schedules are expressible/countable in a FaultPlan.
 };
-inline constexpr int kNumFaultKinds = 8;
+inline constexpr int kNumFaultKinds = 12;
+
+// The transport hazards (everything before the durability block). The fault
+// matrix in tests/fault_test.cc sweeps exactly these: durability kinds only
+// fire on flush/FUA traffic, which raw FIO tenants never issue.
+inline constexpr int kNumTransportFaultKinds = 8;
 
 const char* FaultKindName(FaultKind k);
 
@@ -106,6 +122,14 @@ class FaultPlan {
   IoStatus CqeStatus(Tick now, int nsq, int nsid);
   // Drop/delay decision for an IRQ raise on `ncq`.
   IrqFault OnIrq(Tick now, int ncq);
+  // True: the page write targeting (channel, chip) persists torn — a crash
+  // before the next full persist leaves a detectably-corrupt page.
+  bool TornWrite(Tick now, int channel, int chip);
+  // True: the page write escapes the next flush barrier on `nsq` (reordered
+  // past the flush; it persists only at the flush after next, or never).
+  bool ReorderWrite(Tick now, int nsq);
+  // True: the FLUSH on `nsq` completes successfully but persists nothing.
+  bool IgnoreFlush(Tick now, int nsq);
 
   // --- Accounting ---------------------------------------------------------
   uint64_t injections(FaultKind k) const {
@@ -130,8 +154,11 @@ class FaultPlan {
 
 // A plan that exercises every fault kind at `rate` (used by the CI fault-soak
 // bench and stress tests): transient flash errors on all chips, periodic
-// fetch stalls, error CQEs, dropped/delayed IRQs, and command drops at a
-// quarter of the rate (each drop costs a full watchdog timeout).
+// fetch stalls, error CQEs, dropped/delayed IRQs, command drops at a quarter
+// of the rate (each drop costs a full watchdog timeout), and the durability
+// hazards (torn writes, flush-escaping reorders, lying flushes) at the rate.
+// Durability hazards are silent on the transport path — they only change what
+// a crash collapse preserves — so they are safe at full rate.
 FaultPlan MakeDenseFaultPlan(double rate);
 
 }  // namespace daredevil

@@ -21,6 +21,12 @@ struct NvmeCommand {
   bool is_write = false;
   // ZNS mode: resets the zone containing `lba` (an erase-cost management op).
   bool is_zone_reset = false;
+  // NVMe Flush: persists the volatile write cache (no data transfer; `pages`
+  // stays 1 for queue-capacity accounting, no flash page is scheduled).
+  bool is_flush = false;
+  // Force Unit Access on a write: the CQE acknowledges durability, not just
+  // cache arrival (the device persists the pages before posting completion).
+  bool fua = false;
   // Accumulated while the command is serviced (flash errors set it); copied
   // onto the CQE. kOk unless a FaultPlan is attached and fired.
   IoStatus status = IoStatus::kOk;

@@ -319,7 +319,15 @@ void Device::FinishFetch() {
   Tick flash_start = 0;
   std::vector<Tick> page_done;
   page_done.reserve(cmd.pages);
-  if (cmd.is_zone_reset) {
+  if (cmd.is_flush) {
+    // FLUSH: no flash page is touched; the cache drain runs on the controller
+    // for flush_exec and the barrier action happens at completion post (so an
+    // aborted flush persists nothing). Rides the normal completion machinery,
+    // which keeps the lifecycle stamps valid.
+    flash_start = sim_->now();
+    page_done.push_back(sim_->now() + config_.flush_exec);
+    inflight_pages_ -= static_cast<int>(cmd.pages) - 1;
+  } else if (cmd.is_zone_reset) {
     // Zone reset: one erase-scale operation on the zone's first chip.
     flash_start = sim_->now();
     page_done.push_back(sim_->now() + config_.flash.erase_time);
@@ -330,6 +338,28 @@ void Device::FinishFetch() {
       page_done.push_back(
           flash_.SchedulePage(sim_->now(), base + p, cmd.is_write, &start));
       flash_start = p == 0 ? start : std::min(flash_start, start);
+      if (cmd.is_write) {
+        // The page lands in the volatile write cache; it reaches the
+        // persisted snapshot only via a flush barrier, a FUA completion, or
+        // (torn) a crash mid-service. Durability hazards are decided here —
+        // the same hazard point as flash errors — and are invisible on the
+        // transport path: the command still completes kOk.
+        VolatilePage vp;
+        vp.cid = cmd.cid;
+        if (faults_ != nullptr) {
+          vp.torn = faults_->TornWrite(sim_->now(), flash_.ChannelOf(base + p),
+                                       flash_.ChipOf(base + p));
+          vp.reorder_escape = faults_->ReorderWrite(sim_->now(), cmd.sqid);
+          if ((vp.torn || vp.reorder_escape) && trace_ != nullptr) {
+            trace_->Record(sim_->now(), TraceCategory::kFaultInject, cmd.cid,
+                           cmd.sqid,
+                           static_cast<int64_t>(vp.torn
+                                                    ? FaultKind::kTornWrite
+                                                    : FaultKind::kWriteReorder));
+          }
+        }
+        volatile_writes_[base + p] = vp;
+      }
       if (faults_ != nullptr &&
           faults_->FlashPageFails(sim_->now(), flash_.ChannelOf(base + p),
                                   flash_.ChipOf(base + p), cmd.is_write)) {
@@ -441,6 +471,29 @@ void Device::PostCompletion(const InflightCommand& ic) {
   if (cqe.status != IoStatus::kOk) {
     ++commands_errored_;
   }
+  // Durability actions ride the acknowledgement: a command only persists
+  // anything if its CQE reports success (an errored flush/FUA must not be
+  // trusted by the host, and recovery tests assert exactly that boundary).
+  if (cqe.status == IoStatus::kOk) {
+    if (ic.cmd.is_flush) {
+      ++flushes_completed_;
+      if (faults_ != nullptr &&
+          faults_->IgnoreFlush(sim_->now(), ic.cmd.sqid)) {
+        // Lying device: the FLUSH completes successfully but the write cache
+        // stays volatile. Only a later (honest) barrier or crash reveals it.
+        ++flushes_ignored_;
+        if (trace_ != nullptr) {
+          trace_->Record(sim_->now(), TraceCategory::kFaultInject, ic.cmd.cid,
+                         ic.cmd.sqid,
+                         static_cast<int64_t>(FaultKind::kFlushIgnore));
+        }
+      } else {
+        PersistBarrier();
+      }
+    } else if (ic.cmd.is_write && ic.cmd.fua) {
+      PersistPages(ic.cmd);
+    }
+  }
   cqe.cookie = ic.cmd.cookie;
   cqe.enqueue_time = ic.cmd.enqueue_time;
   cqe.doorbell_time = ic.cmd.doorbell_time;
@@ -510,6 +563,81 @@ void Device::RaiseIrq(int ncq_id) {
   if (irq_handler_) {
     irq_handler_(ncq_id);
   }
+}
+
+void Device::PersistBarrier() {
+  for (auto it = volatile_writes_.begin(); it != volatile_writes_.end();) {
+    VolatilePage& vp = it->second;
+    if (vp.reorder_escape) {
+      // The reordered page escapes this barrier; the escape is consumed so
+      // the *next* flush persists it (a one-barrier reordering window).
+      vp.reorder_escape = false;
+      ++it;
+      continue;
+    }
+    persisted_[it->first] = PersistedPage{vp.cid, vp.torn};
+    it = volatile_writes_.erase(it);
+  }
+}
+
+void Device::PersistPages(const NvmeCommand& cmd) {
+  ++fua_persists_;
+  const uint64_t base = GlobalPage(cmd.nsid, cmd.lba);
+  for (uint32_t p = 0; p < cmd.pages; ++p) {
+    auto it = volatile_writes_.find(base + p);
+    if (it == volatile_writes_.end()) {
+      // A later write to the same page already persisted (or overwrote) it.
+      continue;
+    }
+    // FUA persists this command's cache entry even if a later volatile write
+    // overwrote the page — but then the later cid is what recovery must see.
+    persisted_[base + p] = PersistedPage{it->second.cid, it->second.torn};
+    if (it->second.cid == cmd.cid) {
+      volatile_writes_.erase(it);
+    }
+  }
+}
+
+void Device::Crash() {
+  if (crashed_) {
+    return;
+  }
+  crashed_ = true;
+  // Torn-marked volatile pages persist as corrupt; clean volatile pages are
+  // simply lost (whatever the page held before, if anything, stays visible).
+  for (const auto& [gp, vp] : volatile_writes_) {
+    if (vp.torn) {
+      persisted_[gp] = PersistedPage{vp.cid, true};
+    }
+  }
+  volatile_writes_.clear();
+  // Writes caught mid-flash-service: the crash interrupted the program. The
+  // FTL maps a page to its new location only after the program completes, so
+  // a page with a prior durable version keeps it (atomic remap — the
+  // interrupted rewrite simply never happened), while a first write with
+  // nothing to fall back to reads back torn. Recovery must detect the torn
+  // pages, never serve them.
+  for (const auto& [cid, ic] : inflight_) {
+    if (!ic.cmd.is_write || ic.cmd.is_flush || ic.cmd.is_zone_reset ||
+        ic.aborted) {
+      continue;
+    }
+    const uint64_t base = GlobalPage(ic.cmd.nsid, ic.cmd.lba);
+    for (uint32_t p = 0; p < ic.cmd.pages; ++p) {
+      persisted_.emplace(base + p, PersistedPage{cid, true});
+    }
+  }
+}
+
+PersistedPageView Device::PersistedAt(uint32_t nsid, Lba lba) const {
+  PersistedPageView view;
+  auto it = persisted_.find(GlobalPage(nsid, lba));
+  if (it != persisted_.end()) {
+    view.present = true;
+    view.cid = it->second.cid;
+    view.torn = it->second.torn;
+  }
+  return view;
 }
 
 Device::AbortOutcome Device::AbortCommand(int sqid, uint64_t cid) {

@@ -59,6 +59,7 @@ struct DeviceConfig {
   TickDuration cmd_fetch{600};           // fixed fetch cost per command
   TickDuration per_page_decompose{100};  // per-4KB decompose cost
   TickDuration completion_post{200};     // cost to build + post a CQE
+  TickDuration flush_exec{10 * kMicrosecond};  // FLUSH execution (cache drain)
   int arb_burst = 4;               // commands fetched per NSQ per RR visit
   int max_inflight_pages = 256;    // device-internal buffer (pages)
 
@@ -188,6 +189,31 @@ class Device {
   uint64_t irqs_delayed() const { return irqs_delayed_; }
   TickDuration injected_stall_ns() const { return injected_stall_ns_; }
 
+  // --- Durability model (DESIGN.md §13) ----------------------------------
+  // The device keeps a volatile write cache: every write page lands in the
+  // volatile set at fetch time and reaches the persisted snapshot only via a
+  // FLUSH barrier, a FUA completion, or (torn) a crash mid-service. This is
+  // pure bookkeeping — no events, no metrics keys — so empty-FaultPlan runs
+  // stay fingerprint-identical to a build without it.
+  //
+  // Collapses device state to what durably survived a power loss at the
+  // current tick: volatile pages are dropped (prior persisted content, if
+  // any, remains visible), torn-marked volatile pages and pages of writes
+  // still in flash service persist as *torn* (detectably corrupt, never
+  // silently served). Safe to call at any tick; idempotent thereafter.
+  void Crash();
+  bool crashed() const { return crashed_; }
+  // What recovery sees at (nsid, lba) after Crash(). Before a crash this
+  // reads the persisted snapshot as-is (volatile pages are not present).
+  DD_OBSERVER PersistedPageView PersistedAt(uint32_t nsid, Lba lba) const;
+  DD_OBSERVER size_t volatile_page_count() const {
+    return volatile_writes_.size();
+  }
+  DD_OBSERVER size_t persisted_page_count() const { return persisted_.size(); }
+  uint64_t flushes_completed() const { return flushes_completed_; }
+  uint64_t flushes_ignored() const { return flushes_ignored_; }
+  uint64_t fua_persists() const { return fua_persists_; }
+
   // --- ZNS mode ---------------------------------------------------------
   bool zns_enabled() const { return config_.zns_zone_pages > 0; }
   uint64_t ZoneOf(uint32_t nsid, Lba lba) const {
@@ -302,6 +328,29 @@ class Device {
   uint64_t irqs_dropped_ = 0;
   uint64_t irqs_delayed_ = 0;
   TickDuration injected_stall_ns_;
+
+  // --- Durability model state (always-on, pure bookkeeping) --------------
+  struct VolatilePage {
+    uint64_t cid = 0;
+    bool torn = false;            // kTornWrite fired on this page's program
+    bool reorder_escape = false;  // kWriteReorder: skips the next flush
+  };
+  struct PersistedPage {
+    uint64_t cid = 0;
+    bool torn = false;
+  };
+  // Persists every volatile page (except reorder escapees, whose escape is
+  // consumed) — the successful-FLUSH barrier action.
+  void PersistBarrier();
+  // Persists the pages of one (FUA) write command out of the volatile set.
+  void PersistPages(const NvmeCommand& cmd);
+  // Keyed by device-global page. Ordered: recovery iterates these.
+  std::map<uint64_t, VolatilePage> volatile_writes_;
+  std::map<uint64_t, PersistedPage> persisted_;
+  bool crashed_ = false;
+  uint64_t flushes_completed_ = 0;
+  uint64_t flushes_ignored_ = 0;  // kFlushIgnore injections that landed
+  uint64_t fua_persists_ = 0;
 
   // ZNS state: zone -> write pointer (pages written within the zone).
   std::map<uint64_t, uint64_t> zone_wp_;

@@ -225,6 +225,7 @@ void StorageStack::SubmitSplit(Request* rq) {
     child->is_write = rq->is_write;
     child->is_sync = rq->is_sync;
     child->is_meta = rq->is_meta;
+    child->is_fua = rq->is_fua;
     child->submit_core = rq->submit_core;
     child->issue_time = rq->issue_time;
     child->on_complete = [this, job_ptr](Request* done_child) {
@@ -270,6 +271,8 @@ void StorageStack::EnqueueLocked(Request* rq, int nsq) {
   cmd.pages = rq->pages;
   cmd.is_write = rq->is_write;
   cmd.is_zone_reset = rq->is_zone_reset;
+  cmd.is_flush = rq->is_flush;
+  cmd.fua = rq->is_fua;
   cmd.cookie = rq;
 
   if (!device_->Enqueue(nsq, cmd)) {

@@ -7,8 +7,10 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <string>
 
+#include "src/apps/kvstore.h"
 #include "src/workload/scenario.h"
 
 namespace daredevil {
@@ -274,6 +276,93 @@ TEST(DeterminismGate, FingerprintWithoutTraceStillStable) {
   EXPECT_EQ(a.trace_hash, 0u);
   EXPECT_EQ(a.SimulationFingerprint(), b.SimulationFingerprint());
 }
+
+// ---------------------------------------------------------------------------
+// Crash + recovery determinism: a whole-machine crash at a fixed event index
+// followed by WAL replay is part of the simulated outcome, so it must be as
+// bit-reproducible as the healthy path. Two same-seed runs crash at the same
+// instant, collapse the same persisted state, and recover the same store.
+// ---------------------------------------------------------------------------
+
+// Digest of everything crash recovery produced: the recovery report, the
+// acked-set size, the persisted snapshot shape, and the per-key serveability
+// bitmap. FNV-1a like SimulationFingerprint.
+uint64_t CrashRecoveryDigest(StackKind kind) {
+  ScenarioConfig cfg = MakeSvmConfig(2);
+  cfg.stack = kind;
+  cfg.seed = 42;
+  ScenarioEnv env(cfg);
+  Tenant tenant;
+  tenant.id = TenantId{1};
+  tenant.name = "kv";
+  tenant.group = "APP";
+  tenant.core = 0;
+  env.stack().OnTenantStart(&tenant);
+  AppIoContext io(&env.machine(), &env.stack(), &tenant, /*nsid=*/0);
+  KvStoreConfig kv_cfg;
+  kv_cfg.memtable_entries = 10;
+  KvStore store(&io, kv_cfg, Rng(cfg.seed));
+
+  uint64_t issued = 0;
+  uint64_t acked = 0;
+  std::function<void()> put_next = [&]() {
+    if (issued >= 32) {
+      return;
+    }
+    store.Put(issued++ * 3, [&]() {
+      ++acked;
+      put_next();
+    });
+  };
+  put_next();
+  constexpr uint64_t kCrashEvent = 700;
+  while (env.sim().events_processed() < kCrashEvent && env.sim().Step()) {
+  }
+  env.device().Crash();
+  const KvRecoveryReport rep = store.Recover([&](uint64_t lba) {
+    return env.device().PersistedAt(/*nsid=*/0, Lba{lba});
+  });
+
+  uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h = (h ^ ((v >> (8 * i)) & 0xff)) * 1099511628211ull;
+    }
+  };
+  mix(env.sim().events_processed());
+  mix(acked);
+  mix(rep.scanned);
+  mix(rep.replayed);
+  mix(rep.torn);
+  mix(rep.lost_unacked);
+  mix(rep.lost_acked);
+  mix(store.acked_checkpoint_lsn());
+  mix(env.device().persisted_page_count());
+  mix(env.device().flushes_completed());
+  mix(env.device().fua_persists());
+  for (uint64_t key = 0; key < 32 * 3; ++key) {
+    mix(store.Contains(key) ? key + 1 : 0);
+  }
+  return h;
+}
+
+class CrashRecoveryDeterminismGate : public ::testing::TestWithParam<StackKind> {
+};
+
+TEST_P(CrashRecoveryDeterminismGate, SameSeedSameRecoveredState) {
+  const uint64_t a = CrashRecoveryDigest(GetParam());
+  const uint64_t b = CrashRecoveryDigest(GetParam());
+  EXPECT_EQ(a, b) << "crash+recover diverged for "
+                  << StackKindName(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Stacks, CrashRecoveryDeterminismGate,
+                         ::testing::Values(StackKind::kVanilla,
+                                           StackKind::kStaticSplit,
+                                           StackKind::kBlkSwitch,
+                                           StackKind::kDareBase,
+                                           StackKind::kDareFull),
+                         GateName);
 
 }  // namespace
 }  // namespace daredevil

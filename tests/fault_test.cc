@@ -12,6 +12,8 @@
 
 #include <map>
 #include <memory>
+#include <set>
+#include <string>
 #include <tuple>
 #include <vector>
 
@@ -185,6 +187,116 @@ TEST(FaultPlanTest, DenseFaultPlanCoversEveryKind) {
 TEST(FaultPlanTest, FaultKindNamesAreStable) {
   EXPECT_STREQ(FaultKindName(FaultKind::kFlashReadError), "flash-read-error");
   EXPECT_STREQ(FaultKindName(FaultKind::kCommandDrop), "command-drop");
+  EXPECT_STREQ(FaultKindName(FaultKind::kTornWrite), "torn-write");
+  EXPECT_STREQ(FaultKindName(FaultKind::kCrash), "crash");
+}
+
+// Guards FaultKindName against going stale when a kind is appended: every
+// value in [0, kNumFaultKinds) must map to a real, distinct name.
+TEST(FaultPlanTest, EveryFaultKindHasAUniqueName) {
+  std::set<std::string> names;
+  for (int k = 0; k < kNumFaultKinds; ++k) {
+    const char* name = FaultKindName(static_cast<FaultKind>(k));
+    ASSERT_NE(name, nullptr);
+    EXPECT_STRNE(name, "?") << "kind " << k << " missing from FaultKindName";
+    EXPECT_TRUE(names.insert(name).second)
+        << "kind " << k << " reuses name \"" << name << "\"";
+  }
+  EXPECT_EQ(names.size(), static_cast<size_t>(kNumFaultKinds));
+  EXPECT_LE(kNumTransportFaultKinds, kNumFaultKinds);
+}
+
+// Sticky x budget: the budget is checked before the sticky latch, so a dead
+// die with a bounded injection budget goes quiet after exactly
+// max_injections fires even though the latch stays set.
+TEST(FaultPlanTest, StickyRespectsInjectionBudget) {
+  FaultPlan plan;
+  FaultSpec spec;
+  spec.kind = FaultKind::kFlashReadError;
+  spec.probability = 1.0;
+  spec.sticky = true;
+  spec.max_injections = 3;
+  plan.Add(spec);
+  plan.Reseed(5);
+  int fired = 0;
+  for (int i = 0; i < 20; ++i) {
+    fired += plan.FlashPageFails(i, 0, 0, /*is_write=*/false) ? 1 : 0;
+  }
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(plan.injections(FaultKind::kFlashReadError), 3u);
+}
+
+// A probabilistic sticky spec fires on every match between the first hit and
+// budget exhaustion: no gaps once latched, nothing after the budget.
+TEST(FaultPlanTest, StickyBudgetFiresContiguouslyOnceLatched) {
+  FaultPlan plan;
+  FaultSpec spec;
+  spec.kind = FaultKind::kCommandDrop;
+  spec.probability = 0.2;
+  spec.sticky = true;
+  spec.max_injections = 4;
+  plan.Add(spec);
+  plan.Reseed(11);
+  int first_hit = -1;
+  int last_hit = -1;
+  int fired = 0;
+  for (int i = 0; i < 400; ++i) {
+    if (plan.DropCommand(i, 0)) {
+      if (first_hit < 0) {
+        first_hit = i;
+      }
+      last_hit = i;
+      ++fired;
+    }
+  }
+  ASSERT_GE(first_hit, 0) << "spec never latched: reseed the test";
+  EXPECT_EQ(fired, 4);
+  // Contiguous: the fires occupy exactly [first_hit, first_hit + 3].
+  EXPECT_EQ(last_hit, first_hit + 3);
+}
+
+// The durability kinds ride the same firing machinery; dense plans cover
+// them so soak-style sweeps exercise the write-cache hazards too.
+TEST(FaultPlanTest, DenseFaultPlanCoversDurabilityKinds) {
+  FaultPlan plan = MakeDenseFaultPlan(1.0);
+  plan.Reseed(3);
+  EXPECT_TRUE(plan.TornWrite(0, 0, 0));
+  EXPECT_TRUE(plan.ReorderWrite(0, 0));
+  EXPECT_TRUE(plan.IgnoreFlush(0, 0));
+  EXPECT_EQ(plan.injections(FaultKind::kTornWrite), 1u);
+  EXPECT_EQ(plan.injections(FaultKind::kWriteReorder), 1u);
+  EXPECT_EQ(plan.injections(FaultKind::kFlushIgnore), 1u);
+  // kCrash is harness-driven (Device::Crash picks the point); dense plans
+  // must not smuggle one in as a consultable spec.
+  EXPECT_EQ(plan.injections(FaultKind::kCrash), 0u);
+}
+
+// Durability consultations honor the same topology filters as their
+// transport cousins: torn writes pin to a channel/chip, reorder and
+// flush-ignore pin to a submission queue.
+TEST(FaultPlanTest, DurabilityKindsHonorTopologyFilters) {
+  FaultPlan plan;
+  FaultSpec torn;
+  torn.kind = FaultKind::kTornWrite;
+  torn.channel = 1;
+  torn.chip = 2;
+  plan.Add(torn);
+  FaultSpec reorder;
+  reorder.kind = FaultKind::kWriteReorder;
+  reorder.nsq = 3;
+  plan.Add(reorder);
+  FaultSpec ignore;
+  ignore.kind = FaultKind::kFlushIgnore;
+  ignore.nsq = 5;
+  plan.Add(ignore);
+  plan.Reseed(1);
+  EXPECT_FALSE(plan.TornWrite(0, 0, 0));
+  EXPECT_FALSE(plan.TornWrite(0, 2, 1));
+  EXPECT_TRUE(plan.TornWrite(0, 1, 2));
+  EXPECT_FALSE(plan.ReorderWrite(0, 0));
+  EXPECT_TRUE(plan.ReorderWrite(0, 3));
+  EXPECT_FALSE(plan.IgnoreFlush(0, 3));
+  EXPECT_TRUE(plan.IgnoreFlush(0, 5));
 }
 
 // ---------------------------------------------------------------------------
@@ -408,6 +520,13 @@ KindProfile ProfileFor(FaultKind kind) {
       p.spec.probability = 0.1;
       p.expect_timeouts = true;
       break;
+    case FaultKind::kTornWrite:
+    case FaultKind::kWriteReorder:
+    case FaultKind::kFlushIgnore:
+    case FaultKind::kCrash:
+      // Durability kinds never enter this matrix (see the instantiation pin);
+      // crash_matrix_test.cc drives them against flush/FUA-issuing apps.
+      break;
   }
   return p;
 }
@@ -588,9 +707,12 @@ std::string MatrixCaseName(
   return name;
 }
 
+// Transport kinds only: durability kinds (torn-write fires, but flush-ignore
+// needs FLUSH traffic and crash is harness-driven) get their own coverage in
+// crash_matrix_test.cc against real flush/FUA-issuing applications.
 INSTANTIATE_TEST_SUITE_P(
     AllKindsAllStacks, FaultMatrixTest,
-    ::testing::Combine(::testing::Range(0, kNumFaultKinds),
+    ::testing::Combine(::testing::Range(0, kNumTransportFaultKinds),
                        ::testing::Values(StackKind::kVanilla,
                                          StackKind::kStaticSplit,
                                          StackKind::kBlkSwitch,
